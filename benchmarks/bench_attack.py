@@ -1,0 +1,158 @@
+"""E17 + E18 — the partial-knowledge and dictionary attacks.
+
+* E17: the introduction's retention-replacement attack (<1,1,2,2,3,3> vs
+  <4,4,5,5,6,6>) scored against sketches and randomized response.
+* E18: Section 3's 100-candidate dictionary attack — hash vs sketch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import (
+    attack_randomized_response,
+    attack_retention,
+    attack_sketches,
+    dictionary_attack_hash,
+    dictionary_attack_sketch,
+    hash_publish,
+    map_success_rate,
+    posterior_entropy,
+)
+from repro.baselines import RandomizedResponse, RetentionReplacement
+from repro.core import Sketcher
+from repro.data import two_candidate_population
+
+from _harness import make_stack, write_table
+
+CANDIDATE_A = [1, 1, 2, 2, 3, 3]
+CANDIDATE_B = [4, 4, 5, 5, 6, 6]
+NUM_USERS = 250
+
+
+def encode_bits(vector):
+    bits = []
+    for v in vector:
+        bits.extend([(v >> 2) & 1, (v >> 1) & 1, v & 1])
+    return bits
+
+
+def test_e17_partial_knowledge_attack(benchmark):
+    params, prf, _, _, rng = make_stack(0.3, seed=17)
+    bits_a, bits_b = encode_bits(CANDIDATE_A), encode_bits(CANDIDATE_B)
+    db, truth = two_candidate_population(NUM_USERS, bits_a, bits_b, rng=rng)
+    truth_bool = truth.astype(bool)
+
+    def run_attacks():
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        subset = tuple(range(18))
+        sketch_results = []
+        for profile in db:
+            sketch = sketcher.sketch(profile.user_id, profile.bits, subset)
+            sketch_results.append(
+                attack_sketches(prf, params, [sketch], bits_a, bits_b)
+            )
+        retention = RetentionReplacement(0.5, 8, rng=rng)
+        retention_results = []
+        for holds_a in truth_bool:
+            vector = np.array(CANDIDATE_A if holds_a else CANDIDATE_B)
+            retention_results.append(
+                attack_retention(
+                    retention, retention.perturb(vector), CANDIDATE_A, CANDIDATE_B
+                )
+            )
+        flip = RandomizedResponse(params.p, rng=rng)
+        rr_results = []
+        for holds_a in truth_bool:
+            observed = flip.perturb(np.array([bits_a if holds_a else bits_b]))[0]
+            rr_results.append(
+                attack_randomized_response(flip, observed, bits_a, bits_b)
+            )
+        return sketch_results, retention_results, rr_results
+
+    sketch_results, retention_results, rr_results = benchmark.pedantic(
+        run_attacks, rounds=1, iterations=1
+    )
+    rows = [
+        (
+            "sketch (1 per user)",
+            f"{map_success_rate(sketch_results, truth_bool):.1%}",
+            f"{max(r.advantage for r in sketch_results):.3f}",
+            f"{params.privacy_ratio_bound():.1f}",
+        ),
+        (
+            "retention (rho=0.5)",
+            f"{map_success_rate(retention_results, truth_bool):.1%}",
+            f"{max(r.advantage for r in retention_results):.3f}",
+            "unbounded",
+        ),
+        (
+            "randomized response",
+            f"{map_success_rate(rr_results, truth_bool):.1%}",
+            f"{max(r.advantage for r in rr_results):.3f}",
+            f"((1-p)/p)^18 = {RandomizedResponse(params.p).privacy_ratio_bound(18):.0f}",
+        ),
+    ]
+    write_table(
+        "E17",
+        f"§1 partial-knowledge attack — {NUM_USERS} users, candidates "
+        "<1,1,2,2,3,3> vs <4,4,5,5,6,6>, prior 50/50",
+        ["mechanism", "MAP success", "worst posterior shift", "ratio bound"],
+        rows,
+        notes=(
+            "Paper claim: retention replacement 'virtually reveals the exact\n"
+            "private data' under two-candidate knowledge; sketches bound the\n"
+            "posterior shift by Lemma 3.3 regardless of the attacker's prior.\n"
+            "Expect: retention ~100%, randomized response >90% (18 differing\n"
+            "bits), sketch close to the 50% coin-flip floor."
+        ),
+    )
+    assert map_success_rate(retention_results, truth_bool) > 0.95
+    assert map_success_rate(sketch_results, truth_bool) < 0.85
+
+
+def test_e18_dictionary_attack(benchmark):
+    params, prf, _, _, rng = make_stack(0.3, seed=18)
+    dictionary = [tuple(int(b) for b in f"{i:07b}") for i in range(100)]
+    secret_index = 42
+    secret = list(dictionary[secret_index])
+
+    def run():
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        sketch = sketcher.sketch("alice", secret, tuple(range(7)))
+        posterior = dictionary_attack_sketch(prf, params, sketch, dictionary)
+        hashed = hash_publish(tuple(secret))
+        recovered = dictionary_attack_hash(hashed, dictionary)
+        return posterior, recovered
+
+    posterior, recovered = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            "plain hash",
+            f"candidate #{recovered} (exact)",
+            "1.000",
+            "0.00",
+        ),
+        (
+            "sketch",
+            "posterior over all 100",
+            f"{posterior.max():.4f}",
+            f"{posterior_entropy(posterior):.2f}",
+        ),
+        ("uniform prior", "-", "0.0100", f"{np.log2(100):.2f}"),
+    ]
+    write_table(
+        "E18",
+        "§3 dictionary attack — Bob knows Alice's value is one of 100",
+        ["publication", "attacker output", "max posterior", "residual entropy (bits)"],
+        rows,
+        notes=(
+            "Paper claim: hashing is non-reversible yet NOT private — the\n"
+            "dictionary attack recovers the value exactly.  A sketch's posterior\n"
+            "is provably within ((1-p)/p)^4 of the prior for every candidate."
+        ),
+    )
+    assert recovered == secret_index
+    bound = params.privacy_ratio_bound()
+    assert posterior.max() <= bound / 100 + 1e-9
+    assert posterior_entropy(posterior) > 5.0

@@ -1,0 +1,67 @@
+"""E20 — non-binary data: categorical histograms from whole-attribute sketches.
+
+The abstract's differentiator — prior randomizers were "of only limited
+utility ... [for] various poll data or non-binary data" — exercised on a
+Zipf-skewed categorical attribute: full histogram, mode and top-k from one
+sketch per user.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Sketcher
+from repro.data import zipf_categorical
+from repro.server import QueryEngine, attribute_subsets, publish_database
+
+from _harness import make_stack, write_table
+
+NUM_USERS = 10000
+CARDINALITY = 16
+
+
+def test_e20_categorical_histogram(benchmark):
+    params, prf, _, estimator, rng = make_stack(0.25, seed=20)
+    db = zipf_categorical(NUM_USERS, cardinality=CARDINALITY, rng=rng)
+    sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
+    store = publish_database(db, sketcher, attribute_subsets(db.schema))
+    engine = QueryEngine(db.schema, store, estimator)
+
+    def full_histogram():
+        return engine.histogram("category")
+
+    histogram = benchmark(full_histogram)
+    truth = np.bincount(db.attribute_values("category"), minlength=CARDINALITY)
+    truth = truth / NUM_USERS
+    mode, mode_freq = engine.mode("category")
+    top = engine.top_k("category", 3)
+    rows = [
+        (value, f"{truth[value]:.4f}", f"{histogram[value]:.4f}",
+         f"{abs(histogram[value] - truth[value]):.4f}")
+        for value in range(6)
+    ]
+    rows.append(("...", "", "", ""))
+    rows.append(
+        (
+            "total variation",
+            "",
+            "",
+            f"{0.5 * np.abs(histogram - truth).sum():.4f}",
+        )
+    )
+    write_table(
+        "E20",
+        f"Non-binary data — Zipf({CARDINALITY}) histogram from one sketch/user "
+        f"(M = {NUM_USERS}, p = 0.25)",
+        ["category", "truth", "estimate", "|err|"],
+        rows,
+        notes=(
+            "Abstract claim: the scheme handles non-binary data where earlier\n"
+            "randomizers degrade.  One whole-attribute sketch per user answers all\n"
+            f"{CARDINALITY} point queries; mode recovered = {mode} (freq "
+            f"{mode_freq:.3f}), top-3 = {[v for v, _ in top]}."
+        ),
+    )
+    assert mode == 0
+    assert float(0.5 * np.abs(histogram - truth).sum()) < 0.15
+    assert [v for v, _ in top][0] == 0

@@ -1,0 +1,89 @@
+"""F1 — Figure 1: the explicit indicator vector vs its sketch simulation.
+
+The paper's pedagogy: a k-bit value as a perturbed 2^k-bit indicator is
+"very private (but very inefficient)"; the pseudorandom sketch simulates
+it in ceil(log log M) bits.  Measured head-to-head on the same population:
+same answers, same error profile, exponentially different published size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import IndicatorVectorMechanism
+from repro.core import Sketcher
+from repro.data import zipf_categorical
+from repro.server import attribute_subsets, publish_database
+
+from _harness import make_stack, write_table
+
+NUM_USERS = 8000
+BITS = 3  # Figure 1's 3-bit value -> 8-entry indicator
+
+
+def test_f1_indicator_vs_sketch(benchmark):
+    params, prf, _, estimator, rng = make_stack(0.25, seed=1)
+    db = zipf_categorical(NUM_USERS, cardinality=1 << BITS, rng=rng)
+    values = db.attribute_values("category")
+    subset = db.schema.bits("category")
+
+    def run_both():
+        mechanism = IndicatorVectorMechanism(params.p, 1 << BITS, rng=rng)
+        published = mechanism.publish(values)
+        sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
+        store = publish_database(db, sketcher, attribute_subsets(db.schema))
+        sketches = store.sketches_for(subset)
+        return mechanism, published, sketches
+
+    mechanism, published, sketches = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    truth = np.bincount(values, minlength=1 << BITS) / NUM_USERS
+    rows = []
+    indicator_errors, sketch_errors = [], []
+    for value in range(1 << BITS):
+        indicator_estimate = mechanism.estimate_fraction(published, value)
+        bits = tuple((value >> (BITS - 1 - i)) & 1 for i in range(BITS))
+        sketch_estimate = estimator.estimate(sketches, bits).fraction
+        indicator_errors.append(abs(indicator_estimate - truth[value]))
+        sketch_errors.append(abs(sketch_estimate - truth[value]))
+        rows.append(
+            (
+                format(value, f"0{BITS}b"),
+                f"{truth[value]:.4f}",
+                f"{indicator_estimate:.4f}",
+                f"{sketch_estimate:.4f}",
+            )
+        )
+    rows.append(("mean |err|", "", f"{np.mean(indicator_errors):.4f}", f"{np.mean(sketch_errors):.4f}"))
+    rows.append(
+        (
+            "bits/user",
+            "",
+            str(mechanism.published_bits_per_user),
+            "10",
+        )
+    )
+    rows.append(
+        (
+            "priv. ratio",
+            "",
+            f"{mechanism.privacy_ratio_bound():.1f}",
+            f"{params.privacy_ratio_bound():.1f}",
+        )
+    )
+    write_table(
+        "F1",
+        f"Figure 1 — explicit perturbed indicator vs pseudorandom sketch "
+        f"(M = {NUM_USERS}, {BITS}-bit values, p = {params.p})",
+        ["value", "truth", "indicator est", "sketch est"],
+        rows,
+        notes=(
+            "Paper claim: the sketch simulates the 2^k-bit indicator publication\n"
+            "in ~log log M bits.  Same answers, comparable error; the explicit\n"
+            "mechanism is actually *more* private per release (ratio ((1-p)/p)^2\n"
+            "vs ^4) — the extra square is the price of compression via rejection\n"
+            "sampling.  At k = 3 the size gap is 8 vs 10 bits; at k = 20 it is\n"
+            "1,048,576 vs 10."
+        ),
+    )
+    assert np.mean(sketch_errors) < 0.03
+    assert np.mean(indicator_errors) < 0.03

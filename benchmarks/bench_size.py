@@ -1,0 +1,62 @@
+"""E8 — published size: sketches vs every baseline.
+
+The abstract's "the size of the sketch is minuscule: ceil(log log O(M))
+bits".  Compares bits published per user per subset against randomized
+response (the full q-bit vector, dense even for sparse data) and
+select-a-size (an item list whose size scales with the catalogue).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines import RandomizedResponse, SelectASize
+from repro.core import PrivacyParams
+
+from _harness import write_table
+
+
+def test_e8_published_size(benchmark):
+    profile_bits = 1000         # q: catalogue size / questionnaire length
+    true_items = 3              # sparse transaction
+    item_id_bits = math.ceil(math.log2(profile_bits))
+
+    def build():
+        rows = []
+        for num_users in (10**3, 10**6, 10**9):
+            params = PrivacyParams(p=0.3)
+            sketch_bits = params.sketch_length(num_users, 1e-9)
+            rr = RandomizedResponse(0.3)
+            rr_bits = rr.published_bits_per_user(profile_bits)
+            rr_density = rr.density_after_perturbation(true_items / profile_bits)
+            sas = SelectASize(0.8, 0.05)
+            sas_items = sas.expected_row_size(true_items, profile_bits)
+            sas_bits = sas_items * item_id_bits
+            rows.append(
+                (
+                    f"{num_users:.0e}",
+                    sketch_bits,
+                    rr_bits,
+                    f"{rr_density:.3f}",
+                    f"{sas_bits:.0f}",
+                )
+            )
+        return rows
+
+    rows = benchmark(build)
+    write_table(
+        "E8",
+        f"Published size per user (q = {profile_bits}-bit profiles, 3-item rows)",
+        ["M", "sketch bits/subset", "RR bits", "RR density", "select-a-size bits"],
+        rows,
+        notes=(
+            "Paper claim: sketch size ceil(log log O(M)) bits — single digits even\n"
+            "at 1e9 users — vs the full q bits for bit flipping (which also turns a\n"
+            "0.3%-dense row into a ~30%-dense one) and tens of inserted item ids for\n"
+            "the transaction randomizer."
+        ),
+    )
+    for _, sketch_bits, rr_bits, _, sas_bits in rows:
+        assert int(sketch_bits) <= 10
+        assert int(rr_bits) == profile_bits
+        assert float(sas_bits) > 10 * int(sketch_bits)

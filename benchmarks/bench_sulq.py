@@ -1,0 +1,115 @@
+"""E15 — Appendix A: input vs output perturbation in a trusted server.
+
+Measures per-query noise and query capacity of the two modes:
+
+* paid (SULQ-style output perturbation): noise E, at most min(E^2, M)
+  queries;
+* free (sketch-backed input perturbation): noise O(sqrt(M)), unlimited
+  queries.
+
+The appendix's point: tuned to answer as many queries as possible
+(E = sqrt(M)), SULQ's noise matches the sketch mode's — and the sketch
+mode never stops answering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Sketcher, SketchEstimator
+from repro.data import bernoulli_panel
+from repro.server import DualModeServer, QueryBudgetExhausted
+
+from _harness import make_stack, write_table
+
+NUM_USERS = 10000
+P = 0.25
+
+
+def test_e15_dual_mode_noise(benchmark):
+    params, prf, _, estimator, rng = make_stack(P, seed=15, clamp=False)
+    db = bernoulli_panel(NUM_USERS, 4, density=0.4, rng=rng)
+    sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
+    noise = float(np.sqrt(NUM_USERS))  # SULQ tuned for max queries
+    server = DualModeServer(
+        db, sketcher, estimator, subsets=[(0,), (1,), (0, 1)],
+        noise_magnitude=noise, rng=rng,
+    )
+
+    def measure():
+        exact = db.exact_count((0, 1), (1, 1))
+        paid_errors = [
+            abs(server.count((0, 1), (1, 1), mode="paid") - exact) for _ in range(60)
+        ]
+        free_errors = [abs(server.count((0, 1), (1, 1), mode="free") - exact)]
+        return paid_errors, free_errors
+
+    paid_errors, free_errors = benchmark.pedantic(measure, rounds=1, iterations=1)
+    theoretical = estimator.half_width(NUM_USERS, delta=0.05) * NUM_USERS
+    rows = [
+        (
+            "paid (SULQ, E=sqrt(M))",
+            f"{noise:.0f}",
+            f"{np.mean(paid_errors):.1f}",
+            f"min(E^2, M) = {server.paid.query_budget}",
+        ),
+        (
+            "free (sketches)",
+            f"O(sqrt(M)) = {np.sqrt(NUM_USERS):.0f}",
+            f"{np.mean(free_errors):.1f}",
+            "unlimited",
+        ),
+        (
+            "free theoretical",
+            f"{theoretical:.0f} (Lemma 4.1 @95%)",
+            "-",
+            "unlimited",
+        ),
+    ]
+    write_table(
+        "E15",
+        f"Appendix A — dual-mode server noise and capacity (M = {NUM_USERS})",
+        ["mode", "noise scale", "measured mean |err| (counts)", "query budget"],
+        rows,
+        notes=(
+            "Paper claim: sketches give O(sqrt(M)) noise on all but a negligible\n"
+            "fraction of queries with NO query limit, sidestepping Dinur-Nissim;\n"
+            "SULQ tuned to maximum capacity adds comparable noise but stops after\n"
+            "min(E^2, M) queries.  Both measured errors are of order sqrt(M) = 100."
+        ),
+    )
+    # Both in the sqrt(M) regime, far below linear.
+    assert np.mean(paid_errors) < 5 * np.sqrt(NUM_USERS)
+    assert np.mean(free_errors) < 30 * np.sqrt(NUM_USERS)
+
+
+def test_e15b_budget_enforcement(benchmark):
+    params, prf, _, estimator, rng = make_stack(P, seed=151)
+    db = bernoulli_panel(400, 2, rng=rng)
+    sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+    server = DualModeServer(
+        db, sketcher, estimator, subsets=[(0,)], noise_magnitude=5.0, rng=rng
+    )
+
+    def drain():
+        answered = 0
+        try:
+            while True:
+                server.paid.count((0,), (1,))
+                answered += 1
+        except QueryBudgetExhausted:
+            pass
+        # free mode still answers afterwards
+        for _ in range(50):
+            server.count((0,), (1,), mode="free")
+        return answered
+
+    answered = benchmark.pedantic(drain, rounds=1, iterations=1)
+    write_table(
+        "E15b",
+        "Appendix A — budget enforcement",
+        ["mode", "queries answered"],
+        [("paid before shutdown", answered), ("free afterwards", "50 (and counting)")],
+        notes="Paid mode answers exactly min(E^2, M) = 25 queries, then refuses; free mode continues.",
+    )
+    assert answered == server.paid.query_budget == 25

@@ -1,0 +1,75 @@
+"""E13 — Appendix E: a + b < 2^r via virtual XOR bits.
+
+The direct conjunctive expansion of the carry chain is exponential in k;
+the appendix's XOR substitution answers it with r+1 mixed-bias
+reconstructions.  Measured against ground truth across thresholds, from
+per-bit randomized-response data (the appendix's own setting: "each bit of
+the database is simply p-perturbed — or equivalently we sketch every
+single bit").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import salary_table
+from repro.queries import addition_event_literals, addition_interval_fraction
+
+from _harness import write_table
+
+NUM_USERS = 60000
+BITS = 6
+P = 0.15
+
+
+def test_e13_addition_interval(benchmark):
+    rng = np.random.default_rng(13)
+    db = salary_table(NUM_USERS, bits=BITS, attributes=("a", "b"), rng=rng)
+    a = db.attribute_values("a")
+    b = db.attribute_values("b")
+
+    def bit_matrix(values):
+        return np.array(
+            [[(v >> (BITS - 1 - i)) & 1 for i in range(BITS)] for v in values],
+            dtype=np.int8,
+        )
+
+    bits_a = bit_matrix(a) ^ (rng.random((NUM_USERS, BITS)) < P)
+    bits_b = bit_matrix(b) ^ (rng.random((NUM_USERS, BITS)) < P)
+
+    def sweep():
+        rows = []
+        for power in range(3, BITS + 1):
+            estimate = addition_interval_fraction(bits_a, bits_b, P, power)
+            truth = float((a + b < (1 << power)).mean())
+            events = len(addition_event_literals(BITS, power))
+            direct = 3 ** power  # scale of the naive expansion's term count
+            rows.append(
+                (
+                    f"2^{power}",
+                    events,
+                    f"~{direct}",
+                    f"{estimate:.4f}",
+                    f"{truth:.4f}",
+                    f"{abs(estimate - truth):.4f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "E13",
+        f"Appendix E — frac(a + b < 2^r) via XOR virtual bits "
+        f"(M = {NUM_USERS}, k = {BITS}, p = {P})",
+        ["2^r", "events used", "naive terms", "estimate", "truth", "|err|"],
+        rows,
+        notes=(
+            "Paper claim: the naive conjunctive expansion is exponential in k; the\n"
+            "XOR substitution (q_i = a_i ^ b_i, perturbed at 2p(1-p)) needs only\n"
+            "r+1 disjoint events, each a mixed real/virtual-bit reconstruction.\n"
+            "Errors grow with r (more virtual bits -> worse conditioning) but stay\n"
+            "far below the trivial 1.0."
+        ),
+    )
+    for row in rows:
+        assert float(row[5]) < 0.15

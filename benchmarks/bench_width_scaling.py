@@ -1,0 +1,78 @@
+"""E7 — the headline: error independent of query width k.
+
+One sketch answers a width-k conjunction with the same O(1/sqrt(M)) noise
+for every k; per-bit randomized response must invert a (k+1)-dimensional
+system whose conditioning blows up exponentially (Appendix F).  This is
+the paper's key difference from [10] and [24].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import RandomizedResponse
+from repro.core import Sketcher, condition_number
+from repro.data import bernoulli_panel
+from repro.server import publish_database
+
+from _harness import make_stack, write_table
+
+NUM_USERS = 4000
+TRIALS = 4
+WIDTHS = (1, 2, 4, 8, 12)
+P = 0.3
+
+
+def test_e7_width_scaling(benchmark):
+    params, prf, _, estimator, rng = make_stack(P, seed=7, clamp=False)
+
+    def sweep():
+        rows = []
+        for width in WIDTHS:
+            sketch_errs, rr_errs = [], []
+            for _ in range(TRIALS):
+                # density high enough that the all-ones conjunction has mass
+                density = 0.9 ** (1.0 / max(1, width)) if width > 1 else 0.5
+                db = bernoulli_panel(NUM_USERS, width, density=density, rng=rng)
+                subset = tuple(range(width))
+                value = tuple([1] * width)
+                truth = db.exact_conjunction(subset, value)
+                sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
+                store = publish_database(db, sketcher, [subset])
+                estimate = estimator.estimate(store.sketches_for(subset), value)
+                sketch_errs.append(abs(estimate.fraction - truth))
+                mechanism = RandomizedResponse(P, rng=rng)
+                perturbed = mechanism.perturb(db.matrix())
+                rr_estimate = mechanism.estimate_conjunction(perturbed, value, clamp=False)
+                rr_errs.append(abs(rr_estimate - truth))
+            rows.append(
+                (
+                    width,
+                    f"{np.mean(sketch_errs):.4f}",
+                    f"{np.mean(rr_errs):.4f}",
+                    f"{condition_number(width, P):.1e}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    half_width = make_stack(P, seed=0)[3].half_width(NUM_USERS, delta=0.01)
+    write_table(
+        "E7",
+        f"Headline — error vs query width k (M = {NUM_USERS}, p = {P})",
+        ["k", "sketch |err|", "randomized-response |err|", "cond(V_k)"],
+        rows,
+        notes=(
+            "Paper claim: sketch error is independent of k (bounded by the same\n"
+            f"Lemma 4.1 half-width {half_width:.4f} for every k), while per-bit\n"
+            "reconstruction error grows with cond(V) ~ exponential in k.  Expect\n"
+            "the RR column to overtake the sketch column by k ~ 4-8 and explode\n"
+            "after; crossover location shifts with M but the shape is stable."
+        ),
+    )
+    sketch_errors = [float(r[1]) for r in rows]
+    rr_errors = [float(r[2]) for r in rows]
+    # Sketch error flat: every width below the analytic bound.
+    assert max(sketch_errors) <= half_width
+    # RR error at the widest query dwarfs the sketch error.
+    assert rr_errors[-1] > 5 * sketch_errors[-1]

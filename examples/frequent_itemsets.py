@@ -1,0 +1,72 @@
+"""Frequent itemset mining on sparse transactions — sketches vs select-a-size.
+
+The regime Evfimievski et al. [10, 11] target: market-basket rows with a
+handful of items each.  Both mechanisms publish privatised data once; the
+miner then estimates itemset supports.  The paper's claims on display:
+
+* a sketch of the *itemset of interest* answers its support with
+  width-independent error, while the transaction randomizer's inversion
+  degrades with itemset size;
+* the published footprint: a few bits per sketch vs a perturbed item list.
+
+Run:  python examples/frequent_itemsets.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
+from repro.baselines import SelectASize
+from repro.data import sparse_transactions
+from repro.queries import Conjunction
+from repro.server import QueryEngine, publish_database
+
+
+def main() -> None:
+    rng = np.random.default_rng(1234)
+    params = PrivacyParams(p=0.25)
+    prf = BiasedPRF(p=params.p, global_key=b"itemset-mining-demo-key-32-byte!")
+
+    num_users, num_items = 20000, 40
+    database = sparse_transactions(num_users, num_items, items_per_user=4, rng=rng)
+    matrix = database.matrix()
+    print(f"{num_users} transactions, {num_items} items, 4 items/row\n")
+
+    # Itemsets of interest (known up front, as in targeted market studies).
+    itemsets = [(0,), (1,), (0, 1), (0, 1, 2), (0, 1, 2, 3), (0, 1, 2, 3, 4, 5)]
+
+    # --- sketches: each user publishes one sketch per itemset subset ------
+    sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
+    store = publish_database(database, sketcher, itemsets)
+    engine = QueryEngine(database.schema, store, SketchEstimator(params, prf))
+    sketch_bits_per_user = store.total_published_bits() / num_users
+
+    # --- select-a-size: one randomized transaction per user ---------------
+    randomizer = SelectASize(keep_prob=0.8, insert_prob=0.05, rng=rng)
+    perturbed = randomizer.perturb(matrix)
+    sas_bits_per_user = float(perturbed.sum(axis=1).mean()) * np.ceil(np.log2(num_items))
+
+    print(f"{'itemset':>16}  {'truth':>8}  {'sketch':>8}  {'select-a-size':>13}  "
+          f"{'cond(kernel)':>12}")
+    for itemset in itemsets:
+        value = tuple([1] * len(itemset))
+        truth = database.exact_conjunction(itemset, value)
+        sketch_est = engine.fraction(itemset, value)
+        sas_est = randomizer.estimate_itemset_support(perturbed, list(itemset))
+        print(f"{str(itemset):>16}  {truth:8.4f}  {sketch_est:8.4f}  "
+              f"{sas_est:13.4f}  {randomizer.itemset_condition(len(itemset)):12.1f}")
+
+    print(f"\npublished size per user: sketches {sketch_bits_per_user:.0f} bits "
+          f"({len(itemsets)} x 10-bit keys), select-a-size ~{sas_bits_per_user:.0f} bits "
+          "(perturbed item list)")
+
+    # Disjunctive mining query via Appendix F's complement trick.
+    any_fraction = engine.any_of([Conjunction.of((0, 1)), Conjunction.of((1, 1))])
+    truth_any = float(((matrix[:, 0] == 1) | (matrix[:, 1] == 1)).mean())
+    print(f"\ndisjunction: frac(item0 OR item1) estimate={any_fraction:.4f} "
+          f"truth={truth_any:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Privacy audit: the paper's attacks, run against every mechanism.
+
+Plays the unbounded partial-knowledge attacker of Definition 1 against
+
+* pseudorandom sketches      (this paper),
+* retention replacement      (Agrawal et al. — the introduction's victim),
+* randomized response        (Warner),
+* a deterministic hash       (Section 3's motivating non-solution),
+
+on the introduction's exact example: each user's private vector is either
+<1,1,2,2,3,3> or <4,4,5,5,6,6> and the attacker knows both candidates.
+
+Run:  python examples/privacy_audit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BiasedPRF, PrivacyParams, Sketcher
+from repro.attacks import (
+    attack_randomized_response,
+    attack_retention,
+    attack_sketches,
+    dictionary_attack_hash,
+    dictionary_attack_sketch,
+    hash_publish,
+    map_success_rate,
+    posterior_entropy,
+)
+from repro.baselines import RandomizedResponse, RetentionReplacement
+from repro.data import two_candidate_population
+
+CANDIDATE_A = [1, 1, 2, 2, 3, 3]
+CANDIDATE_B = [4, 4, 5, 5, 6, 6]
+
+
+def encode_bits(vector):
+    bits = []
+    for v in vector:
+        bits.extend([(v >> 2) & 1, (v >> 1) & 1, v & 1])
+    return bits
+
+
+def main() -> None:
+    rng = np.random.default_rng(2006)
+    params = PrivacyParams(p=0.3)
+    prf = BiasedPRF(p=params.p, global_key=b"privacy-audit-demo-global-key32!")
+
+    num_users = 300
+    bits_a, bits_b = encode_bits(CANDIDATE_A), encode_bits(CANDIDATE_B)
+    database, truth = two_candidate_population(num_users, bits_a, bits_b, rng=rng)
+    truth_bool = truth.astype(bool)
+    print(f"population: {num_users} users, each holding one of two known 6-value "
+          f"vectors\nattacker: unbounded, knows both candidates, prior 50/50\n")
+
+    # --- sketches -------------------------------------------------------
+    sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+    subset = tuple(range(18))
+    results = []
+    for profile in database:
+        sketch = sketcher.sketch(profile.user_id, profile.bits, subset)
+        results.append(attack_sketches(prf, params, [sketch], bits_a, bits_b))
+    sketch_success = map_success_rate(results, truth_bool)
+    worst_shift = max(r.advantage for r in results)
+    print(f"sketches          : MAP success {sketch_success:6.1%}   "
+          f"worst posterior shift {worst_shift:.3f}  "
+          f"(Lemma 3.3 cap: ratio <= {params.privacy_ratio_bound():.1f})")
+
+    # --- retention replacement ------------------------------------------
+    retention = RetentionReplacement(0.5, 8, rng=rng)
+    results = []
+    for holds_a in truth_bool:
+        vector = np.array(CANDIDATE_A if holds_a else CANDIDATE_B)
+        results.append(
+            attack_retention(retention, retention.perturb(vector), CANDIDATE_A, CANDIDATE_B)
+        )
+    print(f"retention (rho=.5): MAP success {map_success_rate(results, truth_bool):6.1%}   "
+          f"('virtually reveals the exact private data' — §1)")
+
+    # --- randomized response --------------------------------------------
+    flip = RandomizedResponse(params.p, rng=rng)
+    results = []
+    for holds_a in truth_bool:
+        profile = np.array([bits_a if holds_a else bits_b])
+        observed = flip.perturb(profile)[0]
+        results.append(attack_randomized_response(flip, observed, bits_a, bits_b))
+    print(f"randomized resp.  : MAP success {map_success_rate(results, truth_bool):6.1%}   "
+          f"(ratio grows as ((1-p)/p)^hamming = "
+          f"{flip.privacy_ratio_bound(18):.0f} here)")
+
+    # --- deterministic hash ----------------------------------------------
+    recovered = 0
+    candidates = [tuple(bits_a), tuple(bits_b)]
+    for profile, holds_a in zip(database, truth_bool):
+        published = hash_publish(profile.bits)
+        guess = dictionary_attack_hash(published, candidates)
+        recovered += guess == (0 if holds_a else 1)
+    print(f"plain hash        : MAP success {recovered / num_users:6.1%}   "
+          f"(dictionary attack, §3)")
+
+    # --- 100-candidate dictionary, sketch vs hash ------------------------
+    print("\n100-candidate dictionary attack (Bob knows Alice's value is one "
+          "of 100):")
+    dictionary = [tuple(int(b) for b in f"{i:07b}") for i in range(100)]
+    secret = list(dictionary[42])
+    sketch = sketcher.sketch("alice", secret, tuple(range(7)))
+    posterior = dictionary_attack_sketch(prf, params, sketch, dictionary)
+    print(f"  sketch: max posterior {posterior.max():.4f} (uniform = 0.0100), "
+          f"residual entropy {posterior_entropy(posterior):.2f} / 6.64 bits")
+    hashed = hash_publish(secret)
+    print(f"  hash  : candidate #{dictionary_attack_hash(hashed, dictionary)} "
+          f"recovered exactly — 0.00 bits of residual uncertainty")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Streaming collection: live estimates, sharded collectors, persistence.
+
+An operational tour of the server substrate around the paper's algorithms:
+
+1. users publish to two regional collectors (shards);
+2. an analyst watches a *running* estimate converge as sketches stream in
+   (bit-identical to batch Algorithm 2 at every prefix);
+3. the shards are merged, serialized to disk, reloaded, and queried —
+   the published file IS the dataset; no raw data ever moves.
+
+Run:  python examples/streaming_collection.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
+from repro.data import correlated_survey
+from repro.server import (
+    SketchStore,
+    StreamingEstimator,
+    load_store,
+    merge_stores,
+    save_store,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    params = PrivacyParams(p=0.3)
+    prf = BiasedPRF(p=params.p, global_key=b"streaming-demo-public-key-32byt!")
+    estimator = SketchEstimator(params, prf)
+
+    num_users = 8000
+    database = correlated_survey(num_users, 3, base_rate=0.4, copy_prob=0.7, rng=rng)
+    subset = (0, 1)
+    truth = database.exact_conjunction(subset, (1, 1))
+    print(f"{num_users} users, watching query 'q0 AND q1' (truth = {truth:.4f})\n")
+
+    # --- 1. two regional collectors -------------------------------------
+    sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
+    shards = (SketchStore(), SketchStore())
+    streaming = StreamingEstimator(estimator)
+    streaming.register(subset, (1, 1))
+
+    checkpoints = {500, 2000, 8000}
+    for index, profile in enumerate(database):
+        sketch = sketcher.sketch(profile.user_id, profile.bits, subset)
+        shards[index % 2].publish(sketch)     # users pick a shard
+        streaming.ingest(sketch)              # analyst's live feed
+        if (index + 1) in checkpoints:
+            estimate = streaming.estimate(subset, (1, 1))
+            print(f"  after {index + 1:5d} users: estimate = "
+                  f"{estimate.fraction:.4f} +/- {estimate.half_width:.4f}")
+
+    # --- 2. streaming == batch ------------------------------------------
+    merged = merge_stores(*shards)
+    batch = estimator.estimate(merged.sketches_for(subset), (1, 1))
+    live = streaming.estimate(subset, (1, 1))
+    print(f"\nbatch Algorithm 2 on merged shards: {batch.fraction:.6f}")
+    print(f"streaming estimator final value   : {live.fraction:.6f}")
+    assert batch.fraction == live.fraction, "streaming must equal batch exactly"
+
+    # --- 3. persistence ---------------------------------------------------
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", mode="w", delete=False) as handle:
+        path = handle.name
+    written = save_store(merged, path, params)
+    reloaded, header = load_store(path)
+    reloaded_estimate = estimator.estimate(reloaded.sketches_for(subset), (1, 1))
+    print(f"\nwrote {written} sketches to {path} (header records p = {header['p']})")
+    print(f"reloaded-store estimate          : {reloaded_estimate.fraction:.6f}")
+    assert reloaded_estimate.fraction == batch.fraction
+
+    print("\nOK: shards merged, persisted, reloaded — identical answers throughout.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no `wheel` package (offline), so PEP 660 editable
+installs fail; `pip install -e . --no-use-pep517 --no-build-isolation`
+falls back to `setup.py develop`, which this shim enables.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — reproduction of "Privacy via Pseudorandom Sketches" (PODS 2006).
+
+Top-level convenience re-exports cover the 90% use case:
+
+>>> from repro import PrivacyParams, BiasedPRF, Sketcher, SketchEstimator
+
+See :mod:`repro.core` for the paper's algorithms, :mod:`repro.queries` for
+the Section 4.1 query compilers, :mod:`repro.data` for schemas and synthetic
+workloads, :mod:`repro.baselines` for the comparators, :mod:`repro.attacks`
+for adversaries and :mod:`repro.server` for the collection/query substrate.
+"""
+
+from .core import (
+    BiasedPRF,
+    PrivacyAccountant,
+    PrivacyParams,
+    QueryEstimate,
+    Sketch,
+    SketchEstimator,
+    SketchFailure,
+    Sketcher,
+    TrueRandomOracle,
+)
+from .data import Profile, ProfileDatabase, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasedPRF",
+    "PrivacyAccountant",
+    "PrivacyParams",
+    "Profile",
+    "ProfileDatabase",
+    "QueryEstimate",
+    "Schema",
+    "Sketch",
+    "SketchEstimator",
+    "SketchFailure",
+    "Sketcher",
+    "TrueRandomOracle",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Analytic bounds, conditioning studies and error statistics."""
+
+from .bounds import (
+    bit_flip_is_private,
+    bit_flip_max_constant,
+    bit_flip_ratio,
+    privacy_ratio_bound,
+    sketch_failure_bound,
+    sketch_length_bound,
+    utility_error_bound,
+    utility_tail_bound,
+    worst_case_iterations,
+)
+from .conditioning import ConditioningRow, conditioning_sweep, fit_exponential_base
+from .tradeoff import FrontierPoint, capacity_comparison, privacy_utility_frontier
+from .stats import (
+    DecayFit,
+    empirical_coverage,
+    error_quantile,
+    fit_power_decay,
+    mae,
+    max_abs_error,
+    rmse,
+)
+
+__all__ = [
+    "ConditioningRow",
+    "DecayFit",
+    "FrontierPoint",
+    "bit_flip_is_private",
+    "bit_flip_max_constant",
+    "bit_flip_ratio",
+    "capacity_comparison",
+    "conditioning_sweep",
+    "empirical_coverage",
+    "error_quantile",
+    "fit_exponential_base",
+    "fit_power_decay",
+    "mae",
+    "privacy_utility_frontier",
+    "max_abs_error",
+    "privacy_ratio_bound",
+    "rmse",
+    "sketch_failure_bound",
+    "sketch_length_bound",
+    "utility_error_bound",
+    "utility_tail_bound",
+    "worst_case_iterations",
+]

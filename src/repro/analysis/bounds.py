@@ -1,0 +1,99 @@
+"""Closed-form bounds from the paper, in one queryable place.
+
+Everything here is a pure function of the paper's parameters — no data, no
+randomness.  Benchmarks print these next to measured values; tests check
+internal consistency (e.g. the exact Appendix B constant really converges
+to the paper's ``c <= 1/4``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.params import PrivacyParams
+
+__all__ = [
+    "sketch_length_bound",
+    "sketch_failure_bound",
+    "privacy_ratio_bound",
+    "utility_error_bound",
+    "utility_tail_bound",
+    "bit_flip_ratio",
+    "bit_flip_is_private",
+    "bit_flip_max_constant",
+    "worst_case_iterations",
+]
+
+
+def sketch_length_bound(num_users: int, failure_prob: float, p: float) -> int:
+    """Lemma 3.1: minimal sketch length in bits (see
+    :meth:`~repro.core.params.PrivacyParams.sketch_length` for the
+    derivation notes)."""
+    return PrivacyParams(p).sketch_length(num_users, failure_prob)
+
+
+def sketch_failure_bound(sketch_bits: int, num_users: int, p: float) -> float:
+    """Lemma 3.1's union-bounded failure probability ``M (1-p^2)^{2^l}``."""
+    return PrivacyParams(p).failure_probability(sketch_bits, num_users)
+
+
+def privacy_ratio_bound(p: float, num_sketches: int = 1) -> float:
+    """Lemma 3.3 / Corollary 3.4: ``((1-p)/p)^{4 l}``."""
+    return PrivacyParams(p).privacy_ratio_bound(num_sketches)
+
+
+def utility_error_bound(num_users: int, delta: float, p: float) -> float:
+    """Lemma 4.1 part 2: error at confidence ``1 - delta``."""
+    return PrivacyParams(p).utility_error(num_users, delta)
+
+
+def utility_tail_bound(error: float, num_users: int, p: float) -> float:
+    """Lemma 4.1 part 1: ``exp(-error^2 (1-2p)^2 M / 4)``."""
+    return PrivacyParams(p).utility_tail(error, num_users)
+
+
+def worst_case_iterations(num_users: int, failure_prob: float, p: float) -> float:
+    """Section 3's worst-case iteration count ``log(M/tau) / |log(1-p^2)|``."""
+    if num_users < 1:
+        raise ValueError(f"num_users must be >= 1, got {num_users}")
+    if not 0.0 < failure_prob < 1.0:
+        raise ValueError(f"failure_prob must be in (0,1), got {failure_prob}")
+    if not 0.0 < p < 0.5:
+        raise ValueError(f"p must be in (0, 1/2), got {p}")
+    return math.log(num_users / failure_prob) / abs(math.log(1.0 - p**2))
+
+
+# ----------------------------------------------------------------------
+# Appendix B — single-bit flipping
+# ----------------------------------------------------------------------
+def bit_flip_ratio(p: float) -> float:
+    """Worst-case single-bit distinguishing ratio ``(1-p)/p``."""
+    if not 0.0 < p < 0.5:
+        raise ValueError(f"p must be in (0, 1/2), got {p}")
+    return (1.0 - p) / p
+
+
+def bit_flip_is_private(p: float, epsilon: float) -> bool:
+    """Whether flipping with probability ``p`` is ``epsilon``-private.
+
+    Lemma B.1's condition, checked exactly: both ``p/(1-p)`` and
+    ``(1-p)/p`` must stay at most ``1 + epsilon``; for ``p < 1/2`` the
+    binding one is ``(1-p)/p``.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return bit_flip_ratio(p) <= 1.0 + epsilon
+
+
+def bit_flip_max_constant(epsilon: float) -> float:
+    """The exact Appendix B constant: largest ``c`` with ``p = 1/2 - c eps``
+    still ``eps``-private.
+
+    Solving ``(1/2 + c eps) / (1/2 - c eps) = 1 + eps`` gives
+    ``c = 1 / (2 (2 + eps))`` — which approaches the paper's stated
+    ``1/4`` as ``eps -> 0`` and is strictly below it for any positive
+    ``eps`` (the paper's ``c <= 1/4`` is the first-order statement).
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return 1.0 / (2.0 * (2.0 + epsilon))

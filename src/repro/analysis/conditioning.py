@@ -1,0 +1,61 @@
+"""Appendix F's closing empirical study: conditioning of the kernel ``V``.
+
+"An empirical analysis of the conditioning number of the matrix V suggests
+that it decreases exponentially in k, with the base of the exponent
+proportional to 1/(p - 1/2)."  (The *accuracy* decreases; the condition
+number *grows* — we reproduce the growth and fit its base.)
+
+:func:`conditioning_sweep` produces the table benchmark E14 prints, and
+:func:`fit_exponential_base` extracts the per-``k`` growth factor so tests
+can assert the ``1 / (1 - 2p)``-proportionality the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.combine import condition_number
+
+__all__ = ["ConditioningRow", "conditioning_sweep", "fit_exponential_base"]
+
+
+@dataclass(frozen=True)
+class ConditioningRow:
+    """One cell of the conditioning study: ``cond(V)`` at ``(k, p)``."""
+
+    k: int
+    p: float
+    condition: float
+
+
+def conditioning_sweep(
+    widths: Sequence[int], biases: Sequence[float]
+) -> List[ConditioningRow]:
+    """Condition numbers of ``V`` over a ``(k, p)`` grid."""
+    rows = []
+    for p in biases:
+        for k in widths:
+            rows.append(ConditioningRow(k=k, p=p, condition=condition_number(k, p)))
+    return rows
+
+
+def fit_exponential_base(widths: Sequence[int], p: float) -> Tuple[float, float]:
+    """Fit ``cond(V) ~ C * base^k`` by least squares on ``log cond``.
+
+    Returns ``(base, r_squared)``.  The paper's observation predicts
+    ``base ~ 1/(1-2p)`` (up to a constant factor); benchmark E14 tabulates
+    the fitted base against that prediction across ``p``.
+    """
+    ks = np.asarray(list(widths), dtype=np.float64)
+    if ks.size < 2:
+        raise ValueError("need at least two widths to fit a growth rate")
+    logs = np.asarray([np.log(condition_number(int(k), p)) for k in ks])
+    slope, intercept = np.polyfit(ks, logs, 1)
+    predictions = slope * ks + intercept
+    residual = float(((logs - predictions) ** 2).sum())
+    total = float(((logs - logs.mean()) ** 2).sum())
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return float(np.exp(slope)), r_squared

@@ -1,0 +1,103 @@
+"""Error metrics and statistical helpers shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "rmse",
+    "mae",
+    "max_abs_error",
+    "error_quantile",
+    "empirical_coverage",
+    "DecayFit",
+    "fit_power_decay",
+]
+
+
+def _paired(estimates: Sequence[float], truths: Sequence[float]) -> np.ndarray:
+    est = np.asarray(estimates, dtype=np.float64)
+    tru = np.asarray(truths, dtype=np.float64)
+    if est.shape != tru.shape:
+        raise ValueError(f"shape mismatch: {est.shape} vs {tru.shape}")
+    if est.size == 0:
+        raise ValueError("no observations")
+    return est - tru
+
+
+def rmse(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Root-mean-squared error."""
+    return float(np.sqrt(np.mean(_paired(estimates, truths) ** 2)))
+
+
+def mae(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean absolute error."""
+    return float(np.mean(np.abs(_paired(estimates, truths))))
+
+
+def max_abs_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Worst-case absolute error."""
+    return float(np.max(np.abs(_paired(estimates, truths))))
+
+
+def error_quantile(
+    estimates: Sequence[float], truths: Sequence[float], quantile: float = 0.95
+) -> float:
+    """Quantile of the absolute error (e.g. the 95th percentile the
+    Lemma 4.1 CI should dominate)."""
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0,1], got {quantile}")
+    return float(np.quantile(np.abs(_paired(estimates, truths)), quantile))
+
+
+def empirical_coverage(
+    truths: Sequence[float],
+    lows: Sequence[float],
+    highs: Sequence[float],
+) -> float:
+    """Fraction of confidence intervals containing the truth."""
+    tru = np.asarray(truths, dtype=np.float64)
+    low = np.asarray(lows, dtype=np.float64)
+    high = np.asarray(highs, dtype=np.float64)
+    if not (tru.shape == low.shape == high.shape):
+        raise ValueError("truths/lows/highs must have equal shapes")
+    if tru.size == 0:
+        raise ValueError("no intervals")
+    return float(np.mean((low <= tru) & (tru <= high)))
+
+
+@dataclass(frozen=True)
+class DecayFit:
+    """Power-law fit ``error ~ C * M^exponent``.
+
+    Lemma 4.1 predicts ``exponent ~ -1/2`` for the sketch estimator's error
+    as a function of the user count ``M``.
+    """
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+
+def fit_power_decay(sizes: Sequence[int], errors: Sequence[float]) -> DecayFit:
+    """Fit ``error = C * M^a`` by least squares in log-log space."""
+    m = np.asarray(sizes, dtype=np.float64)
+    e = np.asarray(errors, dtype=np.float64)
+    if m.shape != e.shape or m.size < 2:
+        raise ValueError("need >= 2 matched (size, error) pairs")
+    if (m <= 0).any() or (e <= 0).any():
+        raise ValueError("sizes and errors must be positive for a log-log fit")
+    log_m, log_e = np.log(m), np.log(e)
+    slope, intercept = np.polyfit(log_m, log_e, 1)
+    predictions = slope * log_m + intercept
+    residual = float(((log_e - predictions) ** 2).sum())
+    total = float(((log_e - log_e.mean()) ** 2).sum())
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return DecayFit(
+        coefficient=float(np.exp(intercept)),
+        exponent=float(slope),
+        r_squared=r_squared,
+    )

@@ -1,0 +1,40 @@
+"""Privacy adversaries: the Bayesian partial-knowledge attacker and the
+dictionary attack of Section 3's hashing discussion."""
+
+from .bayes import (
+    AttackResult,
+    attack_randomized_response,
+    attack_retention,
+    attack_sketches,
+    map_success_rate,
+    posterior_from_likelihoods,
+    sketch_likelihood,
+)
+from .reconstruction import (
+    ReconstructionResult,
+    noisy_subset_sum_oracle,
+    reconstruction_attack,
+)
+from .dictionary import (
+    dictionary_attack_hash,
+    dictionary_attack_sketch,
+    hash_publish,
+    posterior_entropy,
+)
+
+__all__ = [
+    "AttackResult",
+    "ReconstructionResult",
+    "attack_randomized_response",
+    "attack_retention",
+    "attack_sketches",
+    "dictionary_attack_hash",
+    "dictionary_attack_sketch",
+    "hash_publish",
+    "map_success_rate",
+    "noisy_subset_sum_oracle",
+    "posterior_entropy",
+    "posterior_from_likelihoods",
+    "reconstruction_attack",
+    "sketch_likelihood",
+]

@@ -1,0 +1,121 @@
+"""The Dinur–Nissim reconstruction attack — Appendix A's reference point.
+
+Appendix A positions sketches against "a negative result of Dinur and
+Nissim [7] ... which suggests that linear noise must be added in order to
+protect from an attacker with unlimited computational power".  The attack
+behind that theorem: query random subsets of rows, collect noisy counts,
+and solve a least-squares/rounding problem for the private column.  With
+per-query noise ``o(sqrt(M))`` and enough queries the attacker recovers
+almost every bit; with ``Omega(sqrt(M))`` noise — what both of Appendix A's
+modes add — reconstruction fails.
+
+This module implements that attacker against any noisy subset-sum oracle,
+so benchmark X4 can trace the accuracy-vs-noise curve and locate the
+sqrt(M) phase transition the appendix leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ReconstructionResult", "reconstruction_attack", "noisy_subset_sum_oracle"]
+
+#: Oracle signature: given a 0/1 row-selection mask, return a (noisy)
+#: count of selected rows whose private bit is 1.
+SubsetSumOracle = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class ReconstructionResult:
+    """Outcome of one reconstruction attempt.
+
+    Attributes
+    ----------
+    recovered:
+        The attacker's 0/1 guess for every row's private bit.
+    accuracy:
+        Fraction of rows guessed correctly (0.5 = coin flipping on
+        balanced data, 1.0 = total reconstruction).
+    num_queries:
+        Queries spent.
+    """
+
+    recovered: np.ndarray
+    accuracy: float
+    num_queries: int
+
+
+def noisy_subset_sum_oracle(
+    secret_bits: np.ndarray,
+    noise_scale: float,
+    rng: np.random.Generator,
+) -> SubsetSumOracle:
+    """A curator answering subset-sum queries with Gaussian noise.
+
+    ``noise_scale = 0`` is the exact curator (instant reconstruction);
+    ``noise_scale ~ sqrt(M)`` is the Appendix A regime.
+    """
+    secret = np.asarray(secret_bits, dtype=np.float64)
+    if not np.isin(secret, (0.0, 1.0)).all():
+        raise ValueError("secret bits must be 0/1")
+
+    def oracle(mask: np.ndarray) -> float:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != secret.shape:
+            raise ValueError(f"mask shape {mask.shape} != data shape {secret.shape}")
+        return float(mask @ secret + rng.normal(0.0, noise_scale))
+
+    return oracle
+
+
+def reconstruction_attack(
+    oracle: SubsetSumOracle,
+    num_rows: int,
+    num_queries: int | None = None,
+    rng: np.random.Generator | None = None,
+    truth: np.ndarray | None = None,
+) -> ReconstructionResult:
+    """Least-squares reconstruction from random subset-sum queries.
+
+    Issues ``num_queries`` random-mask queries (default ``4 M``, enough
+    for the linear system to be well overdetermined), solves the
+    least-squares problem ``min ||A x - y||``, and rounds to 0/1 —
+    the polynomial-time variant of the Dinur–Nissim attack.
+
+    Parameters
+    ----------
+    oracle:
+        The noisy curator.
+    num_rows:
+        Database size ``M``.
+    num_queries:
+        Queries to spend (default ``4 M``).
+    rng:
+        Source of the random query masks.
+    truth:
+        Optional ground-truth bits; when given, ``accuracy`` is computed
+        (otherwise it is reported as ``nan``).
+    """
+    if num_rows < 1:
+        raise ValueError(f"num_rows must be >= 1, got {num_rows}")
+    rng = rng if rng is not None else np.random.default_rng()
+    queries = num_queries if num_queries is not None else 4 * num_rows
+    if queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {queries}")
+
+    masks = (rng.random((queries, num_rows)) < 0.5).astype(np.float64)
+    answers = np.array([oracle(mask) for mask in masks])
+    solution, *_ = np.linalg.lstsq(masks, answers, rcond=None)
+    recovered = (solution >= 0.5).astype(np.int8)
+
+    if truth is not None:
+        truth = np.asarray(truth)
+        if truth.shape != recovered.shape:
+            raise ValueError(f"truth shape {truth.shape} != {recovered.shape}")
+        accuracy = float((recovered == truth).mean())
+    else:
+        accuracy = float("nan")
+    return ReconstructionResult(recovered=recovered, accuracy=accuracy, num_queries=queries)

@@ -1,0 +1,20 @@
+"""The paper's comparators, implemented from scratch.
+
+* :class:`IndicatorVectorMechanism` — Figure 1's explicit perturbed
+  indicator vector (the object sketches simulate);
+* :class:`RandomizedResponse` — Warner 1965 bit flipping [24];
+* :class:`RetentionReplacement` — Agrawal et al. 2005 [3];
+* :class:`SelectASize` — Evfimievski et al. 2003/2004 [10, 11].
+"""
+
+from .indicator import IndicatorVectorMechanism
+from .randomized_response import RandomizedResponse
+from .retention import RetentionReplacement
+from .select_a_size import SelectASize
+
+__all__ = [
+    "IndicatorVectorMechanism",
+    "RandomizedResponse",
+    "RetentionReplacement",
+    "SelectASize",
+]

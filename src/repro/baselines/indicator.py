@@ -1,0 +1,122 @@
+"""Figure 1's mechanism: the perturbed indicator vector.
+
+Section 3's intuition pump, "a very private (but very inefficient)
+publishing method": represent the user's k-bit value as a ``2^k``-bit
+indicator vector (a single 1 at the value's position), flip every bit with
+probability ``p``, publish the whole vector.  Estimation per candidate
+value is the single-bit de-biasing of Section 2, and privacy is immediate
+— two candidate values change the indicator in only two positions, so the
+likelihood ratio is at most ``((1-p)/p)²``.
+
+The pseudorandom sketch *simulates* exactly this object in
+``ceil(log log M)`` bits instead of ``2^k``; implementing the explicit
+version lets benchmark F1 verify the simulation: same query answers, same
+error profile, exponentially different size — and a factor-two difference
+in the log-ratio (the rejection-sampling simulation pays ``((1-p)/p)⁴``,
+the price of compression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IndicatorVectorMechanism"]
+
+
+class IndicatorVectorMechanism:
+    """The explicit Figure 1 publisher and its estimator.
+
+    Parameters
+    ----------
+    p:
+        Per-bit flip probability, in ``(0, 1/2)``.
+    domain_size:
+        Number of candidate values (``2^k`` for a k-bit subset).
+    rng:
+        The users' flip coins.
+    """
+
+    def __init__(
+        self, p: float, domain_size: int, rng: np.random.Generator | None = None
+    ) -> None:
+        if not 0.0 < p < 0.5:
+            raise ValueError(f"flip probability must be in (0, 1/2), got {p}")
+        if domain_size < 2:
+            raise ValueError(f"domain size must be >= 2, got {domain_size}")
+        self.p = p
+        self.domain_size = domain_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    def publish(self, values: np.ndarray) -> np.ndarray:
+        """Publish perturbed indicator vectors for a vector of user values.
+
+        Returns an ``(M, domain_size)`` 0/1 matrix — Figure 1's "User
+        Published Vector", one row per user.
+        """
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError(f"expected a 1-D value vector, got shape {values.shape}")
+        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
+            raise ValueError(
+                f"values must lie in [0, {self.domain_size}), got "
+                f"[{values.min()}, {values.max()}]"
+            )
+        indicators = np.zeros((values.size, self.domain_size), dtype=np.int8)
+        indicators[np.arange(values.size), values] = 1
+        flips = self._rng.random(indicators.shape) < self.p
+        return (indicators ^ flips).astype(np.int8)
+
+    @property
+    def published_bits_per_user(self) -> int:
+        """The cost the sketch eliminates: ``2^k`` bits per user."""
+        return self.domain_size
+
+    # ------------------------------------------------------------------
+    # Analyst side
+    # ------------------------------------------------------------------
+    def estimate_fraction(self, published: np.ndarray, value: int, clamp: bool = True) -> float:
+        """Fraction of users holding ``value``: de-bias its column.
+
+        "If we want to learn how often the value v occurs in the database,
+        we just look up the column corresponding to v" — then apply the
+        Section 2 single-bit inversion.
+        """
+        matrix = np.asarray(published)
+        if matrix.ndim != 2 or matrix.shape[1] != self.domain_size:
+            raise ValueError(
+                f"expected an (M, {self.domain_size}) matrix, got {matrix.shape}"
+            )
+        if not 0 <= value < self.domain_size:
+            raise ValueError(f"value {value} outside domain [0, {self.domain_size})")
+        raw = float(matrix[:, value].mean())
+        fraction = (raw - self.p) / (1.0 - 2.0 * self.p)
+        if clamp:
+            fraction = min(1.0, max(0.0, fraction))
+        return fraction
+
+    def estimate_histogram(self, published: np.ndarray, clamp: bool = True) -> np.ndarray:
+        """De-biased frequency of every domain value."""
+        return np.asarray(
+            [
+                self.estimate_fraction(published, value, clamp=clamp)
+                for value in range(self.domain_size)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Privacy
+    # ------------------------------------------------------------------
+    def privacy_ratio_bound(self) -> float:
+        """Worst-case likelihood ratio ``((1-p)/p)²``.
+
+        Two candidate values change the indicator vector in exactly two
+        coordinates; every other coordinate has identical distribution.
+        Note this is the *square root* of the sketch's ``((1-p)/p)⁴`` —
+        the explicit mechanism is more private per release; the extra
+        square is the price the rejection-sampling simulation pays for
+        compressing ``2^k`` bits into ``log log M``.
+        """
+        return ((1.0 - self.p) / self.p) ** 2

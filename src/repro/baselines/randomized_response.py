@@ -1,0 +1,130 @@
+"""Warner's randomized response (1965) — the bit-flipping baseline.
+
+Each user flips every bit of their profile independently with probability
+``p`` slightly below 1/2 and publishes the whole flipped vector.  Privacy
+per bit follows Appendix B of the paper; utility for single-bit queries
+follows the same de-biasing as Algorithm 2.
+
+For a *conjunctive* query over ``k`` bits the analyst must reconstruct the
+joint distribution from per-bit noisy data — the Appendix F linear system —
+and the reconstruction error is amplified by the system's condition number,
+which grows exponentially in ``k``.  This is the quantitative content of
+the paper's headline comparison (experiment E7): sketches answer a width-k
+conjunction with *one* perturbed bit per user, randomized response needs a
+``(k+1)``-dimensional inversion.
+
+Two cost metrics the paper highlights are also exposed:
+
+* published size: ``q`` bits per user (vs. ``ceil(log log M)`` for a
+  sketch), and dense output even for sparse profiles — ``perturb`` of a
+  nearly-zero vector has ~``p`` density;
+* per-profile privacy ratio ``((1-p)/p)^q`` when the *whole* vector is
+  published (each bit contributes a factor, Lemma B.1 + independence).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.combine import combine_virtual_bits, condition_number
+
+__all__ = ["RandomizedResponse"]
+
+
+class RandomizedResponse:
+    """Warner's mechanism over bit-vector profiles.
+
+    Parameters
+    ----------
+    p:
+        Per-bit flip probability, in ``(0, 1/2)``.
+    rng:
+        Source of the users' flip coins.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 < p < 0.5:
+            raise ValueError(f"flip probability must be in (0, 1/2), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    def perturb(self, profiles: np.ndarray) -> np.ndarray:
+        """Flip every bit of an ``(M, q)`` profile matrix independently."""
+        matrix = np.asarray(profiles)
+        if not np.isin(matrix, (0, 1)).all():
+            raise ValueError("profiles must be 0/1")
+        flips = self._rng.random(matrix.shape) < self.p
+        return (matrix ^ flips).astype(np.int8)
+
+    def published_bits_per_user(self, profile_width: int) -> int:
+        """Size of each user's publication: the full ``q``-bit vector."""
+        return profile_width
+
+    # ------------------------------------------------------------------
+    # Privacy
+    # ------------------------------------------------------------------
+    def privacy_ratio_bound(self, profile_width: int = 1) -> float:
+        """Worst-case distinguishing ratio for a published ``q``-bit vector.
+
+        Two profiles differing in all ``q`` bits give likelihood ratio
+        ``((1-p)/p)^q`` at the most revealing observation — bit flipping's
+        privacy degrades with the *data width*, whereas a sketch's
+        ``((1-p)/p)^4`` is width-independent.
+        """
+        return ((1.0 - self.p) / self.p) ** profile_width
+
+    # ------------------------------------------------------------------
+    # Analyst side
+    # ------------------------------------------------------------------
+    def estimate_bit_fraction(self, perturbed_column: np.ndarray) -> float:
+        """De-biased fraction of 1s in one original column (Section 2)."""
+        column = np.asarray(perturbed_column)
+        raw = float(column.mean())
+        return (raw - self.p) / (1.0 - 2.0 * self.p)
+
+    def estimate_conjunction(
+        self,
+        perturbed_subset: np.ndarray,
+        value: Sequence[int],
+        clamp: bool = True,
+    ) -> float:
+        """Estimate ``Pr[d_B = v]`` from the flipped columns of ``B``.
+
+        Converts each column into a "matches the target bit" indicator
+        (flipping columns whose target is 0 — the flip noise is symmetric
+        so the indicator stays p-perturbed) and runs the Appendix F
+        weight-histogram inversion.  The returned estimate inherits the
+        system's ``cond(V)`` noise amplification; see
+        :meth:`conjunction_condition`.
+        """
+        matrix = np.asarray(perturbed_subset)
+        value_t = tuple(int(v) for v in value)
+        if matrix.ndim != 2 or matrix.shape[1] != len(value_t):
+            raise ValueError(
+                f"need an (M, {len(value_t)}) matrix, got shape {matrix.shape}"
+            )
+        indicators = np.empty_like(matrix)
+        for j, target in enumerate(value_t):
+            indicators[:, j] = matrix[:, j] if target == 1 else 1 - matrix[:, j]
+        estimate = combine_virtual_bits(indicators, self.p)
+        return estimate.clamped_fraction if clamp else estimate.fraction
+
+    def conjunction_condition(self, width: int) -> float:
+        """Condition number of the inversion a width-``k`` query needs."""
+        return condition_number(width, self.p)
+
+    def density_after_perturbation(self, original_density: float) -> float:
+        """Expected 1-density of the published vector.
+
+        The introduction's sparsity critique: a user with a sparse profile
+        publishes a vector of density ``(1-p) d + p (1-d) ~ p`` — dense,
+        and every bit of it is a (weak) signal about the user.
+        """
+        if not 0.0 <= original_density <= 1.0:
+            raise ValueError(f"density must be in [0,1], got {original_density}")
+        return (1.0 - self.p) * original_density + self.p * (1.0 - original_density)

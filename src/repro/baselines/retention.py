@@ -1,0 +1,132 @@
+"""Retention replacement (Agrawal, Srikant & Thomas, SIGMOD 2005).
+
+The generalisation of randomized response to non-binary attributes that the
+paper compares against: "each user keeps their true value with fixed
+probability, or replaces their true value with noise".  Concretely, each
+attribute value is retained with probability ``rho`` and otherwise replaced
+by a uniform draw from the domain.
+
+Utility: point and interval frequencies invert in closed form —
+``E[observed freq of v] = rho * f(v) + (1 - rho) / D``.
+
+Privacy: this is the paper's *partial-knowledge attack* target (the
+introduction's ``<1,1,2,2,3,3>`` vs ``<4,4,5,5,6,6>`` example).  When an
+attacker knows the profile is one of two candidate vectors with disjoint
+values, every retained component reveals which candidate is real; the
+probability that *no* component is retained — the only event that keeps the
+attacker guessing — is ``(1 - rho + rho/D)^q``, vanishing quickly in the
+vector length.  :mod:`repro.attacks.bayes` carries out the attack;
+experiment E17 scores it against sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RetentionReplacement"]
+
+
+class RetentionReplacement:
+    """Per-value retention replacement over a finite domain ``{0..D-1}``.
+
+    Parameters
+    ----------
+    rho:
+        Retention probability, in ``(0, 1)``.
+    domain_size:
+        Number of possible values ``D`` per component.
+    rng:
+        Randomness source for replacement draws.
+    """
+
+    def __init__(
+        self, rho: float, domain_size: int, rng: np.random.Generator | None = None
+    ) -> None:
+        if not 0.0 < rho < 1.0:
+            raise ValueError(f"retention probability must be in (0,1), got {rho}")
+        if domain_size < 2:
+            raise ValueError(f"domain size must be >= 2, got {domain_size}")
+        self.rho = rho
+        self.domain_size = domain_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    def perturb(self, values: np.ndarray) -> np.ndarray:
+        """Retain each entry w.p. ``rho``, else replace uniformly.
+
+        Works elementwise on arrays of any shape (a vector of one
+        attribute across users, or an ``(M, q)`` matrix of multi-attribute
+        profiles).
+        """
+        array = np.asarray(values)
+        if array.size and (array.min() < 0 or array.max() >= self.domain_size):
+            raise ValueError(
+                f"values must lie in [0, {self.domain_size}), "
+                f"got range [{array.min()}, {array.max()}]"
+            )
+        keep = self._rng.random(array.shape) < self.rho
+        noise = self._rng.integers(0, self.domain_size, size=array.shape)
+        return np.where(keep, array, noise)
+
+    # ------------------------------------------------------------------
+    # Analyst side
+    # ------------------------------------------------------------------
+    def estimate_point_fraction(self, perturbed: np.ndarray, value: int) -> float:
+        """De-biased frequency of one domain value in one column."""
+        observed = float(np.mean(np.asarray(perturbed) == value))
+        background = (1.0 - self.rho) / self.domain_size
+        return (observed - background) / self.rho
+
+    def estimate_interval_fraction(self, perturbed: np.ndarray, threshold: int) -> float:
+        """De-biased ``Pr[a <= threshold]`` from one perturbed column."""
+        observed = float(np.mean(np.asarray(perturbed) <= threshold))
+        background = (1.0 - self.rho) * (threshold + 1) / self.domain_size
+        return (observed - background) / self.rho
+
+    # ------------------------------------------------------------------
+    # Privacy characteristics
+    # ------------------------------------------------------------------
+    def single_value_ratio(self) -> float:
+        """Distinguishing ratio for one published component.
+
+        Seeing the true value vs. any other value:
+        ``(rho + (1-rho)/D) / ((1-rho)/D)`` — already large for moderate
+        ``rho`` and ``D``, and it *compounds across components*.
+        """
+        background = (1.0 - self.rho) / self.domain_size
+        return (self.rho + background) / background
+
+    def likelihood(self, observed: Sequence[int], candidate: Sequence[int]) -> float:
+        """``Pr[observed vector | true profile = candidate]``.
+
+        The exact per-component product the Bayesian attacker uses:
+        ``rho + (1-rho)/D`` where the observation matches the candidate,
+        ``(1-rho)/D`` where it does not.
+        """
+        obs = np.asarray(observed)
+        cand = np.asarray(candidate)
+        if obs.shape != cand.shape:
+            raise ValueError(f"shape mismatch: {obs.shape} vs {cand.shape}")
+        background = (1.0 - self.rho) / self.domain_size
+        match = self.rho + background
+        matches = int((obs == cand).sum())
+        return match**matches * background ** (obs.size - matches)
+
+    def undetectable_probability(self, num_disjoint_components: int) -> float:
+        """Probability the two-candidate attacker learns *nothing*.
+
+        For candidates with ``q`` pairwise-distinct components, the
+        attacker stays at their prior only if every component was
+        replaced by noise that matches neither candidate pattern's
+        likelihood asymmetry — at best ``(1 - rho + rho/D)`` per
+        component under the most charitable accounting; this upper bound
+        uses ``(1-rho)`` (replacement happened) which is already tiny for
+        realistic ``rho`` and ``q``.
+        """
+        if num_disjoint_components < 0:
+            raise ValueError("component count must be >= 0")
+        return (1.0 - self.rho) ** num_disjoint_components

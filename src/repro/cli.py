@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the things someone evaluating the library wants
+without writing code:
+
+* ``bounds``      — the closed-form privacy/utility/size numbers for a
+  parameter choice (Lemmas 3.1, 3.3, 4.1, Corollary 3.4);
+* ``demo``        — a self-contained publish-and-query run on synthetic
+  data, printing estimate vs truth;
+* ``experiments`` — the DESIGN.md experiment index and how to regenerate
+  each entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = [
+    ("F1", "Figure 1 indicator vector vs sketch", "benchmarks/bench_figure1.py"),
+    ("E1", "Lemma 3.1 sketch length", "benchmarks/bench_sketch_length.py"),
+    ("E2", "Algorithm 1 running time (+ replacement ablation E2b)", "benchmarks/bench_sketch_length.py"),
+    ("E3", "Lemma 3.2 two-sided bias", "benchmarks/bench_correctness.py"),
+    ("E4", "Lemma 3.3 worst-case ratio (+ rejection ablation E4b)", "benchmarks/bench_privacy_ratio.py"),
+    ("E5", "Corollary 3.4 composition", "benchmarks/bench_privacy_ratio.py"),
+    ("E6", "Lemma 4.1 error decay (+ clamping ablation E6b)", "benchmarks/bench_utility_error.py"),
+    ("E7", "headline: error vs query width, sketch vs RR", "benchmarks/bench_width_scaling.py"),
+    ("E8", "published size vs baselines", "benchmarks/bench_size.py"),
+    ("E9", "sums/means via eq. 4", "benchmarks/bench_numeric.py"),
+    ("E10", "inner products", "benchmarks/bench_numeric.py"),
+    ("E11", "interval queries", "benchmarks/bench_interval.py"),
+    ("E12", "combined constraints", "benchmarks/bench_interval.py"),
+    ("E13", "Appendix E a+b < 2^r", "benchmarks/bench_virtual.py"),
+    ("E14", "Appendix F combination (+ cond(V) growth E14b)", "benchmarks/bench_combine.py"),
+    ("E15", "Appendix A dual-mode server", "benchmarks/bench_sulq.py"),
+    ("E16", "Appendix B bit-flip region", "benchmarks/bench_privacy_ratio.py"),
+    ("E17", "partial-knowledge attack", "benchmarks/bench_attack.py"),
+    ("E18", "dictionary attack", "benchmarks/bench_attack.py"),
+    ("E19", "decision trees / exactly-l", "benchmarks/bench_boolean.py"),
+    ("E20", "non-binary categorical histograms", "benchmarks/bench_categorical.py"),
+    ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
+    ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
+    ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
+    ("X4", "Dinur-Nissim reconstruction transition", "benchmarks/bench_reconstruction.py"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Privacy via Pseudorandom Sketches' (PODS 2006)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    bounds = subparsers.add_parser(
+        "bounds", help="closed-form privacy/utility/size numbers for given parameters"
+    )
+    bounds.add_argument("--p", type=float, default=0.3, help="bias p in (0, 1/2)")
+    bounds.add_argument("--users", type=float, default=1e6, help="user count M")
+    bounds.add_argument("--sketches", type=int, default=1, help="sketches per user l")
+    bounds.add_argument("--tau", type=float, default=1e-6, help="failure budget tau")
+    bounds.add_argument("--delta", type=float, default=0.05, help="confidence delta")
+
+    demo = subparsers.add_parser("demo", help="publish-and-query demo on synthetic data")
+    demo.add_argument("--users", type=int, default=3000)
+    demo.add_argument("--p", type=float, default=0.3)
+    demo.add_argument("--width", type=int, default=3, help="query width k")
+    demo.add_argument("--seed", type=int, default=7)
+
+    subparsers.add_parser("experiments", help="list the experiment index")
+    return parser
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from .core import PrivacyParams
+
+    try:
+        params = PrivacyParams(p=args.p)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    users = int(args.users)
+    print(f"parameters: p = {params.p}, M = {users}, l = {args.sketches} sketches/user")
+    print(f"  per-sketch privacy ratio (Lemma 3.3):  {params.privacy_ratio_bound():.3f}")
+    print(
+        f"  {args.sketches}-sketch ratio (Corollary 3.4):      "
+        f"{params.privacy_ratio_bound(args.sketches):.3f}"
+    )
+    print(
+        f"  sketch length (Lemma 3.1, tau={args.tau:g}):  "
+        f"{params.sketch_length(users, args.tau)} bits"
+    )
+    print(
+        f"  query error at 1-delta={1 - args.delta:g} (Lemma 4.1): "
+        f"+/- {params.utility_error(users, args.delta):.4f}"
+    )
+    print(f"  expected Algorithm 1 iterations:       {params.expected_iterations:.2f}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
+    from .data import bernoulli_panel
+    from .server import publish_database
+
+    if not 0.0 < args.p < 0.5:
+        print(f"error: p must be in (0, 1/2), got {args.p}", file=sys.stderr)
+        return 2
+    if args.width < 1 or args.users < 10:
+        print("error: need width >= 1 and users >= 10", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    params = PrivacyParams(p=args.p)
+    prf = BiasedPRF(p=args.p)
+    database = bernoulli_panel(args.users, args.width, density=0.5, rng=rng)
+    subset = tuple(range(args.width))
+    sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
+    store = publish_database(database, sketcher, [subset])
+    estimator = SketchEstimator(params, prf)
+    value = tuple([1] * args.width)
+    estimate = estimator.estimate(store.sketches_for(subset), value)
+    truth = database.exact_conjunction(subset, value)
+    print(f"{args.users} users published one {sketcher.sketch_bits}-bit sketch each")
+    print(f"query: all {args.width} bits = 1")
+    print(f"  estimate = {estimate.fraction:.4f}  (95% CI +/- {estimate.half_width:.4f})")
+    print(f"  truth    = {truth:.4f}")
+    print(f"  |error|  = {abs(estimate.fraction - truth):.4f}")
+    return 0 if estimate.covers(truth) else 1
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    width = max(len(name) for name, _, _ in _EXPERIMENTS)
+    for name, description, target in _EXPERIMENTS:
+        print(f"{name:<{width}}  {description:<55} pytest {target} --benchmark-only")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "bounds": _cmd_bounds,
+        "demo": _cmd_demo,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""Privacy accounting across multiple sketch releases (Corollary 3.4).
+
+Every sketch a user publishes multiplies the worst-case distinguishing ratio
+by ``((1-p)/p)**4``.  A deployment that wants an overall ``(1 ± eps)``
+guarantee must therefore either cap the number of sketches per user or pick
+``p`` close enough to 1/2 up front: ``p >= 1/2 - eps/(16 l)`` suffices for
+``l`` sketches (Corollary 3.4).
+
+:class:`PrivacyAccountant` is the bookkeeping object a collector uses to
+enforce this: it records releases per user and refuses any release that
+would push the user's cumulative ratio past the budget.  The accounting is
+worst-case and composition is simple multiplication, exactly as in the
+paper ("conditioned on a profile, each sketch is generated independently").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .params import PrivacyParams
+
+__all__ = [
+    "BudgetExceeded",
+    "ReleaseRecord",
+    "PrivacyAccountant",
+    "RelaxedPrivacyAccountant",
+]
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when a sketch release would exceed a user's privacy budget."""
+
+
+@dataclass
+class ReleaseRecord:
+    """Per-user ledger entry.
+
+    Attributes
+    ----------
+    num_sketches:
+        Sketches released so far.
+    ratio:
+        Cumulative worst-case distinguishing ratio
+        ``((1-p)/p)**(4 * num_sketches)``.
+    """
+
+    num_sketches: int = 0
+    ratio: float = 1.0
+
+
+@dataclass
+class PrivacyAccountant:
+    """Worst-case multiplicative privacy ledger.
+
+    Parameters
+    ----------
+    params:
+        Privacy parameters in force for every release.
+    epsilon:
+        Total budget: each user's cumulative ratio must stay at most
+        ``1 + epsilon``.
+
+    Examples
+    --------
+    >>> params = PrivacyParams.from_epsilon(0.5, num_sketches=4)
+    >>> accountant = PrivacyAccountant(params, epsilon=0.5)
+    >>> accountant.max_sketches >= 4
+    True
+    """
+
+    params: PrivacyParams
+    epsilon: float
+    _ledger: Dict[str, ReleaseRecord] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+
+    @property
+    def per_sketch_ratio(self) -> float:
+        """The ratio one release costs: ``((1-p)/p)**4`` (Lemma 3.3)."""
+        return self.params.privacy_ratio_bound(num_sketches=1)
+
+    @property
+    def max_sketches(self) -> int:
+        """Largest ``l`` with ``((1-p)/p)**(4 l) <= 1 + epsilon``.
+
+        Zero when even a single sketch blows the budget (i.e. ``p`` is too
+        far from 1/2 for the requested ``epsilon``).
+        """
+        import math
+
+        per_release = 4.0 * math.log((1.0 - self.params.p) / self.params.p)
+        if per_release <= 0:  # pragma: no cover - p < 1/2 enforced upstream
+            return 1 << 30
+        return int(math.log(1.0 + self.epsilon) / per_release)
+
+    def spent(self, user_id: str) -> ReleaseRecord:
+        """Current ledger entry for a user (zero-release default)."""
+        return self._ledger.get(user_id, ReleaseRecord())
+
+    def remaining_sketches(self, user_id: str) -> int:
+        """How many more sketches the user may release within budget."""
+        return max(0, self.max_sketches - self.spent(user_id).num_sketches)
+
+    def can_release(self, user_id: str, count: int = 1) -> bool:
+        """Whether ``count`` further releases fit in the user's budget."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return self.remaining_sketches(user_id) >= count
+
+    def charge(self, user_id: str, count: int = 1) -> ReleaseRecord:
+        """Record ``count`` releases for ``user_id``.
+
+        Raises
+        ------
+        BudgetExceeded
+            If the releases would push the cumulative ratio past
+            ``1 + epsilon``.  The ledger is left unchanged in that case.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not self.can_release(user_id, count):
+            record = self.spent(user_id)
+            raise BudgetExceeded(
+                f"user {user_id!r} has released {record.num_sketches} sketches; "
+                f"{count} more would exceed the budget of {self.max_sketches} "
+                f"(epsilon={self.epsilon}, p={self.params.p})"
+            )
+        record = self._ledger.setdefault(user_id, ReleaseRecord())
+        record.num_sketches += count
+        record.ratio = self.params.privacy_ratio_bound(record.num_sketches)
+        return record
+
+
+@dataclass
+class RelaxedPrivacyAccountant:
+    """Section 5's relaxed budget: quadratically more sketches, w.h.p.
+
+    The conclusions note that "if one is willing to relax privacy
+    guarantees from deterministic to negligibly small probability of leak
+    then the result of Theorem [Corollary] 3.4 can be improved to allow
+    quadratically more sketches while giving essentially the same privacy
+    guarantees."
+
+    The mechanism behind the remark: the log likelihood-ratio contributed
+    by one sketch is bounded by ``b = 4 ln((1-p)/p)`` in magnitude but has
+    mean zero under either hypothesis up to O(b^2) (the publish
+    distributions are within e^{±b} of each other and normalised), so the
+    sum over ``l`` independent sketches concentrates around O(b sqrt(l))
+    instead of the worst-case ``b l``.  Azuma-Hoeffding gives
+
+        ``Pr[ |sum| > eps ] <= 2 exp(-eps^2 / (2 l b^2))``
+
+    so requiring this to be at most ``delta`` allows
+
+        ``l <= eps^2 / (2 b^2 ln(2/delta))``
+
+    sketches — quadratic in ``eps/b`` where the deterministic ledger of
+    :class:`PrivacyAccountant` allows only ``eps/b`` (for small ``eps``).
+
+    This accountant is strictly weaker than the deterministic one: with
+    probability up to ``delta`` (over the user's own coins and the public
+    function) the realised leakage may exceed ``eps``.  Use it only where
+    the paper's remark applies — e.g. high-sketch-count telemetry where a
+    negligible ``delta`` is acceptable.
+    """
+
+    params: PrivacyParams
+    epsilon: float
+    delta: float
+    _ledger: Dict[str, ReleaseRecord] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0,1), got {self.delta}")
+
+    @property
+    def per_sketch_log_ratio(self) -> float:
+        """The Azuma increment bound ``b = 4 ln((1-p)/p)``."""
+        import math
+
+        return 4.0 * math.log((1.0 - self.params.p) / self.params.p)
+
+    @property
+    def max_sketches(self) -> int:
+        """High-probability capacity ``eps^2 / (2 b^2 ln(2/delta))``.
+
+        Never less than the deterministic ledger's capacity — the relaxed
+        bound is only *used* when it helps.
+        """
+        import math
+
+        b = self.per_sketch_log_ratio
+        relaxed = int(self.epsilon**2 / (2.0 * b**2 * math.log(2.0 / self.delta)))
+        deterministic = PrivacyAccountant(self.params, self.epsilon).max_sketches
+        return max(relaxed, deterministic)
+
+    def spent(self, user_id: str) -> ReleaseRecord:
+        return self._ledger.get(user_id, ReleaseRecord())
+
+    def remaining_sketches(self, user_id: str) -> int:
+        return max(0, self.max_sketches - self.spent(user_id).num_sketches)
+
+    def can_release(self, user_id: str, count: int = 1) -> bool:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return self.remaining_sketches(user_id) >= count
+
+    def charge(self, user_id: str, count: int = 1) -> ReleaseRecord:
+        """Record releases; raises :class:`BudgetExceeded` past capacity."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not self.can_release(user_id, count):
+            record = self.spent(user_id)
+            raise BudgetExceeded(
+                f"user {user_id!r} has released {record.num_sketches} sketches; "
+                f"{count} more would exceed the relaxed budget of "
+                f"{self.max_sketches} (epsilon={self.epsilon}, delta={self.delta})"
+            )
+        record = self._ledger.setdefault(user_id, ReleaseRecord())
+        record.num_sketches += count
+        record.ratio = self.params.privacy_ratio_bound(record.num_sketches)
+        return record

@@ -1,0 +1,203 @@
+"""Algorithm 2 — answering conjunctive queries from collected sketches.
+
+Given one sketch per user for a subset ``B``, the aggregator estimates the
+fraction of users with ``d_B = v`` for *any* of the ``2**|B|`` candidate
+values ``v``:
+
+1. compute the fraction ``r~`` of users whose published key evaluates to 1
+   at ``v``:  ``H(id, B, v, s) = 1``;
+2. de-bias:  ``r' = (r~ - p) / (1 - 2p)``.
+
+Lemma 3.2 gives ``E[r~] = (1-p) r + p (1-r)`` where ``r`` is the true
+fraction, so ``r'`` is unbiased, and Lemma 4.1's Chernoff argument bounds the
+deviation by ``O(sqrt(log(1/delta) / M))`` — *independent of* ``|B|``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .params import PrivacyParams
+from .prf import BiasedFunction
+from .sketch import Sketch
+
+__all__ = ["QueryEstimate", "SketchEstimator"]
+
+
+@dataclass(frozen=True)
+class QueryEstimate:
+    """Result of one conjunctive-query estimation.
+
+    Attributes
+    ----------
+    fraction:
+        The de-biased estimate ``r'`` of the fraction of users with
+        ``d_B = v``.  May fall slightly outside ``[0, 1]`` due to noise
+        unless clamping was requested.
+    count:
+        ``fraction * num_users`` — the estimated number of matching users.
+    raw_fraction:
+        The observed biased fraction ``r~`` before de-biasing.
+    num_users:
+        Number of sketches that contributed.
+    half_width:
+        Half-width of the two-sided ``1 - delta`` confidence interval implied
+        by the Hoeffding/Chernoff bound of Lemma 4.1.
+    delta:
+        Confidence parameter the half-width was computed for.
+    """
+
+    fraction: float
+    count: float
+    raw_fraction: float
+    num_users: int
+    half_width: float
+    delta: float
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The ``1 - delta`` confidence interval for the true fraction."""
+        return (self.fraction - self.half_width, self.fraction + self.half_width)
+
+    def covers(self, true_fraction: float) -> bool:
+        """Whether the confidence interval contains ``true_fraction``."""
+        low, high = self.interval
+        return low <= true_fraction <= high
+
+
+class SketchEstimator:
+    """Aggregator-side estimator implementing Algorithm 2.
+
+    Parameters
+    ----------
+    params:
+        Privacy parameters; ``p`` must match the bias of ``prf``.
+    prf:
+        The public p-biased function (the same instance, or one built from
+        the same global key, that users sketched against).
+    clamp:
+        If True (default), clip de-biased fractions into ``[0, 1]``.  The
+        raw estimator is unbiased but can exit the simplex at small ``M``;
+        clamping trades a tiny bias for never reporting an impossible
+        answer.  Benchmarks that verify unbiasedness disable it.
+    """
+
+    def __init__(self, params: PrivacyParams, prf: BiasedFunction, clamp: bool = True) -> None:
+        if abs(prf.p - params.p) > 1e-12:
+            raise ValueError(
+                f"PRF bias {prf.p} does not match privacy parameter p={params.p}"
+            )
+        self.params = params
+        self.prf = prf
+        self.clamp = clamp
+
+    # ------------------------------------------------------------------
+    # Core estimation
+    # ------------------------------------------------------------------
+    def evaluations(self, sketches: Sequence[Sketch], value: Sequence[int]) -> np.ndarray:
+        """Per-user virtual bits ``H(id, B, v, s)`` for a candidate value.
+
+        These are exactly the "perturbed virtual bits" of Appendix F: a
+        p-perturbed indicator of ``d_B = v`` for each user.  All sketches
+        must cover the same subset ``B``.
+        """
+        if not sketches:
+            raise ValueError("cannot estimate from an empty sketch collection")
+        subset = sketches[0].subset
+        value_t = tuple(int(bit) for bit in value)
+        if len(value_t) != len(subset):
+            raise ValueError(
+                f"value length {len(value_t)} does not match subset size {len(subset)}"
+            )
+        for sketch in sketches:
+            if sketch.subset != subset:
+                raise ValueError(
+                    f"mixed subsets in sketch collection: {sketch.subset} vs {subset}"
+                )
+        return self.prf.evaluate_many(
+            (s.user_id for s in sketches), subset, value_t, (s.key for s in sketches)
+        )
+
+    def estimate(
+        self,
+        sketches: Sequence[Sketch],
+        value: Sequence[int],
+        delta: float = 0.05,
+    ) -> QueryEstimate:
+        """Estimate the fraction of users with ``d_B = value`` (Algorithm 2)."""
+        bits = self.evaluations(sketches, value)
+        return self.estimate_from_bits(bits, delta=delta)
+
+    def estimate_from_bits(self, bits: np.ndarray, delta: float = 0.05) -> QueryEstimate:
+        """De-bias a vector of p-perturbed indicator bits.
+
+        Exposed separately because Appendix E/F pipelines manufacture their
+        own virtual bits (XOR combinations, multi-subset indicators) and
+        then need exactly this de-biasing step, possibly with a different
+        effective bias — see :meth:`debias_fraction`.
+        """
+        num_users = int(bits.size)
+        if num_users == 0:
+            raise ValueError("cannot estimate from zero users")
+        raw = float(np.mean(bits))
+        fraction = self._debias(raw, self.params.p)
+        if self.clamp:
+            fraction = min(1.0, max(0.0, fraction))
+        half_width = self.half_width(num_users, delta)
+        return QueryEstimate(
+            fraction=fraction,
+            count=fraction * num_users,
+            raw_fraction=raw,
+            num_users=num_users,
+            half_width=half_width,
+            delta=delta,
+        )
+
+    def debias_fraction(self, raw_fraction: float, bias: float | None = None) -> float:
+        """Invert ``E[r~] = (1-p) r + p (1-r)`` for an arbitrary bias.
+
+        Appendix E's XOR virtual bits are ``2p(1-p)``-perturbed rather than
+        ``p``-perturbed; passing that effective bias here reuses the same
+        inversion.
+        """
+        p = self.params.p if bias is None else bias
+        return self._debias(raw_fraction, p)
+
+    @staticmethod
+    def _debias(raw_fraction: float, p: float) -> float:
+        denominator = 1.0 - 2.0 * p
+        if abs(denominator) < 1e-12:
+            raise ValueError("p = 1/2 carries no signal; cannot de-bias")
+        return (raw_fraction - p) / denominator
+
+    # ------------------------------------------------------------------
+    # Confidence intervals (Lemma 4.1)
+    # ------------------------------------------------------------------
+    def half_width(self, num_users: int, delta: float = 0.05) -> float:
+        """Two-sided ``1 - delta`` half width from the Lemma 4.1 tail.
+
+        Solving ``2 exp(-eps^2 (1-2p)^2 M / 4) = delta`` for ``eps``.  The
+        paper's one-sided statement omits the factor 2; we use the two-sided
+        version since estimates deviate in either direction.
+        """
+        if num_users < 1:
+            raise ValueError(f"num_users must be >= 1, got {num_users}")
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0,1), got {delta}")
+        return 2.0 * math.sqrt(math.log(2.0 / delta) / num_users) / self.params.debias_denominator
+
+    def users_needed(self, error: float, delta: float = 0.05) -> int:
+        """Smallest ``M`` for which the half width is at most ``error``.
+
+        Useful for sizing deployments: how many users must publish before a
+        conjunctive query is accurate to ``error`` with confidence
+        ``1 - delta``.
+        """
+        if error <= 0:
+            raise ValueError(f"error must be positive, got {error}")
+        m = 4.0 * math.log(2.0 / delta) / (error * self.params.debias_denominator) ** 2
+        return int(math.ceil(m))

@@ -1,0 +1,199 @@
+"""Exact analysis of Algorithm 1's publish distribution (Lemma 3.3).
+
+Lemma 3.3 bounds the ratio ``Pr[publish s | d'] / Pr[publish s | d'']`` by
+``((1-p)/p)**4`` *for any fixed assignment of the public function's values*,
+with probability taken only over the user's private coins (the random key
+order and the accept coin).  This module computes those publish
+probabilities **exactly**, so the benchmark suite can verify the bound is
+respected — and find how tight it is — without Monte Carlo error.
+
+The state space collapses exactly as in the paper's proof: for a fixed
+evaluation pattern, the publish probability of a key depends only on
+
+* ``L`` — the key-space size,
+* ``q`` — how many of the ``L`` keys evaluate to 1 on the profile,
+* ``w`` — the tagged key's own evaluation.
+
+The probability that the tagged key is *considered* satisfies the recursion
+
+    ``S(n1, n0) = 1/(n1+n0+1) + n0/(n1+n0+1) * (1-r) * S(n1, n0-1)``
+
+(draw the tagged key now; or draw one of the ``n0`` zero-keys, survive its
+accept coin, and continue — drawing any of the ``n1`` one-keys terminates the
+run), and the publish probability is ``S`` if ``w = 1`` else ``S * r``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .params import PrivacyParams
+
+__all__ = [
+    "PublishDistribution",
+    "consider_probability",
+    "publish_probability",
+    "worst_case_ratio",
+    "exact_failure_probability",
+    "average_publish_probability",
+]
+
+
+@lru_cache(maxsize=None)
+def _consider(n_ones: int, n_zeros: int, reject_survive: float) -> float:
+    """Probability the tagged key is considered, by the proof's recursion.
+
+    ``n_ones`` / ``n_zeros`` count the *other* keys (excluding the tagged
+    one) by evaluation; ``reject_survive = 1 - r`` is the probability a
+    considered zero-key fails its accept coin and the loop continues.
+    """
+    total = n_ones + n_zeros + 1
+    probability = 1.0 / total
+    if n_zeros > 0:
+        probability += (
+            n_zeros / total
+        ) * reject_survive * _consider(n_ones, n_zeros - 1, reject_survive)
+    return probability
+
+
+def consider_probability(num_keys: int, num_ones: int, tagged_eval: int, accept_prob: float) -> float:
+    """Exact probability that a tagged key is considered by Algorithm 1.
+
+    Parameters
+    ----------
+    num_keys:
+        Key-space size ``L = 2**l``.
+    num_ones:
+        Total number of keys (including the tagged one) evaluating to 1 on
+        the user's true value — the proof's ``q = Q(d)``.
+    tagged_eval:
+        The tagged key's own evaluation ``w`` (0 or 1).
+    accept_prob:
+        Algorithm 1's rejection-branch accept probability ``r``.
+    """
+    _validate(num_keys, num_ones, tagged_eval)
+    if tagged_eval == 1:
+        others_one, others_zero = num_ones - 1, num_keys - num_ones
+    else:
+        others_one, others_zero = num_ones, num_keys - num_ones - 1
+    return _consider(others_one, others_zero, 1.0 - accept_prob)
+
+
+def publish_probability(num_keys: int, num_ones: int, tagged_eval: int, accept_prob: float) -> float:
+    """Exact probability that Algorithm 1 publishes a specific tagged key.
+
+    A considered key is published with probability 1 if it evaluates to 1
+    and with probability ``r`` otherwise (the proof's ``X_{ds}`` bounds made
+    exact).
+    """
+    considered = consider_probability(num_keys, num_ones, tagged_eval, accept_prob)
+    return considered if tagged_eval == 1 else considered * accept_prob
+
+
+def _validate(num_keys: int, num_ones: int, tagged_eval: int) -> None:
+    if num_keys < 1:
+        raise ValueError(f"num_keys must be >= 1, got {num_keys}")
+    if not 0 <= num_ones <= num_keys:
+        raise ValueError(f"num_ones must be in [0, {num_keys}], got {num_ones}")
+    if tagged_eval not in (0, 1):
+        raise ValueError(f"tagged_eval must be 0 or 1, got {tagged_eval}")
+    if tagged_eval == 1 and num_ones == 0:
+        raise ValueError("tagged key evaluates to 1 but num_ones is 0")
+    if tagged_eval == 0 and num_ones == num_keys:
+        raise ValueError("tagged key evaluates to 0 but all keys evaluate to 1")
+
+
+@dataclass(frozen=True)
+class PublishDistribution:
+    """Summary of Algorithm 1's exact publish probabilities for fixed ``L``.
+
+    Attributes
+    ----------
+    num_keys:
+        Key-space size ``L``.
+    accept_prob:
+        The rejection constant ``r`` in force.
+    max_probability / min_probability:
+        Extremes of ``Pr[publish s]`` over all reachable ``(q, w)`` pairs —
+        i.e. over all profiles and evaluation patterns.
+    worst_ratio:
+        ``max_probability / min_probability`` — the exact worst-case privacy
+        ratio that Lemma 3.3 upper-bounds by ``1 / r**2 = ((1-p)/p)**4``.
+    """
+
+    num_keys: int
+    accept_prob: float
+    max_probability: float
+    min_probability: float
+
+    @property
+    def worst_ratio(self) -> float:
+        return self.max_probability / self.min_probability
+
+
+def worst_case_ratio(num_keys: int, accept_prob: float) -> PublishDistribution:
+    """Exact worst-case publish ratio over every profile pair.
+
+    Sweeps every reachable ``(q, w)`` combination: the adversary may compare
+    two profiles ``d'`` and ``d''`` under the least favourable fixed pattern
+    of public-function evaluations, so the worst ratio pairs the global
+    maximum against the global minimum.
+    """
+    if not 0.0 < accept_prob <= 1.0:
+        raise ValueError(f"accept_prob must be in (0,1], got {accept_prob}")
+    probabilities = []
+    for num_ones in range(num_keys + 1):
+        if num_ones >= 1:
+            probabilities.append(publish_probability(num_keys, num_ones, 1, accept_prob))
+        if num_ones <= num_keys - 1:
+            probabilities.append(publish_probability(num_keys, num_ones, 0, accept_prob))
+    return PublishDistribution(
+        num_keys=num_keys,
+        accept_prob=accept_prob,
+        max_probability=max(probabilities),
+        min_probability=min(probabilities),
+    )
+
+
+def exact_failure_probability(num_keys: int, params: PrivacyParams) -> float:
+    """Exact failure probability of Algorithm 1 under a random function.
+
+    Failure requires every key to evaluate to 0 *and* every accept coin to
+    miss: ``((1 - p)(1 - r))**L``.  This is strictly smaller than
+    Lemma 3.1's conservative ``(1 - p^2)**L`` (the paper lower-bounds the
+    per-key stopping probability by ``p^2``); benchmark E1 reports both.
+    """
+    if num_keys < 1:
+        raise ValueError(f"num_keys must be >= 1, got {num_keys}")
+    per_key = (1.0 - params.p) * (1.0 - params.rejection_probability)
+    return per_key**num_keys
+
+
+def average_publish_probability(
+    num_keys: int, tagged_eval: int, params: PrivacyParams
+) -> float:
+    """Publish probability averaged over a random public function.
+
+    Conditions on the tagged key's own evaluation ``w`` but averages over
+    the Binomial(L-1, p) evaluations of the remaining keys.  Used to verify
+    Lemma 3.2 numerically: the averaged probabilities must satisfy
+
+        ``Pr[publish s with f(s)=1] = (1 - p) * Pr[publish at all]``.
+
+    Also demonstrates the information-theoretic heart of the scheme: when
+    *all* evaluations are averaged (i.e. ``w`` too), the publish
+    distribution is the same for every profile — an attacker who cannot
+    evaluate ``H`` learns literally nothing.
+    """
+    p = params.p
+    accept = params.rejection_probability
+    total = 0.0
+    for other_ones in range(num_keys):
+        weight = math.comb(num_keys - 1, other_ones) * p**other_ones * (1.0 - p) ** (
+            num_keys - 1 - other_ones
+        )
+        num_ones = other_ones + (1 if tagged_eval == 1 else 0)
+        total += weight * publish_probability(num_keys, num_ones, tagged_eval, accept)
+    return total

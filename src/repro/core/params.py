@@ -1,0 +1,257 @@
+"""Privacy parameters for pseudorandom sketches.
+
+The whole construction of Mishra & Sandler (PODS 2006) is driven by a single
+bias parameter ``p`` in the open interval ``(0, 1/2)``:
+
+* the public pseudorandom function ``H`` returns 1 with probability ``p``
+  at a random input (Section 3);
+* Algorithm 1's rejection constant is ``r = (p / (1 - p))**2`` — a key whose
+  evaluation is 0 is published with probability ``r`` instead of 1;
+* the per-sketch privacy ratio is ``((1 - p) / p)**4`` (Lemma 3.3), and the
+  ratio for ``l`` sketches is the fourth power taken ``l`` times
+  (Corollary 3.4);
+* the de-biasing in Algorithm 2 divides by ``1 - 2p``, so utility degrades as
+  ``p`` approaches 1/2.
+
+:class:`PrivacyParams` wraps ``p`` and exposes every derived quantity used
+throughout the library, plus the conversions between ``p`` and the ``eps`` of
+the paper's :math:`\\epsilon`-privacy definition (Definition 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "PrivacyParams",
+    "p_for_epsilon",
+    "p_for_epsilon_corollary",
+    "epsilon_for_p",
+]
+
+
+def p_for_epsilon(epsilon: float, num_sketches: int = 1) -> float:
+    """Return the smallest bias ``p`` giving exactly ``(1+epsilon)``-privacy.
+
+    Inverts the exact multi-sketch ratio of Corollary 3.4:
+    ``((1-p)/p)**(4 l) = 1 + epsilon`` solves to
+    ``p = 1 / (1 + (1 + epsilon)**(1/(4 l)))``.
+
+    Note: the *paper's* stated sufficient condition
+    ``p >= 1/2 - epsilon/(16 l)`` is the first-order Taylor expansion of
+    this formula — "the behavior of the exponent of the form
+    ``(1 + eps/q)^q ≈ 1 + eps``" — and for any finite ``epsilon`` it
+    slightly overshoots the target ratio (e.g. 1.1052 instead of 1.1 at
+    ``epsilon = 0.1``, ``l = 1``).  Use
+    :func:`p_for_epsilon_corollary` for the paper's literal formula.
+
+    Parameters
+    ----------
+    epsilon:
+        Target privacy slack; must be positive.
+    num_sketches:
+        Number ``l`` of sketches the user will publish.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if num_sketches < 1:
+        raise ValueError(f"num_sketches must be >= 1, got {num_sketches}")
+    return 1.0 / (1.0 + (1.0 + epsilon) ** (1.0 / (4.0 * num_sketches)))
+
+
+def p_for_epsilon_corollary(epsilon: float, num_sketches: int = 1) -> float:
+    """The paper's literal Corollary 3.4 condition ``p = 1/2 - eps/(16 l)``.
+
+    First-order approximation of :func:`p_for_epsilon`; kept for the
+    reproduction benchmarks that compare the approximation against the
+    exact inversion.  For very large ``epsilon`` the formula goes
+    non-positive, in which case it is floored just above 0.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if num_sketches < 1:
+        raise ValueError(f"num_sketches must be >= 1, got {num_sketches}")
+    return max(0.5 - epsilon / (16.0 * num_sketches), 1e-6)
+
+
+def epsilon_for_p(p: float, num_sketches: int = 1) -> float:
+    """Return the exact privacy slack achieved by bias ``p`` over ``l`` sketches.
+
+    This is the *exact* multiplicative bound ``((1-p)/p)**(4 l) - 1`` from
+    Lemma 3.3 / Corollary 3.4, not the linearised ``16 l (1/2 - p)``
+    approximation used to derive :func:`p_for_epsilon`.
+    """
+    if not 0.0 < p < 0.5:
+        raise ValueError(f"p must lie in (0, 1/2), got {p}")
+    if num_sketches < 1:
+        raise ValueError(f"num_sketches must be >= 1, got {num_sketches}")
+    return ((1.0 - p) / p) ** (4 * num_sketches) - 1.0
+
+
+@dataclass(frozen=True)
+class PrivacyParams:
+    """Bias parameter ``p`` plus every derived constant of the construction.
+
+    Parameters
+    ----------
+    p:
+        Bias of the pseudorandom function towards 1 at a random input.
+        Must lie strictly inside ``(0, 1/2)``: at ``p = 1/2`` the sketch is
+        perfectly private but carries no information (Section 2's coin-flip
+        discussion), and at ``p = 0`` a sketch trivially reveals ``d_B``.
+
+    Examples
+    --------
+    >>> params = PrivacyParams(p=0.25)
+    >>> round(params.rejection_probability, 4)
+    0.1111
+    >>> round(params.privacy_ratio_bound(), 0)
+    81.0
+    """
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p < 0.5:
+            raise ValueError(
+                f"p must lie strictly in (0, 0.5); got {self.p}. "
+                "p = 1/2 gives perfect privacy but zero utility, "
+                "p = 0 gives zero privacy."
+            )
+
+    # ------------------------------------------------------------------
+    # Derived constants
+    # ------------------------------------------------------------------
+    @property
+    def q(self) -> float:
+        """Probability that ``H`` evaluates to 0 at a random input: ``1 - p``."""
+        return 1.0 - self.p
+
+    @property
+    def rejection_probability(self) -> float:
+        """Algorithm 1 step 5's accept probability ``r = (p / (1-p))**2``.
+
+        A considered key whose evaluation is 0 is published with this
+        probability; the squared ratio is exactly what flattens the publish
+        distribution to within ``((1-p)/p)**4`` (Lemma 3.3).
+        """
+        return (self.p / (1.0 - self.p)) ** 2
+
+    @property
+    def debias_denominator(self) -> float:
+        """``1 - 2p``, the denominator of Algorithm 2's estimator."""
+        return 1.0 - 2.0 * self.p
+
+    @property
+    def termination_probability(self) -> float:
+        """Per-iteration stop probability of Algorithm 1.
+
+        Each considered key stops the loop with probability
+        ``p + (1-p) * r = p + p^2/(1-p)`` (evaluates to 1, or evaluates to 0
+        and the biased accept-coin fires) — the quantity used in the proof of
+        Lemma 3.2 and in the expected-running-time remark.
+        """
+        return self.p + (1.0 - self.p) * self.rejection_probability
+
+    @property
+    def expected_iterations(self) -> float:
+        """Expected number of iterations of Algorithm 1 (geometric mean).
+
+        The paper upper-bounds this by ``(1-p)^2 / p^2`` (Section 3); the
+        exact value for sampling *with* replacement is
+        ``1 / termination_probability``, and without replacement it can only
+        be smaller.
+        """
+        return 1.0 / self.termination_probability
+
+    @property
+    def iteration_bound(self) -> float:
+        """The paper's stated bound ``(1-p)^2 / p^2`` on expected iterations."""
+        return ((1.0 - self.p) / self.p) ** 2
+
+    # ------------------------------------------------------------------
+    # Privacy bounds
+    # ------------------------------------------------------------------
+    def privacy_ratio_bound(self, num_sketches: int = 1) -> float:
+        """Worst-case publish-probability ratio for ``l`` sketches.
+
+        Lemma 3.3 for ``l = 1``; Corollary 3.4 for larger ``l``:
+        ``((1-p)/p)**(4 l)``.
+        """
+        if num_sketches < 1:
+            raise ValueError(f"num_sketches must be >= 1, got {num_sketches}")
+        return ((1.0 - self.p) / self.p) ** (4 * num_sketches)
+
+    def epsilon(self, num_sketches: int = 1) -> float:
+        """Privacy slack ``eps`` such that the ratio is at most ``1 + eps``."""
+        return self.privacy_ratio_bound(num_sketches) - 1.0
+
+    # ------------------------------------------------------------------
+    # Sketch-length bound (Lemma 3.1)
+    # ------------------------------------------------------------------
+    def sketch_length(self, num_users: int, failure_prob: float = 1e-6) -> int:
+        """Minimum sketch length in bits so Algorithm 1 fails w.p. < tau.
+
+        Lemma 3.1: with ``M`` users and failure budget ``tau``, a length of
+        ``ceil( log2( log(tau / M) / log(1 - p^2) ) )`` bits suffices for the
+        probability that *any* user's sketching fails to stay below ``tau``.
+
+        Notes
+        -----
+        The paper writes the bound as ``ceil(log log (M/tau) / |log(1-p^2)|)``
+        with the inner ratio under a single log; unwinding the proof, the
+        required key count ``L`` satisfies ``(1 - p^2)^L <= tau / M`` i.e.
+        ``L >= log(tau/M) / log(1 - p^2)`` and the bit length is
+        ``ceil(log2 L)``. That is what we compute.
+        """
+        if num_users < 1:
+            raise ValueError(f"num_users must be >= 1, got {num_users}")
+        if not 0.0 < failure_prob < 1.0:
+            raise ValueError(f"failure_prob must be in (0,1), got {failure_prob}")
+        needed_keys = math.log(failure_prob / num_users) / math.log(1.0 - self.p**2)
+        return max(1, math.ceil(math.log2(needed_keys)))
+
+    def failure_probability(self, sketch_bits: int, num_users: int = 1) -> float:
+        """Probability that Algorithm 1 exhausts all keys, union-bounded.
+
+        A single run fails with probability at most ``(1 - p^2)**(2**bits)``
+        (each considered key stops the run with probability at least
+        ``p^2``); the union bound over ``num_users`` scales it linearly.
+        """
+        if sketch_bits < 1:
+            raise ValueError(f"sketch_bits must be >= 1, got {sketch_bits}")
+        single = (1.0 - self.p**2) ** (2**sketch_bits)
+        return min(1.0, num_users * single)
+
+    # ------------------------------------------------------------------
+    # Utility bound (Lemma 4.1)
+    # ------------------------------------------------------------------
+    def utility_tail(self, error: float, num_users: int) -> float:
+        """Chernoff tail bound of Lemma 4.1.
+
+        Probability that Algorithm 2's estimate deviates from the truth by
+        more than ``error``: ``exp(-error^2 (1-2p)^2 M / 4)``.
+        """
+        if error < 0:
+            raise ValueError(f"error must be >= 0, got {error}")
+        return math.exp(-(error**2) * self.debias_denominator**2 * num_users / 4.0)
+
+    def utility_error(self, num_users: int, delta: float = 0.05) -> float:
+        """Error achieved with probability ``1 - delta`` (Lemma 4.1, part 2).
+
+        Inverting the Chernoff tail: ``2 sqrt(log(1/delta) / M) / (1 - 2p)``.
+        """
+        if num_users < 1:
+            raise ValueError(f"num_users must be >= 1, got {num_users}")
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0,1), got {delta}")
+        return 2.0 * math.sqrt(math.log(1.0 / delta) / num_users) / self.debias_denominator
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_epsilon(cls, epsilon: float, num_sketches: int = 1) -> "PrivacyParams":
+        """Build params guaranteeing ``(1 ± epsilon)``-privacy for ``l`` sketches."""
+        return cls(p=p_for_epsilon(epsilon, num_sketches))

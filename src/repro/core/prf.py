@@ -1,0 +1,182 @@
+"""The public pseudorandom p-biased function ``H``.
+
+Section 3 of the paper assumes a public pseudorandom function
+
+    ``H(id, B, v, s) -> {0, 1}``   with   ``Pr[H(...) = 1] = p``
+
+at any fresh input, all evaluations mutually independent.  The paper builds
+it from any collision-free hash (it names MD5 and WHIRLPOOL) via the
+threshold trick: interpret the hash output ``v_1 ... v_lambda`` as the binary
+expansion of a real in ``[0, 1)`` and report 1 iff that real is ``<= p``.
+
+We substitute keyed BLAKE2b for MD5 — a strictly stronger primitive available
+in the standard library — and implement exactly that threshold comparison on
+the first 64 bits of output.  The *global key* corresponds to the paper's
+>=300-bit generator key that defines the function for the whole database.
+
+Two implementations share the :class:`BiasedFunction` interface:
+
+* :class:`BiasedPRF` — the real construction (deterministic, keyed hash);
+* :class:`TrueRandomOracle` — a lazily-sampled truly random function, used by
+  the analysis and test suites to mirror the paper's proof device of
+  "assume all values of H were chosen uniformly at random".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BiasedFunction",
+    "BiasedPRF",
+    "TrueRandomOracle",
+    "encode_input",
+]
+
+# 64 bits of hash output interpreted as a uniform integer; the threshold
+# trick compares it against floor(p * 2^64).  Standard hash outputs are
+# 128-512 bits — "much larger than the typical precision used to represent
+# real values" (paper, footnote 3) — and 64 bits already exceeds double
+# precision.
+_PRECISION_BITS = 64
+_SCALE = 1 << _PRECISION_BITS
+
+
+def encode_input(user_id: str, subset: Tuple[int, ...], value: Tuple[int, ...], key: int) -> bytes:
+    """Canonical byte encoding of an ``H`` input ``(id, B, v, s)``.
+
+    The encoding is injective: each component is length-prefixed so distinct
+    tuples can never collide as byte strings.  ``subset`` is the ordered
+    tuple of bit positions ``B`` and ``value`` the candidate assignment
+    ``v`` (one bit per position).
+    """
+    if len(subset) != len(value):
+        raise ValueError(
+            f"subset and value must have equal length, got {len(subset)} and {len(value)}"
+        )
+    parts = [user_id.encode("utf-8")]
+    parts.append(b"|B|")
+    parts.extend(int(b).to_bytes(4, "big") for b in subset)
+    parts.append(b"|v|")
+    parts.append(bytes(int(bit) & 1 for bit in value))
+    parts.append(b"|s|")
+    parts.append(int(key).to_bytes(8, "big"))
+    header = len(user_id).to_bytes(4, "big") + len(subset).to_bytes(4, "big")
+    return header + b"".join(parts)
+
+
+class BiasedFunction(ABC):
+    """Interface of the public p-biased function ``H``."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"bias p must be in (0,1), got {p}")
+        self.p = p
+        self._threshold = int(p * _SCALE)
+
+    @abstractmethod
+    def _uniform64(self, payload: bytes) -> int:
+        """Return a 64-bit integer that is (pseudo)uniform in the payload."""
+
+    def evaluate(
+        self,
+        user_id: str,
+        subset: Tuple[int, ...],
+        value: Tuple[int, ...],
+        key: int,
+    ) -> int:
+        """Evaluate ``H(id, B, v, s)`` — 1 with probability ``p``.
+
+        The comparison ``uniform < floor(p * 2^64)`` realises the paper's
+        binary-expansion threshold: for a uniform 64-bit word the result is 1
+        with probability within ``2^-64`` of ``p``.
+        """
+        payload = encode_input(user_id, subset, value, key)
+        return 1 if self._uniform64(payload) < self._threshold else 0
+
+    def evaluate_many(
+        self,
+        user_ids: Iterable[str],
+        subset: Tuple[int, ...],
+        value: Tuple[int, ...],
+        keys: Iterable[int],
+    ) -> np.ndarray:
+        """Vector of ``H(id_u, B, v, s_u)`` over aligned users and keys.
+
+        This is the aggregator-side bulk evaluation used by Algorithm 2:
+        one evaluation per user at the *query* value ``v`` with that user's
+        published key.
+        """
+        out = [
+            self.evaluate(uid, subset, value, key)
+            for uid, key in zip(user_ids, keys, strict=True)
+        ]
+        return np.asarray(out, dtype=np.int8)
+
+
+class BiasedPRF(BiasedFunction):
+    """The deployed construction: keyed BLAKE2b + threshold trick.
+
+    Parameters
+    ----------
+    p:
+        Bias towards 1 at a random input.
+    global_key:
+        The database-wide generator key (paper: ">= 300 bits is more than
+        sufficient").  Defaults to a fresh 32-byte (256-bit) random key; pass
+        an explicit key to make a whole deployment reproducible.  BLAKE2b
+        accepts keys up to 64 bytes, so a 300+ bit key is supported directly.
+    """
+
+    def __init__(self, p: float, global_key: bytes | None = None) -> None:
+        super().__init__(p)
+        if global_key is None:
+            global_key = secrets.token_bytes(32)
+        if not 16 <= len(global_key) <= 64:
+            raise ValueError(
+                f"global_key must be 16-64 bytes for keyed BLAKE2b, got {len(global_key)}"
+            )
+        self.global_key = global_key
+
+    def _uniform64(self, payload: bytes) -> int:
+        digest = hashlib.blake2b(payload, key=self.global_key, digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BiasedPRF(p={self.p}, key=<{len(self.global_key)} bytes>)"
+
+
+class TrueRandomOracle(BiasedFunction):
+    """A lazily-sampled truly random function, for analysis and tests.
+
+    Mirrors the paper's proof device: "think about a pseudorandom function as
+    a black box such that for every set of parameters for which we have not
+    yet evaluated our function, the value is generated randomly on the fly".
+    Evaluations are memoised so the function stays a *function* (repeated
+    queries agree), which several proofs rely on.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None) -> None:
+        super().__init__(p)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._table: Dict[bytes, int] = {}
+
+    def _uniform64(self, payload: bytes) -> int:
+        cached = self._table.get(payload)
+        if cached is None:
+            cached = int(self._rng.integers(0, _SCALE, dtype=np.uint64))
+            self._table[payload] = cached
+        return cached
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of distinct points at which the oracle has been evaluated."""
+        return len(self._table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrueRandomOracle(p={self.p}, evaluated={len(self._table)})"

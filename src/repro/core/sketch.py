@@ -1,0 +1,240 @@
+"""Algorithm 1 — the sketching algorithm.
+
+A *sketch* of an attribute subset ``B`` of a user's profile ``d`` is a short
+key ``s`` into the public p-biased function ``H`` chosen by rejection
+sampling (Algorithm 1 of the paper):
+
+1. choose ``s`` uniformly at random *without replacement* from the
+   ``L = 2**length`` possible keys;
+2. if ``H(id, B, d_B, s) = 1`` publish ``s`` and stop;
+3. otherwise publish anyway with probability ``r = (p/(1-p))**2``, else
+   return to step 1;
+4. if all keys are exhausted, report failure.
+
+The published key is *skewed* so that ``H(id, B, d_B, s) = 1`` with
+probability ``1 - p`` (instead of ``p`` for a uniform key) while
+``H(id, B, v, s) = 1`` with probability exactly ``p`` for every other
+candidate value ``v`` (Lemma 3.2).  That two-sided property is all the
+aggregator needs, and the rejection constant ``r`` is tuned so that the
+distribution over published keys is within ``((1-p)/p)**4`` of uniform for
+*any* profile (Lemma 3.3) — the privacy guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .params import PrivacyParams
+from .prf import BiasedFunction
+
+__all__ = ["Sketch", "SketchFailure", "Sketcher"]
+
+
+class SketchFailure(RuntimeError):
+    """Raised when Algorithm 1 exhausts every key without publishing.
+
+    Lemma 3.1 shows the probability of this event is below ``tau`` for all
+    ``M`` users once the sketch length reaches
+    ``ceil(log2(log(tau/M)/log(1-p^2)))`` bits, so with the recommended
+    length this exception is effectively unreachable in practice.
+    """
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """A published sketch: everything the outside world sees.
+
+    Attributes
+    ----------
+    user_id:
+        The public identifier of the user (contains no private data).
+    subset:
+        The ordered tuple of profile bit positions ``B`` this sketch covers.
+    key:
+        The published key ``s`` — an integer in ``[0, 2**num_bits)``.
+    num_bits:
+        The sketch length ``l`` in bits; the key space has ``2**l`` keys.
+    iterations:
+        How many keys Algorithm 1 considered before publishing.  This is
+        *not* part of the published record (revealing it would leak nothing
+        either, but the paper publishes only ``s``); it is retained for the
+        running-time experiments (E2).
+    """
+
+    user_id: str
+    subset: Tuple[int, ...]
+    key: int
+    num_bits: int
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.key < (1 << self.num_bits):
+            raise ValueError(
+                f"key {self.key} out of range for a {self.num_bits}-bit sketch"
+            )
+
+    @property
+    def size_bits(self) -> int:
+        """Published size in bits — the paper's headline ``ceil(log log M)``."""
+        return self.num_bits
+
+    def evaluate(self, prf: BiasedFunction, value: Sequence[int]) -> int:
+        """Evaluate ``H(id, B, v, s)`` at a candidate value ``v``.
+
+        This is the aggregator-side primitive: a 1 is (noisy) evidence that
+        the user's true ``d_B`` equals ``v``.
+        """
+        return prf.evaluate(self.user_id, self.subset, tuple(value), self.key)
+
+
+class Sketcher:
+    """User-side implementation of Algorithm 1.
+
+    Parameters
+    ----------
+    params:
+        The privacy parameters (bias ``p``).
+    prf:
+        The public p-biased function ``H``.  Its bias must match ``params.p``.
+    sketch_bits:
+        Length of the sketch in bits.  Use
+        :meth:`PrivacyParams.sketch_length` to size it from the expected
+        number of users and failure budget, or rely on the paper's remark
+        that 10 bits suffice for any practical deployment when ``p > 1/4``.
+    rng:
+        Source of the user's *private* coins (key sampling order and the
+        accept coin).  Distinct users should use independent generators.
+    with_replacement:
+        Ablation switch (off by default, matching the paper): sample keys
+        *with* replacement instead of Algorithm 1's without-replacement
+        sampling.  The published key keeps the exact Lemma 3.2 biases
+        (the per-consideration stop/accept law is unchanged) and the same
+        asymptotic privacy ratio, but the loop no longer provably
+        terminates within ``2**sketch_bits`` draws — a ``max_iterations``
+        cap converts the tail into an explicit failure.  Benchmarked in
+        E2b.
+    max_iterations:
+        Draw cap for the with-replacement variant.  Defaults to enough
+        draws for a ``1e-12`` failure probability.  Ignored without
+        replacement (the key space itself is the cap).
+    """
+
+    def __init__(
+        self,
+        params: PrivacyParams,
+        prf: BiasedFunction,
+        sketch_bits: int = 10,
+        rng: np.random.Generator | None = None,
+        with_replacement: bool = False,
+        max_iterations: int | None = None,
+    ) -> None:
+        if abs(prf.p - params.p) > 1e-12:
+            raise ValueError(
+                f"PRF bias {prf.p} does not match privacy parameter p={params.p}"
+            )
+        if sketch_bits < 1:
+            raise ValueError(f"sketch_bits must be >= 1, got {sketch_bits}")
+        if sketch_bits > 30:
+            raise ValueError(
+                f"sketch_bits={sketch_bits} would enumerate 2**{sketch_bits} keys; "
+                "Lemma 3.1 shows ~10 bits suffice for any realistic deployment"
+            )
+        self.params = params
+        self.prf = prf
+        self.sketch_bits = sketch_bits
+        self.with_replacement = with_replacement
+        if max_iterations is not None and max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        if max_iterations is None and with_replacement:
+            # Enough draws for failure probability <= 1e-12 conditioned on
+            # ANY evaluation pattern: even when every key evaluates to 0,
+            # each draw still stops via the accept coin with probability r.
+            import math
+
+            stop = params.rejection_probability
+            max_iterations = math.ceil(math.log(1e-12) / math.log(1.0 - stop))
+        self.max_iterations = max_iterations
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def num_keys(self) -> int:
+        """Size ``L = 2**l`` of the key space."""
+        return 1 << self.sketch_bits
+
+    def sketch(
+        self,
+        user_id: str,
+        profile: Sequence[int],
+        subset: Sequence[int],
+    ) -> Sketch:
+        """Run Algorithm 1: publish a sketch of ``profile`` restricted to ``subset``.
+
+        Parameters
+        ----------
+        user_id:
+            Public identifier of the user.
+        profile:
+            The user's full private bit vector ``d`` (0/1 entries).
+        subset:
+            Bit positions ``B`` to sketch, indices into ``profile``.
+
+        Returns
+        -------
+        Sketch
+            The published record.
+
+        Raises
+        ------
+        SketchFailure
+            If every key in the space was considered and rejected
+            (probability below ``(1 - p^2)**(2**sketch_bits)``, see
+            Lemma 3.1).
+        IndexError
+            If ``subset`` indexes outside the profile.
+        """
+        subset_t = tuple(int(i) for i in subset)
+        true_value = self._project(profile, subset_t)
+        accept_prob = self.params.rejection_probability
+
+        if self.with_replacement:
+            # Ablation variant: fresh uniform draw every iteration.
+            for iteration in range(1, self.max_iterations + 1):
+                key = int(self._rng.integers(0, self.num_keys))
+                if self.prf.evaluate(user_id, subset_t, true_value, key) == 1:
+                    return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
+                if self._rng.random() < accept_prob:
+                    return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
+            raise SketchFailure(
+                f"with-replacement draw cap of {self.max_iterations} hit for "
+                f"user {user_id!r}"
+            )
+
+        # Sampling without replacement over the full key space, in a random
+        # order chosen by the user's private coins.  A permutation is the
+        # direct transcription of "choose s uniformly at random without
+        # replacement" and costs O(L) = O(2**l) which is tiny (l <= 30).
+        order = self._rng.permutation(self.num_keys)
+        for iteration, key in enumerate(order, start=1):
+            key = int(key)
+            if self.prf.evaluate(user_id, subset_t, true_value, key) == 1:
+                return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
+            if self._rng.random() < accept_prob:
+                return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
+        raise SketchFailure(
+            f"all {self.num_keys} keys exhausted for user {user_id!r}; "
+            f"this event has probability < {self.params.failure_probability(self.sketch_bits):.3e}"
+        )
+
+    @staticmethod
+    def _project(profile: Sequence[int], subset: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Return ``d_B``: the sub-vector of ``profile`` induced by ``subset``."""
+        value = []
+        for position in subset:
+            bit = int(profile[position])
+            if bit not in (0, 1):
+                raise ValueError(f"profile bit at position {position} is {bit}, not 0/1")
+            value.append(bit)
+        return tuple(value)

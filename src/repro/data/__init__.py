@@ -1,0 +1,49 @@
+"""Data substrate: schemas, profiles, codecs and synthetic workloads."""
+
+from .encoding import (
+    bits_to_int,
+    decode_profile,
+    decode_value,
+    encode_profile,
+    encode_value,
+    int_to_bits,
+)
+from .generators import (
+    bernoulli_panel,
+    correlated_survey,
+    salary_table,
+    sparse_transactions,
+    two_candidate_population,
+    zipf_categorical,
+)
+from .profiles import Profile, ProfileDatabase
+from .serialization import (
+    dumps_database,
+    load_database,
+    loads_database,
+    save_database,
+)
+from .schema import AttributeSpec, Schema
+
+__all__ = [
+    "AttributeSpec",
+    "Profile",
+    "ProfileDatabase",
+    "Schema",
+    "bernoulli_panel",
+    "bits_to_int",
+    "correlated_survey",
+    "decode_profile",
+    "dumps_database",
+    "decode_value",
+    "encode_profile",
+    "encode_value",
+    "int_to_bits",
+    "load_database",
+    "loads_database",
+    "salary_table",
+    "save_database",
+    "sparse_transactions",
+    "two_candidate_population",
+    "zipf_categorical",
+]

@@ -1,0 +1,116 @@
+"""Value <-> bit-vector codecs for typed attributes.
+
+The query compilers in :mod:`repro.queries` all reason about attribute
+*values* (integers, booleans, categories) while the sketching machinery
+operates on flat bit vectors.  This module is the bridge: encode a typed
+value into its MSB-first bit tuple, decode back, and build the per-prefix
+query values the interval compiler needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .schema import Schema
+
+__all__ = [
+    "int_to_bits",
+    "bits_to_int",
+    "encode_value",
+    "decode_value",
+    "encode_profile",
+    "decode_profile",
+]
+
+
+def int_to_bits(value: int, width: int) -> Tuple[int, ...]:
+    """Encode a non-negative integer as a MSB-first bit tuple of ``width`` bits.
+
+    >>> int_to_bits(5, 4)
+    (0, 1, 0, 1)
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Decode a MSB-first bit sequence back to an integer.
+
+    >>> bits_to_int((0, 1, 0, 1))
+    5
+    """
+    result = 0
+    for bit in bits:
+        bit = int(bit)
+        if bit not in (0, 1):
+            raise ValueError(f"bit values must be 0/1, got {bit}")
+        result = (result << 1) | bit
+    return result
+
+
+def encode_value(schema: Schema, name: str, value: int) -> Tuple[int, ...]:
+    """Encode one attribute value as its bit tuple (MSB first).
+
+    Booleans must be 0/1; categoricals must be below the declared
+    cardinality; uints must fit the declared width.
+    """
+    spec = schema.spec(name)
+    value = int(value)
+    if value < 0 or value > spec.max_value:
+        raise ValueError(
+            f"value {value} out of range [0, {spec.max_value}] for attribute {name!r}"
+        )
+    return int_to_bits(value, spec.bits)
+
+
+def decode_value(schema: Schema, name: str, bits: Sequence[int]) -> int:
+    """Decode an attribute's bit tuple back into its integer value."""
+    spec = schema.spec(name)
+    if len(bits) != spec.bits:
+        raise ValueError(
+            f"attribute {name!r} occupies {spec.bits} bits, got {len(bits)}"
+        )
+    value = bits_to_int(bits)
+    if value > spec.max_value:
+        raise ValueError(
+            f"decoded value {value} exceeds max {spec.max_value} for attribute {name!r}"
+        )
+    return value
+
+
+def encode_profile(schema: Schema, values: Dict[str, int]) -> np.ndarray:
+    """Encode a full attribute assignment into the flat profile bit vector.
+
+    Every attribute of the schema must be assigned; extra keys are an error
+    (catching typos early beats silently dropping data).
+    """
+    missing = set(schema.names) - set(values)
+    if missing:
+        raise ValueError(f"missing values for attributes: {sorted(missing)}")
+    extra = set(values) - set(schema.names)
+    if extra:
+        raise ValueError(f"unknown attributes: {sorted(extra)}")
+    profile = np.zeros(schema.total_bits, dtype=np.int8)
+    for name in schema.names:
+        bits = encode_value(schema, name, values[name])
+        positions = schema.bits(name)
+        for position, bit in zip(positions, bits):
+            profile[position] = bit
+    return profile
+
+
+def decode_profile(schema: Schema, profile: Sequence[int]) -> Dict[str, int]:
+    """Decode a flat bit vector back into an attribute assignment."""
+    if len(profile) != schema.total_bits:
+        raise ValueError(
+            f"profile has {len(profile)} bits but schema expects {schema.total_bits}"
+        )
+    return {
+        name: decode_value(schema, name, [profile[i] for i in schema.bits(name)])
+        for name in schema.names
+    }

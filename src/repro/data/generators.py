@@ -1,0 +1,212 @@
+"""Synthetic workload generators.
+
+The paper has no named datasets (its analysis is distribution-free), so the
+benchmark suite drives the system with synthetic populations that exercise
+the regimes the paper discusses:
+
+* :func:`bernoulli_panel` — dense i.i.d. boolean poll data ("various poll
+  data" from the introduction's critique of [10]);
+* :func:`correlated_survey` — boolean attributes with planted correlation,
+  so conjunctive queries have non-trivial answers;
+* :func:`sparse_transactions` — market-basket rows with few 1s, the regime
+  Evfimievski et al. target, used when comparing against select-a-size;
+* :func:`salary_table` — k-bit integer attributes for the sum / mean /
+  interval / combined-query experiments of Section 4.1;
+* :func:`zipf_categorical` — skewed categorical attributes;
+* :func:`two_candidate_population` — the introduction's partial-knowledge
+  attack setting: every profile is one of two known candidate vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .profiles import Profile, ProfileDatabase
+from .schema import Schema
+
+__all__ = [
+    "bernoulli_panel",
+    "correlated_survey",
+    "sparse_transactions",
+    "salary_table",
+    "zipf_categorical",
+    "two_candidate_population",
+]
+
+
+def _user_ids(num_users: int) -> Tuple[str, ...]:
+    width = max(4, len(str(num_users)))
+    return tuple(f"user-{i:0{width}d}" for i in range(num_users))
+
+
+def bernoulli_panel(
+    num_users: int,
+    num_attributes: int,
+    density: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> ProfileDatabase:
+    """Dense boolean panel: each bit is 1 independently with ``density``.
+
+    The workhorse workload for the utility experiments (E6, E7): every
+    conjunctive query over ``k`` bits has expected answer ``density**k``
+    for unnegated literals.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0,1], got {density}")
+    rng = rng if rng is not None else np.random.default_rng()
+    schema = Schema.build(boolean=[f"x{i}" for i in range(num_attributes)])
+    matrix = (rng.random((num_users, num_attributes)) < density).astype(np.int8)
+    db = ProfileDatabase(schema)
+    for uid, row in zip(_user_ids(num_users), matrix):
+        db.add(Profile(uid, row))
+    return db
+
+
+def correlated_survey(
+    num_users: int,
+    num_attributes: int,
+    base_rate: float = 0.3,
+    copy_prob: float = 0.8,
+    rng: np.random.Generator | None = None,
+) -> ProfileDatabase:
+    """Boolean survey with a planted dependency chain.
+
+    Attribute 0 is Bernoulli(``base_rate``); each later attribute copies
+    its predecessor with probability ``copy_prob`` and resamples otherwise.
+    Conjunctions like "x0 AND x1 AND NOT x5" then have structured answers
+    well above the independent-product baseline, which is the interesting
+    regime for the HIV+/AIDS style queries of the introduction.
+    """
+    if not 0.0 <= base_rate <= 1.0:
+        raise ValueError(f"base_rate must be in [0,1], got {base_rate}")
+    if not 0.0 <= copy_prob <= 1.0:
+        raise ValueError(f"copy_prob must be in [0,1], got {copy_prob}")
+    rng = rng if rng is not None else np.random.default_rng()
+    schema = Schema.build(boolean=[f"x{i}" for i in range(num_attributes)])
+    matrix = np.zeros((num_users, num_attributes), dtype=np.int8)
+    matrix[:, 0] = rng.random(num_users) < base_rate
+    for j in range(1, num_attributes):
+        copy_mask = rng.random(num_users) < copy_prob
+        fresh = (rng.random(num_users) < base_rate).astype(np.int8)
+        matrix[:, j] = np.where(copy_mask, matrix[:, j - 1], fresh)
+    db = ProfileDatabase(schema)
+    for uid, row in zip(_user_ids(num_users), matrix):
+        db.add(Profile(uid, row))
+    return db
+
+
+def sparse_transactions(
+    num_users: int,
+    num_items: int,
+    items_per_user: int = 3,
+    popularity_skew: float = 1.1,
+    rng: np.random.Generator | None = None,
+) -> ProfileDatabase:
+    """Market-basket rows: each user buys ``items_per_user`` distinct items.
+
+    Item popularity follows a Zipf-like law with exponent
+    ``popularity_skew`` so frequent itemsets exist.  This is the sparse
+    regime where Evfimievski et al.'s transaction randomizer applies and
+    where randomized response produces embarrassingly dense perturbed rows
+    (the introduction's critique of bit flipping).
+    """
+    if items_per_user > num_items:
+        raise ValueError(
+            f"items_per_user={items_per_user} exceeds num_items={num_items}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    weights = 1.0 / np.arange(1, num_items + 1) ** popularity_skew
+    weights /= weights.sum()
+    schema = Schema.build(boolean=[f"item{i}" for i in range(num_items)])
+    db = ProfileDatabase(schema)
+    for uid in _user_ids(num_users):
+        chosen = rng.choice(num_items, size=items_per_user, replace=False, p=weights)
+        row = np.zeros(num_items, dtype=np.int8)
+        row[chosen] = 1
+        db.add(Profile(uid, row))
+    return db
+
+
+def salary_table(
+    num_users: int,
+    bits: int = 8,
+    attributes: Sequence[str] = ("salary", "age"),
+    shape: float = 2.0,
+    rng: np.random.Generator | None = None,
+) -> ProfileDatabase:
+    """Integer attributes with a right-skewed (gamma-like) distribution.
+
+    Drives the Section 4.1 experiments: sums and means (E9), inner products
+    (E10), intervals "salary <= c" (E11), combined constraints (E12) and
+    Appendix E's ``a + b < 2**r`` (E13).  Values are clipped into the
+    ``bits``-bit range.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    max_value = (1 << bits) - 1
+    schema = Schema.build(uint={name: bits for name in attributes})
+    db = ProfileDatabase(schema)
+    for uid in _user_ids(num_users):
+        values: Dict[str, int] = {}
+        for name in attributes:
+            raw = rng.gamma(shape, max_value / (4.0 * shape))
+            values[name] = int(np.clip(round(raw), 0, max_value))
+        db.add_values(uid, values)
+    return db
+
+
+def zipf_categorical(
+    num_users: int,
+    cardinality: int = 16,
+    attribute: str = "category",
+    skew: float = 1.5,
+    rng: np.random.Generator | None = None,
+) -> ProfileDatabase:
+    """One categorical attribute with Zipf(``skew``) frequencies.
+
+    Point queries "category = c" on skewed categoricals are the non-binary
+    use case the abstract highlights ("various poll data or non-binary
+    data").
+    """
+    if cardinality < 2:
+        raise ValueError(f"cardinality must be >= 2, got {cardinality}")
+    rng = rng if rng is not None else np.random.default_rng()
+    weights = 1.0 / np.arange(1, cardinality + 1) ** skew
+    weights /= weights.sum()
+    schema = Schema.build(categorical={attribute: cardinality})
+    db = ProfileDatabase(schema)
+    for uid in _user_ids(num_users):
+        db.add_values(uid, {attribute: int(rng.choice(cardinality, p=weights))})
+    return db
+
+
+def two_candidate_population(
+    num_users: int,
+    candidate_a: Sequence[int],
+    candidate_b: Sequence[int],
+    prob_a: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> Tuple[ProfileDatabase, np.ndarray]:
+    """The introduction's partial-knowledge attack population.
+
+    Every user's profile is either ``candidate_a`` or ``candidate_b`` —
+    the attacker knows both candidates and only wants to learn which one
+    each user holds (the <1,1,2,2,3,3> vs <4,4,5,5,6,6> example).
+
+    Returns the database plus the hidden truth array (1 where the user
+    holds candidate a) so attack experiments can score the adversary.
+    """
+    a = np.asarray(candidate_a, dtype=np.int8)
+    b = np.asarray(candidate_b, dtype=np.int8)
+    if a.shape != b.shape:
+        raise ValueError(f"candidates must have equal length, got {a.shape} vs {b.shape}")
+    if np.array_equal(a, b):
+        raise ValueError("candidates must differ, otherwise there is nothing to hide")
+    rng = rng if rng is not None else np.random.default_rng()
+    schema = Schema.build(boolean=[f"x{i}" for i in range(a.size)])
+    db = ProfileDatabase(schema)
+    truth = (rng.random(num_users) < prob_a).astype(np.int8)
+    for uid, holds_a in zip(_user_ids(num_users), truth):
+        db.add(Profile(uid, a if holds_a else b))
+    return db, truth

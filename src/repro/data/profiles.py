@@ -1,0 +1,161 @@
+"""Ground-truth profile storage and exact query answering.
+
+:class:`ProfileDatabase` plays the role of "the original unperturbed data"
+— it holds every user's private bit vector and answers queries *exactly*.
+Nothing in the sketching pipeline may touch it; it exists so that tests,
+examples and benchmarks can compare the sketch estimates produced from
+published data against the truth.
+
+Exact counterparts are provided for every query family of Section 4.1:
+conjunctive counts ``I(B, v)``, attribute sums/means, inner products,
+intervals and combined constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .encoding import decode_value, encode_profile
+from .schema import Schema
+
+__all__ = ["Profile", "ProfileDatabase"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One user's private record: public id + private bit vector."""
+
+    user_id: str
+    bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.bits, dtype=np.int8)
+        if array.ndim != 1:
+            raise ValueError(f"profile bits must be 1-D, got shape {array.shape}")
+        if not np.isin(array, (0, 1)).all():
+            raise ValueError("profile bits must be 0/1")
+        object.__setattr__(self, "bits", array)
+
+    def project(self, subset: Sequence[int]) -> Tuple[int, ...]:
+        """The sub-vector ``d_B`` induced by a subset of positions."""
+        return tuple(int(self.bits[i]) for i in subset)
+
+
+class ProfileDatabase:
+    """The trusted-side collection of raw profiles, with exact queries.
+
+    Parameters
+    ----------
+    schema:
+        The attribute layout shared by every profile.
+    profiles:
+        Optional initial profiles; each must match the schema width.
+    """
+
+    def __init__(self, schema: Schema, profiles: Iterable[Profile] = ()) -> None:
+        self.schema = schema
+        self._profiles: List[Profile] = []
+        self._ids: Dict[str, int] = {}
+        for profile in profiles:
+            self.add(profile)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, profile: Profile) -> None:
+        if profile.bits.size != self.schema.total_bits:
+            raise ValueError(
+                f"profile {profile.user_id!r} has {profile.bits.size} bits, "
+                f"schema expects {self.schema.total_bits}"
+            )
+        if profile.user_id in self._ids:
+            raise ValueError(f"duplicate user id {profile.user_id!r}")
+        self._ids[profile.user_id] = len(self._profiles)
+        self._profiles.append(profile)
+
+    def add_values(self, user_id: str, values: Dict[str, int]) -> Profile:
+        """Add a user from an attribute assignment; returns the profile."""
+        profile = Profile(user_id, encode_profile(self.schema, values))
+        self.add(profile)
+        return profile
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self):
+        return iter(self._profiles)
+
+    def __getitem__(self, user_id: str) -> Profile:
+        if user_id not in self._ids:
+            raise KeyError(f"no user {user_id!r}")
+        return self._profiles[self._ids[user_id]]
+
+    @property
+    def user_ids(self) -> Tuple[str, ...]:
+        return tuple(p.user_id for p in self._profiles)
+
+    def matrix(self) -> np.ndarray:
+        """All profiles stacked into an ``(M, q)`` 0/1 matrix."""
+        if not self._profiles:
+            return np.zeros((0, self.schema.total_bits), dtype=np.int8)
+        return np.stack([p.bits for p in self._profiles])
+
+    def attribute_values(self, name: str) -> np.ndarray:
+        """Decoded integer values of one attribute across all users."""
+        subset = self.schema.bits(name)
+        return np.asarray(
+            [decode_value(self.schema, name, profile.project(subset)) for profile in self],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    # Exact queries (ground truth for every Section 4.1 family)
+    # ------------------------------------------------------------------
+    def exact_conjunction(self, subset: Sequence[int], value: Sequence[int]) -> float:
+        """Exact fraction of users with ``d_B = v`` — the paper's ``I(B,v)/M``."""
+        if len(self._profiles) == 0:
+            raise ValueError("database is empty")
+        value_t = tuple(int(bit) for bit in value)
+        if len(value_t) != len(subset):
+            raise ValueError(
+                f"value length {len(value_t)} does not match subset size {len(subset)}"
+            )
+        matches = sum(1 for p in self._profiles if p.project(subset) == value_t)
+        return matches / len(self._profiles)
+
+    def exact_count(self, subset: Sequence[int], value: Sequence[int]) -> int:
+        """Exact count ``I(B, v)``."""
+        return round(self.exact_conjunction(subset, value) * len(self))
+
+    def exact_sum(self, name: str) -> int:
+        """Exact attribute sum ``S = sum_u a_u`` (Section 4.1)."""
+        return int(self.attribute_values(name).sum())
+
+    def exact_mean(self, name: str) -> float:
+        """Exact attribute mean."""
+        return float(self.attribute_values(name).mean())
+
+    def exact_inner_product(self, name_a: str, name_b: str) -> int:
+        """Exact ``sum_u a_u * b_u`` (Section 4.1's inner product)."""
+        return int((self.attribute_values(name_a) * self.attribute_values(name_b)).sum())
+
+    def exact_interval(self, name: str, threshold: int) -> float:
+        """Exact fraction of users with ``a_u <= c`` (Section 4.1 intervals)."""
+        return float((self.attribute_values(name) <= threshold).mean())
+
+    def exact_sum_below(self, name: str, other: str, threshold: int) -> float:
+        """Exact ``sum of b_u over users with a_u <= c`` (combined queries)."""
+        values_a = self.attribute_values(name)
+        values_b = self.attribute_values(other)
+        return float(values_b[values_a <= threshold].sum())
+
+    def exact_addition_interval(self, name_a: str, name_b: str, power: int) -> float:
+        """Exact fraction with ``a_u + b_u < 2**power`` (Appendix E)."""
+        values = self.attribute_values(name_a) + self.attribute_values(name_b)
+        return float((values < (1 << power)).mean())

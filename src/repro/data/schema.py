@@ -1,0 +1,193 @@
+"""Schemas: how typed attributes map onto the paper's flat bit vectors.
+
+The paper's user profile is a bit vector ``d in {0,1}^q``; Section 4.1 then
+layers typed attributes on top — "each profile holds several k-bit integer
+attributes a, b, c, ... stored in binary form".  :class:`Schema` is that
+layer: it assigns each attribute a contiguous bit range inside the profile
+and knows the subsets the paper's query compilers need:
+
+* ``bits(name)`` — the full subset ``A`` storing attribute ``a``;
+* ``prefix(name, i)`` — the paper's ``A_i``: the ``i`` **highest** bits;
+* ``bit(name, i)`` — the paper's ``A_i`` (single index): the ``i``-th
+  highest bit, used by the sum/mean decomposition of eq. (4).
+
+Integers are stored most-significant-bit first so that "highest bits"
+means a prefix of the stored range, exactly matching the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["AttributeSpec", "Schema"]
+
+_VALID_KINDS = ("bool", "uint", "categorical")
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One typed attribute of a user profile.
+
+    Attributes
+    ----------
+    name:
+        Unique attribute name.
+    kind:
+        ``"bool"`` (1 bit), ``"uint"`` (``bits``-bit unsigned integer,
+        MSB-first) or ``"categorical"`` (``cardinality`` values encoded in
+        ``ceil(log2(cardinality))`` bits).
+    bits:
+        Storage width in bits.  For booleans this is always 1; for
+        categoricals it is derived from ``cardinality``.
+    cardinality:
+        Number of category values for ``"categorical"`` attributes; 0
+        otherwise.
+    """
+
+    name: str
+    kind: str
+    bits: int
+    cardinality: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown attribute kind {self.kind!r}; expected one of {_VALID_KINDS}")
+        if self.bits < 1:
+            raise ValueError(f"attribute {self.name!r} must occupy >= 1 bit, got {self.bits}")
+        if self.kind == "bool" and self.bits != 1:
+            raise ValueError(f"bool attribute {self.name!r} must occupy exactly 1 bit")
+        if self.kind == "categorical" and self.cardinality < 2:
+            raise ValueError(
+                f"categorical attribute {self.name!r} needs cardinality >= 2, got {self.cardinality}"
+            )
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value of the attribute."""
+        if self.kind == "bool":
+            return 1
+        if self.kind == "categorical":
+            return self.cardinality - 1
+        return (1 << self.bits) - 1
+
+
+class Schema:
+    """An ordered collection of attributes laid out in one bit vector.
+
+    Examples
+    --------
+    >>> schema = Schema.build(boolean=["smoker"], uint={"salary": 8})
+    >>> schema.total_bits
+    9
+    >>> schema.bits("salary")
+    (1, 2, 3, 4, 5, 6, 7, 8)
+    >>> schema.prefix("salary", 2)   # two highest bits of salary
+    (1, 2)
+    """
+
+    def __init__(self, attributes: Iterable[AttributeSpec]) -> None:
+        self._specs: List[AttributeSpec] = list(attributes)
+        if not self._specs:
+            raise ValueError("a schema needs at least one attribute")
+        names = [spec.name for spec in self._specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+        self._offsets: Dict[str, int] = {}
+        offset = 0
+        for spec in self._specs:
+            self._offsets[spec.name] = offset
+            offset += spec.bits
+        self._total_bits = offset
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        boolean: Iterable[str] = (),
+        uint: Dict[str, int] | None = None,
+        categorical: Dict[str, int] | None = None,
+    ) -> "Schema":
+        """Convenience constructor from per-kind listings.
+
+        Parameters
+        ----------
+        boolean:
+            Names of 1-bit boolean attributes.
+        uint:
+            Mapping ``name -> bit width`` of unsigned integer attributes.
+        categorical:
+            Mapping ``name -> cardinality`` of categorical attributes.
+        """
+        specs: List[AttributeSpec] = [AttributeSpec(name, "bool", 1) for name in boolean]
+        for name, bits in (uint or {}).items():
+            specs.append(AttributeSpec(name, "uint", bits))
+        for name, cardinality in (categorical or {}).items():
+            width = max(1, (cardinality - 1).bit_length())
+            specs.append(AttributeSpec(name, "categorical", width, cardinality))
+        return cls(specs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[AttributeSpec, ...]:
+        return tuple(self._specs)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self._specs)
+
+    @property
+    def total_bits(self) -> int:
+        """Width ``q`` of the flat profile bit vector."""
+        return self._total_bits
+
+    def spec(self, name: str) -> AttributeSpec:
+        for candidate in self._specs:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no attribute named {name!r} in schema (have {self.names})")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._offsets
+
+    def offset(self, name: str) -> int:
+        """Bit offset of the attribute inside the flat profile."""
+        if name not in self._offsets:
+            raise KeyError(f"no attribute named {name!r} in schema (have {self.names})")
+        return self._offsets[name]
+
+    # ------------------------------------------------------------------
+    # Subset builders (the paper's A, A_i notation)
+    # ------------------------------------------------------------------
+    def bits(self, name: str) -> Tuple[int, ...]:
+        """Full subset ``A`` of positions storing the attribute, MSB first."""
+        spec = self.spec(name)
+        start = self.offset(name)
+        return tuple(range(start, start + spec.bits))
+
+    def bit(self, name: str, index: int) -> int:
+        """The paper's ``A_i``: position of the ``i``-th highest bit (1-based)."""
+        spec = self.spec(name)
+        if not 1 <= index <= spec.bits:
+            raise ValueError(
+                f"bit index must be in [1, {spec.bits}] for attribute {name!r}, got {index}"
+            )
+        return self.offset(name) + index - 1
+
+    def prefix(self, name: str, length: int) -> Tuple[int, ...]:
+        """The paper's ``A_i`` subset: the ``length`` highest bits."""
+        spec = self.spec(name)
+        if not 1 <= length <= spec.bits:
+            raise ValueError(
+                f"prefix length must be in [1, {spec.bits}] for attribute {name!r}, got {length}"
+            )
+        start = self.offset(name)
+        return tuple(range(start, start + length))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{s.name}:{s.kind}[{s.bits}b]" for s in self._specs)
+        return f"Schema({inner})"

@@ -1,0 +1,127 @@
+"""Persistence for ground-truth profile databases.
+
+Experiment fixtures need to be shareable: a generator run saved once and
+reloaded bit-exactly beats regenerating with a hopefully-identical seed.
+The format is JSON Lines mirroring the sketch-store format:
+
+* line 1 — header: format tag, version, and the schema (attribute specs in
+  order);
+* each further line — one profile: ``{"id", "values"}`` with decoded
+  attribute values (human-readable and diff-friendly; the bit layout is
+  reconstructed from the schema on load).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO
+
+from .profiles import ProfileDatabase
+from .schema import AttributeSpec, Schema
+
+__all__ = ["save_database", "load_database", "dumps_database", "loads_database"]
+
+_FORMAT_VERSION = 1
+
+
+def _schema_to_json(schema: Schema) -> list:
+    return [
+        {
+            "name": spec.name,
+            "kind": spec.kind,
+            "bits": spec.bits,
+            "cardinality": spec.cardinality,
+        }
+        for spec in schema.attributes
+    ]
+
+
+def _schema_from_json(payload: list) -> Schema:
+    specs = []
+    for item in payload:
+        specs.append(
+            AttributeSpec(
+                name=str(item["name"]),
+                kind=str(item["kind"]),
+                bits=int(item["bits"]),
+                cardinality=int(item.get("cardinality", 0)),
+            )
+        )
+    return Schema(specs)
+
+
+def _write(database: ProfileDatabase, handle: IO[str]) -> int:
+    header = {
+        "format": "repro-profile-db",
+        "version": _FORMAT_VERSION,
+        "schema": _schema_to_json(database.schema),
+    }
+    handle.write(json.dumps(header) + "\n")
+    from .encoding import decode_profile
+
+    count = 0
+    for profile in database:
+        record = {
+            "id": profile.user_id,
+            "values": decode_profile(database.schema, profile.bits),
+        }
+        handle.write(json.dumps(record) + "\n")
+        count += 1
+    return count
+
+
+def _read(handle: IO[str]) -> ProfileDatabase:
+    first = handle.readline()
+    if not first:
+        raise ValueError("empty profile-database file")
+    header = json.loads(first)
+    if header.get("format") != "repro-profile-db":
+        raise ValueError(f"not a profile-db file (format={header.get('format')!r})")
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported profile-db version {header.get('version')!r}; "
+            f"this library reads version {_FORMAT_VERSION}"
+        )
+    schema = _schema_from_json(header["schema"])
+    database = ProfileDatabase(schema)
+    for line_number, line in enumerate(handle, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            database.add_values(str(record["id"]), dict(record["values"]))
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"malformed profile record on line {line_number}: {exc}"
+            ) from exc
+    return database
+
+
+def save_database(database: ProfileDatabase, path: str | os.PathLike) -> int:
+    """Write a database to JSONL; returns the number of profiles written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return _write(database, handle)
+
+
+def load_database(path: str | os.PathLike) -> ProfileDatabase:
+    """Read a database from JSONL."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _read(handle)
+
+
+def dumps_database(database: ProfileDatabase) -> str:
+    """In-memory variant of :func:`save_database`."""
+    import io
+
+    buffer = io.StringIO()
+    _write(database, buffer)
+    return buffer.getvalue()
+
+
+def loads_database(payload: str) -> ProfileDatabase:
+    """In-memory variant of :func:`load_database`."""
+    import io
+
+    return _read(io.StringIO(payload))

@@ -1,0 +1,62 @@
+"""Query compilers for every Section 4.1 family.
+
+Each compiler turns a typed query into a :class:`LinearPlan` — a weighted
+sum of conjunctive counts — executable against either the exact ground
+truth (:func:`repro.queries.conjunctive.exact_count_fn`) or the
+sketch-backed engine (:class:`repro.server.QueryEngine`).
+"""
+
+from .ast import Conjunction, Literal
+from .boolean import DecisionNode, decision_tree_plan, exactly_l_fraction
+from .categorical import (
+    categorical_histogram,
+    estimate_mode,
+    simplex_project,
+    top_k_categories,
+)
+from .combined import (
+    equal_and_less_plan,
+    sum_where_less_equal_plan,
+    sum_where_less_plan,
+)
+from .conjunctive import LinearPlan, PlanTerm, evaluate_plan, exact_count_fn
+from .disjunction import disjunction_by_inclusion_exclusion, disjunction_fraction
+from .interval import less_equal_plan, less_than_plan, range_plan
+from .numeric import inner_product_plan, moment_plan, sum_plan
+from .virtual import (
+    addition_event_literals,
+    addition_interval_fraction,
+    xor_bias,
+    xor_virtual_bits,
+)
+
+__all__ = [
+    "Conjunction",
+    "DecisionNode",
+    "LinearPlan",
+    "Literal",
+    "PlanTerm",
+    "addition_event_literals",
+    "addition_interval_fraction",
+    "categorical_histogram",
+    "decision_tree_plan",
+    "disjunction_by_inclusion_exclusion",
+    "disjunction_fraction",
+    "equal_and_less_plan",
+    "evaluate_plan",
+    "exact_count_fn",
+    "estimate_mode",
+    "exactly_l_fraction",
+    "inner_product_plan",
+    "less_equal_plan",
+    "less_than_plan",
+    "moment_plan",
+    "range_plan",
+    "simplex_project",
+    "sum_plan",
+    "sum_where_less_equal_plan",
+    "sum_where_less_plan",
+    "top_k_categories",
+    "xor_bias",
+    "xor_virtual_bits",
+]

@@ -1,0 +1,119 @@
+"""Query AST: literals and conjunctions over profile bits.
+
+The paper's basic query is a *conjunctive query*: a set of bit positions
+``B = {b_1, ..., b_k}`` with target values ``v = (v_1, ..., v_k)``, asking
+what fraction of users satisfy ``d_B = v``.  Negated attributes are simply
+literals with target value 0, so "HIV+ AND NOT AIDS" is
+``Conjunction([Literal(hiv_pos, 1), Literal(aids_pos, 0)])``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..data.encoding import encode_value
+from ..data.schema import Schema
+
+__all__ = ["Literal", "Conjunction"]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """One literal: profile bit ``position`` must equal ``value``.
+
+    ``value = 1`` is the unnegated attribute ``x_i``; ``value = 0`` is the
+    negated ``not x_i``.
+    """
+
+    position: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise ValueError(f"bit position must be >= 0, got {self.position}")
+        if self.value not in (0, 1):
+            raise ValueError(f"literal value must be 0 or 1, got {self.value}")
+
+    @property
+    def negated(self) -> "Literal":
+        """The complementary literal on the same bit."""
+        return Literal(self.position, 1 - self.value)
+
+    def __str__(self) -> str:
+        prefix = "" if self.value == 1 else "!"
+        return f"{prefix}d[{self.position}]"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of literals over distinct bit positions.
+
+    Literals are stored sorted by position; the induced ``(subset, value)``
+    pair is exactly what Algorithm 2 and the exact ground-truth counters
+    consume.
+    """
+
+    literals: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.literals, key=lambda lit: lit.position))
+        positions = [lit.position for lit in ordered]
+        if len(set(positions)) != len(positions):
+            duplicates = sorted({p for p in positions if positions.count(p) > 1})
+            raise ValueError(
+                f"conjunction repeats bit positions {duplicates}; a bit cannot "
+                "be constrained twice (x AND NOT x is unsatisfiable, x AND x "
+                "is redundant — both are almost certainly bugs)"
+            )
+        if not ordered:
+            raise ValueError("a conjunction needs at least one literal")
+        object.__setattr__(self, "literals", ordered)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *pairs: Tuple[int, int]) -> "Conjunction":
+        """Build from ``(position, value)`` pairs.
+
+        >>> str(Conjunction.of((3, 1), (5, 0)))
+        'd[3] & !d[5]'
+        """
+        return cls(tuple(Literal(pos, val) for pos, val in pairs))
+
+    @classmethod
+    def equals(cls, schema: Schema, name: str, value: int) -> "Conjunction":
+        """Attribute equality ``a = value`` as a conjunction over its bits."""
+        bits = encode_value(schema, name, value)
+        positions = schema.bits(name)
+        return cls(tuple(Literal(pos, bit) for pos, bit in zip(positions, bits)))
+
+    def and_also(self, other: "Conjunction") -> "Conjunction":
+        """Conjoin two conjunctions (positions must not overlap)."""
+        return Conjunction(self.literals + other.literals)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def subset(self) -> Tuple[int, ...]:
+        """The paper's ``B``: sorted bit positions."""
+        return tuple(lit.position for lit in self.literals)
+
+    @property
+    def value(self) -> Tuple[int, ...]:
+        """The paper's ``v``: target bits aligned with :attr:`subset`."""
+        return tuple(lit.value for lit in self.literals)
+
+    @property
+    def width(self) -> int:
+        """Number of literals ``k`` — the query width."""
+        return len(self.literals)
+
+    def matches(self, profile_bits: Sequence[int]) -> bool:
+        """Whether a raw profile satisfies the conjunction (ground truth)."""
+        return all(int(profile_bits[lit.position]) == lit.value for lit in self.literals)
+
+    def __str__(self) -> str:
+        return " & ".join(str(lit) for lit in self.literals)

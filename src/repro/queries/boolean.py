@@ -1,0 +1,130 @@
+"""Section 4.1 — boolean queries: decision trees and exactly-l-of-k.
+
+"One can estimate the fraction of users that satisfy a given decision tree.
+Each path in the decision tree corresponds to a single conjunctive query and
+any user satisfies at most one path" — so the tree's acceptance fraction is
+the plain sum of its accepting-path conjunctive counts.
+
+The "exactly ``l`` out of ``k`` bits" estimate uses the Appendix F weight
+reconstruction instead (it is *not* a small number of conjunctions — it is
+``C(k, l)`` of them — but the ``(k+1)``-sized linear system answers every
+``l`` at once); see :func:`exactly_l_fraction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ast import Conjunction, Literal
+from .conjunctive import LinearPlan, PlanTerm
+from ..core.combine import combine_virtual_bits
+
+__all__ = ["DecisionNode", "decision_tree_plan", "exactly_l_fraction"]
+
+
+@dataclass(frozen=True)
+class DecisionNode:
+    """A node of a binary decision tree over profile bits.
+
+    Internal nodes test ``position`` and branch to ``if_zero`` /
+    ``if_one``.  Leaves carry ``accept`` (True/False) and no children.
+    """
+
+    position: Optional[int] = None
+    if_zero: Optional["DecisionNode"] = None
+    if_one: Optional["DecisionNode"] = None
+    accept: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        is_leaf = self.accept is not None
+        has_children = self.if_zero is not None or self.if_one is not None
+        if is_leaf and (has_children or self.position is not None):
+            raise ValueError("a leaf must have no position and no children")
+        if not is_leaf:
+            if self.position is None or self.if_zero is None or self.if_one is None:
+                raise ValueError(
+                    "an internal node needs a position and both children"
+                )
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.accept is not None
+
+    @classmethod
+    def leaf(cls, accept: bool) -> "DecisionNode":
+        return cls(accept=accept)
+
+    @classmethod
+    def split(cls, position: int, if_zero: "DecisionNode", if_one: "DecisionNode") -> "DecisionNode":
+        return cls(position=position, if_zero=if_zero, if_one=if_one)
+
+    def classify(self, profile_bits: Sequence[int]) -> bool:
+        """Ground-truth evaluation of the tree on one raw profile."""
+        node = self
+        while not node.is_leaf:
+            bit = int(profile_bits[node.position])
+            node = node.if_one if bit == 1 else node.if_zero
+        return bool(node.accept)
+
+
+def _accepting_paths(node: DecisionNode, prefix: Tuple[Literal, ...]) -> List[Tuple[Literal, ...]]:
+    if node.is_leaf:
+        return [prefix] if node.accept else []
+    paths: List[Tuple[Literal, ...]] = []
+    paths.extend(_accepting_paths(node.if_zero, prefix + (Literal(node.position, 0),)))
+    paths.extend(_accepting_paths(node.if_one, prefix + (Literal(node.position, 1),)))
+    return paths
+
+
+def decision_tree_plan(root: DecisionNode) -> LinearPlan:
+    """Compile a decision tree into one conjunctive query per accepting path.
+
+    Paths are disjoint by construction (each fixes the bits along its
+    route), so the coefficients are all ``+1`` — exactly the paper's
+    "the total fraction ... is simply the sum" argument.
+
+    Raises
+    ------
+    ValueError
+        If the tree accepts everything through a bare accepting root (the
+        trivial query has no literals and needs no data) or accepts
+        nothing (the answer is identically 0).
+    """
+    paths = _accepting_paths(root, ())
+    if not paths:
+        raise ValueError("decision tree accepts no profile; the answer is 0")
+    if any(len(path) == 0 for path in paths):
+        raise ValueError("decision tree accepts every profile; the answer is M")
+    terms = tuple(PlanTerm(Conjunction(path), 1.0) for path in paths)
+    return LinearPlan(terms, description=f"decision_tree({len(paths)} paths)")
+
+
+def exactly_l_fraction(virtual_bits: np.ndarray, p: float, l: int) -> float:
+    """Fraction of users whose true bits contain exactly ``l`` ones.
+
+    Parameters
+    ----------
+    virtual_bits:
+        ``(M, k)`` matrix of p-perturbed indicator bits — one column per
+        single-bit query in the conjunction, produced either by per-bit
+        sketch evaluations or by randomized response.
+    p:
+        The per-bit flip probability.
+    l:
+        Target number of satisfied literals.
+
+    Notes
+    -----
+    The paper: "using the system of equations similar to the one in
+    Appendix F, one can estimate the fraction of users that satisfy
+    exactly l out of k bits in the query".  We reuse exactly that system
+    and read off entry ``l`` of the reconstructed weight distribution.
+    """
+    k = np.asarray(virtual_bits).shape[1]
+    if not 0 <= l <= k:
+        raise ValueError(f"l must be in [0, {k}], got {l}")
+    estimate = combine_virtual_bits(virtual_bits, p)
+    return float(estimate.weight_distribution[l])

@@ -1,0 +1,94 @@
+"""Section 4.1 — combining constraints across attributes.
+
+Two worked combinations from the paper:
+
+* ``count(a = c AND b < d)`` — conjoin the equality conjunction ``I(A, c)``
+  with each prefix term of ``b``'s interval decomposition: ``popcount(d)``
+  queries of the form ``I(A ∪ B_i, c_1...c_k d_1...d_{i-1} 0)``.
+* ``sum of b over users with a < c`` (hence conditional means) — conjoin
+  each interval branch of ``a`` with each bit query of ``b``:
+
+      ``sum_{j : c_j = 1} sum_{i = 1..k} 2^{k-i} I(A_j ∪ B_i, c_1..c_{j-1} 0 1)``
+
+As with the plain interval plans, the paper's formulas implement *strict*
+inequality; ``*_le`` variants add the boundary terms.
+"""
+
+from __future__ import annotations
+
+from .ast import Conjunction
+from .conjunctive import LinearPlan, PlanTerm
+from .interval import less_than_plan
+from .numeric import sum_plan
+from ..data.schema import Schema
+
+__all__ = [
+    "equal_and_less_plan",
+    "sum_where_less_plan",
+    "sum_where_less_equal_plan",
+]
+
+
+def equal_and_less_plan(
+    schema: Schema, name_eq: str, value_eq: int, name_lt: str, threshold: int
+) -> LinearPlan:
+    """Compile ``count(a = c AND b < d)``.
+
+    ``popcount(d)`` queries, each over the union of ``a``'s full subset and
+    a prefix of ``b`` — the paper's ``I(A ∪ B_i, c_1...c_k d_1...d_i)``.
+    """
+    equality = Conjunction.equals(schema, name_eq, value_eq)
+    interval = less_than_plan(schema, name_lt, threshold)
+    terms = tuple(
+        PlanTerm(equality.and_also(term.conjunction), term.coefficient)
+        for term in interval.terms
+    )
+    return LinearPlan(
+        terms, description=f"{name_eq} = {value_eq} & {name_lt} < {threshold}"
+    )
+
+
+def sum_where_less_plan(
+    schema: Schema, name_sum: str, name_cond: str, threshold: int
+) -> LinearPlan:
+    """Compile ``sum of b_u over users with a_u < c``.
+
+    Cross product of ``a``'s interval branches with ``b``'s bit
+    decomposition: ``popcount(c) * k_b`` queries, each of width
+    ``(prefix length) + 1``.
+    """
+    interval = less_than_plan(schema, name_cond, threshold)
+    bits = sum_plan(schema, name_sum)
+    terms = []
+    for branch in interval.terms:
+        for bit_term in bits.terms:
+            conjunction = branch.conjunction.and_also(bit_term.conjunction)
+            terms.append(PlanTerm(conjunction, bit_term.coefficient))
+    return LinearPlan(
+        tuple(terms), description=f"sum({name_sum}) where {name_cond} < {threshold}"
+    )
+
+
+def sum_where_less_equal_plan(
+    schema: Schema, name_sum: str, name_cond: str, threshold: int
+) -> LinearPlan:
+    """Compile ``sum of b_u over users with a_u <= c``.
+
+    The strict plan plus boundary terms ``2^{k-i} I(A ∪ B_i, c · 1)`` for
+    users with ``a = c`` exactly.
+    """
+    equality = Conjunction.equals(schema, name_cond, threshold)
+    bits = sum_plan(schema, name_sum)
+    boundary = tuple(
+        PlanTerm(equality.and_also(term.conjunction), term.coefficient)
+        for term in bits.terms
+    )
+    if threshold == 0:
+        return LinearPlan(
+            boundary, description=f"sum({name_sum}) where {name_cond} <= 0"
+        )
+    strict = sum_where_less_plan(schema, name_sum, name_cond, threshold)
+    return LinearPlan(
+        strict.terms + boundary,
+        description=f"sum({name_sum}) where {name_cond} <= {threshold}",
+    )

@@ -1,0 +1,123 @@
+"""Linear plans: queries expressed as weighted sums of conjunctive counts.
+
+Every computable query of Section 4.1 reduces to a linear combination
+
+    ``answer = sum_t  coefficient_t * I(B_t, v_t)``
+
+of conjunctive counts (sums and means via eq. 4, inner products via
+``k^2`` two-bit terms, intervals via popcount terms, ...).  A
+:class:`LinearPlan` is that combination reified: compilers in the sibling
+modules build plans, and anything that can answer a conjunctive count —
+the sketch-backed query engine, or the exact ground-truth database —
+can execute them via :func:`evaluate_plan`.
+
+Keeping plans first-class has two payoffs: the *same* plan runs against
+ground truth and against sketches (so benchmarks compare apples to
+apples), and tests can assert structural properties the paper states
+(e.g. "the number of interval terms equals popcount(c)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from .ast import Conjunction
+
+__all__ = ["PlanTerm", "LinearPlan", "evaluate_plan", "CountFunction"]
+
+#: Signature anything executing a plan must provide: exact or estimated
+#: *count* of users satisfying ``d_B = v``.
+CountFunction = Callable[[Tuple[int, ...], Tuple[int, ...]], float]
+
+
+@dataclass(frozen=True)
+class PlanTerm:
+    """One weighted conjunctive count ``coefficient * I(B, v)``."""
+
+    conjunction: Conjunction
+    coefficient: float = 1.0
+
+    @property
+    def subset(self) -> Tuple[int, ...]:
+        return self.conjunction.subset
+
+    @property
+    def value(self) -> Tuple[int, ...]:
+        return self.conjunction.value
+
+    def __str__(self) -> str:
+        return f"{self.coefficient:+g} * I({self.conjunction})"
+
+
+@dataclass(frozen=True)
+class LinearPlan:
+    """A weighted sum of conjunctive counts, with provenance.
+
+    Attributes
+    ----------
+    terms:
+        The weighted conjunctive counts.
+    description:
+        Human-readable provenance, e.g. ``"sum(salary)"`` — surfaced in
+        benchmark output and error messages.
+    """
+
+    terms: Tuple[PlanTerm, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError(f"plan {self.description!r} has no terms")
+
+    @property
+    def num_queries(self) -> int:
+        """How many conjunctive queries executing this plan costs.
+
+        Section 4.1 tracks this carefully (e.g. intervals cost
+        ``popcount(c)`` queries, inner products ``k^2``); tests assert the
+        counts match the paper.
+        """
+        return len(self.terms)
+
+    @property
+    def max_width(self) -> int:
+        """Widest conjunction in the plan."""
+        return max(term.conjunction.width for term in self.terms)
+
+    def scaled(self, factor: float) -> "LinearPlan":
+        """The plan computing ``factor *`` the original answer."""
+        return LinearPlan(
+            tuple(PlanTerm(t.conjunction, t.coefficient * factor) for t in self.terms),
+            description=f"{factor} * ({self.description})",
+        )
+
+    def __add__(self, other: "LinearPlan") -> "LinearPlan":
+        return LinearPlan(
+            self.terms + other.terms,
+            description=f"({self.description}) + ({other.description})",
+        )
+
+    def __str__(self) -> str:
+        body = " ".join(str(term) for term in self.terms)
+        return f"{self.description or 'plan'}: {body}"
+
+
+def evaluate_plan(plan: LinearPlan, count_fn: CountFunction) -> float:
+    """Execute a plan against any conjunctive-count oracle.
+
+    Parameters
+    ----------
+    plan:
+        The compiled plan.
+    count_fn:
+        ``count_fn(subset, value) -> count`` — either exact
+        (:meth:`repro.data.ProfileDatabase.exact_count`) or estimated
+        (:meth:`repro.server.QueryEngine.count`).
+    """
+    return sum(term.coefficient * count_fn(term.subset, term.value) for term in plan.terms)
+
+
+def exact_count_fn(database) -> CountFunction:
+    """Adapt a :class:`~repro.data.ProfileDatabase` into a count oracle."""
+    return lambda subset, value: database.exact_count(subset, value)

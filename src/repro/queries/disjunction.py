@@ -1,0 +1,96 @@
+"""Disjunctions of conjunctions, via the Appendix F complement trick.
+
+Appendix F's closing remark: "by estimating how many users have these bits
+equal to 0, we learn how many users do not satisfy any query of the form
+I(v_i, B_i) — which could be used to estimate how many users satisfy a
+disjunction of conjunctions."
+
+Given per-conjunction virtual indicator bits (from whole-subset sketches),
+the reconstructed weight distribution's entry 0 is the fraction satisfying
+*none* of the component conjunctions, so
+
+    ``Pr[C_1 or ... or C_q] = 1 - weight_distribution[0]``.
+
+For two conjunctions an inclusion-exclusion alternative is also provided
+(when the conjunctions live on disjoint subsets, the pairwise intersection
+is itself a conjunctive query).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.combine import CombinedEstimate, combine_sketch_groups
+from ..core.estimator import SketchEstimator
+from ..core.sketch import Sketch
+from .ast import Conjunction
+
+__all__ = ["disjunction_fraction", "disjunction_by_inclusion_exclusion"]
+
+
+def disjunction_fraction(
+    estimator: SketchEstimator,
+    sketch_groups: Sequence[Sequence[Sketch]],
+    values: Sequence[Sequence[int]],
+    clamp: bool = True,
+) -> float:
+    """Fraction of users satisfying at least one component conjunction.
+
+    Parameters
+    ----------
+    estimator:
+        Aggregator-side estimator (PRF + p).
+    sketch_groups:
+        One user-aligned sketch group per component conjunction's subset.
+    values:
+        The target value of each component conjunction.
+
+    Notes
+    -----
+    Complement of the "all indicator bits 0" mass from the Appendix F
+    system; inherits that system's cond(V) noise amplification, so prefer
+    few components.
+    """
+    combined: CombinedEstimate = combine_sketch_groups(estimator, sketch_groups, values)
+    fraction = 1.0 - combined.none_fraction
+    if clamp:
+        fraction = min(1.0, max(0.0, fraction))
+    return fraction
+
+
+def disjunction_by_inclusion_exclusion(
+    count_fn,
+    first: Conjunction,
+    second: Conjunction,
+    num_users: int,
+) -> float:
+    """``Pr[C1 or C2]`` by inclusion-exclusion over conjunctive counts.
+
+    Requires the two conjunctions to constrain disjoint bit positions so
+    that ``C1 and C2`` is itself a single conjunction (checked).  Uses
+    three conjunctive counts instead of a linear system — cheaper and
+    better conditioned than :func:`disjunction_fraction` when applicable.
+
+    Parameters
+    ----------
+    count_fn:
+        ``(subset, value) -> count`` oracle (exact or sketch-backed).
+    num_users:
+        Denominator for converting counts to fractions.
+    """
+    if num_users < 1:
+        raise ValueError(f"num_users must be >= 1, got {num_users}")
+    overlap = set(first.subset) & set(second.subset)
+    if overlap:
+        raise ValueError(
+            f"conjunctions share bit positions {sorted(overlap)}; "
+            "inclusion-exclusion needs disjoint subsets (the intersection "
+            "is not a single conjunction otherwise)"
+        )
+    both = first.and_also(second)
+    total = (
+        count_fn(first.subset, first.value)
+        + count_fn(second.subset, second.value)
+        - count_fn(both.subset, both.value)
+    )
+    return total / num_users

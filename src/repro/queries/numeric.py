@@ -1,0 +1,86 @@
+"""Section 4.1 — sums, means and inner products via bit decomposition.
+
+The paper expands a ``k``-bit attribute ``a`` into its binary representation
+(eq. 4) and rearranges:
+
+    ``S = sum_u a_u = sum_{i=1..k} 2^{k-i} I(A_i, 1)``
+
+where ``A_i`` is the ``i``-th highest bit of ``a`` — so a sum costs ``k``
+*single-bit* conjunctive queries.  The inner product of two attributes
+similarly becomes ``k^2`` two-bit queries:
+
+    ``sum_u a_u b_u = sum_i sum_j 2^{2k-i-j} I(A_i ∪ B_j, 11)``.
+
+Both compile to :class:`~repro.queries.conjunctive.LinearPlan` objects.
+"""
+
+from __future__ import annotations
+
+from .ast import Conjunction, Literal
+from .conjunctive import LinearPlan, PlanTerm
+from ..data.schema import Schema
+
+__all__ = ["sum_plan", "inner_product_plan", "moment_plan"]
+
+
+def sum_plan(schema: Schema, name: str) -> LinearPlan:
+    """Compile ``sum_u a_u`` into ``k`` single-bit queries (eq. 4)."""
+    spec = schema.spec(name)
+    terms = []
+    for i in range(1, spec.bits + 1):
+        position = schema.bit(name, i)
+        weight = float(1 << (spec.bits - i))
+        terms.append(PlanTerm(Conjunction((Literal(position, 1),)), weight))
+    return LinearPlan(tuple(terms), description=f"sum({name})")
+
+
+def inner_product_plan(schema: Schema, name_a: str, name_b: str) -> LinearPlan:
+    """Compile ``sum_u a_u * b_u`` into ``k_a * k_b`` two-bit queries.
+
+    The paper's footnote 6 notes low-weight terms can be dropped when they
+    contribute less than the noise floor; we keep all terms (callers can
+    truncate the plan themselves) so the count matches the stated ``k^2``.
+    """
+    if name_a == name_b:
+        raise ValueError(
+            "inner product of an attribute with itself needs the second-moment "
+            "plan (a bit and itself cannot appear twice in one conjunction); "
+            "use moment_plan instead"
+        )
+    spec_a = schema.spec(name_a)
+    spec_b = schema.spec(name_b)
+    terms = []
+    for i in range(1, spec_a.bits + 1):
+        for j in range(1, spec_b.bits + 1):
+            conjunction = Conjunction(
+                (
+                    Literal(schema.bit(name_a, i), 1),
+                    Literal(schema.bit(name_b, j), 1),
+                )
+            )
+            weight = float(1 << (spec_a.bits - i)) * float(1 << (spec_b.bits - j))
+            terms.append(PlanTerm(conjunction, weight))
+    return LinearPlan(tuple(terms), description=f"inner_product({name_a}, {name_b})")
+
+
+def moment_plan(schema: Schema, name: str) -> LinearPlan:
+    """Compile the second moment ``sum_u a_u^2``.
+
+    Expanding ``a^2 = (sum_i 2^{k-i} a_i)^2``: diagonal terms collapse to
+    single-bit queries (``a_i^2 = a_i``) with weight ``4^{k-i}``, and
+    cross terms become two-bit queries with doubled weight.  This extends
+    the paper's "higher moments" remark (abstract) concretely.
+    """
+    spec = schema.spec(name)
+    terms = []
+    for i in range(1, spec.bits + 1):
+        position_i = schema.bit(name, i)
+        weight_i = float(1 << (spec.bits - i))
+        terms.append(PlanTerm(Conjunction((Literal(position_i, 1),)), weight_i**2))
+        for j in range(i + 1, spec.bits + 1):
+            conjunction = Conjunction(
+                (Literal(position_i, 1), Literal(schema.bit(name, j), 1))
+            )
+            weight_j = float(1 << (spec.bits - j))
+            terms.append(PlanTerm(conjunction, 2.0 * weight_i * weight_j))
+    return LinearPlan(tuple(terms), description=f"second_moment({name})")

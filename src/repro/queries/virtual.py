@@ -1,0 +1,152 @@
+"""Appendix E — ``a + b < 2^r`` via virtual XOR bits.
+
+Expressing "how many users satisfy ``a_u + b_u < 2^r``" directly needs an
+exponential number of conjunctive queries: the carry chain forces "exactly
+one of ``a_i``, ``b_i`` is 1" constraints.  The appendix's trick: introduce
+the virtual bit ``q_i = a_i XOR b_i``.  Given p-perturbed published bits
+``ã_i`` and ``b̃_i``, the observable ``q̃_i = ã_i XOR b̃_i`` is a
+``2p(1-p)``-perturbed version of ``q_i`` — "the evaluation changes if and
+only if exactly one of ``a_i`` and ``b_i`` gets perturbed" — so all the
+usual machinery applies to the virtual bits too.
+
+Exact decomposition (weight exponents ``e = 0 .. k-1``, ``e = k-1`` the
+highest):
+
+``a + b < 2^r``  iff  ``a_e = b_e = 0`` for every ``e >= r``  AND one of
+
+* ``E_j`` (for ``j = r-1 .. 0``): ``q_e = 1`` for ``r-1 >= e > j`` and
+  ``a_j = b_j = 0`` — the first non-XOR position resolves to both-zero;
+* ``E_carryless``: ``q_e = 1`` for **all** ``e < r`` — then
+  ``a + b = 2^r - 1`` exactly.
+
+The events are disjoint, and each mixes *real* literals (p-perturbed) with
+*virtual* ones (``2p(1-p)``-perturbed), which is why estimation uses the
+mixed-bias product-kernel system
+:func:`repro.core.combine.combine_mixed_bits`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.combine import combine_mixed_bits
+
+__all__ = [
+    "xor_virtual_bits",
+    "xor_bias",
+    "addition_event_literals",
+    "addition_interval_fraction",
+]
+
+
+def xor_bias(p: float) -> float:
+    """Effective flip probability of a XOR virtual bit: ``2 p (1 - p)``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0,1], got {p}")
+    return 2.0 * p * (1.0 - p)
+
+
+def xor_virtual_bits(bits_a: np.ndarray, bits_b: np.ndarray) -> np.ndarray:
+    """Per-user XOR of two perturbed bit matrices.
+
+    If the inputs are p-perturbed versions of the true bits, the output is
+    a ``2p(1-p)``-perturbed version of the true XOR (Appendix E).
+    """
+    a = np.asarray(bits_a)
+    b = np.asarray(bits_b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return (a ^ b).astype(np.int8)
+
+
+def addition_event_literals(k: int, r: int) -> List[Tuple[List[int], List[int], List[int]]]:
+    """Enumerate the disjoint events of the ``a + b < 2^r`` decomposition.
+
+    Returns a list of events, each a triple
+    ``(zero_exponents_a, zero_exponents_b, xor_exponents)`` of weight
+    exponents: bits of ``a`` that must be 0, bits of ``b`` that must be 0,
+    and positions whose XOR must be 1.  Exponent ``e`` has weight ``2^e``.
+    """
+    if not 1 <= r <= k:
+        raise ValueError(f"r must be in [1, {k}], got {r}")
+    high = list(range(r, k))  # a_e = b_e = 0 for all of these
+    events: List[Tuple[List[int], List[int], List[int]]] = []
+    for j in range(r - 1, -1, -1):
+        xor_positions = list(range(j + 1, r))
+        events.append((high + [j], high + [j], xor_positions))
+    events.append((list(high), list(high), list(range(r))))  # carry-less all-XOR
+    return events
+
+
+def addition_interval_fraction(
+    perturbed_a: np.ndarray,
+    perturbed_b: np.ndarray,
+    p: float,
+    r: int,
+    clamp: bool = True,
+) -> float:
+    """Estimate the fraction of users with ``a + b < 2^r`` (Appendix E).
+
+    Parameters
+    ----------
+    perturbed_a, perturbed_b:
+        ``(M, k)`` matrices of p-perturbed attribute bits, **MSB first**
+        (column 0 is the highest bit, matching the schema layout).  These
+        can come from per-bit randomized response or from per-bit sketch
+        evaluations at value 1 — both are p-perturbed indicators of the
+        true bits.
+    p:
+        The per-bit flip probability of the published matrices.
+    r:
+        The threshold exponent: the query is ``a + b < 2**r``.
+    clamp:
+        Clip each disjoint event's probability into ``[0, 1]`` and the
+        total as well.
+
+    Notes
+    -----
+    Each event's probability is estimated with the mixed-bias system:
+    real zero-literals are p-perturbed (after complementing: a published 0
+    becomes an "is-zero" indicator 1) and XOR literals are
+    ``2p(1-p)``-perturbed.  Probabilities of disjoint events add.
+    """
+    a = np.asarray(perturbed_a)
+    b = np.asarray(perturbed_b)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError(f"expected equal-shape 2-D matrices, got {a.shape} vs {b.shape}")
+    num_users, k = a.shape
+    if num_users == 0:
+        raise ValueError("no users")
+    xor_matrix = xor_virtual_bits(a, b)
+    virtual_bias = xor_bias(p)
+
+    def column(exponent: int) -> int:
+        # weight exponent e lives in MSB-first column k-1-e
+        return k - 1 - exponent
+
+    total = 0.0
+    for zeros_a, zeros_b, xors in addition_event_literals(k, r):
+        real_columns = []
+        for exponent in zeros_a:
+            real_columns.append(1 - a[:, column(exponent)])  # "bit is 0" indicator
+        for exponent in zeros_b:
+            real_columns.append(1 - b[:, column(exponent)])
+        real = (
+            np.column_stack(real_columns)
+            if real_columns
+            else np.zeros((num_users, 0), dtype=np.int8)
+        )
+        virt = (
+            np.column_stack([xor_matrix[:, column(e)] for e in xors])
+            if xors
+            else np.zeros((num_users, 0), dtype=np.int8)
+        )
+        probability = combine_mixed_bits(real, virt, p, virtual_bias)
+        if clamp:
+            probability = min(1.0, max(0.0, probability))
+        total += probability
+    if clamp:
+        total = min(1.0, max(0.0, total))
+    return total

@@ -1,0 +1,34 @@
+"""Deployment substrate: collection, querying, persistence, and the
+Appendix A server."""
+
+from .collector import (
+    SketchStore,
+    attribute_subsets,
+    per_bit_subsets,
+    prefix_subsets,
+    publish_database,
+)
+from .engine import MissingSketchError, QueryEngine
+from .serialization import dumps_store, load_store, loads_store, save_store
+from .streaming import StreamingEstimator, merge_stores
+from .sulq import DualModeServer, QueryBudgetExhausted, QueryRecord, SulqServer
+
+__all__ = [
+    "DualModeServer",
+    "MissingSketchError",
+    "QueryBudgetExhausted",
+    "QueryEngine",
+    "QueryRecord",
+    "SketchStore",
+    "StreamingEstimator",
+    "SulqServer",
+    "attribute_subsets",
+    "dumps_store",
+    "load_store",
+    "merge_stores",
+    "loads_store",
+    "per_bit_subsets",
+    "prefix_subsets",
+    "publish_database",
+    "save_store",
+]

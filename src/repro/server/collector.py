@@ -1,0 +1,177 @@
+"""The untrusted collector: published sketches, organised for querying.
+
+The deployment model of the paper has no trusted party: each user runs
+Algorithm 1 locally and *publishes* the resulting sketches.  The collector
+is whatever untrusted entity gathers them.  :class:`SketchStore` models that
+entity's state — everything in it is public information.
+
+Publishing policies decide *which* subsets each user sketches.  The paper's
+guidance (Section 3: "for each attribute there are only a few subsets that
+need to be sketched") maps onto three policy helpers:
+
+* :func:`per_bit_subsets` — one sketch per profile bit (makes the scheme a
+  strict generalisation of randomized response, and feeds sums and
+  Appendix E/F machinery);
+* :func:`attribute_subsets` — one sketch per whole attribute (point/equality
+  queries on non-binary data);
+* :func:`prefix_subsets` — one sketch per prefix ``A_i`` of an integer
+  attribute (interval queries without linear-system combination).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.accountant import PrivacyAccountant
+from ..core.sketch import Sketch, Sketcher
+from ..data.profiles import ProfileDatabase
+from ..data.schema import Schema
+
+__all__ = [
+    "SketchStore",
+    "per_bit_subsets",
+    "attribute_subsets",
+    "prefix_subsets",
+    "publish_database",
+]
+
+Subset = Tuple[int, ...]
+
+
+class SketchStore:
+    """Column store of published sketches, keyed by subset.
+
+    Sketches for the same subset are kept in publication order; most
+    queries need them *user-aligned* across subsets, which
+    :meth:`aligned_groups` provides.
+    """
+
+    def __init__(self) -> None:
+        self._by_subset: Dict[Subset, Dict[str, Sketch]] = {}
+
+    def publish(self, sketch: Sketch) -> None:
+        """Record one published sketch (idempotence is an error: a user
+        publishing two sketches of the same subset would spend extra
+        privacy budget for no utility)."""
+        column = self._by_subset.setdefault(sketch.subset, {})
+        if sketch.user_id in column:
+            raise ValueError(
+                f"user {sketch.user_id!r} already published a sketch for "
+                f"subset {sketch.subset}"
+            )
+        column[sketch.user_id] = sketch
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def subsets(self) -> Tuple[Subset, ...]:
+        return tuple(self._by_subset)
+
+    def has_subset(self, subset: Sequence[int]) -> bool:
+        return tuple(subset) in self._by_subset
+
+    def num_users(self, subset: Sequence[int]) -> int:
+        return len(self._by_subset.get(tuple(subset), {}))
+
+    def total_published_bits(self) -> int:
+        """Total size of everything published, in bits (experiment E8)."""
+        return sum(
+            sketch.size_bits
+            for column in self._by_subset.values()
+            for sketch in column.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def sketches_for(self, subset: Sequence[int]) -> List[Sketch]:
+        """All sketches published for one subset (stable user order)."""
+        key = tuple(subset)
+        if key not in self._by_subset:
+            raise KeyError(
+                f"no sketches published for subset {key}; available: "
+                f"{sorted(self._by_subset)}"
+            )
+        return list(self._by_subset[key].values())
+
+    def aligned_groups(self, subsets: Sequence[Sequence[int]]) -> List[List[Sketch]]:
+        """Sketch groups for several subsets, aligned on common users.
+
+        Only users who published for *every* requested subset contribute;
+        the groups are returned in a consistent user order so that row
+        ``u`` of every group belongs to the same user (as Appendix F's
+        combination requires).
+        """
+        keys = [tuple(s) for s in subsets]
+        for key in keys:
+            if key not in self._by_subset:
+                raise KeyError(f"no sketches published for subset {key}")
+        common = set(self._by_subset[keys[0]])
+        for key in keys[1:]:
+            common &= set(self._by_subset[key])
+        if not common:
+            raise ValueError(f"no user published sketches for all of {keys}")
+        order = sorted(common)
+        return [[self._by_subset[key][uid] for uid in order] for key in keys]
+
+
+# ----------------------------------------------------------------------
+# Publishing policies
+# ----------------------------------------------------------------------
+def per_bit_subsets(schema: Schema) -> List[Subset]:
+    """One single-bit subset per profile position."""
+    return [(position,) for position in range(schema.total_bits)]
+
+
+def attribute_subsets(schema: Schema, names: Iterable[str] | None = None) -> List[Subset]:
+    """One whole-attribute subset per (selected) attribute."""
+    chosen = tuple(names) if names is not None else schema.names
+    return [schema.bits(name) for name in chosen]
+
+
+def prefix_subsets(schema: Schema, name: str) -> List[Subset]:
+    """All prefixes ``A_1 .. A_k`` of an integer attribute.
+
+    Prefix ``A_k`` is the full attribute, so equality queries come for
+    free; the shorter prefixes serve the interval decomposition directly
+    (no Appendix F combination, hence no conditioning blow-up).
+    """
+    spec = schema.spec(name)
+    return [schema.prefix(name, length) for length in range(1, spec.bits + 1)]
+
+
+def publish_database(
+    database: ProfileDatabase,
+    sketcher: Sketcher,
+    subsets: Sequence[Sequence[int]],
+    store: SketchStore | None = None,
+    accountant: PrivacyAccountant | None = None,
+) -> SketchStore:
+    """Have every user of a database publish sketches for the given subsets.
+
+    Parameters
+    ----------
+    database:
+        The ground-truth profiles (used only on the user side — each user
+        sketches *their own* profile; nothing raw reaches the store).
+    sketcher:
+        The Algorithm 1 implementation (shared params/PRF; per-user coins
+        come from its RNG).
+    subsets:
+        The publishing policy: which subsets each user sketches.
+    store:
+        Existing store to extend, or ``None`` to create a fresh one.
+    accountant:
+        Optional privacy ledger; when given, each user's releases are
+        charged and :class:`~repro.core.accountant.BudgetExceeded` aborts
+        over-publishing.
+    """
+    store = store if store is not None else SketchStore()
+    subset_keys = [tuple(int(i) for i in s) for s in subsets]
+    for profile in database:
+        if accountant is not None:
+            accountant.charge(profile.user_id, len(subset_keys))
+        for subset in subset_keys:
+            store.publish(sketcher.sketch(profile.user_id, profile.bits, subset))
+    return store

@@ -1,0 +1,341 @@
+"""The sketch-backed query engine.
+
+:class:`QueryEngine` is what a data analyst talks to.  It owns a
+:class:`~repro.server.collector.SketchStore` (public data only) and answers:
+
+* raw conjunctive counts, via Algorithm 2 when the subset was sketched
+  directly, falling back to the Appendix F linear-system combination when
+  the subset can be partitioned into sketched pieces;
+* every compiled :class:`~repro.queries.conjunctive.LinearPlan` (sums,
+  means, inner products, intervals, combined constraints, decision trees);
+* the Appendix E addition interval and exactly-l-of-k queries, by
+  manufacturing per-bit virtual matrices from single-bit sketches.
+
+The engine never touches raw profiles — everything flows from published
+sketches through the public PRF.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.combine import combine_sketch_groups
+from ..core.estimator import QueryEstimate, SketchEstimator
+from ..data.schema import Schema
+from ..queries.ast import Conjunction
+from ..queries.boolean import DecisionNode, decision_tree_plan, exactly_l_fraction
+from ..queries.categorical import categorical_histogram, estimate_mode, top_k_categories
+from ..queries.combined import (
+    equal_and_less_plan,
+    sum_where_less_equal_plan,
+    sum_where_less_plan,
+)
+from ..queries.conjunctive import LinearPlan, evaluate_plan
+from ..queries.disjunction import disjunction_fraction
+from ..queries.interval import less_equal_plan, less_than_plan, range_plan
+from ..queries.numeric import inner_product_plan, moment_plan, sum_plan
+from ..queries.virtual import addition_interval_fraction
+from .collector import SketchStore
+
+__all__ = ["MissingSketchError", "QueryEngine"]
+
+Subset = Tuple[int, ...]
+
+
+class MissingSketchError(KeyError):
+    """Raised when a query needs a subset that nobody published.
+
+    The message lists both the missing subset and what *is* available, so
+    the fix (extend the publishing policy) is immediate.
+    """
+
+
+class QueryEngine:
+    """Analyst-facing query interface over published sketches.
+
+    Parameters
+    ----------
+    schema:
+        Attribute layout (public metadata).
+    store:
+        The published sketches.
+    estimator:
+        Algorithm 2 implementation (carries the public PRF and ``p``).
+    """
+
+    def __init__(self, schema: Schema, store: SketchStore, estimator: SketchEstimator) -> None:
+        self.schema = schema
+        self.store = store
+        self.estimator = estimator
+
+    # ------------------------------------------------------------------
+    # Conjunctive primitives
+    # ------------------------------------------------------------------
+    def estimate(self, subset: Sequence[int], value: Sequence[int]) -> QueryEstimate:
+        """Full Algorithm 2 estimate (with CI) for a directly-sketched subset."""
+        key = tuple(int(i) for i in subset)
+        if not self.store.has_subset(key):
+            raise MissingSketchError(
+                f"subset {key} was not sketched; available subsets: "
+                f"{sorted(self.store.subsets)}"
+            )
+        return self.estimator.estimate(self.store.sketches_for(key), value)
+
+    def fraction(self, subset: Sequence[int], value: Sequence[int]) -> float:
+        """Fraction of users with ``d_B = v``; combines sketches if needed."""
+        key = tuple(int(i) for i in subset)
+        if self.store.has_subset(key):
+            return self.estimate(key, value).fraction
+        partition = self._find_partition(key)
+        if partition is None:
+            raise MissingSketchError(
+                f"subset {key} is neither sketched nor a disjoint union of "
+                f"sketched subsets; available: {sorted(self.store.subsets)}"
+            )
+        values = self._project_value(key, tuple(int(v) for v in value), partition)
+        groups = self.store.aligned_groups(partition)
+        combined = combine_sketch_groups(self.estimator, groups, values)
+        return combined.clamped_fraction
+
+    def count(self, subset: Sequence[int], value: Sequence[int]) -> float:
+        """Estimated count ``I(B, v)``."""
+        key = tuple(int(i) for i in subset)
+        num_users = (
+            self.store.num_users(key)
+            if self.store.has_subset(key)
+            else self._partition_users(key)
+        )
+        return self.fraction(subset, value) * num_users
+
+    def conjunction(self, query: Conjunction) -> float:
+        """Fraction of users satisfying a conjunction of literals."""
+        return self.fraction(query.subset, query.value)
+
+    # ------------------------------------------------------------------
+    # Plan execution and Section 4.1 conveniences
+    # ------------------------------------------------------------------
+    def evaluate(self, plan: LinearPlan) -> float:
+        """Execute a compiled linear plan against the sketch store."""
+        return evaluate_plan(plan, self.count)
+
+    def sum(self, name: str) -> float:
+        """Estimated ``sum_u a_u`` (eq. 4)."""
+        return self.evaluate(sum_plan(self.schema, name))
+
+    def mean(self, name: str) -> float:
+        """Estimated attribute mean."""
+        subset = (self.schema.bit(name, 1),)
+        num_users = self.store.num_users(subset)
+        if num_users == 0:
+            raise MissingSketchError(
+                f"no per-bit sketches for attribute {name!r}; publish its bits first"
+            )
+        return self.sum(name) / num_users
+
+    def inner_product(self, name_a: str, name_b: str) -> float:
+        """Estimated ``sum_u a_u b_u`` via ``k^2`` two-bit queries."""
+        return self.evaluate(inner_product_plan(self.schema, name_a, name_b))
+
+    def second_moment(self, name: str) -> float:
+        """Estimated ``sum_u a_u^2``."""
+        return self.evaluate(moment_plan(self.schema, name))
+
+    def variance(self, name: str) -> float:
+        """Estimated population variance ``E[a^2] - E[a]^2``.
+
+        The "higher moments" the abstract promises, assembled from the
+        eq. 4 sum and the second-moment plan.  Clamped at 0 — sampling
+        noise can push the raw difference slightly negative.
+        """
+        subset = (self.schema.bit(name, 1),)
+        num_users = self.store.num_users(subset)
+        if num_users == 0:
+            raise MissingSketchError(
+                f"no per-bit sketches for attribute {name!r}; publish its bits first"
+            )
+        mean = self.sum(name) / num_users
+        second = self.second_moment(name) / num_users
+        return max(0.0, second - mean**2)
+
+    # ------------------------------------------------------------------
+    # Categorical queries (whole-attribute sketches)
+    # ------------------------------------------------------------------
+    def _attribute_sketches(self, name: str):
+        subset = self.schema.bits(name)
+        if not self.store.has_subset(subset):
+            raise MissingSketchError(
+                f"attribute {name!r} was not sketched as a whole subset; "
+                "categorical queries need an attribute publishing policy"
+            )
+        return self.store.sketches_for(subset)
+
+    def histogram(self, name: str, normalize: bool = True) -> np.ndarray:
+        """De-biased frequency of every value of a categorical attribute."""
+        return categorical_histogram(
+            self.estimator, self._attribute_sketches(name), self.schema, name,
+            normalize=normalize,
+        )
+
+    def mode(self, name: str) -> Tuple[int, float]:
+        """Most frequent category and its estimated frequency."""
+        return estimate_mode(
+            self.estimator, self._attribute_sketches(name), self.schema, name
+        )
+
+    def top_k(self, name: str, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` most frequent categories of an attribute."""
+        return top_k_categories(
+            self.estimator, self._attribute_sketches(name), self.schema, name, k
+        )
+
+    def count_less_than(self, name: str, threshold: int) -> float:
+        """Estimated ``|{u : a_u < c}|``."""
+        return self.evaluate(less_than_plan(self.schema, name, threshold))
+
+    def count_less_equal(self, name: str, threshold: int) -> float:
+        """Estimated ``|{u : a_u <= c}|``."""
+        return self.evaluate(less_equal_plan(self.schema, name, threshold))
+
+    def count_range(self, name: str, low: int, high: int) -> float:
+        """Estimated ``|{u : low <= a_u <= high}|``."""
+        return self.evaluate(range_plan(self.schema, name, low, high))
+
+    def count_equal_and_less(
+        self, name_eq: str, value_eq: int, name_lt: str, threshold: int
+    ) -> float:
+        """Estimated ``|{u : a_u = c  and  b_u < d}|``."""
+        return self.evaluate(
+            equal_and_less_plan(self.schema, name_eq, value_eq, name_lt, threshold)
+        )
+
+    def sum_where_less(self, name_sum: str, name_cond: str, threshold: int) -> float:
+        """Estimated ``sum of b_u over users with a_u < c``."""
+        return self.evaluate(
+            sum_where_less_plan(self.schema, name_sum, name_cond, threshold)
+        )
+
+    def mean_where_less_equal(self, name_sum: str, name_cond: str, threshold: int) -> float:
+        """Estimated conditional mean of ``b`` over users with ``a <= c``."""
+        numerator = self.evaluate(
+            sum_where_less_equal_plan(self.schema, name_sum, name_cond, threshold)
+        )
+        denominator = self.count_less_equal(name_cond, threshold)
+        if denominator <= 0:
+            raise ZeroDivisionError(
+                f"estimated zero users satisfy {name_cond} <= {threshold}"
+            )
+        return numerator / denominator
+
+    def decision_tree(self, root: DecisionNode) -> float:
+        """Estimated fraction of users accepted by a decision tree."""
+        num_users = self._max_users()
+        return self.evaluate(decision_tree_plan(root)) / num_users
+
+    def any_of(self, queries: Sequence[Conjunction]) -> float:
+        """Fraction of users satisfying at least one conjunction.
+
+        Appendix F's complement trick: reconstruct the per-user count of
+        satisfied components and return ``1 - Pr[none]``.  Each component
+        conjunction's subset must have been sketched directly.
+        """
+        if not queries:
+            raise ValueError("need at least one conjunction")
+        subsets = [query.subset for query in queries]
+        for subset in subsets:
+            if not self.store.has_subset(subset):
+                raise MissingSketchError(
+                    f"subset {subset} was not sketched; disjunctions need "
+                    "each component's subset published directly"
+                )
+        groups = self.store.aligned_groups(subsets)
+        return disjunction_fraction(
+            self.estimator, groups, [query.value for query in queries]
+        )
+
+    # ------------------------------------------------------------------
+    # Virtual-bit queries (Appendix E, exactly-l)
+    # ------------------------------------------------------------------
+    def bit_matrix(self, positions: Sequence[int], target: int = 1) -> np.ndarray:
+        """p-perturbed indicator matrix from per-bit sketches.
+
+        Column ``j`` holds ``H(id, {pos_j}, (target,), s)`` per user — a
+        p-perturbed indicator of ``d[pos_j] = target``.  Requires a
+        per-bit publishing policy for the positions involved.
+        """
+        subsets = [(int(pos),) for pos in positions]
+        for subset in subsets:
+            if not self.store.has_subset(subset):
+                raise MissingSketchError(
+                    f"bit {subset[0]} was not sketched individually; "
+                    "use a per-bit publishing policy"
+                )
+        groups = self.store.aligned_groups(subsets)
+        columns = [
+            self.estimator.evaluations(group, (target,)) for group in groups
+        ]
+        return np.column_stack(columns)
+
+    def exactly_l(self, positions: Sequence[int], l: int) -> float:
+        """Fraction of users with exactly ``l`` of the given bits set."""
+        bits = self.bit_matrix(positions, target=1)
+        return exactly_l_fraction(bits, self.estimator.params.p, l)
+
+    def addition_below(self, name_a: str, name_b: str, power: int) -> float:
+        """Fraction of users with ``a_u + b_u < 2**power`` (Appendix E)."""
+        matrix_a = self.bit_matrix(self.schema.bits(name_a), target=1)
+        matrix_b = self.bit_matrix(self.schema.bits(name_b), target=1)
+        return addition_interval_fraction(
+            matrix_a, matrix_b, self.estimator.params.p, power
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _max_users(self) -> int:
+        counts = [self.store.num_users(s) for s in self.store.subsets]
+        if not counts:
+            raise MissingSketchError("the sketch store is empty")
+        return max(counts)
+
+    def _find_partition(self, target: Subset) -> Optional[List[Subset]]:
+        """Exact-cover search: express ``target`` as a disjoint union of
+        sketched subsets.  Candidate lists are tiny (a publishing policy
+        rarely has more than a few hundred subsets), so a simple
+        backtracking search is plenty."""
+        remaining = frozenset(target)
+        candidates = [
+            s for s in self.store.subsets if set(s) <= remaining and s
+        ]
+        candidates.sort(key=len, reverse=True)
+
+        def search(uncovered: frozenset, start: int) -> Optional[List[Subset]]:
+            if not uncovered:
+                return []
+            for index in range(start, len(candidates)):
+                candidate = candidates[index]
+                if set(candidate) <= uncovered:
+                    rest = search(uncovered - set(candidate), index + 1)
+                    if rest is not None:
+                        return [candidate] + rest
+            return None
+
+        return search(remaining, 0)
+
+    def _partition_users(self, target: Subset) -> int:
+        partition = self._find_partition(target)
+        if partition is None:
+            raise MissingSketchError(
+                f"subset {target} is neither sketched nor coverable; "
+                f"available: {sorted(self.store.subsets)}"
+            )
+        groups = self.store.aligned_groups(partition)
+        return len(groups[0])
+
+    @staticmethod
+    def _project_value(
+        target: Subset, value: Tuple[int, ...], partition: List[Subset]
+    ) -> List[Tuple[int, ...]]:
+        lookup = dict(zip(target, value))
+        return [tuple(lookup[pos] for pos in piece) for piece in partition]

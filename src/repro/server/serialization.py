@@ -1,0 +1,120 @@
+"""Persistence for published sketch stores.
+
+A sketch store *is* the public dataset — a real deployment writes it to
+disk, ships it between parties, republishes it.  The format is JSON Lines:
+
+* line 1 — a header object: format version, bias ``p``, and the sketch
+  length (sanity metadata a consumer needs to query correctly; the global
+  PRF key is deliberately NOT stored — it is public but distributed
+  out of band, like the paper's public function);
+* each further line — one sketch: ``{"id", "subset", "key", "bits"}``.
+
+Round-tripping is lossless for everything queryable.  The per-run
+``iterations`` diagnostic is not persisted (it is not part of the published
+record; see :class:`~repro.core.sketch.Sketch`)."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO
+
+from ..core.params import PrivacyParams
+from ..core.sketch import Sketch
+from .collector import SketchStore
+
+__all__ = ["save_store", "load_store", "dumps_store", "loads_store"]
+
+_FORMAT_VERSION = 1
+
+
+def _header(params: PrivacyParams | None) -> dict:
+    header = {"format": "repro-sketch-store", "version": _FORMAT_VERSION}
+    if params is not None:
+        header["p"] = params.p
+    return header
+
+
+def _write(store: SketchStore, handle: IO[str], params: PrivacyParams | None) -> int:
+    handle.write(json.dumps(_header(params)) + "\n")
+    count = 0
+    for subset in sorted(store.subsets):
+        for sketch in store.sketches_for(subset):
+            record = {
+                "id": sketch.user_id,
+                "subset": list(sketch.subset),
+                "key": sketch.key,
+                "bits": sketch.num_bits,
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def _read(handle: IO[str]) -> tuple[SketchStore, dict]:
+    first = handle.readline()
+    if not first:
+        raise ValueError("empty sketch-store file")
+    header = json.loads(first)
+    if header.get("format") != "repro-sketch-store":
+        raise ValueError(
+            f"not a sketch-store file (format={header.get('format')!r})"
+        )
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sketch-store version {header.get('version')!r}; "
+            f"this library reads version {_FORMAT_VERSION}"
+        )
+    store = SketchStore()
+    for line_number, line in enumerate(handle, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            sketch = Sketch(
+                user_id=str(record["id"]),
+                subset=tuple(int(i) for i in record["subset"]),
+                key=int(record["key"]),
+                num_bits=int(record["bits"]),
+                iterations=0,
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise ValueError(f"malformed sketch record on line {line_number}: {exc}") from exc
+        store.publish(sketch)
+    return store, header
+
+
+def save_store(
+    store: SketchStore, path: str | os.PathLike, params: PrivacyParams | None = None
+) -> int:
+    """Write a store to a JSONL file; returns the number of sketches written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return _write(store, handle, params)
+
+
+def load_store(path: str | os.PathLike) -> tuple[SketchStore, dict]:
+    """Read a store from a JSONL file; returns ``(store, header)``.
+
+    The header carries the bias ``p`` the publisher recorded (if any) so
+    the consumer can construct matching :class:`PrivacyParams` — querying
+    with the wrong ``p`` silently mis-debiases, so check it.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        return _read(handle)
+
+
+def dumps_store(store: SketchStore, params: PrivacyParams | None = None) -> str:
+    """In-memory variant of :func:`save_store`."""
+    import io
+
+    buffer = io.StringIO()
+    _write(store, buffer, params)
+    return buffer.getvalue()
+
+
+def loads_store(payload: str) -> tuple[SketchStore, dict]:
+    """In-memory variant of :func:`load_store`."""
+    import io
+
+    return _read(io.StringIO(payload))

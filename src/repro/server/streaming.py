@@ -1,0 +1,163 @@
+"""Streaming collection: incremental estimates as sketches arrive.
+
+A real aggregator does not collect everything and then query once — users
+trickle in, collectors run in parallel shards, and analysts watch running
+estimates.  Two pieces support that:
+
+* :class:`StreamingEstimator` — registers queries up front, then ingests
+  sketches one at a time in O(registered queries) each; every registered
+  query's current estimate is available at any moment in O(1).  The
+  arithmetic is identical to Algorithm 2 (a running mean of PRF
+  evaluations, de-biased on read), so the final answer matches the batch
+  estimator exactly.
+* :func:`merge_stores` — union of shard stores (e.g. two regional
+  collectors), with duplicate publications rejected rather than silently
+  double-counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.estimator import QueryEstimate, SketchEstimator
+from ..core.sketch import Sketch
+from .collector import SketchStore
+
+__all__ = ["StreamingEstimator", "merge_stores"]
+
+QueryKey = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+@dataclass
+class _RunningCount:
+    hits: int = 0
+    total: int = 0
+
+
+class StreamingEstimator:
+    """Ingest sketches one at a time; read any registered query in O(1).
+
+    Parameters
+    ----------
+    estimator:
+        The batch estimator to mirror (supplies the PRF, ``p``, clamping
+        and confidence machinery).
+
+    Examples
+    --------
+    >>> streaming = StreamingEstimator(estimator)        # doctest: +SKIP
+    >>> streaming.register((0, 1), (1, 1))               # doctest: +SKIP
+    >>> for sketch in live_feed:                         # doctest: +SKIP
+    ...     streaming.ingest(sketch)
+    ...     print(streaming.estimate((0, 1), (1, 1)).fraction)
+    """
+
+    def __init__(self, estimator: SketchEstimator) -> None:
+        self._estimator = estimator
+        self._queries: Dict[QueryKey, _RunningCount] = {}
+        self._seen: Dict[Tuple[str, Tuple[int, ...]], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, subset: Sequence[int], value: Sequence[int]) -> None:
+        """Start tracking a conjunctive query.
+
+        Must happen before the sketches that should count towards it are
+        ingested; sketches ingested earlier are not retroactively scored
+        (the PRF evaluation needs the sketch, which is not retained).
+        """
+        key = self._key(subset, value)
+        if len(key[0]) != len(key[1]):
+            raise ValueError(
+                f"value width {len(key[1])} does not match subset size {len(key[0])}"
+            )
+        self._queries.setdefault(key, _RunningCount())
+
+    def registered(self) -> List[QueryKey]:
+        return list(self._queries)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, sketch: Sketch) -> int:
+        """Score one arriving sketch against every matching registered query.
+
+        Returns the number of queries updated.  Re-ingesting the same
+        (user, subset) publication raises — double counting would bias
+        every running mean.
+        """
+        seen_key = (sketch.user_id, sketch.subset)
+        if seen_key in self._seen:
+            raise ValueError(
+                f"user {sketch.user_id!r} already ingested for subset {sketch.subset}"
+            )
+        self._seen[seen_key] = True
+        updated = 0
+        for (subset, value), count in self._queries.items():
+            if subset != sketch.subset:
+                continue
+            count.hits += sketch.evaluate(self._estimator.prf, value)
+            count.total += 1
+            updated += 1
+        return updated
+
+    def ingest_many(self, sketches: Sequence[Sketch]) -> int:
+        """Bulk ingestion; returns total query updates."""
+        return sum(self.ingest(sketch) for sketch in sketches)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def estimate(
+        self, subset: Sequence[int], value: Sequence[int], delta: float = 0.05
+    ) -> QueryEstimate:
+        """Current estimate of a registered query (Algorithm 2 on the
+        running counts)."""
+        key = self._key(subset, value)
+        if key not in self._queries:
+            raise KeyError(
+                f"query {key} was never registered; call register() first"
+            )
+        count = self._queries[key]
+        if count.total == 0:
+            raise ValueError(f"no sketches ingested yet for subset {key[0]}")
+        raw = count.hits / count.total
+        fraction = self._estimator.debias_fraction(raw)
+        if self._estimator.clamp:
+            fraction = min(1.0, max(0.0, fraction))
+        half_width = self._estimator.half_width(count.total, delta)
+        return QueryEstimate(
+            fraction=fraction,
+            count=fraction * count.total,
+            raw_fraction=raw,
+            num_users=count.total,
+            half_width=half_width,
+            delta=delta,
+        )
+
+    @staticmethod
+    def _key(subset: Sequence[int], value: Sequence[int]) -> QueryKey:
+        return (
+            tuple(int(i) for i in subset),
+            tuple(int(bit) for bit in value),
+        )
+
+
+def merge_stores(*stores: SketchStore) -> SketchStore:
+    """Union of shard stores into a fresh store.
+
+    Duplicate (user, subset) publications across shards raise — a user
+    publishing through two collectors would otherwise be double-counted
+    (and would have spent privacy budget twice, which the upstream
+    accountant should have prevented).
+    """
+    if not stores:
+        raise ValueError("need at least one store to merge")
+    merged = SketchStore()
+    for store in stores:
+        for subset in store.subsets:
+            for sketch in store.sketches_for(subset):
+                merged.publish(sketch)
+    return merged

@@ -1,0 +1,41 @@
+"""Shared fixtures: fixed keys and seeds so every test is deterministic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
+
+GLOBAL_KEY = b"reproduction-global-key-32bytes!"
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20060612)
+
+
+@pytest.fixture
+def params() -> PrivacyParams:
+    """p = 0.3: comfortably private yet accurate at a few thousand users."""
+    return PrivacyParams(p=0.3)
+
+
+@pytest.fixture
+def prf(params: PrivacyParams) -> BiasedPRF:
+    return BiasedPRF(p=params.p, global_key=GLOBAL_KEY)
+
+
+@pytest.fixture
+def sketcher(params: PrivacyParams, prf: BiasedPRF, rng: np.random.Generator) -> Sketcher:
+    return Sketcher(params, prf, sketch_bits=8, rng=rng)
+
+
+@pytest.fixture
+def estimator(params: PrivacyParams, prf: BiasedPRF) -> SketchEstimator:
+    return SketchEstimator(params, prf)
+
+
+def make_prf(p: float) -> BiasedPRF:
+    """Non-fixture helper for tests that sweep the bias."""
+    return BiasedPRF(p=p, global_key=GLOBAL_KEY)

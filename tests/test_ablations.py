@@ -1,0 +1,170 @@
+"""Ablation and adversarial-robustness tests.
+
+DESIGN.md §5 calls out the design choices worth stress-testing:
+
+* sampling with vs without replacement in Algorithm 1;
+* privacy under an *adversarially chosen* public function (Lemma 3.3's
+  "even an adversarial choice of the values of H would not compromise a
+  user's privacy").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import attack_sketches
+from repro.core import (
+    BiasedPRF,
+    PrivacyParams,
+    SketchEstimator,
+    SketchFailure,
+    Sketcher,
+    TrueRandomOracle,
+)
+
+KEY = b"reproduction-global-key-32bytes!"
+
+
+class TestWithReplacementAblation:
+    def test_lemma_32_biases_preserved(self, rng):
+        # The published key keeps the exact two-sided bias: the
+        # per-consideration stop/accept law is identical.
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(0.3, global_key=KEY)
+        sketcher = Sketcher(
+            params, prf, sketch_bits=8, rng=rng, with_replacement=True
+        )
+        hits_true, hits_other = [], []
+        for i in range(3000):
+            sketch = sketcher.sketch(f"u{i}", [1, 0], (0, 1))
+            hits_true.append(sketch.evaluate(prf, (1, 0)))
+            hits_other.append(sketch.evaluate(prf, (0, 1)))
+        assert np.mean(hits_true) == pytest.approx(0.7, abs=0.03)
+        assert np.mean(hits_other) == pytest.approx(0.3, abs=0.03)
+
+    def test_estimates_work_with_replacement_sketches(self, rng, estimator):
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(0.3, global_key=KEY)
+        sketcher = Sketcher(
+            params, prf, sketch_bits=8, rng=rng, with_replacement=True
+        )
+        profiles = [[1]] * 1200 + [[0]] * 1800
+        sketches = [
+            sketcher.sketch(f"u{i}", profile, (0,))
+            for i, profile in enumerate(profiles)
+        ]
+        estimate = estimator.estimate(sketches, (1,))
+        assert estimate.fraction == pytest.approx(0.4, abs=0.06)
+
+    def test_iterations_can_exceed_key_space(self, rng):
+        # With replacement the draw count is not bounded by L; a tiny key
+        # space makes revisits overwhelmingly likely.
+        params = PrivacyParams(p=0.1)  # low stop probability
+        prf = BiasedPRF(0.1, global_key=KEY)
+        sketcher = Sketcher(
+            params, prf, sketch_bits=1, rng=rng, with_replacement=True
+        )
+        iterations = [
+            sketcher.sketch(f"u{i}", [1], (0,)).iterations for i in range(400)
+        ]
+        assert max(iterations) > 2  # exceeded the 2-key space
+
+    def test_cap_failure_is_explicit(self, rng):
+        class ZeroOracle(TrueRandomOracle):
+            def _uniform64(self, payload: bytes) -> int:
+                return (1 << 64) - 1  # every evaluation is 0
+
+        params = PrivacyParams(p=0.3)
+        sketcher = Sketcher(
+            params, ZeroOracle(0.3), sketch_bits=4, rng=rng,
+            with_replacement=True, max_iterations=3,
+        )
+
+        class NoAcceptRng:
+            def integers(self, low, high):
+                return 0
+
+            def random(self):
+                return 1.0
+
+        sketcher._rng = NoAcceptRng()
+        with pytest.raises(SketchFailure, match="draw cap"):
+            sketcher.sketch("u", [1], (0,))
+
+    def test_max_iterations_validated(self, rng):
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(0.3, global_key=KEY)
+        with pytest.raises(ValueError):
+            Sketcher(params, prf, rng=rng, max_iterations=0)
+
+    def test_default_cap_sized_for_negligible_failure(self, rng):
+        # The cap must hold even conditioned on the worst evaluation
+        # pattern (all keys evaluate to 0), where only the accept coin
+        # (probability r per draw) can stop the loop.
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(0.3, global_key=KEY)
+        sketcher = Sketcher(params, prf, rng=rng, with_replacement=True)
+        failure = (1 - params.rejection_probability) ** sketcher.max_iterations
+        assert failure <= 1e-12
+
+
+class TestAdversarialOracle:
+    """Lemma 3.3 holds "even [for] an adversarial choice of the values of
+    H" — stress it with oracles rigged against one candidate profile."""
+
+    class RiggedOracle(TrueRandomOracle):
+        """Evaluates to 1 exactly on a chosen payload set."""
+
+        def __init__(self, p, ones):
+            super().__init__(p)
+            self._ones = ones
+
+        def _uniform64(self, payload: bytes) -> int:
+            return 0 if payload in self._ones else (1 << 64) - 1
+
+    def build_rigged(self, params, user_id, subset, value, num_keys):
+        """An oracle where ONLY (value, key=0) evaluates to 1 — the
+        maximally skewed pattern from the Lemma 3.3 proof (q = 1)."""
+        from repro.core.prf import encode_input
+
+        ones = {encode_input(user_id, subset, value, 0)}
+        return self.RiggedOracle(params.p, ones)
+
+    def test_posterior_bounded_under_rigged_oracle(self, rng):
+        params = PrivacyParams(p=0.25)
+        subset = (0, 1)
+        candidate_a, candidate_b = (1, 1), (0, 0)
+        bound = params.privacy_ratio_bound()
+        for holds_a in (True, False):
+            oracle = self.build_rigged(params, "victim", subset, candidate_a, 16)
+            sketcher = Sketcher(params, oracle, sketch_bits=4, rng=rng)
+            profile = list(candidate_a if holds_a else candidate_b)
+            published = 0
+            for _ in range(40):
+                # The paper conditions all results on non-failure; with a
+                # rigged all-zeros pattern the failure branch is reachable
+                # ((1-r)^16 ~ 15%), so skip failed runs.
+                try:
+                    sketch = sketcher.sketch("victim", profile, subset)
+                except SketchFailure:
+                    continue
+                published += 1
+                result = attack_sketches(
+                    oracle, params, [sketch], candidate_a, candidate_b
+                )
+                ratio = result.likelihood_ratio
+                assert 1.0 / bound - 1e-9 <= ratio <= bound + 1e-9
+            assert published > 10
+
+    def test_estimator_ruined_but_privacy_intact(self, rng):
+        # An adversarial H destroys utility (that is allowed — utility
+        # assumes pseudorandomness) but the privacy ratio still holds.
+        params = PrivacyParams(p=0.25)
+        oracle = self.build_rigged(params, "u0", (0,), (1,), 16)
+        sketcher = Sketcher(params, oracle, sketch_bits=4, rng=rng)
+        estimator = SketchEstimator(params, oracle, clamp=False)
+        sketches = [sketcher.sketch("u0", [0], (0,))]
+        # No assertion on accuracy — only that nothing crashes and the
+        # privacy check above is the one that matters.
+        estimator.estimate(sketches, (1,))

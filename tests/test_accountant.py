@@ -1,0 +1,86 @@
+"""Unit tests for the multi-sketch privacy ledger (Corollary 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BudgetExceeded, PrivacyAccountant, PrivacyParams
+
+
+class TestBudgetArithmetic:
+    def test_per_sketch_ratio_is_lemma_33(self):
+        params = PrivacyParams(p=0.25)
+        accountant = PrivacyAccountant(params, epsilon=100.0)
+        assert accountant.per_sketch_ratio == pytest.approx(3.0**4)
+
+    def test_max_sketches_matches_closed_form(self):
+        params = PrivacyParams.from_epsilon(0.5, num_sketches=4)
+        accountant = PrivacyAccountant(params, epsilon=0.5)
+        # The params were sized for exactly 4 sketches at eps = 0.5.
+        assert accountant.max_sketches == 4
+
+    def test_max_sketches_zero_when_p_too_small(self):
+        # p = 0.25 costs ratio 81 per sketch; a budget of eps = 0.5 cannot
+        # afford even one.
+        accountant = PrivacyAccountant(PrivacyParams(p=0.25), epsilon=0.5)
+        assert accountant.max_sketches == 0
+        assert not accountant.can_release("u")
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(PrivacyParams(p=0.3), epsilon=0.0)
+
+
+class TestLedger:
+    def make(self, sketches=8, epsilon=0.4):
+        params = PrivacyParams.from_epsilon(epsilon, num_sketches=sketches)
+        return PrivacyAccountant(params, epsilon=epsilon)
+
+    def test_fresh_user_has_empty_record(self):
+        accountant = self.make()
+        record = accountant.spent("nobody")
+        assert record.num_sketches == 0
+        assert record.ratio == 1.0
+
+    def test_charge_accumulates(self):
+        accountant = self.make(sketches=8)
+        accountant.charge("u", 3)
+        accountant.charge("u", 2)
+        record = accountant.spent("u")
+        assert record.num_sketches == 5
+        assert record.ratio == pytest.approx(
+            accountant.params.privacy_ratio_bound(5)
+        )
+
+    def test_remaining_decreases(self):
+        accountant = self.make(sketches=8)
+        start = accountant.remaining_sketches("u")
+        accountant.charge("u", 3)
+        assert accountant.remaining_sketches("u") == start - 3
+
+    def test_over_budget_raises_and_preserves_ledger(self):
+        accountant = self.make(sketches=4)
+        limit = accountant.max_sketches
+        accountant.charge("u", limit)
+        with pytest.raises(BudgetExceeded):
+            accountant.charge("u", 1)
+        assert accountant.spent("u").num_sketches == limit
+
+    def test_budgets_are_per_user(self):
+        accountant = self.make(sketches=4)
+        accountant.charge("alice", accountant.max_sketches)
+        # Bob's budget is untouched.
+        assert accountant.can_release("bob", accountant.max_sketches)
+
+    def test_charge_validates_count(self):
+        accountant = self.make()
+        with pytest.raises(ValueError):
+            accountant.charge("u", 0)
+        with pytest.raises(ValueError):
+            accountant.can_release("u", -1)
+
+    def test_cumulative_ratio_never_exceeds_budget(self):
+        accountant = self.make(sketches=6, epsilon=0.3)
+        for _ in range(accountant.max_sketches):
+            accountant.charge("u", 1)
+        assert accountant.spent("u").ratio <= 1.3 + 1e-9

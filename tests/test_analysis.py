@@ -1,0 +1,156 @@
+"""Unit tests for the analytic-bounds and statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bit_flip_is_private,
+    bit_flip_max_constant,
+    bit_flip_ratio,
+    conditioning_sweep,
+    empirical_coverage,
+    error_quantile,
+    fit_exponential_base,
+    fit_power_decay,
+    mae,
+    max_abs_error,
+    privacy_ratio_bound,
+    rmse,
+    sketch_failure_bound,
+    sketch_length_bound,
+    utility_error_bound,
+    utility_tail_bound,
+    worst_case_iterations,
+)
+
+
+class TestBoundWrappers:
+    def test_sketch_length_matches_params(self):
+        assert sketch_length_bound(10**6, 1e-6, 0.3) >= 1
+
+    def test_failure_bound_decreases_in_bits(self):
+        values = [sketch_failure_bound(b, 1000, 0.3) for b in (2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_privacy_ratio(self):
+        assert privacy_ratio_bound(0.25, 1) == pytest.approx(81.0)
+
+    def test_utility_wrappers(self):
+        assert utility_error_bound(10000, 0.05, 0.25) > 0
+        assert 0 < utility_tail_bound(0.1, 1000, 0.25) < 1
+
+    def test_worst_case_iterations_formula(self):
+        expected = math.log(1000 / 1e-6) / abs(math.log(1 - 0.09))
+        assert worst_case_iterations(1000, 1e-6, 0.3) == pytest.approx(expected)
+
+    def test_worst_case_iterations_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_iterations(0, 0.1, 0.3)
+        with pytest.raises(ValueError):
+            worst_case_iterations(10, 2.0, 0.3)
+        with pytest.raises(ValueError):
+            worst_case_iterations(10, 0.1, 0.6)
+
+
+class TestAppendixB:
+    def test_ratio(self):
+        assert bit_flip_ratio(0.25) == pytest.approx(3.0)
+
+    def test_privacy_check(self):
+        # p = 1/2 - eps/(2(2+eps)) is exactly eps-private (boundary case;
+        # checked via the ratio to dodge float round-off at equality).
+        epsilon = 0.4
+        c = bit_flip_max_constant(epsilon)
+        p = 0.5 - c * epsilon
+        assert bit_flip_ratio(p) == pytest.approx(1.0 + epsilon)
+        # Strictly inside the region it passes the boolean check; a
+        # slightly larger constant breaks it.
+        assert bit_flip_is_private(0.5 - (c - 0.02) * epsilon, epsilon)
+        assert not bit_flip_is_private(0.5 - (c + 0.02) * epsilon, epsilon)
+
+    def test_constant_converges_to_quarter(self):
+        # The paper states c <= 1/4; the exact constant 1/(2(2+eps))
+        # approaches 1/4 from below as eps -> 0.
+        assert bit_flip_max_constant(1e-9) == pytest.approx(0.25, abs=1e-9)
+        assert bit_flip_max_constant(0.5) < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bit_flip_ratio(0.6)
+        with pytest.raises(ValueError):
+            bit_flip_is_private(0.3, 0.0)
+        with pytest.raises(ValueError):
+            bit_flip_max_constant(-1.0)
+
+
+class TestConditioning:
+    def test_sweep_shape(self):
+        rows = conditioning_sweep([1, 2, 3], [0.2, 0.3])
+        assert len(rows) == 6
+        assert {row.p for row in rows} == {0.2, 0.3}
+
+    def test_fitted_base_tracks_inverse_gap(self):
+        # Appendix F: base of the exponential growth ~ 1/(1-2p).
+        base_02, r2_02 = fit_exponential_base(range(2, 10), 0.2)
+        base_04, r2_04 = fit_exponential_base(range(2, 10), 0.4)
+        assert base_04 > base_02  # closer to 1/2 -> faster growth
+        assert r2_02 > 0.98 and r2_04 > 0.98  # growth really is exponential
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_exponential_base([3], 0.3)
+
+
+class TestStats:
+    def test_error_metrics(self):
+        estimates = [1.0, 2.0, 3.0]
+        truths = [1.5, 2.0, 5.0]
+        assert mae(estimates, truths) == pytest.approx((0.5 + 0 + 2) / 3)
+        assert rmse(estimates, truths) == pytest.approx(
+            math.sqrt((0.25 + 0 + 4) / 3)
+        )
+        assert max_abs_error(estimates, truths) == pytest.approx(2.0)
+
+    def test_error_quantile(self):
+        errors = np.arange(100) / 100.0
+        assert error_quantile(errors, np.zeros(100), 0.95) == pytest.approx(
+            0.9405, abs=0.01
+        )
+
+    def test_metrics_validate(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mae([], [])
+        with pytest.raises(ValueError):
+            error_quantile([1.0], [1.0], quantile=0.0)
+
+    def test_coverage(self):
+        truths = [0.5, 0.5, 0.5]
+        lows = [0.4, 0.6, 0.0]
+        highs = [0.6, 0.7, 1.0]
+        assert empirical_coverage(truths, lows, highs) == pytest.approx(2 / 3)
+
+    def test_coverage_validates(self):
+        with pytest.raises(ValueError):
+            empirical_coverage([0.5], [0.4, 0.3], [0.6, 0.7])
+        with pytest.raises(ValueError):
+            empirical_coverage([], [], [])
+
+    def test_power_decay_fit_recovers_half(self):
+        sizes = np.array([100, 400, 1600, 6400, 25600])
+        errors = 3.0 / np.sqrt(sizes)
+        fit = fit_power_decay(sizes, errors)
+        assert fit.exponent == pytest.approx(-0.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_power_decay_validates(self):
+        with pytest.raises(ValueError):
+            fit_power_decay([100], [0.1])
+        with pytest.raises(ValueError):
+            fit_power_decay([100, 200], [0.1, -0.1])

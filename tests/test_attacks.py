@@ -1,0 +1,214 @@
+"""Unit tests for the Bayesian and dictionary adversaries (E17/E18 logic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    attack_randomized_response,
+    attack_retention,
+    attack_sketches,
+    dictionary_attack_hash,
+    dictionary_attack_sketch,
+    hash_publish,
+    map_success_rate,
+    posterior_entropy,
+    posterior_from_likelihoods,
+    sketch_likelihood,
+)
+from repro.baselines import RandomizedResponse, RetentionReplacement
+from repro.core import Sketcher
+
+
+class TestBayesMachinery:
+    def test_posterior_formula(self):
+        result = posterior_from_likelihoods(0.8, 0.2, prior_a=0.5)
+        assert result.posterior_a == pytest.approx(0.8)
+        assert result.likelihood_ratio == pytest.approx(4.0)
+        assert result.map_guess_a
+
+    def test_prior_shapes_posterior(self):
+        result = posterior_from_likelihoods(0.8, 0.2, prior_a=0.1)
+        expected = 0.8 * 0.1 / (0.8 * 0.1 + 0.2 * 0.9)
+        assert result.posterior_a == pytest.approx(expected)
+
+    def test_impossible_observation_keeps_prior(self):
+        result = posterior_from_likelihoods(0.0, 0.0, prior_a=0.3)
+        assert result.posterior_a == pytest.approx(0.3)
+        assert result.advantage == pytest.approx(0.0)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            posterior_from_likelihoods(0.5, 0.5, prior_a=0.0)
+        with pytest.raises(ValueError):
+            posterior_from_likelihoods(-0.1, 0.5)
+
+    def test_map_success_rate(self):
+        results = [
+            posterior_from_likelihoods(0.9, 0.1),
+            posterior_from_likelihoods(0.1, 0.9),
+        ]
+        assert map_success_rate(results, [True, False]) == 1.0
+        assert map_success_rate(results, [False, True]) == 0.0
+        with pytest.raises(ValueError):
+            map_success_rate(results, [True])
+        with pytest.raises(ValueError):
+            map_success_rate([], [])
+
+
+class TestSketchAttack:
+    def test_likelihood_ratio_respects_lemma_33(self, params, prf, rng):
+        # The exact two-candidate likelihood ratio of any published sketch
+        # must sit inside the ((1-p)/p)^4 band.
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        bound = params.privacy_ratio_bound()
+        candidate_a = (1, 1, 0)
+        candidate_b = (0, 0, 1)
+        for i in range(60):
+            truth = candidate_a if i % 2 == 0 else candidate_b
+            profile = list(truth)
+            sketch = sketcher.sketch(f"u{i}", profile, (0, 1, 2))
+            lik_a = sketch_likelihood(prf, params, sketch, candidate_a)
+            lik_b = sketch_likelihood(prf, params, sketch, candidate_b)
+            ratio = lik_a / lik_b
+            assert 1.0 / bound - 1e-9 <= ratio <= bound + 1e-9
+
+    def test_sketch_attack_near_blind(self, params, prf, rng):
+        # MAP attack on sketches barely beats coin flipping.
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        candidate_a = [1, 1, 0, 0]
+        candidate_b = [0, 0, 1, 1]
+        results, truth = [], []
+        for i in range(400):
+            holds_a = bool(rng.random() < 0.5)
+            profile = candidate_a if holds_a else candidate_b
+            sketch = sketcher.sketch(f"u{i}", profile, (0, 1, 2, 3))
+            results.append(
+                attack_sketches(prf, params, [sketch], candidate_a, candidate_b)
+            )
+            truth.append(holds_a)
+        success = map_success_rate(results, truth)
+        # Lemma 3.3 caps the best possible accuracy at
+        # bound/(1+bound); with p = 0.3 that's ~0.97, but the *realised*
+        # advantage at typical sketches is far smaller.  We assert the
+        # posterior never moves beyond the deterministic cap, and that
+        # the attack is far from perfect identification.
+        bound = params.privacy_ratio_bound()
+        cap = bound / (1.0 + bound)
+        assert all(result.posterior_a <= cap + 1e-9 for result in results)
+        assert success < 0.9
+
+    def test_multi_sketch_attack_composes(self, params, prf, rng):
+        # More sketches -> more leakage (still bounded by Cor 3.4).
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        candidate_a = [1, 0]
+        candidate_b = [0, 1]
+        sketches = [
+            sketcher.sketch("victim", candidate_a, (0,)),
+            sketcher.sketch("victim", candidate_a, (1,)),
+        ]
+        result = attack_sketches(prf, params, sketches, candidate_a, candidate_b)
+        bound = params.privacy_ratio_bound(num_sketches=2)
+        assert 1.0 / bound - 1e-9 <= result.likelihood_ratio <= bound + 1e-9
+
+
+class TestBaselineAttacks:
+    def test_retention_attack_identifies_profiles(self, rng):
+        # The introduction's example: disjoint candidate vectors, one
+        # retained component suffices.
+        mechanism = RetentionReplacement(0.8, 10, rng=rng)
+        candidate_a = [1, 1, 2, 2, 3, 3]
+        candidate_b = [4, 4, 5, 5, 6, 6]
+        results, truth = [], []
+        for _ in range(300):
+            holds_a = bool(rng.random() < 0.5)
+            profile = np.array(candidate_a if holds_a else candidate_b)
+            observed = mechanism.perturb(profile)
+            results.append(attack_retention(mechanism, observed, candidate_a, candidate_b))
+            truth.append(holds_a)
+        assert map_success_rate(results, truth) > 0.95
+
+    def test_rr_attack_bounded_for_short_vectors(self, rng):
+        mechanism = RandomizedResponse(0.3, rng=rng)
+        candidate_a = [1, 0]
+        candidate_b = [0, 1]
+        observed = mechanism.perturb(np.array([candidate_a]))[0]
+        result = attack_randomized_response(
+            mechanism, observed, candidate_a, candidate_b
+        )
+        # Hamming distance 2 -> ratio at most ((1-p)/p)^2.
+        assert result.likelihood_ratio <= ((0.7 / 0.3) ** 2) + 1e-9
+
+    def test_rr_attack_sharpens_with_width(self, rng):
+        # Wide disjoint candidates are nearly identified — flipping's
+        # width-dependent weakness.
+        mechanism = RandomizedResponse(0.3, rng=rng)
+        width = 64
+        candidate_a = [1] * width
+        candidate_b = [0] * width
+        results, truth = [], []
+        for _ in range(200):
+            holds_a = bool(rng.random() < 0.5)
+            profile = np.array([candidate_a if holds_a else candidate_b])
+            observed = mechanism.perturb(profile)[0]
+            results.append(
+                attack_randomized_response(mechanism, observed, candidate_a, candidate_b)
+            )
+            truth.append(holds_a)
+        assert map_success_rate(results, truth) > 0.95
+
+    def test_shape_validation(self, rng):
+        mechanism = RandomizedResponse(0.3, rng=rng)
+        with pytest.raises(ValueError):
+            attack_randomized_response(mechanism, [1, 0], [1], [0])
+
+
+class TestDictionaryAttack:
+    def test_hash_attack_recovers_exactly(self):
+        candidates = [tuple(int(b) for b in f"{i:07b}") for i in range(100)]
+        secret = candidates[42]
+        published = hash_publish(secret)
+        assert dictionary_attack_hash(published, candidates) == 42
+
+    def test_hash_attack_out_of_dictionary(self):
+        candidates = [(0, 0), (0, 1)]
+        assert dictionary_attack_hash(hash_publish((1, 1)), candidates) is None
+
+    def test_salt_does_not_help(self):
+        candidates = [(0, 1), (1, 0)]
+        published = hash_publish((1, 0), salt=b"public-salt")
+        assert dictionary_attack_hash(published, candidates, salt=b"public-salt") == 1
+
+    def test_sketch_posterior_stays_flat(self, params, prf, rng):
+        # 100-candidate dictionary: the sketch posterior stays within the
+        # Lemma 3.3 band of uniform.
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        candidates = [tuple(int(b) for b in f"{i:07b}") for i in range(100)]
+        secret = list(candidates[42])
+        sketch = sketcher.sketch("victim", secret, tuple(range(7)))
+        posterior = dictionary_attack_sketch(prf, params, sketch, candidates)
+        bound = params.privacy_ratio_bound()
+        uniform = 1.0 / 100
+        assert posterior.max() <= uniform * bound + 1e-9
+        assert posterior.min() >= uniform / bound - 1e-9
+        # The attacker keeps almost all of their initial uncertainty.
+        assert posterior_entropy(posterior) > 5.0  # out of log2(100) ~ 6.64
+
+    def test_posterior_prior_handling(self, params, prf, rng):
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        sketch = sketcher.sketch("u", [1, 0], (0, 1))
+        with pytest.raises(ValueError):
+            dictionary_attack_sketch(prf, params, sketch, [])
+        with pytest.raises(ValueError):
+            dictionary_attack_sketch(
+                prf, params, sketch, [(0, 0), (1, 1)], prior=[0.5]
+            )
+        with pytest.raises(ValueError):
+            dictionary_attack_sketch(
+                prf, params, sketch, [(0, 0), (1, 1)], prior=[0.9, 0.9]
+            )
+
+    def test_entropy_of_uniform(self):
+        assert posterior_entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+        assert posterior_entropy(np.array([1.0, 0.0])) == pytest.approx(0.0)

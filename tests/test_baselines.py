@@ -1,0 +1,182 @@
+"""Unit tests for the three comparator mechanisms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomizedResponse, RetentionReplacement, SelectASize
+
+
+class TestRandomizedResponse:
+    def test_validates_p(self):
+        for bad in (0.0, 0.5, 0.7):
+            with pytest.raises(ValueError):
+                RandomizedResponse(bad)
+
+    def test_perturb_flip_rate(self, rng):
+        mechanism = RandomizedResponse(0.2, rng=rng)
+        original = (rng.random((20000, 4)) < 0.5).astype(int)
+        flipped = mechanism.perturb(original)
+        assert float((flipped != original).mean()) == pytest.approx(0.2, abs=0.01)
+
+    def test_perturb_rejects_non_binary(self, rng):
+        with pytest.raises(ValueError):
+            RandomizedResponse(0.2, rng=rng).perturb(np.array([[0, 2]]))
+
+    def test_bit_fraction_recovery(self, rng):
+        mechanism = RandomizedResponse(0.3, rng=rng)
+        original = (rng.random(50000) < 0.42).astype(int)
+        perturbed = mechanism.perturb(original.reshape(-1, 1))[:, 0]
+        assert mechanism.estimate_bit_fraction(perturbed) == pytest.approx(
+            0.42, abs=0.02
+        )
+
+    def test_conjunction_recovery_narrow(self, rng):
+        mechanism = RandomizedResponse(0.2, rng=rng)
+        original = (rng.random((60000, 2)) < 0.6).astype(int)
+        perturbed = mechanism.perturb(original)
+        truth = float(((original[:, 0] == 1) & (original[:, 1] == 0)).mean())
+        estimate = mechanism.estimate_conjunction(perturbed, (1, 0))
+        assert estimate == pytest.approx(truth, abs=0.02)
+
+    def test_privacy_ratio_grows_with_width(self):
+        mechanism = RandomizedResponse(0.3)
+        single = mechanism.privacy_ratio_bound(1)
+        assert mechanism.privacy_ratio_bound(10) == pytest.approx(single**10)
+
+    def test_density_after_perturbation(self):
+        mechanism = RandomizedResponse(0.3)
+        # Sparse data comes out dense — the paper's critique of flipping.
+        assert mechanism.density_after_perturbation(0.01) == pytest.approx(
+            0.7 * 0.01 + 0.3 * 0.99
+        )
+
+    def test_condition_grows_with_width(self):
+        mechanism = RandomizedResponse(0.3)
+        conditions = [mechanism.conjunction_condition(k) for k in (1, 4, 8)]
+        assert conditions == sorted(conditions)
+
+    def test_published_size_is_profile_width(self):
+        assert RandomizedResponse(0.3).published_bits_per_user(128) == 128
+
+
+class TestRetentionReplacement:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            RetentionReplacement(0.0, 10)
+        with pytest.raises(ValueError):
+            RetentionReplacement(0.5, 1)
+
+    def test_perturb_keeps_domain(self, rng):
+        mechanism = RetentionReplacement(0.8, 6, rng=rng)
+        values = rng.integers(0, 6, size=10000)
+        perturbed = mechanism.perturb(values)
+        assert perturbed.min() >= 0 and perturbed.max() < 6
+
+    def test_perturb_rejects_out_of_domain(self, rng):
+        with pytest.raises(ValueError):
+            RetentionReplacement(0.8, 4, rng=rng).perturb(np.array([5]))
+
+    def test_retention_rate(self, rng):
+        mechanism = RetentionReplacement(0.8, 6, rng=rng)
+        values = rng.integers(0, 6, size=50000)
+        perturbed = mechanism.perturb(values)
+        # match rate = rho + (1 - rho)/D
+        expected = 0.8 + 0.2 / 6
+        assert float((perturbed == values).mean()) == pytest.approx(expected, abs=0.01)
+
+    def test_point_fraction_recovery(self, rng):
+        mechanism = RetentionReplacement(0.7, 8, rng=rng)
+        values = np.where(rng.random(60000) < 0.35, 3, 5)
+        perturbed = mechanism.perturb(values)
+        assert mechanism.estimate_point_fraction(perturbed, 3) == pytest.approx(
+            0.35, abs=0.02
+        )
+
+    def test_interval_fraction_recovery(self, rng):
+        mechanism = RetentionReplacement(0.7, 16, rng=rng)
+        values = rng.integers(0, 16, size=60000)
+        perturbed = mechanism.perturb(values)
+        truth = float((values <= 5).mean())
+        assert mechanism.estimate_interval_fraction(perturbed, 5) == pytest.approx(
+            truth, abs=0.02
+        )
+
+    def test_likelihood_is_a_probability(self, rng):
+        mechanism = RetentionReplacement(0.6, 4, rng=rng)
+        # Sum over all observable vectors of likelihood = 1.
+        candidate = [1, 3]
+        total = sum(
+            mechanism.likelihood([x, y], candidate)
+            for x in range(4)
+            for y in range(4)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_single_value_ratio_large(self):
+        mechanism = RetentionReplacement(0.8, 6)
+        assert mechanism.single_value_ratio() > 20  # nowhere near eps-private
+
+    def test_undetectable_probability_vanishes(self):
+        mechanism = RetentionReplacement(0.8, 6)
+        assert mechanism.undetectable_probability(6) == pytest.approx(0.2**6)
+
+
+class TestSelectASize:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            SelectASize(0.0, 0.1)
+        with pytest.raises(ValueError):
+            SelectASize(0.5, 0.5)
+        with pytest.raises(ValueError):
+            SelectASize(0.2, 0.3)
+
+    def test_perturb_rates(self, rng):
+        mechanism = SelectASize(0.8, 0.1, rng=rng)
+        original = (rng.random((30000, 5)) < 0.4).astype(int)
+        perturbed = mechanism.perturb(original)
+        kept = perturbed[original == 1].mean()
+        inserted = perturbed[original == 0].mean()
+        assert float(kept) == pytest.approx(0.8, abs=0.01)
+        assert float(inserted) == pytest.approx(0.1, abs=0.01)
+
+    def test_kernel_columns_are_distributions(self):
+        mechanism = SelectASize(0.7, 0.15)
+        kernel = mechanism.mixture_kernel(4)
+        assert kernel.sum(axis=0) == pytest.approx(np.ones(5))
+
+    def test_itemset_support_recovery(self, rng):
+        mechanism = SelectASize(0.85, 0.05, rng=rng)
+        # Plant a frequent pair: items 0 and 1 co-occur in 30% of rows.
+        num_users = 60000
+        rows = np.zeros((num_users, 6), dtype=int)
+        planted = rng.random(num_users) < 0.3
+        rows[planted, 0] = 1
+        rows[planted, 1] = 1
+        rows[:, 2] = rng.random(num_users) < 0.2
+        perturbed = mechanism.perturb(rows)
+        support = mechanism.estimate_itemset_support(perturbed, [0, 1])
+        assert support == pytest.approx(0.3, abs=0.02)
+
+    def test_condition_grows_with_itemset_size(self):
+        mechanism = SelectASize(0.8, 0.1)
+        conditions = [mechanism.itemset_condition(k) for k in (1, 3, 6)]
+        assert conditions == sorted(conditions)
+
+    def test_expected_row_size(self):
+        mechanism = SelectASize(0.8, 0.01)
+        assert mechanism.expected_row_size(3, 1000) == pytest.approx(
+            0.8 * 3 + 0.01 * 997
+        )
+
+    def test_privacy_ratio_without_insertion_is_infinite(self):
+        mechanism = SelectASize(0.8, 0.0)
+        assert math.isinf(mechanism.privacy_ratio_bound(1))
+
+    def test_privacy_ratio_compounds(self):
+        mechanism = SelectASize(0.8, 0.1)
+        single = mechanism.privacy_ratio_bound(1)
+        assert mechanism.privacy_ratio_bound(3) == pytest.approx(single**3)

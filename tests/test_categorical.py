@@ -1,0 +1,119 @@
+"""Unit tests for the non-binary (categorical) query layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Sketcher
+from repro.data import zipf_categorical
+from repro.queries import (
+    categorical_histogram,
+    estimate_mode,
+    simplex_project,
+    top_k_categories,
+)
+from repro.server import MissingSketchError, QueryEngine, attribute_subsets, publish_database
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex_unchanged(self):
+        vector = np.array([0.2, 0.3, 0.5])
+        assert simplex_project(vector) == pytest.approx(vector)
+
+    def test_output_is_a_distribution(self, rng):
+        for _ in range(20):
+            vector = rng.normal(0, 1, size=8)
+            projected = simplex_project(vector)
+            assert projected.min() >= 0
+            assert projected.sum() == pytest.approx(1.0)
+
+    def test_projection_is_idempotent(self, rng):
+        vector = rng.normal(0, 1, size=5)
+        once = simplex_project(vector)
+        assert simplex_project(once) == pytest.approx(once)
+
+    def test_negative_mass_clipped(self):
+        projected = simplex_project(np.array([1.2, -0.1, -0.1]))
+        assert projected == pytest.approx([1.0, 0.0, 0.0])
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            simplex_project(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            simplex_project(np.array([]))
+
+
+class TestCategoricalQueries:
+    @pytest.fixture
+    def setup(self, params, prf, estimator, rng):
+        db = zipf_categorical(6000, cardinality=8, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+        store = publish_database(db, sketcher, attribute_subsets(db.schema))
+        sketches = store.sketches_for(db.schema.bits("category"))
+        engine = QueryEngine(db.schema, store, estimator)
+        return db, sketches, engine
+
+    def test_histogram_tracks_truth(self, setup, estimator):
+        db, sketches, _ = setup
+        histogram = categorical_histogram(estimator, sketches, db.schema, "category")
+        truth = np.bincount(db.attribute_values("category"), minlength=8) / len(db)
+        assert np.abs(histogram - truth).max() < 0.07
+
+    def test_histogram_normalized_is_distribution(self, setup, estimator):
+        db, sketches, _ = setup
+        histogram = categorical_histogram(estimator, sketches, db.schema, "category")
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram.min() >= 0
+
+    def test_unnormalized_histogram_unbiasedness(self, setup, estimator):
+        db, sketches, _ = setup
+        raw = categorical_histogram(
+            estimator, sketches, db.schema, "category", normalize=False
+        )
+        truth = np.bincount(db.attribute_values("category"), minlength=8) / len(db)
+        # Raw estimates track truth too (clamped per-entry).
+        assert np.abs(raw - truth).max() < 0.08
+
+    def test_mode_is_head_of_zipf(self, setup, estimator):
+        db, sketches, _ = setup
+        mode, frequency = estimate_mode(estimator, sketches, db.schema, "category")
+        assert mode == 0  # Zipf head
+        truth = float((db.attribute_values("category") == 0).mean())
+        assert frequency == pytest.approx(truth, abs=0.07)
+
+    def test_top_k_ranking(self, setup, estimator):
+        db, sketches, _ = setup
+        top = top_k_categories(estimator, sketches, db.schema, "category", 3)
+        assert len(top) == 3
+        assert top[0][0] == 0
+        frequencies = [f for _, f in top]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_top_k_validates(self, setup, estimator):
+        db, sketches, _ = setup
+        with pytest.raises(ValueError):
+            top_k_categories(estimator, sketches, db.schema, "category", 0)
+
+    def test_engine_convenience_methods(self, setup):
+        db, _, engine = setup
+        histogram = engine.histogram("category")
+        assert histogram.shape == (8,)
+        mode, _ = engine.mode("category")
+        assert mode == 0
+        assert len(engine.top_k("category", 2)) == 2
+
+    def test_engine_requires_attribute_policy(self, setup, params, estimator):
+        db, _, _ = setup
+        from repro.server import SketchStore
+
+        engine = QueryEngine(db.schema, SketchStore(), estimator)
+        with pytest.raises(MissingSketchError):
+            engine.histogram("category")
+
+    def test_histogram_cardinality_guard(self, estimator):
+        from repro.data import Schema
+
+        schema = Schema.build(uint={"wide": 20})
+        with pytest.raises(ValueError, match="4096"):
+            categorical_histogram(estimator, [], schema, "wide")

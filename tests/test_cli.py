@@ -1,0 +1,57 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestBounds:
+    def test_prints_all_bounds(self, capsys):
+        assert main(["bounds", "--p", "0.25", "--users", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 3.3" in out
+        assert "Lemma 3.1" in out
+        assert "Lemma 4.1" in out
+        assert "81.000" in out  # ((1-.25)/.25)^4
+
+    def test_rejects_bad_p(self, capsys):
+        assert main(["bounds", "--p", "0.7"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_multi_sketch_ratio(self, capsys):
+        main(["bounds", "--p", "0.25", "--sketches", "2"])
+        out = capsys.readouterr().out
+        assert "6561.000" in out  # 81^2
+
+
+class TestDemo:
+    def test_demo_runs_and_covers_truth(self, capsys):
+        assert main(["demo", "--users", "2000", "--width", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out
+        assert "truth" in out
+
+    def test_demo_validates_arguments(self, capsys):
+        assert main(["demo", "--p", "0.9"]) == 2
+        assert main(["demo", "--users", "5"]) == 2
+
+
+class TestExperiments:
+    def test_lists_all_nineteen(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in [f"E{i}" for i in range(1, 20)]:
+            assert name in out
+        assert "--benchmark-only" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

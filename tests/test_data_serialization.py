@@ -1,0 +1,83 @@
+"""Unit tests for ground-truth database serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Schema,
+    ProfileDatabase,
+    dumps_database,
+    load_database,
+    loads_database,
+    salary_table,
+    save_database,
+    zipf_categorical,
+)
+
+
+class TestRoundTrip:
+    def test_in_memory_round_trip(self, rng):
+        db = salary_table(50, bits=5, rng=rng)
+        loaded = loads_database(dumps_database(db))
+        assert loaded.user_ids == db.user_ids
+        assert np.array_equal(loaded.matrix(), db.matrix())
+        assert loaded.schema.names == db.schema.names
+
+    def test_file_round_trip(self, tmp_path, rng):
+        db = zipf_categorical(30, cardinality=5, rng=rng)
+        path = tmp_path / "db.jsonl"
+        assert save_database(db, path) == 30
+        loaded = load_database(path)
+        assert np.array_equal(
+            loaded.attribute_values("category"), db.attribute_values("category")
+        )
+
+    def test_mixed_schema_round_trip(self, rng):
+        schema = Schema.build(
+            boolean=["flag"], uint={"x": 7}, categorical={"cat": 6}
+        )
+        db = ProfileDatabase(schema)
+        db.add_values("a", {"flag": 1, "x": 100, "cat": 5})
+        db.add_values("b", {"flag": 0, "x": 0, "cat": 0})
+        loaded = loads_database(dumps_database(db))
+        assert loaded["a"].bits.tolist() == db["a"].bits.tolist()
+        spec = loaded.schema.spec("cat")
+        assert spec.kind == "categorical"
+        assert spec.cardinality == 6
+
+    def test_exact_queries_survive(self, rng):
+        db = salary_table(100, bits=4, rng=rng)
+        loaded = loads_database(dumps_database(db))
+        assert loaded.exact_sum("salary") == db.exact_sum("salary")
+        assert loaded.exact_interval("salary", 7) == db.exact_interval("salary", 7)
+
+
+class TestValidation:
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="empty"):
+            loads_database("")
+
+    def test_wrong_format(self):
+        with pytest.raises(ValueError, match="not a profile-db"):
+            loads_database('{"format": "repro-sketch-store", "version": 1}\n')
+
+    def test_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            loads_database(
+                '{"format": "repro-profile-db", "version": 42, "schema": []}\n'
+            )
+
+    def test_malformed_record_line_number(self, rng):
+        db = salary_table(1, bits=4, rng=rng)
+        payload = dumps_database(db) + '{"id": "x"}\n'
+        with pytest.raises(ValueError, match="line 3"):
+            loads_database(payload)
+
+    def test_duplicate_ids_rejected(self, rng):
+        db = salary_table(1, bits=4, rng=rng)
+        lines = dumps_database(db).splitlines()
+        payload = "\n".join(lines + [lines[1]]) + "\n"
+        with pytest.raises(ValueError):
+            loads_database(payload)

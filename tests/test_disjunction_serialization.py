@@ -1,0 +1,148 @@
+"""Unit tests for disjunction queries and sketch-store serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PrivacyParams, Sketch, Sketcher
+from repro.data import bernoulli_panel
+from repro.queries import (
+    Conjunction,
+    disjunction_by_inclusion_exclusion,
+    disjunction_fraction,
+)
+from repro.server import (
+    QueryEngine,
+    SketchStore,
+    dumps_store,
+    load_store,
+    loads_store,
+    publish_database,
+    save_store,
+)
+
+from .conftest import make_prf
+
+
+class TestDisjunction:
+    @pytest.fixture
+    def setup(self, params, prf, estimator, rng):
+        db = bernoulli_panel(5000, 3, density=0.3, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+        store = publish_database(db, sketcher, [(0,), (1,), (2,)])
+        return db, store, QueryEngine(db.schema, store, estimator)
+
+    def test_disjunction_fraction_recovers_truth(self, setup, estimator):
+        db, store, _ = setup
+        matrix = db.matrix()
+        truth = float(((matrix[:, 0] == 1) | (matrix[:, 1] == 1)).mean())
+        groups = store.aligned_groups([(0,), (1,)])
+        estimate = disjunction_fraction(estimator, groups, [(1,), (1,)])
+        assert estimate == pytest.approx(truth, abs=0.07)
+
+    def test_engine_any_of(self, setup):
+        db, _, engine = setup
+        matrix = db.matrix()
+        queries = [Conjunction.of((0, 1)), Conjunction.of((2, 1))]
+        truth = float(((matrix[:, 0] == 1) | (matrix[:, 2] == 1)).mean())
+        assert engine.any_of(queries) == pytest.approx(truth, abs=0.07)
+
+    def test_engine_any_of_missing_subset(self, setup):
+        _, _, engine = setup
+        from repro.server import MissingSketchError
+
+        with pytest.raises(MissingSketchError):
+            engine.any_of([Conjunction.of((0, 1), (1, 1))])
+        with pytest.raises(ValueError):
+            engine.any_of([])
+
+    def test_inclusion_exclusion_exact(self, setup):
+        db, _, _ = setup
+        matrix = db.matrix()
+        first = Conjunction.of((0, 1))
+        second = Conjunction.of((1, 1), (2, 0))
+        truth = float(
+            ((matrix[:, 0] == 1) | ((matrix[:, 1] == 1) & (matrix[:, 2] == 0))).mean()
+        )
+        result = disjunction_by_inclusion_exclusion(
+            lambda s, v: db.exact_count(s, v), first, second, len(db)
+        )
+        assert result == pytest.approx(truth)
+
+    def test_inclusion_exclusion_rejects_overlap(self):
+        first = Conjunction.of((0, 1))
+        second = Conjunction.of((0, 0), (1, 1))
+        with pytest.raises(ValueError, match="share bit positions"):
+            disjunction_by_inclusion_exclusion(lambda s, v: 0, first, second, 10)
+
+    def test_inclusion_exclusion_validates_users(self):
+        with pytest.raises(ValueError):
+            disjunction_by_inclusion_exclusion(
+                lambda s, v: 0, Conjunction.of((0, 1)), Conjunction.of((1, 1)), 0
+            )
+
+
+class TestSerialization:
+    def make_store(self):
+        store = SketchStore()
+        store.publish(Sketch("alice", (0, 2), key=5, num_bits=8, iterations=3))
+        store.publish(Sketch("bob", (0, 2), key=250, num_bits=8, iterations=1))
+        store.publish(Sketch("alice", (1,), key=0, num_bits=8, iterations=9))
+        return store
+
+    def test_round_trip_in_memory(self):
+        store = self.make_store()
+        payload = dumps_store(store, PrivacyParams(p=0.3))
+        loaded, header = loads_store(payload)
+        assert header["p"] == 0.3
+        assert set(loaded.subsets) == set(store.subsets)
+        for subset in store.subsets:
+            original = {(s.user_id, s.key) for s in store.sketches_for(subset)}
+            restored = {(s.user_id, s.key) for s in loaded.sketches_for(subset)}
+            assert original == restored
+
+    def test_round_trip_file(self, tmp_path):
+        store = self.make_store()
+        path = tmp_path / "store.jsonl"
+        written = save_store(store, path, PrivacyParams(p=0.25))
+        assert written == 3
+        loaded, header = load_store(path)
+        assert header["p"] == 0.25
+        assert loaded.total_published_bits() == store.total_published_bits()
+
+    def test_loaded_store_is_queryable(self, params, prf, estimator, rng):
+        db = bernoulli_panel(2000, 2, density=0.5, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+        store = publish_database(db, sketcher, [(0, 1)])
+        loaded, _ = loads_store(dumps_store(store, params))
+        truth = db.exact_conjunction((0, 1), (1, 1))
+        estimate = estimator.estimate(loaded.sketches_for((0, 1)), (1, 1))
+        assert estimate.fraction == pytest.approx(truth, abs=0.07)
+
+    def test_header_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            loads_store("")
+        with pytest.raises(ValueError, match="not a sketch-store"):
+            loads_store('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="version"):
+            loads_store('{"format": "repro-sketch-store", "version": 99}\n')
+
+    def test_malformed_record_reports_line(self):
+        payload = (
+            '{"format": "repro-sketch-store", "version": 1}\n'
+            '{"id": "a", "subset": [0], "key": 1, "bits": 8}\n'
+            '{"id": "b", "subset": [0]}\n'
+        )
+        with pytest.raises(ValueError, match="line 3"):
+            loads_store(payload)
+
+    def test_blank_lines_tolerated(self):
+        payload = (
+            '{"format": "repro-sketch-store", "version": 1}\n'
+            "\n"
+            '{"id": "a", "subset": [0], "key": 1, "bits": 8}\n'
+            "\n"
+        )
+        loaded, _ = loads_store(payload)
+        assert loaded.num_users((0,)) == 1

@@ -1,0 +1,96 @@
+"""Unit tests for value <-> bit-vector codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Schema,
+    bits_to_int,
+    decode_profile,
+    decode_value,
+    encode_profile,
+    encode_value,
+    int_to_bits,
+)
+
+
+class TestIntCodec:
+    def test_round_trip_exhaustive_small(self):
+        for width in (1, 3, 5):
+            for value in range(1 << width):
+                assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_msb_first(self):
+        assert int_to_bits(4, 3) == (1, 0, 0)
+        assert int_to_bits(1, 3) == (0, 0, 1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int((0, 2, 1))
+
+
+class TestValueCodec:
+    @pytest.fixture
+    def schema(self):
+        return Schema.build(
+            boolean=["flag"], uint={"salary": 6}, categorical={"state": 5}
+        )
+
+    def test_encode_decode_round_trip(self, schema):
+        for value in (0, 17, 63):
+            bits = encode_value(schema, "salary", value)
+            assert decode_value(schema, "salary", bits) == value
+
+    def test_categorical_range_enforced(self, schema):
+        encode_value(schema, "state", 4)
+        with pytest.raises(ValueError):
+            encode_value(schema, "state", 5)
+
+    def test_bool_range_enforced(self, schema):
+        with pytest.raises(ValueError):
+            encode_value(schema, "flag", 2)
+
+    def test_decode_wrong_width_rejected(self, schema):
+        with pytest.raises(ValueError):
+            decode_value(schema, "salary", (1, 0))
+
+    def test_decode_invalid_categorical_rejected(self, schema):
+        # 3-bit categorical with cardinality 5: pattern 111 = 7 is invalid.
+        with pytest.raises(ValueError):
+            decode_value(schema, "state", (1, 1, 1))
+
+
+class TestProfileCodec:
+    @pytest.fixture
+    def schema(self):
+        return Schema.build(boolean=["a"], uint={"x": 4})
+
+    def test_round_trip(self, schema):
+        values = {"a": 1, "x": 9}
+        profile = encode_profile(schema, values)
+        assert profile.dtype == np.int8
+        assert decode_profile(schema, profile) == values
+
+    def test_layout(self, schema):
+        profile = encode_profile(schema, {"a": 1, "x": 0b1010})
+        assert profile.tolist() == [1, 1, 0, 1, 0]
+
+    def test_missing_attribute_rejected(self, schema):
+        with pytest.raises(ValueError, match="missing"):
+            encode_profile(schema, {"a": 1})
+
+    def test_extra_attribute_rejected(self, schema):
+        with pytest.raises(ValueError, match="unknown"):
+            encode_profile(schema, {"a": 1, "x": 2, "bogus": 3})
+
+    def test_decode_wrong_length_rejected(self, schema):
+        with pytest.raises(ValueError):
+            decode_profile(schema, [1, 0])

@@ -1,0 +1,147 @@
+"""Unit tests for Algorithm 2 (conjunctive-query estimation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
+
+KEY = b"reproduction-global-key-32bytes!"
+
+
+def build_sketches(params, prf, profiles, subset, seed=0, bits=8):
+    sketcher = Sketcher(params, prf, sketch_bits=bits, rng=np.random.default_rng(seed))
+    return [
+        sketcher.sketch(f"u{i}", profile, subset)
+        for i, profile in enumerate(profiles)
+    ]
+
+
+class TestValidation:
+    def test_rejects_bias_mismatch(self):
+        with pytest.raises(ValueError):
+            SketchEstimator(PrivacyParams(p=0.3), BiasedPRF(0.2, global_key=KEY))
+
+    def test_rejects_empty_collection(self, params, prf, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate([], (1,))
+
+    def test_rejects_value_width_mismatch(self, params, prf, estimator):
+        sketches = build_sketches(params, prf, [[1, 0]] * 5, (0, 1))
+        with pytest.raises(ValueError):
+            estimator.estimate(sketches, (1,))
+
+    def test_rejects_mixed_subsets(self, params, prf, estimator):
+        a = build_sketches(params, prf, [[1, 0]] * 3, (0,))
+        b = build_sketches(params, prf, [[1, 0]] * 3, (1,), seed=1)
+        with pytest.raises(ValueError):
+            estimator.estimate(a + b, (1,))
+
+    def test_rejects_zero_users_bits(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate_from_bits(np.array([]))
+
+
+class TestEstimation:
+    def test_recovers_known_fraction(self, params, prf, estimator, rng):
+        # 30% of users hold (1,1); the rest hold (0,0).
+        profiles = [[1, 1]] * 900 + [[0, 0]] * 2100
+        rng.shuffle(profiles)
+        sketches = build_sketches(params, prf, profiles, (0, 1))
+        result = estimator.estimate(sketches, (1, 1))
+        assert result.fraction == pytest.approx(0.3, abs=0.05)
+        assert result.count == pytest.approx(0.3 * 3000, abs=150)
+
+    def test_complement_value_estimates_complement_fraction(self, params, prf, estimator):
+        profiles = [[1]] * 700 + [[0]] * 1300
+        sketches = build_sketches(params, prf, profiles, (0,))
+        ones = estimator.estimate(sketches, (1,)).fraction
+        zeros = estimator.estimate(sketches, (0,)).fraction
+        assert ones == pytest.approx(0.35, abs=0.06)
+        assert zeros == pytest.approx(0.65, abs=0.06)
+
+    def test_debiasing_formula(self, estimator, params):
+        # E[r~] = (1-p) r + p (1-r)  =>  inverse mapping is exact.
+        for true_r in (0.0, 0.25, 0.5, 1.0):
+            raw = (1 - params.p) * true_r + params.p * (1 - true_r)
+            assert estimator.debias_fraction(raw) == pytest.approx(true_r)
+
+    def test_custom_bias_debiasing(self, estimator):
+        # Appendix E: XOR virtual bits carry bias 2p(1-p).
+        bias = 2 * 0.3 * 0.7
+        raw = (1 - bias) * 0.4 + bias * 0.6
+        assert estimator.debias_fraction(raw, bias=bias) == pytest.approx(0.4)
+
+    def test_clamping_behaviour(self, params, prf):
+        clamped = SketchEstimator(params, prf, clamp=True)
+        raw = SketchEstimator(params, prf, clamp=False)
+        # All-zeros observed bits drive the raw estimate negative.
+        bits = np.zeros(50, dtype=np.int8)
+        assert clamped.estimate_from_bits(bits).fraction == 0.0
+        assert raw.estimate_from_bits(bits).fraction < 0.0
+
+    def test_estimate_from_bits_matches_estimate(self, params, prf, estimator):
+        profiles = [[1]] * 40 + [[0]] * 60
+        sketches = build_sketches(params, prf, profiles, (0,))
+        bits = estimator.evaluations(sketches, (1,))
+        assert estimator.estimate_from_bits(bits).fraction == pytest.approx(
+            estimator.estimate(sketches, (1,)).fraction
+        )
+
+
+class TestConfidenceIntervals:
+    def test_interval_is_symmetric(self, params, prf, estimator):
+        sketches = build_sketches(params, prf, [[1]] * 100, (0,))
+        result = estimator.estimate(sketches, (1,))
+        low, high = result.interval
+        assert high - result.fraction == pytest.approx(result.fraction - low)
+
+    def test_covers_method(self, params, prf, estimator):
+        sketches = build_sketches(params, prf, [[1]] * 400, (0,))
+        result = estimator.estimate(sketches, (1,))
+        assert result.covers(result.fraction)
+        assert not result.covers(result.fraction + 2 * result.half_width)
+
+    def test_half_width_shrinks_at_root_m(self, estimator):
+        assert estimator.half_width(4000) == pytest.approx(
+            estimator.half_width(1000) / 2
+        )
+
+    def test_half_width_grows_with_confidence(self, estimator):
+        assert estimator.half_width(1000, delta=0.01) > estimator.half_width(
+            1000, delta=0.1
+        )
+
+    def test_users_needed_inverts_half_width(self, estimator):
+        for error in (0.05, 0.02):
+            m = estimator.users_needed(error, delta=0.05)
+            assert estimator.half_width(m, delta=0.05) <= error
+            assert estimator.half_width(max(1, m - 2), delta=0.05) > error * 0.98
+
+    def test_rejects_bad_arguments(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.half_width(0)
+        with pytest.raises(ValueError):
+            estimator.half_width(10, delta=0.0)
+        with pytest.raises(ValueError):
+            estimator.users_needed(0.0)
+
+
+class TestErrorIndependentOfWidth:
+    def test_wide_queries_no_worse_than_narrow(self, params, prf, estimator, rng):
+        # The headline claim: estimation error does not grow with the
+        # number of attributes in the sketched subset.
+        num_users = 3000
+        errors = {}
+        for width in (1, 4, 10):
+            profiles = (rng.random((num_users, width)) < 0.5).astype(int)
+            target = tuple([1] * width)
+            truth = float((profiles == 1).all(axis=1).mean())
+            sketches = build_sketches(
+                params, prf, profiles.tolist(), tuple(range(width)), seed=width
+            )
+            estimate = estimator.estimate(sketches, target).fraction
+            errors[width] = abs(estimate - truth)
+        bound = estimator.half_width(num_users, delta=0.01)
+        assert all(err <= bound for err in errors.values())

@@ -1,0 +1,179 @@
+"""Unit tests for the exact publish-probability analysis (Lemma 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PrivacyParams,
+    average_publish_probability,
+    consider_probability,
+    exact_failure_probability,
+    publish_probability,
+    worst_case_ratio,
+)
+
+
+def simulate_publish(num_keys, evaluations, accept_prob, rng, trials=200000):
+    """Monte-Carlo Algorithm 1 on a fixed evaluation pattern; returns the
+    empirical publish frequency of every key."""
+    counts = np.zeros(num_keys)
+    for _ in range(trials):
+        order = rng.permutation(num_keys)
+        for key in order:
+            if evaluations[key] == 1 or rng.random() < accept_prob:
+                counts[key] += 1
+                break
+    return counts / trials
+
+
+class TestConsiderProbability:
+    def test_all_ones_is_uniform(self):
+        # Proof of Lemma 3.3: Z^(L) = 1/L when every key evaluates to 1.
+        for num_keys in (2, 8, 16):
+            assert consider_probability(num_keys, num_keys, 1, 0.2) == pytest.approx(
+                1.0 / num_keys
+            )
+
+    def test_monotone_in_number_of_ones(self):
+        # Z^(q) >= Z^(q+1): more ones elsewhere means earlier termination.
+        accept = 0.25
+        values = [
+            consider_probability(16, q, 1, accept) for q in range(1, 17)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_zero_symmetry(self):
+        # Z^(q)_0 = Z^(q+1)_1: considering is decided before evaluation.
+        for q in range(0, 15):
+            zero_side = consider_probability(16, q, 0, 0.3)
+            one_side = consider_probability(16, q + 1, 1, 0.3)
+            assert zero_side == pytest.approx(one_side)
+
+    def test_z1_closed_form(self):
+        # Proof computes Z^(1) = (1/L) sum_i (1-r)^i <= 1/(rL).
+        num_keys, accept = 8, 0.2
+        expected = sum((1 - accept) ** i for i in range(num_keys)) / num_keys
+        assert consider_probability(num_keys, 1, 1, accept) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            consider_probability(4, 5, 1, 0.2)
+        with pytest.raises(ValueError):
+            consider_probability(4, 0, 1, 0.2)
+        with pytest.raises(ValueError):
+            consider_probability(4, 4, 0, 0.2)
+        with pytest.raises(ValueError):
+            consider_probability(4, 1, 2, 0.2)
+
+
+class TestPublishProbability:
+    def test_matches_monte_carlo_pattern(self):
+        rng = np.random.default_rng(0)
+        num_keys, accept = 4, 0.3
+        evaluations = [1, 0, 0, 1]  # q = 2
+        empirical = simulate_publish(num_keys, evaluations, accept, rng, trials=100000)
+        for key, evaluation in enumerate(evaluations):
+            expected = publish_probability(num_keys, 2, evaluation, accept)
+            assert empirical[key] == pytest.approx(expected, abs=0.01)
+
+    def test_total_publish_probability_at_most_one(self):
+        for num_keys in (4, 16):
+            for q in range(num_keys + 1):
+                total = 0.0
+                if q >= 1:
+                    total += q * publish_probability(num_keys, q, 1, 0.25)
+                if q <= num_keys - 1:
+                    total += (num_keys - q) * publish_probability(num_keys, q, 0, 0.25)
+                assert total <= 1.0 + 1e-12
+                if q >= 1:
+                    # With at least one 1-key the run always publishes.
+                    assert total == pytest.approx(1.0)
+
+
+class TestWorstCaseRatio:
+    @pytest.mark.parametrize("p", [0.1, 0.25, 0.3, 0.4])
+    @pytest.mark.parametrize("num_keys", [2, 8, 32])
+    def test_lemma_33_bound_holds(self, p, num_keys):
+        params = PrivacyParams(p)
+        distribution = worst_case_ratio(num_keys, params.rejection_probability)
+        assert distribution.worst_ratio <= params.privacy_ratio_bound() + 1e-9
+
+    def test_bound_is_reasonably_tight(self):
+        # As L grows the exact worst ratio approaches a constant fraction
+        # of the ((1-p)/p)^4 bound; check it is within 2x at L = 64.
+        params = PrivacyParams(p=0.25)
+        distribution = worst_case_ratio(64, params.rejection_probability)
+        assert distribution.worst_ratio >= params.privacy_ratio_bound() / 2.0
+
+    def test_rejection_constant_ablation(self):
+        # Why r = (p/(1-p))**2 and not the "naive" r = p/(1-p)?  The accept
+        # probability controls a privacy-utility dial: the published key is
+        # 1-evaluating with probability  p / (p + (1-p) r)  (proof of
+        # Lemma 3.2).  The paper's squared constant makes that exactly
+        # 1 - p — the bias Algorithm 2's de-biasing assumes — while the
+        # naive constant collapses it to 1/2: *more* private (ratio
+        # ((1-p)/p)^2 instead of ^4) but with a signal gap of 1/2 - p
+        # instead of 1 - 2p.  The paper spends privacy for signal.
+        p = 0.25
+        naive = p / (1 - p)
+        paper = (p / (1 - p)) ** 2
+
+        def published_one_bias(accept):
+            return p / (p + (1 - p) * accept)
+
+        assert published_one_bias(paper) == pytest.approx(1 - p)
+        assert published_one_bias(naive) == pytest.approx(0.5)
+        # and the privacy side of the dial, measured exactly:
+        naive_ratio = worst_case_ratio(32, naive).worst_ratio
+        paper_ratio = worst_case_ratio(32, paper).worst_ratio
+        assert naive_ratio < paper_ratio
+        assert naive_ratio <= ((1 - p) / p) ** 2 + 1e-9
+        assert paper_ratio <= ((1 - p) / p) ** 4 + 1e-9
+
+    def test_ratio_decreases_with_larger_accept(self):
+        ratios = [worst_case_ratio(16, r).worst_ratio for r in (0.05, 0.1, 0.3, 0.8)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_accept_prob_one_is_perfectly_private(self):
+        # r = 1 publishes the first key regardless: uniform, ratio 1 — and
+        # zero utility, mirroring the p = 1/2 coin discussion.
+        distribution = worst_case_ratio(16, 1.0)
+        assert distribution.worst_ratio == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_ratio(8, 0.0)
+        with pytest.raises(ValueError):
+            worst_case_ratio(8, 1.5)
+
+
+class TestFailureAndAverages:
+    def test_exact_failure_below_lemma_31_bound(self):
+        for p in (0.1, 0.3):
+            params = PrivacyParams(p)
+            for bits in (2, 4, 6):
+                exact = exact_failure_probability(1 << bits, params)
+                bound = params.failure_probability(bits)
+                assert exact <= bound + 1e-15
+
+    def test_average_publish_is_profile_independent(self):
+        # Averaged over the random function, publish probabilities at a
+        # fixed evaluation depend only on (L, w) — and weighting both w
+        # values by the algorithm's Lemma 3.2 law gives total mass
+        # 1 - failure.
+        params = PrivacyParams(p=0.3)
+        num_keys = 16
+        mass = 0.0
+        for tagged in (0, 1):
+            avg = average_publish_probability(num_keys, tagged, params)
+            weight = params.p if tagged == 1 else 1 - params.p
+            mass += num_keys * weight * avg
+        assert mass == pytest.approx(
+            1.0 - exact_failure_probability(num_keys, params), abs=1e-9
+        )
+
+    def test_failure_validation(self):
+        with pytest.raises(ValueError):
+            exact_failure_probability(0, PrivacyParams(p=0.3))

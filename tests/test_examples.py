@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+Importing each example compiles it and resolves every API reference
+without running its (minutes-long, full-scale) ``main``; the quickstart —
+the one a new user runs first — is additionally executed end to end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {path.stem for path in ALL_EXAMPLES}
+        assert {
+            "quickstart",
+            "salary_analytics",
+            "privacy_audit",
+            "dual_mode_server",
+            "frequent_itemsets",
+            "streaming_collection",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_example_imports_cleanly(self, path):
+        module = load_example(path)
+        assert callable(module.main)
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        module = load_example(EXAMPLES_DIR / "quickstart.py")
+        module.main()  # asserts internally that the CI covers the truth
+        out = capsys.readouterr().out
+        assert "OK" in out

@@ -1,0 +1,132 @@
+"""Unit tests for function sketches (§5 future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FunctionEstimator,
+    FunctionSketcher,
+    ProfileFunction,
+    PrivacyParams,
+)
+
+from .conftest import make_prf
+
+
+class TestProfileFunction:
+    def test_validates_declaration(self):
+        with pytest.raises(ValueError):
+            ProfileFunction("", 1, lambda p: (0,))
+        with pytest.raises(ValueError):
+            ProfileFunction("f", 0, lambda p: ())
+
+    def test_enforces_output_contract(self):
+        wrong_width = ProfileFunction("w", 2, lambda p: (0,))
+        with pytest.raises(ValueError, match="declared 2"):
+            wrong_width([0, 1])
+        non_binary = ProfileFunction("n", 1, lambda p: (2,))
+        with pytest.raises(ValueError, match="non-binary"):
+            non_binary([0, 1])
+
+    def test_parity(self):
+        parity = ProfileFunction.parity((0, 2, 3))
+        assert parity([1, 0, 1, 1]) == (1,)
+        assert parity([1, 0, 1, 0]) == (0,)
+        assert parity([0, 0, 0, 0]) == (0,)
+
+    def test_comparator(self):
+        greater = ProfileFunction.comparator((0, 1), (2, 3))
+        assert greater([1, 0, 0, 1]) == (1,)  # 2 > 1
+        assert greater([0, 1, 1, 0]) == (0,)  # 1 < 2
+        assert greater([1, 1, 1, 1]) == (0,)  # equal -> not greater
+
+    def test_bucket(self):
+        bucket = ProfileFunction.bucket((0, 1, 2), boundaries=(2, 5))
+        assert bucket([0, 1, 0]) == (0, 0)  # value 2 -> bucket 0
+        assert bucket([1, 0, 0]) == (0, 1)  # value 4 -> bucket 1
+        assert bucket([1, 1, 1]) == (1, 0)  # value 7 -> bucket 2
+
+    def test_bucket_validates_boundaries(self):
+        with pytest.raises(ValueError):
+            ProfileFunction.bucket((0,), boundaries=(5, 2))
+
+
+class TestFunctionSketching:
+    def test_parity_frequency_recovery(self, rng):
+        params = PrivacyParams(p=0.3)
+        prf = make_prf(0.3)
+        sketcher = FunctionSketcher(params, prf, sketch_bits=8, rng=rng)
+        estimator = FunctionEstimator(params, prf)
+        parity = ProfileFunction.parity((0, 1, 2))
+        num_users = 4000
+        profiles = (rng.random((num_users, 3)) < 0.5).astype(int)
+        sketches = [
+            sketcher.sketch(f"u{i}", profiles[i], parity) for i in range(num_users)
+        ]
+        truth = float((profiles.sum(axis=1) % 2 == 1).mean())
+        estimate = estimator.estimate(sketches, (1,))
+        assert estimate.fraction == pytest.approx(truth, abs=0.06)
+
+    def test_comparator_frequency_recovery(self, rng):
+        params = PrivacyParams(p=0.25)
+        prf = make_prf(0.25)
+        sketcher = FunctionSketcher(params, prf, sketch_bits=8, rng=rng)
+        estimator = FunctionEstimator(params, prf)
+        greater = ProfileFunction.comparator((0, 1, 2), (3, 4, 5))
+        num_users = 4000
+        profiles = (rng.random((num_users, 6)) < 0.5).astype(int)
+        sketches = [
+            sketcher.sketch(f"u{i}", profiles[i], greater) for i in range(num_users)
+        ]
+        a = profiles[:, 0] * 4 + profiles[:, 1] * 2 + profiles[:, 2]
+        b = profiles[:, 3] * 4 + profiles[:, 4] * 2 + profiles[:, 5]
+        truth = float((a > b).mean())
+        estimate = estimator.estimate(sketches, (1,))
+        assert estimate.fraction == pytest.approx(truth, abs=0.06)
+
+    def test_histogram_sums_to_one(self, rng):
+        params = PrivacyParams(p=0.25)
+        prf = make_prf(0.25)
+        sketcher = FunctionSketcher(params, prf, sketch_bits=8, rng=rng)
+        estimator = FunctionEstimator(params, prf, clamp=False)
+        bucket = ProfileFunction.bucket((0, 1, 2), boundaries=(1, 4))
+        num_users = 5000
+        profiles = (rng.random((num_users, 3)) < 0.5).astype(int)
+        sketches = [
+            sketcher.sketch(f"u{i}", profiles[i], bucket) for i in range(num_users)
+        ]
+        histogram = estimator.histogram(sketches, output_bits=2)
+        # Buckets 0..2 are reachable; pattern 11 (=3) is not a real bucket.
+        assert histogram.sum() == pytest.approx(1.0, abs=0.1)
+
+    def test_histogram_width_guard(self, rng):
+        params = PrivacyParams(p=0.25)
+        estimator = FunctionEstimator(params, make_prf(0.25))
+        with pytest.raises(ValueError):
+            estimator.histogram([], output_bits=13)
+
+    def test_different_functions_get_independent_randomness(self, rng):
+        # Same user, same profile, two function names: the sketches index
+        # different PRF streams, so evaluations at the same value differ
+        # across a population.
+        params = PrivacyParams(p=0.3)
+        prf = make_prf(0.3)
+        sketcher = FunctionSketcher(params, prf, sketch_bits=8, rng=rng)
+        f1 = ProfileFunction.parity((0,), name="p1")
+        f2 = ProfileFunction.parity((0,), name="p2")
+        ids_1 = {sketcher.sketch(f"u{i}", [1, 0], f1).user_id for i in range(5)}
+        ids_2 = {sketcher.sketch(f"u{i}", [1, 0], f2).user_id for i in range(5)}
+        assert ids_1.isdisjoint(ids_2)  # tagged ids keep the streams apart
+
+    def test_bias_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FunctionSketcher(PrivacyParams(p=0.3), make_prf(0.25), rng=rng)
+
+    def test_privacy_cost_is_one_sketch(self):
+        # A function sketch costs exactly one Lemma 3.3 factor: the bound
+        # reported for 1 release covers it (structural check: the sketch
+        # record is a plain Sketch, so the accountant treats it as one).
+        params = PrivacyParams(p=0.3)
+        assert params.privacy_ratio_bound(1) == pytest.approx((0.7 / 0.3) ** 4)

@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    bernoulli_panel,
+    correlated_survey,
+    salary_table,
+    sparse_transactions,
+    two_candidate_population,
+    zipf_categorical,
+)
+
+
+class TestBernoulliPanel:
+    def test_shape_and_density(self, rng):
+        db = bernoulli_panel(2000, 10, density=0.3, rng=rng)
+        assert len(db) == 2000
+        assert db.schema.total_bits == 10
+        assert db.matrix().mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_density_bounds(self, rng):
+        with pytest.raises(ValueError):
+            bernoulli_panel(10, 5, density=1.5, rng=rng)
+
+    def test_user_ids_unique(self, rng):
+        db = bernoulli_panel(100, 3, rng=rng)
+        assert len(set(db.user_ids)) == 100
+
+
+class TestCorrelatedSurvey:
+    def test_adjacent_columns_correlate(self, rng):
+        db = correlated_survey(5000, 4, base_rate=0.5, copy_prob=0.9, rng=rng)
+        matrix = db.matrix()
+        agreement = (matrix[:, 0] == matrix[:, 1]).mean()
+        assert agreement > 0.85  # copy_prob 0.9 forces high agreement
+
+    def test_validates_probabilities(self, rng):
+        with pytest.raises(ValueError):
+            correlated_survey(10, 3, base_rate=-0.1, rng=rng)
+        with pytest.raises(ValueError):
+            correlated_survey(10, 3, copy_prob=1.2, rng=rng)
+
+
+class TestSparseTransactions:
+    def test_row_sizes_exact(self, rng):
+        db = sparse_transactions(500, 50, items_per_user=3, rng=rng)
+        assert (db.matrix().sum(axis=1) == 3).all()
+
+    def test_popular_items_more_frequent(self, rng):
+        db = sparse_transactions(4000, 30, items_per_user=3, rng=rng)
+        frequency = db.matrix().mean(axis=0)
+        assert frequency[0] > frequency[-1]
+
+    def test_validates_items_per_user(self, rng):
+        with pytest.raises(ValueError):
+            sparse_transactions(10, 5, items_per_user=6, rng=rng)
+
+
+class TestSalaryTable:
+    def test_values_fit_bit_width(self, rng):
+        db = salary_table(1000, bits=6, rng=rng)
+        for name in ("salary", "age"):
+            values = db.attribute_values(name)
+            assert values.min() >= 0
+            assert values.max() <= 63
+
+    def test_distribution_is_skewed(self, rng):
+        db = salary_table(5000, bits=8, rng=rng)
+        values = db.attribute_values("salary")
+        assert np.median(values) < values.mean()  # right skew
+
+    def test_custom_attributes(self, rng):
+        db = salary_table(50, bits=4, attributes=("x", "y", "z"), rng=rng)
+        assert set(db.schema.names) == {"x", "y", "z"}
+
+
+class TestZipfCategorical:
+    def test_skew(self, rng):
+        db = zipf_categorical(5000, cardinality=8, rng=rng)
+        values = db.attribute_values("category")
+        counts = np.bincount(values, minlength=8)
+        assert counts[0] == counts.max()
+
+    def test_cardinality_validated(self, rng):
+        with pytest.raises(ValueError):
+            zipf_categorical(10, cardinality=1, rng=rng)
+
+
+class TestTwoCandidatePopulation:
+    def test_profiles_match_truth(self, rng):
+        a = [1, 1, 0, 0]
+        b = [0, 0, 1, 1]
+        db, truth = two_candidate_population(200, a, b, prob_a=0.5, rng=rng)
+        for profile, holds_a in zip(db, truth):
+            expected = a if holds_a else b
+            assert profile.bits.tolist() == expected
+
+    def test_prob_a_respected(self, rng):
+        _, truth = two_candidate_population(5000, [1, 0], [0, 1], prob_a=0.7, rng=rng)
+        assert truth.mean() == pytest.approx(0.7, abs=0.03)
+
+    def test_equal_candidates_rejected(self, rng):
+        with pytest.raises(ValueError):
+            two_candidate_population(10, [1, 0], [1, 0], rng=rng)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            two_candidate_population(10, [1, 0], [1, 0, 1], rng=rng)

@@ -1,0 +1,97 @@
+"""Unit tests for the Figure 1 indicator-vector mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import IndicatorVectorMechanism
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            IndicatorVectorMechanism(0.5, 8)
+        with pytest.raises(ValueError):
+            IndicatorVectorMechanism(0.2, 1)
+
+    def test_publish_shape_and_domain(self, rng):
+        mechanism = IndicatorVectorMechanism(0.2, 8, rng=rng)
+        with pytest.raises(ValueError):
+            mechanism.publish(np.array([[1, 2]]))
+        with pytest.raises(ValueError):
+            mechanism.publish(np.array([8]))
+
+    def test_estimate_validation(self, rng):
+        mechanism = IndicatorVectorMechanism(0.2, 8, rng=rng)
+        published = mechanism.publish(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            mechanism.estimate_fraction(published, 8)
+        with pytest.raises(ValueError):
+            mechanism.estimate_fraction(published[:, :4], 0)
+
+
+class TestFigureOneMechanism:
+    def test_published_vector_is_perturbed_indicator(self, rng):
+        # Figure 1's example: value '100' (=4) over a 3-bit domain.
+        mechanism = IndicatorVectorMechanism(0.2, 8, rng=rng)
+        published = mechanism.publish(np.full(20000, 4))
+        column_means = published.mean(axis=0)
+        for value in range(8):
+            expected = 0.8 if value == 4 else 0.2
+            assert column_means[value] == pytest.approx(expected, abs=0.02)
+
+    def test_density_of_published_vector(self, rng):
+        # Mostly-p density: the inefficiency the sketch removes.
+        mechanism = IndicatorVectorMechanism(0.2, 64, rng=rng)
+        published = mechanism.publish(rng.integers(0, 64, size=2000))
+        assert published.mean() == pytest.approx(0.2 + 0.6 / 64, abs=0.01)
+
+    def test_histogram_recovery(self, rng):
+        mechanism = IndicatorVectorMechanism(0.25, 8, rng=rng)
+        weights = np.array([0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05])
+        values = rng.choice(8, size=40000, p=weights)
+        published = mechanism.publish(values)
+        histogram = mechanism.estimate_histogram(published)
+        truth = np.bincount(values, minlength=8) / values.size
+        assert np.abs(histogram - truth).max() < 0.02
+
+    def test_unclamped_estimates_unbiased(self, rng):
+        mechanism = IndicatorVectorMechanism(0.25, 4, rng=rng)
+        values = np.zeros(50000, dtype=int)
+        published = mechanism.publish(values)
+        assert mechanism.estimate_fraction(published, 0, clamp=False) == pytest.approx(
+            1.0, abs=0.02
+        )
+        assert mechanism.estimate_fraction(published, 3, clamp=False) == pytest.approx(
+            0.0, abs=0.02
+        )
+
+    def test_privacy_ratio_is_squared_not_fourth(self):
+        # The explicit mechanism pays ((1-p)/p)^2; the sketch simulation
+        # pays ((1-p)/p)^4 — compression costs one square.
+        mechanism = IndicatorVectorMechanism(0.25, 8)
+        assert mechanism.privacy_ratio_bound() == pytest.approx(9.0)
+
+    def test_size_is_exponential_in_k(self):
+        assert IndicatorVectorMechanism(0.25, 1 << 10).published_bits_per_user == 1024
+
+    def test_exact_likelihood_ratio_within_bound(self, rng):
+        # Monte-Carlo check of the two-coordinate argument: the realised
+        # per-observation likelihood ratio between two candidate values
+        # never exceeds ((1-p)/p)^2.
+        p = 0.3
+        mechanism = IndicatorVectorMechanism(p, 4, rng=rng)
+        bound = mechanism.privacy_ratio_bound()
+        published = mechanism.publish(rng.integers(0, 4, size=200))
+
+        def likelihood(vector, value):
+            result = 1.0
+            for position, bit in enumerate(vector):
+                indicator = 1 if position == value else 0
+                result *= (1 - p) if bit == indicator else p
+            return result
+
+        for vector in published:
+            ratio = likelihood(vector, 0) / likelihood(vector, 1)
+            assert 1.0 / bound - 1e-9 <= ratio <= bound + 1e-9

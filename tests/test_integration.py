@@ -1,0 +1,208 @@
+"""Integration tests: the full user -> publish -> query pipeline.
+
+These tests wire every layer together the way a deployment would and check
+the paper's quantitative claims at test scale (the benchmarks re-run them
+at full scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_coverage, fit_power_decay
+from repro.baselines import RandomizedResponse
+from repro.core import (
+    BiasedPRF,
+    PrivacyAccountant,
+    PrivacyParams,
+    SketchEstimator,
+    Sketcher,
+)
+from repro.data import (
+    bernoulli_panel,
+    correlated_survey,
+    salary_table,
+    two_candidate_population,
+)
+from repro.attacks import attack_retention, attack_sketches, map_success_rate
+from repro.baselines import RetentionReplacement
+from repro.server import (
+    QueryEngine,
+    attribute_subsets,
+    per_bit_subsets,
+    prefix_subsets,
+    publish_database,
+)
+
+KEY = b"reproduction-global-key-32bytes!"
+
+
+def build_engine(db, params, seed, subsets):
+    prf = BiasedPRF(p=params.p, global_key=KEY)
+    sketcher = Sketcher(params, prf, sketch_bits=8, rng=np.random.default_rng(seed))
+    store = publish_database(db, sketcher, subsets)
+    return QueryEngine(db.schema, store, SketchEstimator(params, prf))
+
+
+class TestEndToEndSurvey:
+    def test_conjunctive_queries_on_correlated_survey(self):
+        rng = np.random.default_rng(11)
+        params = PrivacyParams(p=0.3)
+        db = correlated_survey(4000, 5, base_rate=0.4, copy_prob=0.7, rng=rng)
+        subset = (0, 1, 4)
+        engine = build_engine(db, params, seed=12, subsets=[subset])
+        for value in [(1, 1, 1), (1, 1, 0), (0, 0, 0)]:
+            truth = db.exact_conjunction(subset, value)
+            estimate = engine.estimate(subset, value)
+            assert estimate.covers(truth), (value, estimate.fraction, truth)
+
+    def test_negated_literals_work(self):
+        # "HIV+ and NOT AIDS": a mixed-sign conjunction.
+        rng = np.random.default_rng(13)
+        params = PrivacyParams(p=0.3)
+        db = correlated_survey(4000, 3, base_rate=0.3, copy_prob=0.8, rng=rng)
+        subset = (0, 1)
+        engine = build_engine(db, params, seed=14, subsets=[subset])
+        truth = db.exact_conjunction(subset, (1, 0))
+        assert engine.fraction(subset, (1, 0)) == pytest.approx(truth, abs=0.06)
+
+
+class TestLemma41Reproduction:
+    def test_error_decays_as_inverse_root_m(self):
+        # Fit error ~ M^a over a size sweep; expect a ~ -1/2.
+        params = PrivacyParams(p=0.25)
+        prf = BiasedPRF(p=params.p, global_key=KEY)
+        estimator = SketchEstimator(params, prf, clamp=False)
+        sizes = [250, 1000, 4000, 16000]
+        errors = []
+        rng = np.random.default_rng(15)
+        for m in sizes:
+            trials = []
+            for trial in range(8):
+                db = bernoulli_panel(m, 3, density=0.5, rng=rng)
+                sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+                store = publish_database(db, sketcher, [(0, 1, 2)])
+                estimate = estimator.estimate(
+                    store.sketches_for((0, 1, 2)), (1, 0, 1)
+                ).fraction
+                truth = db.exact_conjunction((0, 1, 2), (1, 0, 1))
+                trials.append(abs(estimate - truth))
+            errors.append(float(np.mean(trials)))
+        fit = fit_power_decay(sizes, errors)
+        assert -0.75 < fit.exponent < -0.3
+
+    def test_confidence_intervals_achieve_nominal_coverage(self):
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(p=params.p, global_key=KEY)
+        estimator = SketchEstimator(params, prf, clamp=False)
+        rng = np.random.default_rng(16)
+        truths, lows, highs = [], [], []
+        for trial in range(30):
+            db = bernoulli_panel(600, 2, density=0.45, rng=rng)
+            sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+            store = publish_database(db, sketcher, [(0, 1)])
+            estimate = estimator.estimate(store.sketches_for((0, 1)), (1, 1), delta=0.05)
+            truths.append(db.exact_conjunction((0, 1), (1, 1)))
+            lows.append(estimate.interval[0])
+            highs.append(estimate.interval[1])
+        # Hoeffding CIs are conservative: coverage should beat 95% nominal.
+        assert empirical_coverage(truths, lows, highs) >= 0.9
+
+
+class TestHeadlineWidthIndependence:
+    def test_sketch_flat_rr_blows_up(self):
+        # E7 at test scale: sketch error stays flat in query width while
+        # the randomized-response reconstruction degrades.
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(p=params.p, global_key=KEY)
+        estimator = SketchEstimator(params, prf, clamp=False)
+        rng = np.random.default_rng(17)
+        m = 3000
+        sketch_errors, rr_errors = {}, {}
+        for width in (2, 8):
+            db = bernoulli_panel(m, width, density=0.8, rng=rng)
+            subset = tuple(range(width))
+            value = tuple([1] * width)
+            truth = db.exact_conjunction(subset, value)
+            # sketches
+            sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+            store = publish_database(db, sketcher, [subset])
+            estimate = estimator.estimate(store.sketches_for(subset), value).fraction
+            sketch_errors[width] = abs(estimate - truth)
+            # randomized response with the same per-bit p
+            mechanism = RandomizedResponse(params.p, rng=rng)
+            perturbed = mechanism.perturb(db.matrix())
+            rr_estimate = mechanism.estimate_conjunction(
+                perturbed[:, list(subset)], value, clamp=False
+            )
+            rr_errors[width] = abs(rr_estimate - truth)
+        bound = estimator.half_width(m, delta=0.001)
+        assert sketch_errors[8] <= bound
+        # RR at width 8 amplifies noise by cond(V) ~ 200x; its error
+        # should visibly exceed the sketch error.
+        assert rr_errors[8] > sketch_errors[8]
+
+
+class TestAttackComparison:
+    def test_sketches_resist_retention_falls(self):
+        # E17 at test scale, on the paper's exact example vectors.
+        rng = np.random.default_rng(18)
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(p=params.p, global_key=KEY)
+        # Intro example: values <1,1,2,2,3,3> vs <4,4,5,5,6,6>, here in
+        # 3-bit binary per component -> 18-bit profiles.
+        def encode(vector):
+            bits = []
+            for v in vector:
+                bits.extend([(v >> 2) & 1, (v >> 1) & 1, v & 1])
+            return bits
+
+        candidate_a = encode([1, 1, 2, 2, 3, 3])
+        candidate_b = encode([4, 4, 5, 5, 6, 6])
+        db, truth = two_candidate_population(
+            120, candidate_a, candidate_b, rng=rng
+        )
+        # Sketch side: each user publishes ONE sketch of the whole profile.
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        subset = tuple(range(18))
+        sketch_results = []
+        for profile in db:
+            sketch = sketcher.sketch(profile.user_id, profile.bits, subset)
+            sketch_results.append(
+                attack_sketches(prf, params, [sketch], candidate_a, candidate_b)
+            )
+        sketch_success = map_success_rate(sketch_results, truth.astype(bool))
+        # Retention side: publish the 6 values with rho = 0.5, domain 0..7.
+        mechanism = RetentionReplacement(0.5, 8, rng=rng)
+        retention_results = []
+        for holds_a in truth:
+            vector = np.array([1, 1, 2, 2, 3, 3] if holds_a else [4, 4, 5, 5, 6, 6])
+            observed = mechanism.perturb(vector)
+            retention_results.append(
+                attack_retention(
+                    mechanism, observed, [1, 1, 2, 2, 3, 3], [4, 4, 5, 5, 6, 6]
+                )
+            )
+        retention_success = map_success_rate(retention_results, truth.astype(bool))
+        assert retention_success > 0.95  # "virtually reveals ... exact private data"
+        assert sketch_success < 0.85     # sketches stay near coin-flipping
+
+
+class TestBudgetedDeployment:
+    def test_accountant_limits_and_queries_still_work(self):
+        rng = np.random.default_rng(19)
+        epsilon = 20.0  # generous demo budget
+        num_subsets = 3
+        params = PrivacyParams.from_epsilon(epsilon, num_sketches=num_subsets)
+        prf = BiasedPRF(p=params.p, global_key=KEY)
+        db = salary_table(4000, bits=4, attributes=("a",), rng=rng)
+        accountant = PrivacyAccountant(params, epsilon=epsilon)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+        subsets = prefix_subsets(db.schema, "a")[:num_subsets]
+        store = publish_database(db, sketcher, subsets, accountant=accountant)
+        assert accountant.remaining_sketches(db.user_ids[0]) >= 0
+        engine = QueryEngine(db.schema, store, SketchEstimator(params, prf))
+        # p close to 1/2 -> noisy but still sane estimates at M = 4000.
+        truth = db.exact_conjunction(subsets[0], (0,))
+        assert engine.fraction(subsets[0], (0,)) == pytest.approx(truth, abs=0.25)

@@ -1,0 +1,175 @@
+"""Unit tests for the privacy-parameter algebra (Lemma 3.1, Cor 3.4, §3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import PrivacyParams, epsilon_for_p, p_for_epsilon
+from repro.core.params import p_for_epsilon_corollary
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, 0.5, -0.1, 1.0, 0.75])
+    def test_rejects_out_of_range_p(self, bad):
+        with pytest.raises(ValueError):
+            PrivacyParams(p=bad)
+
+    @pytest.mark.parametrize("good", [1e-6, 0.1, 0.25, 0.3, 0.49, 0.499999])
+    def test_accepts_open_interval(self, good):
+        assert PrivacyParams(p=good).p == good
+
+
+class TestDerivedConstants:
+    def test_rejection_probability_formula(self):
+        params = PrivacyParams(p=0.25)
+        assert params.rejection_probability == pytest.approx((0.25 / 0.75) ** 2)
+
+    def test_rejection_probability_below_one(self):
+        for p in (0.05, 0.2, 0.4, 0.49):
+            assert 0.0 < PrivacyParams(p).rejection_probability < 1.0
+
+    def test_termination_probability_matches_proof_of_lemma_32(self):
+        # Pr[stop per iteration] = p + p^2/(1-p), used in Appendix D.
+        params = PrivacyParams(p=0.3)
+        expected = 0.3 + 0.3**2 / 0.7
+        assert params.termination_probability == pytest.approx(expected)
+
+    def test_expected_iterations_below_paper_bound(self):
+        # The paper bounds expected iterations by (1-p)^2/p^2.
+        for p in (0.1, 0.25, 0.4):
+            params = PrivacyParams(p)
+            assert params.expected_iterations <= params.iteration_bound
+
+    def test_debias_denominator(self):
+        assert PrivacyParams(p=0.2).debias_denominator == pytest.approx(0.6)
+
+
+class TestPrivacyBounds:
+    def test_single_sketch_ratio_is_fourth_power(self):
+        params = PrivacyParams(p=0.25)
+        assert params.privacy_ratio_bound() == pytest.approx(3.0**4)
+
+    def test_multi_sketch_ratio_composes_multiplicatively(self):
+        params = PrivacyParams(p=0.3)
+        single = params.privacy_ratio_bound(1)
+        assert params.privacy_ratio_bound(5) == pytest.approx(single**5)
+
+    def test_ratio_monotone_decreasing_in_p(self):
+        ratios = [PrivacyParams(p).privacy_ratio_bound() for p in (0.1, 0.2, 0.3, 0.4)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_epsilon_is_ratio_minus_one(self):
+        params = PrivacyParams(p=0.4)
+        assert params.epsilon(3) == pytest.approx(params.privacy_ratio_bound(3) - 1.0)
+
+    def test_invalid_sketch_count(self):
+        with pytest.raises(ValueError):
+            PrivacyParams(p=0.3).privacy_ratio_bound(0)
+
+
+class TestCorollary34Conversions:
+    def test_exact_inversion_hits_target_ratio(self):
+        for epsilon in (0.05, 0.2, 0.5, 2.0):
+            for sketches in (1, 4, 16):
+                p = p_for_epsilon(epsilon, sketches)
+                assert epsilon_for_p(p, sketches) == pytest.approx(epsilon)
+
+    def test_round_trip_is_conservative(self):
+        # The exact ratio at the chosen p must respect the target epsilon.
+        for epsilon in (0.1, 0.5, 1.0):
+            for sketches in (1, 2, 8):
+                p = p_for_epsilon(epsilon, sketches)
+                achieved = epsilon_for_p(p, sketches)
+                assert achieved <= epsilon + 1e-9
+
+    def test_corollary_formula_is_first_order_of_exact(self):
+        # The paper's p = 1/2 - eps/(16 l) converges to the exact inversion
+        # as eps -> 0 ...
+        for sketches in (1, 3):
+            exact = p_for_epsilon(1e-4, sketches)
+            approx = p_for_epsilon_corollary(1e-4, sketches)
+            assert exact == pytest.approx(approx, abs=1e-7)
+        # ... but at finite eps it overshoots the target ratio slightly
+        # (the "(1 + eps/q)^q ~ 1 + eps" step of the corollary's proof).
+        p_approx = p_for_epsilon_corollary(0.1, 1)
+        assert epsilon_for_p(p_approx, 1) > 0.1
+        assert epsilon_for_p(p_approx, 1) < 0.11
+
+    def test_epsilon_for_p_exact_formula(self):
+        assert epsilon_for_p(0.25, 1) == pytest.approx(3.0**4 - 1.0)
+
+    def test_from_epsilon_constructor(self):
+        params = PrivacyParams.from_epsilon(0.2, num_sketches=3)
+        assert params.epsilon(3) <= 0.2 + 1e-9
+
+    def test_corollary_floors_p_for_huge_epsilon(self):
+        assert p_for_epsilon_corollary(1e9) == pytest.approx(1e-6)
+
+    @pytest.mark.parametrize("bad_eps", [0.0, -1.0])
+    def test_rejects_nonpositive_epsilon(self, bad_eps):
+        with pytest.raises(ValueError):
+            p_for_epsilon(bad_eps)
+        with pytest.raises(ValueError):
+            p_for_epsilon_corollary(bad_eps)
+
+
+class TestSketchLength:
+    def test_ten_bits_suffice_for_practical_use(self):
+        # "if p > 1/4, then a 10 bit sketch is sufficient for any
+        # foreseeable practical use" — 1e9 users, tau = 1e-9.
+        params = PrivacyParams(p=0.26)
+        assert params.sketch_length(10**9, 1e-9) <= 10
+
+    def test_length_grows_doubly_logarithmically(self):
+        params = PrivacyParams(p=0.3)
+        # Squaring the user count should add at most one bit.
+        for m in (10**3, 10**6):
+            assert params.sketch_length(m**2) <= params.sketch_length(m) + 1
+
+    def test_failure_bound_respected_at_recommended_length(self):
+        params = PrivacyParams(p=0.3)
+        for m, tau in ((1000, 1e-6), (10**6, 1e-3)):
+            bits = params.sketch_length(m, tau)
+            assert params.failure_probability(bits, m) <= tau * 1.0000001
+
+    def test_failure_probability_decreases_in_bits(self):
+        params = PrivacyParams(p=0.2)
+        probs = [params.failure_probability(b) for b in range(1, 12)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_rejects_bad_inputs(self):
+        params = PrivacyParams(p=0.3)
+        with pytest.raises(ValueError):
+            params.sketch_length(0)
+        with pytest.raises(ValueError):
+            params.sketch_length(10, failure_prob=0.0)
+        with pytest.raises(ValueError):
+            params.failure_probability(0)
+
+
+class TestUtilityBounds:
+    def test_tail_formula(self):
+        params = PrivacyParams(p=0.25)
+        expected = math.exp(-(0.1**2) * (0.5**2) * 1000 / 4)
+        assert params.utility_tail(0.1, 1000) == pytest.approx(expected)
+
+    def test_error_shrinks_at_root_m_rate(self):
+        params = PrivacyParams(p=0.25)
+        error_1k = params.utility_error(1000)
+        error_4k = params.utility_error(4000)
+        assert error_4k == pytest.approx(error_1k / 2.0)
+
+    def test_error_blows_up_as_p_approaches_half(self):
+        errors = [PrivacyParams(p).utility_error(1000) for p in (0.1, 0.3, 0.45, 0.49)]
+        assert errors == sorted(errors)
+
+    def test_rejects_bad_inputs(self):
+        params = PrivacyParams(p=0.3)
+        with pytest.raises(ValueError):
+            params.utility_tail(-0.1, 100)
+        with pytest.raises(ValueError):
+            params.utility_error(0)
+        with pytest.raises(ValueError):
+            params.utility_error(100, delta=1.5)

@@ -1,0 +1,103 @@
+"""Unit tests for the p-biased pseudorandom function substrate (§3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BiasedPRF, TrueRandomOracle, encode_input
+
+
+class TestEncoding:
+    def test_is_deterministic(self):
+        a = encode_input("alice", (1, 2), (0, 1), 7)
+        b = encode_input("alice", (1, 2), (0, 1), 7)
+        assert a == b
+
+    def test_distinguishes_every_component(self):
+        base = encode_input("alice", (1, 2), (0, 1), 7)
+        assert encode_input("bob", (1, 2), (0, 1), 7) != base
+        assert encode_input("alice", (1, 3), (0, 1), 7) != base
+        assert encode_input("alice", (1, 2), (1, 1), 7) != base
+        assert encode_input("alice", (1, 2), (0, 1), 8) != base
+
+    def test_no_concatenation_collisions(self):
+        # ("ab", subset) vs ("a", b-prefixed subset) style collisions are
+        # prevented by length prefixes.
+        a = encode_input("ab", (), (), 0)
+        b = encode_input("a", (), (), 0)
+        assert a != b
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            encode_input("alice", (1, 2), (0,), 7)
+
+
+class TestBiasedPRF:
+    def test_deterministic_given_key(self):
+        prf1 = BiasedPRF(0.3, global_key=b"k" * 32)
+        prf2 = BiasedPRF(0.3, global_key=b"k" * 32)
+        for key in range(64):
+            assert prf1.evaluate("u", (0, 1), (1, 0), key) == prf2.evaluate(
+                "u", (0, 1), (1, 0), key
+            )
+
+    def test_different_global_keys_differ(self):
+        prf1 = BiasedPRF(0.3, global_key=b"a" * 32)
+        prf2 = BiasedPRF(0.3, global_key=b"b" * 32)
+        values1 = [prf1.evaluate("u", (0,), (1,), k) for k in range(256)]
+        values2 = [prf2.evaluate("u", (0,), (1,), k) for k in range(256)]
+        assert values1 != values2
+
+    def test_empirical_bias_matches_p(self):
+        prf = BiasedPRF(0.3, global_key=b"k" * 32)
+        draws = [prf.evaluate("u", (0,), (1,), key) for key in range(20000)]
+        assert np.mean(draws) == pytest.approx(0.3, abs=0.02)
+
+    @pytest.mark.parametrize("p", [0.05, 0.25, 0.45])
+    def test_bias_sweep(self, p):
+        prf = BiasedPRF(p, global_key=b"k" * 32)
+        draws = [prf.evaluate("u", (0,), (0,), key) for key in range(20000)]
+        assert np.mean(draws) == pytest.approx(p, abs=0.02)
+
+    def test_evaluate_many_matches_scalar(self):
+        prf = BiasedPRF(0.3, global_key=b"k" * 32)
+        ids = [f"u{i}" for i in range(50)]
+        keys = list(range(50))
+        vector = prf.evaluate_many(ids, (0, 2), (1, 1), keys)
+        scalar = [prf.evaluate(uid, (0, 2), (1, 1), key) for uid, key in zip(ids, keys)]
+        assert vector.tolist() == scalar
+
+    def test_random_key_by_default(self):
+        assert len(BiasedPRF(0.3).global_key) == 32
+
+    def test_rejects_bad_key_sizes(self):
+        with pytest.raises(ValueError):
+            BiasedPRF(0.3, global_key=b"short")
+        with pytest.raises(ValueError):
+            BiasedPRF(0.3, global_key=b"x" * 100)
+
+    @pytest.mark.parametrize("bad_p", [0.0, 1.0, -0.2, 1.5])
+    def test_rejects_bad_bias(self, bad_p):
+        with pytest.raises(ValueError):
+            BiasedPRF(bad_p, global_key=b"k" * 32)
+
+
+class TestTrueRandomOracle:
+    def test_memoises_evaluations(self):
+        oracle = TrueRandomOracle(0.3, rng=np.random.default_rng(0))
+        first = oracle.evaluate("u", (0,), (1,), 5)
+        for _ in range(10):
+            assert oracle.evaluate("u", (0,), (1,), 5) == first
+        assert oracle.num_evaluations == 1
+
+    def test_counts_distinct_points(self):
+        oracle = TrueRandomOracle(0.3, rng=np.random.default_rng(0))
+        for key in range(17):
+            oracle.evaluate("u", (0,), (1,), key)
+        assert oracle.num_evaluations == 17
+
+    def test_empirical_bias(self):
+        oracle = TrueRandomOracle(0.25, rng=np.random.default_rng(42))
+        draws = [oracle.evaluate("u", (0,), (1,), key) for key in range(20000)]
+        assert np.mean(draws) == pytest.approx(0.25, abs=0.02)

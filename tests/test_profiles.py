@@ -1,0 +1,97 @@
+"""Unit tests for ground-truth storage and exact queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Profile, ProfileDatabase, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.build(uint={"a": 4, "b": 4})
+
+
+@pytest.fixture
+def database(schema):
+    db = ProfileDatabase(schema)
+    for i, (a, b) in enumerate([(3, 1), (7, 2), (3, 9), (15, 0), (3, 3)]):
+        db.add_values(f"u{i}", {"a": a, "b": b})
+    return db
+
+
+class TestProfile:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            Profile("u", np.array([0, 2]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            Profile("u", np.zeros((2, 2)))
+
+    def test_projection(self):
+        profile = Profile("u", np.array([1, 0, 1, 1]))
+        assert profile.project((0, 3)) == (1, 1)
+        assert profile.project((1,)) == (0,)
+
+
+class TestDatabaseBasics:
+    def test_width_mismatch_rejected(self, schema):
+        db = ProfileDatabase(schema)
+        with pytest.raises(ValueError):
+            db.add(Profile("u", np.array([1, 0])))
+
+    def test_duplicate_id_rejected(self, database):
+        with pytest.raises(ValueError):
+            database.add_values("u0", {"a": 0, "b": 0})
+
+    def test_lookup(self, database):
+        assert database["u1"].user_id == "u1"
+        with pytest.raises(KeyError):
+            database["nope"]
+
+    def test_matrix_shape(self, database, schema):
+        assert database.matrix().shape == (5, schema.total_bits)
+
+    def test_empty_matrix(self, schema):
+        assert ProfileDatabase(schema).matrix().shape == (0, 8)
+
+    def test_attribute_values(self, database):
+        assert database.attribute_values("a").tolist() == [3, 7, 3, 15, 3]
+
+
+class TestExactQueries:
+    def test_conjunction(self, database, schema):
+        # a == 3 in binary over 4 bits is 0011.
+        fraction = database.exact_conjunction(schema.bits("a"), (0, 0, 1, 1))
+        assert fraction == pytest.approx(3 / 5)
+
+    def test_conjunction_validates(self, database, schema):
+        with pytest.raises(ValueError):
+            database.exact_conjunction(schema.bits("a"), (1,))
+        with pytest.raises(ValueError):
+            ProfileDatabase(schema).exact_conjunction((0,), (1,))
+
+    def test_count(self, database, schema):
+        assert database.exact_count(schema.bits("a"), (0, 0, 1, 1)) == 3
+
+    def test_sum_and_mean(self, database):
+        assert database.exact_sum("a") == 3 + 7 + 3 + 15 + 3
+        assert database.exact_mean("b") == pytest.approx((1 + 2 + 9 + 0 + 3) / 5)
+
+    def test_inner_product(self, database):
+        expected = 3 * 1 + 7 * 2 + 3 * 9 + 15 * 0 + 3 * 3
+        assert database.exact_inner_product("a", "b") == expected
+
+    def test_interval(self, database):
+        assert database.exact_interval("a", 3) == pytest.approx(3 / 5)
+        assert database.exact_interval("a", 14) == pytest.approx(4 / 5)
+
+    def test_sum_below(self, database):
+        # b-sum over users with a <= 3: users 0, 2, 4 -> 1 + 9 + 3.
+        assert database.exact_sum_below("a", "b", 3) == pytest.approx(13.0)
+
+    def test_addition_interval(self, database):
+        # a + b: 4, 9, 12, 15, 6 -> below 8: users 0 and 4.
+        assert database.exact_addition_interval("a", "b", 3) == pytest.approx(2 / 5)

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PrivacyParams,
+    epsilon_for_p,
+    p_for_epsilon,
+    perturbation_matrix,
+    publish_probability,
+    solve_weight_counts,
+    transition_probability,
+    worst_case_ratio,
+)
+from repro.data import Schema, bits_to_int, decode_profile, encode_profile, int_to_bits
+from repro.queries import (
+    Conjunction,
+    addition_event_literals,
+    evaluate_plan,
+    less_equal_plan,
+    less_than_plan,
+    sum_plan,
+)
+
+BIASES = st.floats(min_value=0.05, max_value=0.45)
+
+
+class TestParamsProperties:
+    @given(p=BIASES)
+    def test_rejection_prob_in_unit_interval(self, p):
+        params = PrivacyParams(p)
+        assert 0.0 < params.rejection_probability < 1.0
+
+    @given(p=BIASES, l=st.integers(min_value=1, max_value=32))
+    def test_privacy_epsilon_round_trip(self, p, l):
+        epsilon = epsilon_for_p(p, l)
+        recovered = p_for_epsilon(epsilon, l)
+        assert recovered == pytest.approx(p, rel=1e-9)
+
+    @given(p=BIASES, m=st.integers(min_value=1, max_value=10**9))
+    def test_sketch_length_failure_contract(self, p, m):
+        # At the recommended length, the failure bound is met.
+        params = PrivacyParams(p)
+        bits = params.sketch_length(m, 1e-6)
+        if bits <= 24:  # keep 2**bits finite-cost
+            assert params.failure_probability(bits, m) <= 1e-6 * 1.001
+
+    @given(p=BIASES, error=st.floats(min_value=0.001, max_value=1.0),
+           m=st.integers(min_value=1, max_value=10**7))
+    def test_utility_tail_is_probability_like(self, p, error, m):
+        tail = PrivacyParams(p).utility_tail(error, m)
+        assert 0.0 <= tail <= 1.0
+
+
+class TestCodecProperties:
+    @given(width=st.integers(min_value=1, max_value=24), data=st.data())
+    def test_int_codec_round_trip(self, width, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=1),
+    )
+    def test_profile_codec_round_trip(self, a, b):
+        schema = Schema.build(boolean=["flag"], uint={"x": 8})
+        values = {"flag": b, "x": a}
+        assert decode_profile(schema, encode_profile(schema, values)) == values
+
+
+class TestKernelProperties:
+    @given(k=st.integers(min_value=1, max_value=8), p=BIASES)
+    def test_columns_are_distributions(self, k, p):
+        matrix = perturbation_matrix(k, p)
+        assert np.allclose(matrix.sum(axis=0), 1.0)
+        assert (matrix >= 0).all()
+
+    @given(k=st.integers(min_value=1, max_value=8), p=BIASES,
+           l=st.integers(min_value=0, max_value=8))
+    def test_kernel_symmetry(self, k, p, l):
+        # Flip symmetry: v[l -> l'] = v[k-l -> k-l'].
+        assume(l <= k)
+        for after in range(k + 1):
+            forward = transition_probability(k, l, after, p)
+            mirrored = transition_probability(k, k - l, k - after, p)
+            assert forward == pytest.approx(mirrored)
+
+    @given(k=st.integers(min_value=1, max_value=6), p=BIASES, data=st.data())
+    @settings(max_examples=30)
+    def test_solve_inverts_kernel(self, k, p, data):
+        raw = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=k + 1, max_size=k + 1,
+            )
+        )
+        total = sum(raw)
+        assume(total > 0.1)
+        x = np.asarray(raw) / total
+        y = perturbation_matrix(k, p) @ x
+        assert solve_weight_counts(y, p) == pytest.approx(x, abs=1e-6)
+
+
+class TestLemma33Property:
+    @given(
+        bits=st.integers(min_value=1, max_value=6),
+        p=BIASES,
+    )
+    @settings(max_examples=40)
+    def test_worst_ratio_below_bound_everywhere(self, bits, p):
+        params = PrivacyParams(p)
+        distribution = worst_case_ratio(1 << bits, params.rejection_probability)
+        assert distribution.worst_ratio <= params.privacy_ratio_bound() * (1 + 1e-9)
+
+    @given(
+        bits=st.integers(min_value=1, max_value=5),
+        q=st.integers(min_value=0, max_value=32),
+        p=BIASES,
+    )
+    def test_publish_probabilities_are_probabilities(self, bits, q, p):
+        num_keys = 1 << bits
+        assume(q <= num_keys)
+        accept = PrivacyParams(p).rejection_probability
+        for tagged in (0, 1):
+            if tagged == 1 and q == 0:
+                continue
+            if tagged == 0 and q == num_keys:
+                continue
+            probability = publish_probability(num_keys, q, tagged, accept)
+            assert 0.0 <= probability <= 1.0
+
+
+class TestPlanProperties:
+    @given(
+        width=st.integers(min_value=2, max_value=8),
+        values=st.lists(st.integers(min_value=0, max_value=255), min_size=5, max_size=30),
+        threshold=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=40)
+    def test_interval_plans_exact_on_any_data(self, width, values, threshold):
+        max_value = (1 << width) - 1
+        values = [v % (max_value + 1) for v in values]
+        threshold = threshold % max_value + 1  # in [1, max]
+        schema = Schema.build(uint={"a": width})
+        from repro.data import ProfileDatabase
+
+        db = ProfileDatabase(schema)
+        for i, v in enumerate(values):
+            db.add_values(f"u{i}", {"a": v})
+
+        def count(subset, value):
+            return db.exact_count(subset, value)
+
+        strict = evaluate_plan(less_than_plan(schema, "a", threshold), count)
+        loose = evaluate_plan(less_equal_plan(schema, "a", threshold), count)
+        assert strict == pytest.approx(sum(1 for v in values if v < threshold))
+        assert loose == pytest.approx(sum(1 for v in values if v <= threshold))
+
+    @given(
+        width=st.integers(min_value=1, max_value=10),
+        values=st.lists(st.integers(min_value=0, max_value=1023), min_size=3, max_size=20),
+    )
+    @settings(max_examples=40)
+    def test_sum_plan_exact_on_any_data(self, width, values):
+        values = [v % (1 << width) for v in values]
+        schema = Schema.build(uint={"a": width})
+        from repro.data import ProfileDatabase
+
+        db = ProfileDatabase(schema)
+        for i, v in enumerate(values):
+            db.add_values(f"u{i}", {"a": v})
+        total = evaluate_plan(
+            sum_plan(schema, "a"), lambda s, v: db.exact_count(s, v)
+        )
+        assert total == pytest.approx(sum(values))
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=10))
+    def test_conjunction_subset_value_aligned(self, a, b):
+        assume(a != b)
+        conjunction = Conjunction.of((a, 1), (b, 0))
+        lookup = dict(zip(conjunction.subset, conjunction.value))
+        assert lookup[a] == 1
+        assert lookup[b] == 0
+
+
+class TestAdditionEventsProperty:
+    @given(
+        k=st.integers(min_value=1, max_value=6),
+        r=st.integers(min_value=1, max_value=6),
+        a=st.integers(min_value=0, max_value=63),
+        b=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=200)
+    def test_exactly_one_event_iff_below_threshold(self, k, r, a, b):
+        assume(r <= k)
+        a %= 1 << k
+        b %= 1 << k
+        a_bits = [(a >> e) & 1 for e in range(k)]
+        b_bits = [(b >> e) & 1 for e in range(k)]
+        fired = 0
+        for zeros_a, zeros_b, xors in addition_event_literals(k, r):
+            ok = all(a_bits[e] == 0 for e in zeros_a)
+            ok = ok and all(b_bits[e] == 0 for e in zeros_b)
+            ok = ok and all((a_bits[e] ^ b_bits[e]) == 1 for e in xors)
+            fired += ok
+        assert fired == (1 if a + b < (1 << r) else 0)

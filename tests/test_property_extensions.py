@@ -1,0 +1,107 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PrivacyParams, Sketch
+from repro.data import ProfileDatabase, Schema, dumps_database, loads_database
+from repro.queries import simplex_project
+from repro.server import SketchStore, dumps_store, loads_store
+
+BIASES = st.floats(min_value=0.05, max_value=0.45)
+
+
+class TestSimplexProjectionProperties:
+    @given(
+        vector=st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=1, max_size=16,
+        )
+    )
+    def test_output_always_a_distribution(self, vector):
+        projected = simplex_project(np.asarray(vector))
+        assert projected.min() >= -1e-12
+        assert projected.sum() == pytest.approx(1.0)
+
+    @given(
+        vector=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=10
+        )
+    )
+    def test_distribution_is_fixed_point(self, vector):
+        values = np.asarray(vector)
+        values /= values.sum()
+        assert simplex_project(values) == pytest.approx(values, abs=1e-9)
+
+    @given(
+        vector=st.lists(
+            st.floats(min_value=-3, max_value=3), min_size=2, max_size=10
+        ),
+        shift=st.floats(min_value=-2, max_value=2),
+    )
+    def test_shift_invariance(self, vector, shift):
+        # Projection onto the simplex is invariant to adding a constant.
+        values = np.asarray(vector)
+        assert simplex_project(values + shift) == pytest.approx(
+            simplex_project(values), abs=1e-9
+        )
+
+
+class TestStoreSerializationProperties:
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),   # user index
+                st.integers(min_value=0, max_value=3),    # subset choice
+                st.integers(min_value=0, max_value=255),  # key
+            ),
+            min_size=1, max_size=40, unique_by=lambda r: (r[0], r[1]),
+        ),
+        p=BIASES,
+    )
+    @settings(max_examples=40)
+    def test_round_trip_any_store(self, records, p):
+        subsets = [(0,), (1, 2), (3,), (0, 4, 5)]
+        store = SketchStore()
+        for user_index, subset_choice, key in records:
+            store.publish(
+                Sketch(
+                    f"user-{user_index}",
+                    subsets[subset_choice],
+                    key=key,
+                    num_bits=8,
+                    iterations=1,
+                )
+            )
+        loaded, header = loads_store(dumps_store(store, PrivacyParams(p)))
+        assert header["p"] == p
+        assert set(loaded.subsets) == set(store.subsets)
+        for subset in store.subsets:
+            original = {(s.user_id, s.key) for s in store.sketches_for(subset)}
+            restored = {(s.user_id, s.key) for s in loaded.sketches_for(subset)}
+            assert original == restored
+
+
+class TestDatabaseSerializationProperties:
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=63),
+            ),
+            min_size=1, max_size=25,
+        )
+    )
+    @settings(max_examples=40)
+    def test_round_trip_any_database(self, values):
+        schema = Schema.build(boolean=["flag"], uint={"x": 6})
+        database = ProfileDatabase(schema)
+        for index, (flag, x) in enumerate(values):
+            database.add_values(f"u{index}", {"flag": flag, "x": x})
+        loaded = loads_database(dumps_database(database))
+        assert np.array_equal(loaded.matrix(), database.matrix())
+        assert loaded.user_ids == database.user_ids

@@ -1,0 +1,101 @@
+"""Unit tests for the query AST (literals, conjunctions, plans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Schema
+from repro.queries import Conjunction, LinearPlan, Literal, PlanTerm, evaluate_plan
+
+
+class TestLiteral:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Literal(-1, 0)
+        with pytest.raises(ValueError):
+            Literal(0, 2)
+
+    def test_negation(self):
+        literal = Literal(3, 1)
+        assert literal.negated == Literal(3, 0)
+        assert literal.negated.negated == literal
+
+    def test_str(self):
+        assert str(Literal(3, 1)) == "d[3]"
+        assert str(Literal(3, 0)) == "!d[3]"
+
+
+class TestConjunction:
+    def test_sorts_literals(self):
+        conjunction = Conjunction.of((5, 0), (2, 1))
+        assert conjunction.subset == (2, 5)
+        assert conjunction.value == (1, 0)
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            Conjunction.of((2, 1), (2, 0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Conjunction(())
+
+    def test_matches(self):
+        conjunction = Conjunction.of((0, 1), (2, 0))
+        assert conjunction.matches([1, 1, 0])
+        assert not conjunction.matches([1, 1, 1])
+        assert not conjunction.matches([0, 0, 0])
+
+    def test_equals_builder(self):
+        schema = Schema.build(uint={"a": 4})
+        conjunction = Conjunction.equals(schema, "a", 5)  # 0101
+        assert conjunction.subset == (0, 1, 2, 3)
+        assert conjunction.value == (0, 1, 0, 1)
+
+    def test_and_also(self):
+        joined = Conjunction.of((0, 1)).and_also(Conjunction.of((3, 0)))
+        assert joined.subset == (0, 3)
+        assert joined.value == (1, 0)
+
+    def test_and_also_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Conjunction.of((0, 1)).and_also(Conjunction.of((0, 0)))
+
+    def test_width(self):
+        assert Conjunction.of((0, 1), (4, 0), (9, 1)).width == 3
+
+
+class TestLinearPlan:
+    def make_plan(self):
+        return LinearPlan(
+            (
+                PlanTerm(Conjunction.of((0, 1)), 2.0),
+                PlanTerm(Conjunction.of((1, 0), (2, 1)), -1.0),
+            ),
+            description="demo",
+        )
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPlan((), description="empty")
+
+    def test_num_queries_and_width(self):
+        plan = self.make_plan()
+        assert plan.num_queries == 2
+        assert plan.max_width == 2
+
+    def test_scaled(self):
+        plan = self.make_plan().scaled(3.0)
+        assert [t.coefficient for t in plan.terms] == [6.0, -3.0]
+
+    def test_addition_concatenates(self):
+        plan = self.make_plan() + self.make_plan()
+        assert plan.num_queries == 4
+
+    def test_evaluate_plan_weights_counts(self):
+        plan = self.make_plan()
+        counts = {((0,), (1,)): 10.0, ((1, 2), (0, 1)): 4.0}
+        result = evaluate_plan(plan, lambda s, v: counts[(s, v)])
+        assert result == pytest.approx(2.0 * 10.0 - 1.0 * 4.0)
+
+    def test_str_contains_description(self):
+        assert "demo" in str(self.make_plan())

@@ -1,0 +1,206 @@
+"""Unit tests for the Section 4.1 query compilers.
+
+The key invariant: every compiled plan, executed against the *exact*
+ground-truth count oracle, must reproduce the exact typed answer.  That
+validates the algebra (eq. 4, the interval decomposition, the combined
+constructions) independently of any sketching noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Profile, ProfileDatabase, Schema
+from repro.queries import (
+    DecisionNode,
+    decision_tree_plan,
+    equal_and_less_plan,
+    evaluate_plan,
+    exact_count_fn,
+    inner_product_plan,
+    less_equal_plan,
+    less_than_plan,
+    moment_plan,
+    range_plan,
+    sum_plan,
+    sum_where_less_equal_plan,
+    sum_where_less_plan,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.build(uint={"a": 5, "b": 5})
+
+
+@pytest.fixture
+def database(schema, rng):
+    db = ProfileDatabase(schema)
+    for i in range(200):
+        db.add_values(
+            f"u{i}", {"a": int(rng.integers(0, 32)), "b": int(rng.integers(0, 32))}
+        )
+    return db
+
+
+class TestSumPlans:
+    def test_sum_plan_exact(self, schema, database):
+        plan = sum_plan(schema, "a")
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(
+            database.exact_sum("a")
+        )
+
+    def test_sum_plan_costs_k_single_bit_queries(self, schema):
+        plan = sum_plan(schema, "a")
+        assert plan.num_queries == 5
+        assert plan.max_width == 1
+
+    def test_sum_plan_weights_are_powers_of_two(self, schema):
+        plan = sum_plan(schema, "a")
+        assert sorted(t.coefficient for t in plan.terms) == [1, 2, 4, 8, 16]
+
+    def test_inner_product_exact(self, schema, database):
+        plan = inner_product_plan(schema, "a", "b")
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(
+            database.exact_inner_product("a", "b")
+        )
+
+    def test_inner_product_costs_k_squared_two_bit_queries(self, schema):
+        plan = inner_product_plan(schema, "a", "b")
+        assert plan.num_queries == 25
+        assert plan.max_width == 2
+
+    def test_inner_product_self_rejected(self, schema):
+        with pytest.raises(ValueError):
+            inner_product_plan(schema, "a", "a")
+
+    def test_second_moment_exact(self, schema, database):
+        plan = moment_plan(schema, "a")
+        expected = float((database.attribute_values("a").astype(np.int64) ** 2).sum())
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(expected)
+
+
+class TestIntervalPlans:
+    @pytest.mark.parametrize("threshold", [1, 7, 13, 21, 31])
+    def test_less_than_exact(self, schema, database, threshold):
+        plan = less_than_plan(schema, "a", threshold)
+        expected = int((database.attribute_values("a") < threshold).sum())
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("threshold", [0, 1, 7, 13, 31])
+    def test_less_equal_exact(self, schema, database, threshold):
+        plan = less_equal_plan(schema, "a", threshold)
+        expected = int((database.attribute_values("a") <= threshold).sum())
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(expected)
+
+    def test_cost_is_popcount(self, schema):
+        # The paper: "the number of queries ... is equal to how many 1s are
+        # in the binary representation of c".
+        for threshold in (1, 7, 13, 21, 31):
+            plan = less_than_plan(schema, "a", threshold)
+            assert plan.num_queries == bin(threshold).count("1")
+
+    def test_less_equal_adds_one_query(self, schema):
+        assert (
+            less_equal_plan(schema, "a", 13).num_queries
+            == less_than_plan(schema, "a", 13).num_queries + 1
+        )
+
+    def test_paper_formula_is_strict_inequality(self, schema):
+        # Reproduces the paper's off-by-one: its displayed <= formula
+        # actually computes <.  Build a database where the distinction
+        # matters (mass exactly at the threshold).
+        db = ProfileDatabase(schema)
+        for i in range(10):
+            db.add_values(f"u{i}", {"a": 13, "b": 0})
+        strict = evaluate_plan(less_than_plan(schema, "a", 13), exact_count_fn(db))
+        loose = evaluate_plan(less_equal_plan(schema, "a", 13), exact_count_fn(db))
+        assert strict == pytest.approx(0.0)
+        assert loose == pytest.approx(10.0)
+
+    def test_less_than_zero_rejected(self, schema):
+        with pytest.raises(ValueError):
+            less_than_plan(schema, "a", 0)
+
+    @pytest.mark.parametrize("low,high", [(0, 31), (5, 10), (13, 13), (1, 30)])
+    def test_range_exact(self, schema, database, low, high):
+        plan = range_plan(schema, "a", low, high)
+        values = database.attribute_values("a")
+        expected = int(((values >= low) & (values <= high)).sum())
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(expected)
+
+    def test_range_validates_order(self, schema):
+        with pytest.raises(ValueError):
+            range_plan(schema, "a", 10, 5)
+
+
+class TestCombinedPlans:
+    @pytest.mark.parametrize("value_eq,threshold", [(3, 9), (0, 31), (17, 5)])
+    def test_equal_and_less_exact(self, schema, database, value_eq, threshold):
+        plan = equal_and_less_plan(schema, "a", value_eq, "b", threshold)
+        a = database.attribute_values("a")
+        b = database.attribute_values("b")
+        expected = int(((a == value_eq) & (b < threshold)).sum())
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("threshold", [5, 16, 31])
+    def test_sum_where_less_exact(self, schema, database, threshold):
+        plan = sum_where_less_plan(schema, "b", "a", threshold)
+        a = database.attribute_values("a")
+        b = database.attribute_values("b")
+        expected = float(b[a < threshold].sum())
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("threshold", [0, 5, 16, 31])
+    def test_sum_where_less_equal_exact(self, schema, database, threshold):
+        plan = sum_where_less_equal_plan(schema, "b", "a", threshold)
+        expected = database.exact_sum_below("a", "b", threshold)
+        assert evaluate_plan(plan, exact_count_fn(database)) == pytest.approx(expected)
+
+    def test_cost_matches_paper(self, schema):
+        # popcount(c) * k queries for the conditional sum.
+        plan = sum_where_less_plan(schema, "b", "a", 21)  # popcount(10101) = 3
+        assert plan.num_queries == 3 * 5
+
+
+class TestDecisionTrees:
+    def build_tree(self):
+        # (x0 = 1 AND x1 = 0) OR (x0 = 0 AND x2 = 1)
+        return DecisionNode.split(
+            0,
+            if_zero=DecisionNode.split(
+                2, if_zero=DecisionNode.leaf(False), if_one=DecisionNode.leaf(True)
+            ),
+            if_one=DecisionNode.split(
+                1, if_zero=DecisionNode.leaf(True), if_one=DecisionNode.leaf(False)
+            ),
+        )
+
+    def test_plan_matches_classify(self, rng):
+        schema = Schema.build(boolean=["x0", "x1", "x2"])
+        db = ProfileDatabase(schema)
+        matrix = (rng.random((300, 3)) < 0.5).astype(np.int8)
+        for i, row in enumerate(matrix):
+            db.add(Profile(f"u{i}", row))
+        tree = self.build_tree()
+        plan = decision_tree_plan(tree)
+        expected = sum(tree.classify(row) for row in matrix)
+        assert evaluate_plan(plan, exact_count_fn(db)) == pytest.approx(expected)
+
+    def test_one_query_per_accepting_path(self):
+        plan = decision_tree_plan(self.build_tree())
+        assert plan.num_queries == 2
+        assert all(term.coefficient == 1.0 for term in plan.terms)
+
+    def test_degenerate_trees_rejected(self):
+        with pytest.raises(ValueError):
+            decision_tree_plan(DecisionNode.leaf(True))
+        with pytest.raises(ValueError):
+            decision_tree_plan(DecisionNode.leaf(False))
+
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            DecisionNode(position=1, accept=True)
+        with pytest.raises(ValueError):
+            DecisionNode(position=1, if_zero=DecisionNode.leaf(True))

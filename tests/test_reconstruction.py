@@ -1,0 +1,77 @@
+"""Unit tests for the Dinur–Nissim reconstruction attacker (Appendix A)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks import noisy_subset_sum_oracle, reconstruction_attack
+
+
+class TestOracle:
+    def test_exact_when_noiseless(self, rng):
+        secret = np.array([1, 0, 1, 1, 0])
+        oracle = noisy_subset_sum_oracle(secret, 0.0, rng)
+        assert oracle(np.array([1, 1, 0, 0, 0])) == pytest.approx(1.0)
+        assert oracle(np.ones(5)) == pytest.approx(3.0)
+
+    def test_noise_scale(self, rng):
+        secret = np.zeros(100)
+        oracle = noisy_subset_sum_oracle(secret, 5.0, rng)
+        answers = [oracle(np.ones(100)) for _ in range(200)]
+        assert np.std(answers) == pytest.approx(5.0, rel=0.3)
+
+    def test_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            noisy_subset_sum_oracle(np.array([0, 2]), 1.0, rng)
+        oracle = noisy_subset_sum_oracle(np.array([0, 1]), 1.0, rng)
+        with pytest.raises(ValueError):
+            oracle(np.ones(3))
+
+
+class TestReconstruction:
+    def test_noiseless_curator_fully_reconstructed(self, rng):
+        num_rows = 60
+        secret = (rng.random(num_rows) < 0.5).astype(np.int8)
+        oracle = noisy_subset_sum_oracle(secret, 0.0, rng)
+        result = reconstruction_attack(oracle, num_rows, rng=rng, truth=secret)
+        assert result.accuracy == 1.0
+
+    def test_small_noise_still_breaks(self, rng):
+        # o(sqrt(M)) noise: reconstruction succeeds on most rows.
+        num_rows = 100
+        secret = (rng.random(num_rows) < 0.5).astype(np.int8)
+        oracle = noisy_subset_sum_oracle(secret, 1.0, rng)
+        result = reconstruction_attack(oracle, num_rows, rng=rng, truth=secret)
+        assert result.accuracy > 0.95
+
+    def test_sqrt_m_noise_defeats_reconstruction(self, rng):
+        # Omega(sqrt(M)) noise — the Appendix A regime — leaves the
+        # attacker near coin flipping.
+        num_rows = 100
+        secret = (rng.random(num_rows) < 0.5).astype(np.int8)
+        oracle = noisy_subset_sum_oracle(secret, 2.0 * math.sqrt(num_rows), rng)
+        result = reconstruction_attack(oracle, num_rows, rng=rng, truth=secret)
+        assert result.accuracy < 0.8
+
+    def test_accuracy_nan_without_truth(self, rng):
+        oracle = noisy_subset_sum_oracle(np.zeros(10), 1.0, rng)
+        result = reconstruction_attack(oracle, 10, rng=rng)
+        assert math.isnan(result.accuracy)
+        assert result.recovered.shape == (10,)
+
+    def test_query_budget_recorded(self, rng):
+        oracle = noisy_subset_sum_oracle(np.zeros(10), 1.0, rng)
+        result = reconstruction_attack(oracle, 10, num_queries=17, rng=rng)
+        assert result.num_queries == 17
+
+    def test_validates_inputs(self, rng):
+        oracle = noisy_subset_sum_oracle(np.zeros(10), 1.0, rng)
+        with pytest.raises(ValueError):
+            reconstruction_attack(oracle, 0, rng=rng)
+        with pytest.raises(ValueError):
+            reconstruction_attack(oracle, 10, num_queries=0, rng=rng)
+        with pytest.raises(ValueError):
+            reconstruction_attack(oracle, 10, rng=rng, truth=np.zeros(5))

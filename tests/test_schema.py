@@ -1,0 +1,91 @@
+"""Unit tests for schemas and bit layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import AttributeSpec, Schema
+
+
+class TestAttributeSpec:
+    def test_bool_must_be_one_bit(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("flag", "bool", 2)
+
+    def test_categorical_needs_cardinality(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("cat", "categorical", 3, cardinality=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", "float", 32)
+
+    def test_max_values(self):
+        assert AttributeSpec("f", "bool", 1).max_value == 1
+        assert AttributeSpec("u", "uint", 6).max_value == 63
+        assert AttributeSpec("c", "categorical", 4, cardinality=10).max_value == 9
+
+
+class TestSchemaLayout:
+    def test_build_and_total_bits(self):
+        schema = Schema.build(
+            boolean=["smoker"], uint={"salary": 8}, categorical={"state": 50}
+        )
+        assert schema.total_bits == 1 + 8 + 6  # ceil(log2(50)) = 6
+        assert set(schema.names) == {"smoker", "salary", "state"}
+
+    def test_offsets_are_contiguous(self):
+        schema = Schema.build(boolean=["a", "b"], uint={"x": 4})
+        assert schema.offset("a") == 0
+        assert schema.offset("b") == 1
+        assert schema.offset("x") == 2
+        assert schema.bits("x") == (2, 3, 4, 5)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([AttributeSpec("x", "bool", 1), AttributeSpec("x", "uint", 3)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_unknown_attribute_lookup(self):
+        schema = Schema.build(boolean=["a"])
+        with pytest.raises(KeyError):
+            schema.offset("missing")
+        with pytest.raises(KeyError):
+            schema.spec("missing")
+
+    def test_contains(self):
+        schema = Schema.build(boolean=["a"])
+        assert "a" in schema
+        assert "b" not in schema
+
+
+class TestSubsetBuilders:
+    @pytest.fixture
+    def schema(self):
+        return Schema.build(boolean=["flag"], uint={"salary": 6})
+
+    def test_full_attribute_subset(self, schema):
+        assert schema.bits("salary") == (1, 2, 3, 4, 5, 6)
+
+    def test_bit_is_one_indexed_msb_first(self, schema):
+        # The paper's A_i: i-th *highest* bit.
+        assert schema.bit("salary", 1) == 1  # MSB
+        assert schema.bit("salary", 6) == 6  # LSB
+
+    def test_prefix_is_highest_bits(self, schema):
+        assert schema.prefix("salary", 1) == (1,)
+        assert schema.prefix("salary", 3) == (1, 2, 3)
+        assert schema.prefix("salary", 6) == schema.bits("salary")
+
+    def test_bit_and_prefix_bounds(self, schema):
+        with pytest.raises(ValueError):
+            schema.bit("salary", 0)
+        with pytest.raises(ValueError):
+            schema.bit("salary", 7)
+        with pytest.raises(ValueError):
+            schema.prefix("salary", 0)
+        with pytest.raises(ValueError):
+            schema.prefix("salary", 7)

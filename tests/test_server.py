@@ -1,0 +1,295 @@
+"""Unit tests for the collector, query engine and Appendix A server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PrivacyAccountant, PrivacyParams, Sketch, Sketcher
+from repro.data import ProfileDatabase, Schema, bernoulli_panel, salary_table
+from repro.queries import Conjunction, DecisionNode
+from repro.server import (
+    DualModeServer,
+    MissingSketchError,
+    QueryBudgetExhausted,
+    QueryEngine,
+    SketchStore,
+    SulqServer,
+    attribute_subsets,
+    per_bit_subsets,
+    prefix_subsets,
+    publish_database,
+)
+
+from .conftest import make_prf
+
+
+class TestSketchStore:
+    def test_publish_and_retrieve(self):
+        store = SketchStore()
+        sketch = Sketch("u", (0, 1), key=3, num_bits=4, iterations=1)
+        store.publish(sketch)
+        assert store.has_subset((0, 1))
+        assert store.num_users((0, 1)) == 1
+        assert store.sketches_for((0, 1)) == [sketch]
+
+    def test_double_publish_rejected(self):
+        store = SketchStore()
+        store.publish(Sketch("u", (0,), key=0, num_bits=4, iterations=1))
+        with pytest.raises(ValueError, match="already published"):
+            store.publish(Sketch("u", (0,), key=1, num_bits=4, iterations=1))
+
+    def test_missing_subset_raises(self):
+        with pytest.raises(KeyError):
+            SketchStore().sketches_for((0,))
+
+    def test_aligned_groups_intersect_users(self):
+        store = SketchStore()
+        for uid in ("a", "b", "c"):
+            store.publish(Sketch(uid, (0,), key=0, num_bits=4, iterations=1))
+        for uid in ("b", "c", "d"):
+            store.publish(Sketch(uid, (1,), key=0, num_bits=4, iterations=1))
+        groups = store.aligned_groups([(0,), (1,)])
+        assert [s.user_id for s in groups[0]] == ["b", "c"]
+        assert [s.user_id for s in groups[1]] == ["b", "c"]
+
+    def test_aligned_groups_no_common_users(self):
+        store = SketchStore()
+        store.publish(Sketch("a", (0,), key=0, num_bits=4, iterations=1))
+        store.publish(Sketch("b", (1,), key=0, num_bits=4, iterations=1))
+        with pytest.raises(ValueError):
+            store.aligned_groups([(0,), (1,)])
+
+    def test_total_published_bits(self):
+        store = SketchStore()
+        store.publish(Sketch("a", (0,), key=0, num_bits=8, iterations=1))
+        store.publish(Sketch("a", (1,), key=0, num_bits=8, iterations=1))
+        assert store.total_published_bits() == 16
+
+
+class TestPolicies:
+    def test_per_bit(self):
+        schema = Schema.build(uint={"a": 3})
+        assert per_bit_subsets(schema) == [(0,), (1,), (2,)]
+
+    def test_attribute(self):
+        schema = Schema.build(boolean=["f"], uint={"a": 3})
+        assert attribute_subsets(schema) == [(0,), (1, 2, 3)]
+        assert attribute_subsets(schema, ["a"]) == [(1, 2, 3)]
+
+    def test_prefix(self):
+        schema = Schema.build(uint={"a": 3})
+        assert prefix_subsets(schema, "a") == [(0,), (0, 1), (0, 1, 2)]
+
+
+class TestPublishDatabase:
+    def test_publishes_every_user_and_subset(self, params, prf, rng):
+        db = bernoulli_panel(30, 4, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        store = publish_database(db, sketcher, [(0,), (1, 2)])
+        assert store.num_users((0,)) == 30
+        assert store.num_users((1, 2)) == 30
+
+    def test_accountant_enforced(self, params, prf, rng):
+        db = bernoulli_panel(5, 4, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        accountant = PrivacyAccountant(params, epsilon=1e9)
+        publish_database(db, sketcher, [(0,), (1,)], accountant=accountant)
+        assert accountant.spent(db.user_ids[0]).num_sketches == 2
+
+    def test_accountant_blocks_over_release(self, rng):
+        # epsilon so small even one sketch at p=0.3 is too many.
+        params = PrivacyParams(p=0.3)
+        prf = make_prf(0.3)
+        db = bernoulli_panel(3, 2, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=6, rng=rng)
+        accountant = PrivacyAccountant(params, epsilon=0.1)
+        from repro.core import BudgetExceeded
+
+        with pytest.raises(BudgetExceeded):
+            publish_database(db, sketcher, [(0,)], accountant=accountant)
+
+
+class TestQueryEngine:
+    @pytest.fixture
+    def setup(self, params, prf, rng, estimator):
+        db = salary_table(2500, bits=5, attributes=("a", "b"), rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+        subsets = list(
+            dict.fromkeys(
+                per_bit_subsets(db.schema)
+                + prefix_subsets(db.schema, "a")
+                + attribute_subsets(db.schema)
+            )
+        )
+        store = publish_database(db, sketcher, subsets)
+        engine = QueryEngine(db.schema, store, estimator)
+        return db, engine
+
+    def test_direct_estimate_with_ci(self, setup):
+        db, engine = setup
+        subset = db.schema.bits("a")
+        value = (0, 1, 0, 1, 1)
+        result = engine.estimate(subset, value)
+        assert result.covers(db.exact_conjunction(subset, value))
+
+    def test_missing_subset_raises(self, setup):
+        _, engine = setup
+        with pytest.raises(MissingSketchError):
+            engine.estimate((99,), (1,))
+
+    def test_fraction_falls_back_to_partition(self, setup):
+        db, engine = setup
+        # bits of b at positions (b1, b2): each bit sketched individually;
+        # the pair subset was never sketched directly.
+        positions = (db.schema.bit("b", 1), db.schema.bit("b", 2))
+        assert not engine.store.has_subset(positions)
+        truth = db.exact_conjunction(positions, (0, 0))
+        assert engine.fraction(positions, (0, 0)) == pytest.approx(truth, abs=0.08)
+
+    def test_unpartitionable_subset_raises(self, setup, params, prf, estimator):
+        db, engine = setup
+        # Remove everything and keep only a pair subset that cannot cover
+        # a requested triple.
+        store = SketchStore()
+        store.publish(Sketch("u", (0, 1), key=0, num_bits=4, iterations=1))
+        lonely = QueryEngine(db.schema, store, estimator)
+        with pytest.raises(MissingSketchError):
+            lonely.fraction((0, 1, 2), (1, 1, 1))
+
+    def test_sum_and_mean(self, setup):
+        db, engine = setup
+        tolerance = 0.15 * db.exact_sum("a") + 200
+        assert engine.sum("a") == pytest.approx(db.exact_sum("a"), abs=tolerance)
+        assert engine.mean("a") == pytest.approx(
+            db.exact_mean("a"), abs=tolerance / len(db)
+        )
+
+    def test_variance(self, setup):
+        db, engine = setup
+        truth = float(np.var(db.attribute_values("a")))
+        estimate = engine.variance("a")
+        assert estimate == pytest.approx(truth, rel=0.5)
+        assert estimate >= 0.0
+
+    def test_interval_queries(self, setup):
+        db, engine = setup
+        truth = db.exact_interval("a", 11) * len(db)
+        assert engine.count_less_equal("a", 11) == pytest.approx(truth, abs=450)
+
+    def test_conjunction_helper(self, setup):
+        db, engine = setup
+        query = Conjunction.equals(db.schema, "a", 7)
+        truth = db.exact_conjunction(query.subset, query.value)
+        assert engine.conjunction(query) == pytest.approx(truth, abs=0.08)
+
+    def test_decision_tree(self, setup):
+        db, engine = setup
+        bit = db.schema.bit("a", 1)
+        tree = DecisionNode.split(
+            bit, if_zero=DecisionNode.leaf(True), if_one=DecisionNode.leaf(False)
+        )
+        truth = float(np.mean([tree.classify(p.bits) for p in db]))
+        assert engine.decision_tree(tree) == pytest.approx(truth, abs=0.08)
+
+    def test_bit_matrix_requires_per_bit_policy(self, setup, estimator):
+        db, _ = setup
+        store = SketchStore()
+        store.publish(Sketch("u", (0, 1), key=0, num_bits=4, iterations=1))
+        engine = QueryEngine(db.schema, store, estimator)
+        with pytest.raises(MissingSketchError):
+            engine.bit_matrix([0, 1])
+
+    def test_exactly_l(self, setup):
+        db, engine = setup
+        positions = db.schema.bits("a")[:3]
+        truth = float(
+            np.mean(
+                [sum(p.bits[pos] for pos in positions) == 1 for p in db]
+            )
+        )
+        estimate = engine.exactly_l(positions, 1)
+        assert estimate == pytest.approx(truth, abs=0.12)
+
+
+class TestSulqServer:
+    def test_validates_noise(self, rng):
+        db = bernoulli_panel(100, 3, rng=rng)
+        with pytest.raises(ValueError):
+            SulqServer(db, noise_magnitude=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            SulqServer(db, noise_magnitude=50.0, rng=rng)  # > sqrt(100)
+
+    def test_budget_is_min_of_e2_and_m(self, rng):
+        db = bernoulli_panel(100, 3, rng=rng)
+        assert SulqServer(db, 5.0, rng=rng).query_budget == 25
+        assert SulqServer(db, 10.0, rng=rng).query_budget == 100
+
+    def test_budget_exhaustion(self, rng):
+        db = bernoulli_panel(100, 3, rng=rng)
+        server = SulqServer(db, 2.0, rng=rng)
+        for _ in range(server.query_budget):
+            server.count((0,), (1,))
+        with pytest.raises(QueryBudgetExhausted):
+            server.count((0,), (1,))
+
+    def test_noise_magnitude(self, rng):
+        db = bernoulli_panel(2500, 3, rng=rng)
+        server = SulqServer(db, 10.0, rng=rng)
+        exact = db.exact_count((0,), (1,))
+        answers = [server.count((0,), (1,)) for _ in range(100)]
+        assert np.std(answers) == pytest.approx(10.0, rel=0.35)
+        assert np.mean(answers) == pytest.approx(exact, abs=5.0)
+
+    def test_audit_log(self, rng):
+        db = bernoulli_panel(100, 3, rng=rng)
+        server = SulqServer(db, 5.0, rng=rng)
+        server.count((0,), (1,))
+        assert len(server.audit_log) == 1
+        assert server.audit_log[0].mode == "paid"
+
+
+class TestDualModeServer:
+    @pytest.fixture
+    def server(self, params, prf, rng, estimator):
+        db = bernoulli_panel(900, 4, density=0.4, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+        return (
+            db,
+            DualModeServer(
+                db, sketcher, estimator,
+                subsets=[(0,), (1,), (0, 1)],
+                noise_magnitude=10.0, rng=rng,
+            ),
+        )
+
+    def test_free_mode_unlimited(self, server):
+        db, dual = server
+        exact = db.exact_count((0, 1), (1, 1))
+        for _ in range(dual.paid.query_budget + 10):
+            answer = dual.count((0, 1), (1, 1), mode="free")
+        assert answer == pytest.approx(exact, abs=0.25 * len(db))
+
+    def test_paid_mode_budgeted(self, server):
+        _, dual = server
+        for _ in range(dual.paid.query_budget):
+            dual.count((0,), (1,), mode="paid")
+        with pytest.raises(QueryBudgetExhausted):
+            dual.count((0,), (1,), mode="paid")
+
+    def test_unknown_mode(self, server):
+        _, dual = server
+        with pytest.raises(ValueError):
+            dual.count((0,), (1,), mode="premium")
+
+    def test_free_mode_unknown_subset(self, server):
+        _, dual = server
+        with pytest.raises(KeyError):
+            dual.count((2, 3), (1, 1), mode="free")
+
+    def test_combined_audit_log(self, server):
+        _, dual = server
+        dual.count((0,), (1,), mode="free")
+        dual.count((0,), (1,), mode="paid")
+        modes = {record.mode for record in dual.audit_log}
+        assert modes == {"free", "paid"}

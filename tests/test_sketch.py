@@ -1,0 +1,154 @@
+"""Unit tests for Algorithm 1 (the sketching algorithm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BiasedPRF,
+    PrivacyParams,
+    Sketch,
+    SketchFailure,
+    Sketcher,
+    TrueRandomOracle,
+)
+
+KEY = b"reproduction-global-key-32bytes!"
+
+
+class TestSketchRecord:
+    def test_key_range_enforced(self):
+        with pytest.raises(ValueError):
+            Sketch("u", (0,), key=256, num_bits=8, iterations=1)
+
+    def test_size_is_num_bits(self):
+        sketch = Sketch("u", (0, 3), key=5, num_bits=8, iterations=2)
+        assert sketch.size_bits == 8
+
+    def test_evaluate_delegates_to_prf(self):
+        prf = BiasedPRF(0.3, global_key=KEY)
+        sketch = Sketch("u", (0, 3), key=5, num_bits=8, iterations=2)
+        assert sketch.evaluate(prf, (1, 0)) == prf.evaluate("u", (0, 3), (1, 0), 5)
+
+
+class TestSketcherValidation:
+    def test_rejects_bias_mismatch(self):
+        with pytest.raises(ValueError):
+            Sketcher(PrivacyParams(p=0.3), BiasedPRF(0.25, global_key=KEY))
+
+    def test_rejects_silly_lengths(self):
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(0.3, global_key=KEY)
+        with pytest.raises(ValueError):
+            Sketcher(params, prf, sketch_bits=0)
+        with pytest.raises(ValueError):
+            Sketcher(params, prf, sketch_bits=31)
+
+    def test_rejects_non_binary_profile(self):
+        params = PrivacyParams(p=0.3)
+        sketcher = Sketcher(params, BiasedPRF(0.3, global_key=KEY), sketch_bits=6)
+        with pytest.raises(ValueError):
+            sketcher.sketch("u", [0, 2, 1], (1,))
+
+    def test_out_of_range_subset_raises(self):
+        params = PrivacyParams(p=0.3)
+        sketcher = Sketcher(params, BiasedPRF(0.3, global_key=KEY), sketch_bits=6)
+        with pytest.raises(IndexError):
+            sketcher.sketch("u", [0, 1], (5,))
+
+
+class TestAlgorithmBehaviour:
+    def test_published_key_in_range(self):
+        params = PrivacyParams(p=0.3)
+        sketcher = Sketcher(
+            params, BiasedPRF(0.3, global_key=KEY), sketch_bits=6,
+            rng=np.random.default_rng(0),
+        )
+        for i in range(50):
+            sketch = sketcher.sketch(f"u{i}", [1, 0, 1], (0, 1, 2))
+            assert 0 <= sketch.key < 64
+            assert sketch.subset == (0, 1, 2)
+            assert sketch.num_bits == 6
+
+    def test_iterations_within_key_space(self):
+        params = PrivacyParams(p=0.3)
+        sketcher = Sketcher(
+            params, BiasedPRF(0.3, global_key=KEY), sketch_bits=5,
+            rng=np.random.default_rng(1),
+        )
+        for i in range(100):
+            sketch = sketcher.sketch(f"u{i}", [1], (0,))
+            assert 1 <= sketch.iterations <= 32
+
+    def test_expected_iterations_below_paper_bound(self):
+        # §3: expected iterations < (1-p)^2/p^2.
+        params = PrivacyParams(p=0.3)
+        sketcher = Sketcher(
+            params, BiasedPRF(0.3, global_key=KEY), sketch_bits=10,
+            rng=np.random.default_rng(2),
+        )
+        iterations = [
+            sketcher.sketch(f"u{i}", [1, 1, 0], (0, 1, 2)).iterations
+            for i in range(800)
+        ]
+        margin = 3 * np.std(iterations) / np.sqrt(len(iterations))
+        assert np.mean(iterations) <= params.iteration_bound + margin
+
+    def test_lemma_32_bias_on_true_value(self):
+        # Pr[H(id,B,d_B,s) = 1] = 1 - p over the algorithm's randomness.
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(0.3, global_key=KEY)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=np.random.default_rng(3))
+        hits = [
+            sketcher.sketch(f"u{i}", [1, 0], (0, 1)).evaluate(prf, (1, 0))
+            for i in range(4000)
+        ]
+        assert np.mean(hits) == pytest.approx(1 - params.p, abs=0.03)
+
+    def test_lemma_32_bias_on_other_values(self):
+        # Pr[H(id,B,v,s) = 1] = p for every v != d_B.
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(0.3, global_key=KEY)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=np.random.default_rng(4))
+        for other in [(0, 0), (0, 1), (1, 1)]:
+            hits = [
+                sketcher.sketch(f"{other}-u{i}", [1, 0], (0, 1)).evaluate(prf, other)
+                for i in range(3000)
+            ]
+            assert np.mean(hits) == pytest.approx(params.p, abs=0.03)
+
+    def test_failure_is_raised_when_keyspace_is_hostile(self):
+        # An oracle that always answers 0 forces the rejection branch; with
+        # the accept coin also forced to fail, the key space exhausts.
+        class ZeroOracle(TrueRandomOracle):
+            def _uniform64(self, payload: bytes) -> int:
+                return (1 << 64) - 1  # always above any threshold -> 0
+
+        params = PrivacyParams(p=0.3)
+        sketcher = Sketcher(params, ZeroOracle(0.3), sketch_bits=3)
+
+        class NoAcceptRng:
+            def permutation(self, n):
+                return np.arange(n)
+
+            def random(self):
+                return 1.0  # never below accept_prob
+
+        sketcher._rng = NoAcceptRng()
+        with pytest.raises(SketchFailure):
+            sketcher.sketch("u", [1], (0,))
+
+    def test_failure_never_happens_at_recommended_length(self):
+        params = PrivacyParams(p=0.3)
+        bits = params.sketch_length(num_users=500, failure_prob=1e-9)
+        sketcher = Sketcher(
+            params, BiasedPRF(0.3, global_key=KEY), sketch_bits=bits,
+            rng=np.random.default_rng(5),
+        )
+        for i in range(500):
+            sketcher.sketch(f"u{i}", [0, 1, 1, 0], (0, 1, 2, 3))
+
+    def test_subset_projection(self):
+        assert Sketcher._project([1, 0, 1, 1], (0, 2, 3)) == (1, 1, 1)
+        assert Sketcher._project([1, 0, 1, 1], (1,)) == (0,)

@@ -1,0 +1,121 @@
+"""Unit tests for streaming estimation and store merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Sketch, Sketcher
+from repro.data import bernoulli_panel
+from repro.server import (
+    SketchStore,
+    StreamingEstimator,
+    merge_stores,
+    publish_database,
+)
+
+
+class TestStreamingEstimator:
+    @pytest.fixture
+    def feed(self, params, prf, rng):
+        db = bernoulli_panel(3000, 2, density=0.4, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+        sketches = [
+            sketcher.sketch(p.user_id, p.bits, (0, 1)) for p in db
+        ]
+        return db, sketches
+
+    def test_matches_batch_estimator_exactly(self, feed, estimator):
+        db, sketches = feed
+        streaming = StreamingEstimator(estimator)
+        streaming.register((0, 1), (1, 1))
+        streaming.ingest_many(sketches)
+        batch = estimator.estimate(sketches, (1, 1))
+        live = streaming.estimate((0, 1), (1, 1))
+        assert live.fraction == pytest.approx(batch.fraction)
+        assert live.num_users == batch.num_users
+        assert live.half_width == pytest.approx(batch.half_width)
+
+    def test_incremental_reads_track_truth(self, feed, estimator):
+        db, sketches = feed
+        streaming = StreamingEstimator(estimator)
+        streaming.register((0, 1), (0, 0))
+        truth = db.exact_conjunction((0, 1), (0, 0))
+        for sketch in sketches[:500]:
+            streaming.ingest(sketch)
+        early = streaming.estimate((0, 1), (0, 0))
+        streaming.ingest_many(sketches[500:])
+        late = streaming.estimate((0, 1), (0, 0))
+        assert late.num_users == len(sketches)
+        assert abs(late.fraction - truth) <= early.half_width
+        assert late.half_width < early.half_width  # CI tightens with data
+
+    def test_multiple_queries_same_subset(self, feed, estimator):
+        _, sketches = feed
+        streaming = StreamingEstimator(estimator)
+        streaming.register((0, 1), (1, 1))
+        streaming.register((0, 1), (0, 0))
+        updated = streaming.ingest(sketches[0])
+        assert updated == 2
+        assert len(streaming.registered()) == 2
+
+    def test_unmatched_subset_not_counted(self, feed, estimator):
+        _, sketches = feed
+        streaming = StreamingEstimator(estimator)
+        streaming.register((0,), (1,))
+        assert streaming.ingest(sketches[0]) == 0
+        with pytest.raises(ValueError, match="no sketches ingested"):
+            streaming.estimate((0,), (1,))
+
+    def test_duplicate_ingestion_rejected(self, feed, estimator):
+        _, sketches = feed
+        streaming = StreamingEstimator(estimator)
+        streaming.register((0, 1), (1, 1))
+        streaming.ingest(sketches[0])
+        with pytest.raises(ValueError, match="already ingested"):
+            streaming.ingest(sketches[0])
+
+    def test_unregistered_query_raises(self, estimator):
+        streaming = StreamingEstimator(estimator)
+        with pytest.raises(KeyError):
+            streaming.estimate((0,), (1,))
+
+    def test_register_validates_width(self, estimator):
+        streaming = StreamingEstimator(estimator)
+        with pytest.raises(ValueError):
+            streaming.register((0, 1), (1,))
+
+
+class TestMergeStores:
+    def test_union_of_shards(self, params, prf, rng, estimator):
+        db = bernoulli_panel(1000, 1, density=0.5, rng=rng)
+        sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+        profiles = list(db)
+        shard_a, shard_b = SketchStore(), SketchStore()
+        for profile in profiles[:500]:
+            shard_a.publish(sketcher.sketch(profile.user_id, profile.bits, (0,)))
+        for profile in profiles[500:]:
+            shard_b.publish(sketcher.sketch(profile.user_id, profile.bits, (0,)))
+        merged = merge_stores(shard_a, shard_b)
+        assert merged.num_users((0,)) == 1000
+        truth = db.exact_conjunction((0,), (1,))
+        estimate = estimator.estimate(merged.sketches_for((0,)), (1,))
+        assert estimate.fraction == pytest.approx(truth, abs=0.08)
+
+    def test_duplicate_across_shards_rejected(self):
+        a, b = SketchStore(), SketchStore()
+        a.publish(Sketch("u", (0,), key=0, num_bits=4, iterations=1))
+        b.publish(Sketch("u", (0,), key=1, num_bits=4, iterations=1))
+        with pytest.raises(ValueError, match="already published"):
+            merge_stores(a, b)
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            merge_stores()
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = SketchStore()
+        a.publish(Sketch("u", (0,), key=0, num_bits=4, iterations=1))
+        merged = merge_stores(a)
+        merged.publish(Sketch("v", (0,), key=1, num_bits=4, iterations=1))
+        assert a.num_users((0,)) == 1

@@ -1,0 +1,82 @@
+"""Unit tests for the frontier analysis and the §5 relaxed accountant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import capacity_comparison, privacy_utility_frontier
+from repro.core import (
+    BudgetExceeded,
+    PrivacyAccountant,
+    PrivacyParams,
+    RelaxedPrivacyAccountant,
+    p_for_epsilon,
+)
+
+
+class TestFrontier:
+    def test_monotone_tradeoff(self):
+        points = privacy_utility_frontier((0.1, 0.2, 0.3, 0.4), num_users=10000)
+        epsilons = [pt.per_sketch_epsilon for pt in points]
+        errors = [pt.query_error for pt in points]
+        # Larger p: less leakage, more error.
+        assert epsilons == sorted(epsilons, reverse=True)
+        assert errors == sorted(errors)
+
+    def test_users_for_one_percent_scales(self):
+        points = privacy_utility_frontier((0.1, 0.4), num_users=100)
+        assert points[1].users_for_1pct > points[0].users_for_1pct
+
+    def test_validates_users(self):
+        with pytest.raises(ValueError):
+            privacy_utility_frontier((0.3,), num_users=0)
+
+
+class TestRelaxedAccountant:
+    def test_validates_parameters(self):
+        params = PrivacyParams(p=0.4)
+        with pytest.raises(ValueError):
+            RelaxedPrivacyAccountant(params, epsilon=0.0, delta=0.5)
+        with pytest.raises(ValueError):
+            RelaxedPrivacyAccountant(params, epsilon=0.5, delta=0.0)
+
+    def test_never_below_deterministic(self):
+        for target in (1, 5, 50):
+            p = p_for_epsilon(0.5, target)
+            params = PrivacyParams(p)
+            det = PrivacyAccountant(params, 0.5).max_sketches
+            rel = RelaxedPrivacyAccountant(params, 0.5, 1e-9).max_sketches
+            assert rel >= det
+
+    def test_quadratic_advantage_at_scale(self):
+        # §5: "quadratically more sketches" — the gain over the
+        # deterministic ledger grows roughly linearly in the deterministic
+        # capacity (relaxed ~ det^2 / constant).
+        rows = capacity_comparison(0.5, (100, 1000), delta=1e-9)
+        assert rows[0]["relaxed"] > 2 * rows[0]["deterministic"]
+        assert rows[1]["gain"] > 5 * rows[0]["gain"]
+
+    def test_ledger_behaviour_matches_deterministic_interface(self):
+        params = PrivacyParams(p=p_for_epsilon(0.5, 100))
+        accountant = RelaxedPrivacyAccountant(params, 0.5, 1e-6)
+        limit = accountant.max_sketches
+        accountant.charge("u", limit)
+        assert accountant.remaining_sketches("u") == 0
+        with pytest.raises(BudgetExceeded):
+            accountant.charge("u", 1)
+        # other users unaffected
+        assert accountant.can_release("v", limit)
+
+    def test_charge_validates_count(self):
+        params = PrivacyParams(p=0.49)
+        accountant = RelaxedPrivacyAccountant(params, 0.5, 1e-6)
+        with pytest.raises(ValueError):
+            accountant.charge("u", 0)
+        with pytest.raises(ValueError):
+            accountant.can_release("u", -1)
+
+    def test_capacity_comparison_validates(self):
+        with pytest.raises(ValueError):
+            capacity_comparison(0.0, (1,))
+        with pytest.raises(ValueError):
+            capacity_comparison(0.5, (0,))

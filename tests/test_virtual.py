@@ -1,0 +1,121 @@
+"""Unit tests for Appendix E (a + b < 2^r via virtual XOR bits)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries import (
+    addition_event_literals,
+    addition_interval_fraction,
+    xor_bias,
+    xor_virtual_bits,
+)
+
+
+def int_matrix(values, k):
+    """MSB-first bit matrix of an integer vector."""
+    values = np.asarray(values)
+    return np.array([[(v >> (k - 1 - i)) & 1 for i in range(k)] for v in values])
+
+
+class TestXorBasics:
+    def test_xor_bias_formula(self):
+        assert xor_bias(0.2) == pytest.approx(0.32)
+        assert xor_bias(0.0) == 0.0
+        assert xor_bias(0.5) == pytest.approx(0.5)
+
+    def test_xor_bias_validation(self):
+        with pytest.raises(ValueError):
+            xor_bias(1.5)
+
+    def test_xor_virtual_bits(self):
+        a = np.array([[1, 0], [1, 1]])
+        b = np.array([[0, 0], [1, 0]])
+        assert xor_virtual_bits(a, b).tolist() == [[1, 0], [0, 1]]
+
+    def test_xor_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_virtual_bits(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_xor_noise_rate_is_2p1p(self, rng):
+        # Appendix E: the XOR of two p-perturbed bits is a 2p(1-p)-perturbed
+        # version of the true XOR.
+        p = 0.2
+        truth_a = (rng.random((50000, 1)) < 0.5).astype(int)
+        truth_b = (rng.random((50000, 1)) < 0.5).astype(int)
+        noisy_a = truth_a ^ (rng.random(truth_a.shape) < p)
+        noisy_b = truth_b ^ (rng.random(truth_b.shape) < p)
+        observed = xor_virtual_bits(noisy_a, noisy_b)
+        true_xor = truth_a ^ truth_b
+        flip_rate = float((observed != true_xor).mean())
+        assert flip_rate == pytest.approx(xor_bias(p), abs=0.01)
+
+
+class TestEventDecomposition:
+    def test_events_are_exhaustive_and_disjoint(self):
+        # Brute force: for every (a, b) pair of 4-bit ints and every r,
+        # exactly one event fires iff a + b < 2^r.
+        k = 4
+        for r in range(1, k + 1):
+            events = addition_event_literals(k, r)
+            for a in range(1 << k):
+                for b in range(1 << k):
+                    a_bits = [(a >> e) & 1 for e in range(k)]  # little-endian
+                    b_bits = [(b >> e) & 1 for e in range(k)]
+                    fired = 0
+                    for zeros_a, zeros_b, xors in events:
+                        ok = all(a_bits[e] == 0 for e in zeros_a)
+                        ok = ok and all(b_bits[e] == 0 for e in zeros_b)
+                        ok = ok and all(a_bits[e] ^ b_bits[e] == 1 for e in xors)
+                        fired += ok
+                    expected = 1 if a + b < (1 << r) else 0
+                    assert fired == expected, (a, b, r)
+
+    def test_event_count_is_r_plus_one(self):
+        for k, r in [(4, 2), (6, 6), (8, 1)]:
+            assert len(addition_event_literals(k, r)) == r + 1
+
+    def test_r_out_of_range(self):
+        with pytest.raises(ValueError):
+            addition_event_literals(4, 0)
+        with pytest.raises(ValueError):
+            addition_event_literals(4, 5)
+
+
+class TestAdditionIntervalEstimation:
+    def test_noiseless_recovery_is_exact(self, rng):
+        k = 4
+        a = rng.integers(0, 16, size=4000)
+        b = rng.integers(0, 16, size=4000)
+        bits_a = int_matrix(a, k)
+        bits_b = int_matrix(b, k)
+        for r in (1, 2, 3, 4):
+            estimate = addition_interval_fraction(bits_a, bits_b, p=0.0, r=r)
+            truth = float((a + b < (1 << r)).mean())
+            assert estimate == pytest.approx(truth, abs=1e-9)
+
+    def test_noisy_recovery(self, rng):
+        k, p = 4, 0.15
+        num_users = 60000
+        a = rng.integers(0, 6, size=num_users)  # small values -> mass below 2^3
+        b = rng.integers(0, 6, size=num_users)
+        bits_a = int_matrix(a, k) ^ (rng.random((num_users, k)) < p)
+        bits_b = int_matrix(b, k) ^ (rng.random((num_users, k)) < p)
+        estimate = addition_interval_fraction(bits_a, bits_b, p=p, r=3)
+        truth = float((a + b < 8).mean())
+        assert estimate == pytest.approx(truth, abs=0.05)
+
+    def test_clamp_keeps_unit_interval(self, rng):
+        k, p = 4, 0.4
+        bits = (rng.random((200, k)) < 0.5).astype(int)
+        estimate = addition_interval_fraction(bits, bits, p=p, r=2, clamp=True)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            addition_interval_fraction(np.zeros((2, 3)), np.zeros((2, 4)), 0.1, 2)
+        with pytest.raises(ValueError):
+            addition_interval_fraction(
+                np.zeros((0, 3)), np.zeros((0, 3)), 0.1, 2
+            )
