@@ -242,21 +242,32 @@ class FunctionEstimator:
         """
         return self._inner.estimate(sketches, value, delta=delta)
 
+    def estimate_many(
+        self,
+        sketches: Sequence[Sketch],
+        values: Sequence[Sequence[int]],
+        delta: float = 0.05,
+    ) -> list[QueryEstimate]:
+        """Estimates for several candidate outputs from one PRF block call."""
+        return self._inner.estimate_many(sketches, values, delta=delta)
+
     def histogram(
         self, sketches: Sequence[Sketch], output_bits: int
     ) -> np.ndarray:
         """De-biased frequency of every possible output value.
 
         Enumerates all ``2**output_bits`` candidates — intended for the
-        small output widths (1-4 bits) function sketches target.
+        small output widths (1-4 bits) function sketches target — and
+        evaluates them in a single PRF block call.
         """
         if output_bits > 12:
             raise ValueError(
                 f"histogram over 2**{output_bits} outputs is not sensible; "
                 "query specific values instead"
             )
-        frequencies = []
-        for value in range(1 << output_bits):
-            bits = tuple((value >> (output_bits - 1 - i)) & 1 for i in range(output_bits))
-            frequencies.append(self.estimate(sketches, bits).fraction)
-        return np.asarray(frequencies)
+        candidates = [
+            tuple((value >> (output_bits - 1 - i)) & 1 for i in range(output_bits))
+            for value in range(1 << output_bits)
+        ]
+        estimates = self.estimate_many(sketches, candidates)
+        return np.asarray([estimate.fraction for estimate in estimates])

@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import secrets
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +47,27 @@ _PRECISION_BITS = 64
 _SCALE = 1 << _PRECISION_BITS
 
 
+def _payload_prefix(user_id: str, subset: Tuple[int, ...]) -> bytes:
+    """The ``id | B`` head of the canonical encoding — constant per user.
+
+    The header length-prefixes both variable components, keeping the full
+    encoding injective no matter how the three pieces are spliced.
+    """
+    header = len(user_id).to_bytes(4, "big") + len(subset).to_bytes(4, "big")
+    subset_bytes = b"".join(int(b).to_bytes(4, "big") for b in subset)
+    return header + user_id.encode("utf-8") + b"|B|" + subset_bytes
+
+
+def _payload_value(value: Tuple[int, ...]) -> bytes:
+    """The ``v`` chunk of the canonical encoding — constant per candidate."""
+    return b"|v|" + bytes(int(bit) & 1 for bit in value)
+
+
+def _payload_suffix(key: int) -> bytes:
+    """The ``s`` tail of the canonical encoding — constant per user."""
+    return b"|s|" + int(key).to_bytes(8, "big")
+
+
 def encode_input(user_id: str, subset: Tuple[int, ...], value: Tuple[int, ...], key: int) -> bytes:
     """Canonical byte encoding of an ``H`` input ``(id, B, v, s)``.
 
@@ -54,20 +75,15 @@ def encode_input(user_id: str, subset: Tuple[int, ...], value: Tuple[int, ...], 
     tuples can never collide as byte strings.  ``subset`` is the ordered
     tuple of bit positions ``B`` and ``value`` the candidate assignment
     ``v`` (one bit per position).
+
+    The three pieces are built by the same helpers the block evaluator
+    splices, so the block path produces byte-identical payloads.
     """
     if len(subset) != len(value):
         raise ValueError(
             f"subset and value must have equal length, got {len(subset)} and {len(value)}"
         )
-    parts = [user_id.encode("utf-8")]
-    parts.append(b"|B|")
-    parts.extend(int(b).to_bytes(4, "big") for b in subset)
-    parts.append(b"|v|")
-    parts.append(bytes(int(bit) & 1 for bit in value))
-    parts.append(b"|s|")
-    parts.append(int(key).to_bytes(8, "big"))
-    header = len(user_id).to_bytes(4, "big") + len(subset).to_bytes(4, "big")
-    return header + b"".join(parts)
+    return _payload_prefix(user_id, subset) + _payload_value(value) + _payload_suffix(key)
 
 
 class BiasedFunction(ABC):
@@ -110,13 +126,75 @@ class BiasedFunction(ABC):
 
         This is the aggregator-side bulk evaluation used by Algorithm 2:
         one evaluation per user at the *query* value ``v`` with that user's
-        published key.
+        published key.  A single-column :meth:`evaluate_block`, and bitwise
+        identical to looping :meth:`evaluate`.
         """
-        out = [
-            self.evaluate(uid, subset, value, key)
-            for uid, key in zip(user_ids, keys, strict=True)
-        ]
-        return np.asarray(out, dtype=np.int8)
+        return self.evaluate_block(user_ids, subset, [value], keys)[:, 0]
+
+    def evaluate_block(
+        self,
+        user_ids: Iterable[str],
+        subset: Tuple[int, ...],
+        values: Sequence[Tuple[int, ...]],
+        keys: Iterable[int],
+    ) -> np.ndarray:
+        """``(M, V)`` int8 matrix of ``H(id_u, B, v_j, s_u)``.
+
+        The aggregator's batched hot path: every candidate value of a
+        full-marginal or plan-group query against every user's published
+        key in one call.  The per-user payload prefix (``id | B`` header)
+        and suffix (``| s``) are built once per user and the per-value
+        chunk once per value; each of the ``M * V`` evaluations is then a
+        cheap splice instead of a full :func:`encode_input`, and the
+        threshold comparison is vectorised over a uint64 array.  The
+        result equals ``evaluate`` at every ``(u, j)`` bit for bit.
+        """
+        users = [str(uid) for uid in user_ids]
+        key_list = [int(k) for k in keys]
+        if len(users) != len(key_list):
+            raise ValueError(
+                f"user_ids and keys must align, got {len(users)} and {len(key_list)}"
+            )
+        subset_t = tuple(int(b) for b in subset)
+        value_ts = [tuple(int(bit) for bit in v) for v in values]
+        for value_t in value_ts:
+            if len(value_t) != len(subset_t):
+                raise ValueError(
+                    f"subset and value must have equal length, got "
+                    f"{len(subset_t)} and {len(value_t)}"
+                )
+        num_users, num_values = len(users), len(value_ts)
+        if num_users == 0 or num_values == 0:
+            return np.zeros((num_users, num_values), dtype=np.int8)
+        prefixes = [_payload_prefix(uid, subset_t) for uid in users]
+        middles = [_payload_value(value_t) for value_t in value_ts]
+        suffixes = [_payload_suffix(key) for key in key_list]
+        words = self._uniform64_block(prefixes, middles, suffixes)
+        bits = words < np.uint64(self._threshold)
+        return bits.astype(np.int8).reshape(num_users, num_values)
+
+    def _uniform64_block(
+        self,
+        prefixes: Sequence[bytes],
+        middles: Sequence[bytes],
+        suffixes: Sequence[bytes],
+    ) -> np.ndarray:
+        """Row-major ``(len(prefixes) * len(middles),)`` uint64 vector.
+
+        ``prefixes`` and ``suffixes`` are user-aligned; ``middles`` hold
+        the per-value chunks.  The default splices each payload and defers
+        to :meth:`_uniform64`, which keeps memoising implementations (the
+        random oracle) consistent with their scalar path; subclasses with
+        a cheaper bulk primitive override it.
+        """
+        uniform = self._uniform64
+        out = np.empty(len(prefixes) * len(middles), dtype=np.uint64)
+        index = 0
+        for prefix, suffix in zip(prefixes, suffixes):
+            for middle in middles:
+                out[index] = uniform(prefix + middle + suffix)
+                index += 1
+        return out
 
 
 class BiasedPRF(BiasedFunction):
@@ -147,6 +225,31 @@ class BiasedPRF(BiasedFunction):
         digest = hashlib.blake2b(payload, key=self.global_key, digest_size=8).digest()
         return int.from_bytes(digest, "big")
 
+    def _uniform64_block(
+        self,
+        prefixes: Sequence[bytes],
+        middles: Sequence[bytes],
+        suffixes: Sequence[bytes],
+    ) -> np.ndarray:
+        # The keyed state after absorbing a user's prefix is shared by all
+        # V candidate values: hash the prefix once, then copy() per value —
+        # BLAKE2b is a stream, so copying the state and absorbing the
+        # spliced tail yields exactly the digest of the full payload.  The
+        # digests accumulate in one bytearray and decode in one shot as a
+        # big-endian uint64 vector, matching int.from_bytes(digest, "big")
+        # per entry.
+        blake2b = hashlib.blake2b
+        key = self.global_key
+        buffer = bytearray()
+        for prefix, suffix in zip(prefixes, suffixes):
+            base = blake2b(prefix, key=key, digest_size=8)
+            copy = base.copy
+            for middle in middles:
+                state = copy()
+                state.update(middle + suffix)
+                buffer += state.digest()
+        return np.frombuffer(buffer, dtype=">u8").astype(np.uint64)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BiasedPRF(p={self.p}, key=<{len(self.global_key)} bytes>)"
 
@@ -172,6 +275,31 @@ class TrueRandomOracle(BiasedFunction):
             cached = int(self._rng.integers(0, _SCALE, dtype=np.uint64))
             self._table[payload] = cached
         return cached
+
+    def _uniform64_block(
+        self,
+        prefixes: Sequence[bytes],
+        middles: Sequence[bytes],
+        suffixes: Sequence[bytes],
+    ) -> np.ndarray:
+        # Block-aware memoised path: splice each payload once and consult
+        # the table directly, sampling misses in payload order with the
+        # same per-point draw the scalar path would make — so mixing
+        # evaluate() and evaluate_block() in any order stays consistent.
+        table = self._table
+        rng_integers = self._rng.integers
+        out = np.empty(len(prefixes) * len(middles), dtype=np.uint64)
+        index = 0
+        for prefix, suffix in zip(prefixes, suffixes):
+            for middle in middles:
+                payload = prefix + middle + suffix
+                cached = table.get(payload)
+                if cached is None:
+                    cached = int(rng_integers(0, _SCALE, dtype=np.uint64))
+                    table[payload] = cached
+                out[index] = cached
+                index += 1
+        return out
 
     @property
     def num_evaluations(self) -> int:

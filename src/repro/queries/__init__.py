@@ -19,7 +19,13 @@ from .combined import (
     sum_where_less_equal_plan,
     sum_where_less_plan,
 )
-from .conjunctive import LinearPlan, PlanTerm, evaluate_plan, exact_count_fn
+from .conjunctive import (
+    LinearPlan,
+    PlanTerm,
+    evaluate_plan,
+    exact_count_fn,
+    group_terms_by_subset,
+)
 from .disjunction import disjunction_by_inclusion_exclusion, disjunction_fraction
 from .interval import less_equal_plan, less_than_plan, range_plan
 from .numeric import inner_product_plan, moment_plan, sum_plan
@@ -44,6 +50,7 @@ __all__ = [
     "disjunction_fraction",
     "equal_and_less_plan",
     "evaluate_plan",
+    "group_terms_by_subset",
     "exact_count_fn",
     "estimate_mode",
     "exactly_l_fraction",

@@ -57,10 +57,9 @@ def categorical_histogram(
             f"attribute {name!r} has {num_values} values; enumerating a histogram "
             "over more than 4096 categories is not sensible — query point values"
         )
-    frequencies = np.empty(num_values)
-    for value in range(num_values):
-        bits = encode_value(schema, name, value)
-        frequencies[value] = estimator.estimate(sketches, bits).fraction
+    candidates = [encode_value(schema, name, value) for value in range(num_values)]
+    estimates = estimator.estimate_many(sketches, candidates)
+    frequencies = np.asarray([estimate.fraction for estimate in estimates])
     if normalize:
         frequencies = simplex_project(frequencies)
     return frequencies

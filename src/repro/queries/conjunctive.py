@@ -20,15 +20,27 @@ apples), and tests can assert structural properties the paper states
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from .ast import Conjunction
 
-__all__ = ["PlanTerm", "LinearPlan", "evaluate_plan", "CountFunction"]
+__all__ = [
+    "PlanTerm",
+    "LinearPlan",
+    "evaluate_plan",
+    "group_terms_by_subset",
+    "CountFunction",
+    "BlockCountFunction",
+]
 
 #: Signature anything executing a plan must provide: exact or estimated
 #: *count* of users satisfying ``d_B = v``.
 CountFunction = Callable[[Tuple[int, ...], Tuple[int, ...]], float]
+
+#: Batched counterpart: counts for *several* candidate values of one subset
+#: in a single call, aligned with the input order.  Executors that can
+#: amortise work across values (one PRF block call per subset) provide this.
+BlockCountFunction = Callable[[Tuple[int, ...], Sequence[Tuple[int, ...]]], Sequence[float]]
 
 
 @dataclass(frozen=True)
@@ -66,10 +78,6 @@ class LinearPlan:
     terms: Tuple[PlanTerm, ...]
     description: str = ""
 
-    def __post_init__(self) -> None:
-        if not self.terms:
-            raise ValueError(f"plan {self.description!r} has no terms")
-
     @property
     def num_queries(self) -> int:
         """How many conjunctive queries executing this plan costs.
@@ -82,8 +90,8 @@ class LinearPlan:
 
     @property
     def max_width(self) -> int:
-        """Widest conjunction in the plan."""
-        return max(term.conjunction.width for term in self.terms)
+        """Widest conjunction in the plan (0 for an empty plan)."""
+        return max((term.conjunction.width for term in self.terms), default=0)
 
     def scaled(self, factor: float) -> "LinearPlan":
         """The plan computing ``factor *`` the original answer."""
@@ -103,19 +111,55 @@ class LinearPlan:
         return f"{self.description or 'plan'}: {body}"
 
 
-def evaluate_plan(plan: LinearPlan, count_fn: CountFunction) -> float:
+def group_terms_by_subset(plan: LinearPlan) -> Dict[Tuple[int, ...], List[Tuple[int, ...]]]:
+    """Distinct candidate values per subset, in first-appearance order.
+
+    The batching unit of plan execution: every value of one subset can be
+    answered from a single PRF block call, and duplicate ``(B, v)`` terms
+    (common in range plans) collapse to one evaluation.
+    """
+    grouped: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+    for term in plan.terms:
+        values = grouped.setdefault(term.subset, [])
+        if term.value not in values:
+            values.append(term.value)
+    return grouped
+
+
+def evaluate_plan(
+    plan: LinearPlan,
+    count_fn: CountFunction,
+    block_count_fn: BlockCountFunction | None = None,
+) -> float:
     """Execute a plan against any conjunctive-count oracle.
 
     Parameters
     ----------
     plan:
-        The compiled plan.
+        The compiled plan.  An empty plan evaluates to 0 (e.g. the
+        unsatisfiable ``a < 0``).
     count_fn:
         ``count_fn(subset, value) -> count`` — either exact
         (:meth:`repro.data.ProfileDatabase.exact_count`) or estimated
         (:meth:`repro.server.QueryEngine.count`).
+    block_count_fn:
+        Optional batched oracle ``(subset, values) -> counts``.  When
+        given, terms are grouped by subset and each group resolved in one
+        call; the weighted sum is still accumulated in term order, so the
+        result is bit-identical to the term-by-term path whenever the two
+        oracles agree pointwise.
     """
-    return sum(term.coefficient * count_fn(term.subset, term.value) for term in plan.terms)
+    if block_count_fn is None:
+        return sum(
+            term.coefficient * count_fn(term.subset, term.value) for term in plan.terms
+        )
+    counts: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
+    for subset, values in group_terms_by_subset(plan).items():
+        for value, count in zip(values, block_count_fn(subset, values)):
+            counts[(subset, value)] = float(count)
+    return sum(
+        term.coefficient * counts[(term.subset, term.value)] for term in plan.terms
+    )
 
 
 def exact_count_fn(database) -> CountFunction:

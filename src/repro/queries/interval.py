@@ -29,8 +29,12 @@ __all__ = ["less_than_plan", "less_equal_plan", "range_plan"]
 
 
 def less_than_plan(schema: Schema, name: str, threshold: int) -> LinearPlan:
-    """Compile ``count(a < threshold)`` — ``popcount(threshold)`` queries."""
-    spec = schema.spec(name)
+    """Compile ``count(a < threshold)`` — ``popcount(threshold)`` queries.
+
+    ``threshold = 0`` is unsatisfiable for an unsigned attribute, so the
+    plan is empty and evaluates to exactly 0 — the boundary an analyst
+    sweeping thresholds expects, rather than an error.
+    """
     bits = encode_value(schema, name, threshold)
     positions = schema.bits(name)
     terms = []
@@ -40,15 +44,6 @@ def less_than_plan(schema: Schema, name: str, threshold: int) -> LinearPlan:
         literals = [Literal(positions[j], bits[j]) for j in range(i)]
         literals.append(Literal(positions[i], 0))
         terms.append(PlanTerm(Conjunction(tuple(literals)), 1.0))
-    if not terms:
-        # threshold == 0: nothing is < 0; emit an unsatisfiable single-bit
-        # pair with cancelling signs so the plan stays well-formed and
-        # evaluates to I(b,0)+I(b,1)-M = 0 exactly... simpler: raise.
-        raise ValueError(
-            f"a < 0 is unsatisfiable for unsigned attribute {name!r}; "
-            "no plan needed (the answer is 0)"
-        )
-    del spec
     return LinearPlan(tuple(terms), description=f"{name} < {threshold}")
 
 
@@ -56,11 +51,10 @@ def less_equal_plan(schema: Schema, name: str, threshold: int) -> LinearPlan:
     """Compile ``count(a <= threshold)``: the strict plan plus ``I(A, c)``.
 
     Costs ``popcount(threshold) + 1`` queries.  For ``threshold = 0`` the
-    plan degenerates to the single equality term.
+    strict part is empty, so the plan degenerates to the single equality
+    term — consistent with :func:`less_than_plan` at the boundary.
     """
     equality = PlanTerm(Conjunction.equals(schema, name, threshold), 1.0)
-    if threshold == 0:
-        return LinearPlan((equality,), description=f"{name} <= 0")
     strict = less_than_plan(schema, name, threshold)
     return LinearPlan(
         strict.terms + (equality,), description=f"{name} <= {threshold}"

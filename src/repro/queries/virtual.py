@@ -121,6 +121,10 @@ def addition_interval_fraction(
         raise ValueError("no users")
     xor_matrix = xor_virtual_bits(a, b)
     virtual_bias = xor_bias(p)
+    # "bit is 0" indicators, complemented once and sliced per event below
+    # (events share most literals, so the loop only stacks views).
+    not_a = 1 - a
+    not_b = 1 - b
 
     def column(exponent: int) -> int:
         # weight exponent e lives in MSB-first column k-1-e
@@ -128,11 +132,8 @@ def addition_interval_fraction(
 
     total = 0.0
     for zeros_a, zeros_b, xors in addition_event_literals(k, r):
-        real_columns = []
-        for exponent in zeros_a:
-            real_columns.append(1 - a[:, column(exponent)])  # "bit is 0" indicator
-        for exponent in zeros_b:
-            real_columns.append(1 - b[:, column(exponent)])
+        real_columns = [not_a[:, column(exponent)] for exponent in zeros_a]
+        real_columns.extend(not_b[:, column(exponent)] for exponent in zeros_b)
         real = (
             np.column_stack(real_columns)
             if real_columns

@@ -8,7 +8,7 @@ from .collector import (
     prefix_subsets,
     publish_database,
 )
-from .engine import MissingSketchError, QueryEngine
+from .engine import MissingSketchError, QueryEngine, SketchEvaluationCache
 from .serialization import dumps_store, load_store, loads_store, save_store
 from .streaming import StreamingEstimator, merge_stores
 from .sulq import DualModeServer, QueryBudgetExhausted, QueryRecord, SulqServer
@@ -18,6 +18,7 @@ __all__ = [
     "MissingSketchError",
     "QueryBudgetExhausted",
     "QueryEngine",
+    "SketchEvaluationCache",
     "QueryRecord",
     "SketchStore",
     "StreamingEstimator",

@@ -32,6 +32,7 @@ from ..queries.combined import (
     sum_where_less_equal_plan,
     sum_where_less_plan,
 )
+from ..data.encoding import int_to_bits
 from ..queries.conjunctive import LinearPlan, evaluate_plan
 from ..queries.disjunction import disjunction_fraction
 from ..queries.interval import less_equal_plan, less_than_plan, range_plan
@@ -39,9 +40,75 @@ from ..queries.numeric import inner_product_plan, moment_plan, sum_plan
 from ..queries.virtual import addition_interval_fraction
 from .collector import SketchStore
 
-__all__ = ["MissingSketchError", "QueryEngine"]
+__all__ = ["MissingSketchError", "SketchEvaluationCache", "QueryEngine"]
 
 Subset = Tuple[int, ...]
+
+
+class SketchEvaluationCache:
+    """Per-store ``(subset, value) -> bits`` evaluation cache.
+
+    Stores are append-only per subset, so a cached vector is either
+    current or a strict prefix of the current column; repeated queries
+    (streaming dashboards, SuLQ free mode, privacy-audit workloads) never
+    re-hash, and growth only costs evaluating the newly-published tail.
+    Cache misses for several values of one subset resolve in a single PRF
+    block call.
+    """
+
+    def __init__(self, store: SketchStore, estimator: SketchEstimator) -> None:
+        self.store = store
+        self.estimator = estimator
+        self._bits: dict[Tuple[Subset, Tuple[int, ...]], np.ndarray] = {}
+
+    def bits(self, subset: Subset, values: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+        """Per-user virtual bit vectors for several values of one subset.
+
+        Each vector is bitwise identical to
+        ``estimator.evaluations(store.sketches_for(subset), value)``.
+        """
+        for value in values:
+            if len(value) != len(subset):
+                raise ValueError(
+                    f"value length {len(value)} does not match subset size {len(subset)}"
+                )
+        sketches = self.store.sketches_for(subset)
+        num_users = len(sketches)
+        resolved: dict[Tuple[int, ...], np.ndarray] = {}
+        misses: List[Tuple[int, ...]] = []
+        for value in values:
+            if value in resolved:
+                continue
+            cached = self._bits.get((subset, value))
+            if cached is not None and cached.size == num_users:
+                resolved[value] = cached
+            elif cached is not None and 0 < cached.size < num_users:
+                tail = self.estimator.evaluations_block(sketches[cached.size:], [value])
+                grown = np.concatenate([cached, tail[:, 0]])
+                self._bits[(subset, value)] = grown
+                resolved[value] = grown
+            else:
+                misses.append(value)
+        if misses:
+            block = self.estimator.evaluations_block(sketches, misses)
+            for j, value in enumerate(misses):
+                column = np.ascontiguousarray(block[:, j])
+                self._bits[(subset, value)] = column
+                resolved[value] = column
+        return [resolved[value] for value in values]
+
+    def estimates(
+        self, subset: Subset, values: Sequence[Tuple[int, ...]], delta: float = 0.05
+    ) -> List[QueryEstimate]:
+        """Algorithm 2 estimates for many values, through the cache."""
+        return [
+            self.estimator.estimate_from_bits(bits, delta=delta)
+            for bits in self.bits(subset, values)
+        ]
+
+    def info(self) -> Tuple[int, int]:
+        """(entries, cached evaluations) currently held."""
+        return len(self._bits), sum(bits.size for bits in self._bits.values())
 
 
 class MissingSketchError(KeyError):
@@ -69,6 +136,7 @@ class QueryEngine:
         self.schema = schema
         self.store = store
         self.estimator = estimator
+        self.cache = SketchEvaluationCache(store, estimator)
 
     # ------------------------------------------------------------------
     # Conjunctive primitives
@@ -81,7 +149,38 @@ class QueryEngine:
                 f"subset {key} was not sketched; available subsets: "
                 f"{sorted(self.store.subsets)}"
             )
-        return self.estimator.estimate(self.store.sketches_for(key), value)
+        value_t = tuple(int(bit) for bit in value)
+        return self.cache.estimates(key, [value_t])[0]
+
+    def estimate_many(
+        self, subset: Sequence[int], values: Sequence[Sequence[int]]
+    ) -> List[QueryEstimate]:
+        """Algorithm 2 estimates for many candidate values in one block call."""
+        key = tuple(int(i) for i in subset)
+        if not self.store.has_subset(key):
+            raise MissingSketchError(
+                f"subset {key} was not sketched; available subsets: "
+                f"{sorted(self.store.subsets)}"
+            )
+        value_ts = [tuple(int(bit) for bit in v) for v in values]
+        return self.cache.estimates(key, value_ts)
+
+    def marginal(self, subset: Sequence[int]) -> np.ndarray:
+        """Estimated fraction for *every* candidate value of a subset.
+
+        The full-marginal workload — all ``2**|B|`` de-biased frequencies
+        from one block evaluation (values enumerated MSB-first).
+        """
+        key = tuple(int(i) for i in subset)
+        width = len(key)
+        if width > 12:
+            raise ValueError(
+                f"a marginal over 2**{width} values is not sensible; "
+                "query specific values instead"
+            )
+        candidates = [int_to_bits(v, width) for v in range(1 << width)]
+        estimates = self.estimate_many(key, candidates)
+        return np.asarray([e.fraction for e in estimates])
 
     def fraction(self, subset: Sequence[int], value: Sequence[int]) -> float:
         """Fraction of users with ``d_B = v``; combines sketches if needed."""
@@ -109,6 +208,21 @@ class QueryEngine:
         )
         return self.fraction(subset, value) * num_users
 
+    def counts_block(
+        self, subset: Sequence[int], values: Sequence[Tuple[int, ...]]
+    ) -> List[float]:
+        """Estimated counts for several values of one subset.
+
+        Directly-sketched subsets resolve every value from a single cached
+        block evaluation; subsets needing the Appendix F combination fall
+        back to the per-value path.  Each entry equals ``count`` exactly.
+        """
+        key = tuple(int(i) for i in subset)
+        value_ts = [tuple(int(bit) for bit in v) for v in values]
+        if not self.store.has_subset(key):
+            return [self.count(key, value) for value in value_ts]
+        return [estimate.count for estimate in self.cache.estimates(key, value_ts)]
+
     def conjunction(self, query: Conjunction) -> float:
         """Fraction of users satisfying a conjunction of literals."""
         return self.fraction(query.subset, query.value)
@@ -117,8 +231,14 @@ class QueryEngine:
     # Plan execution and Section 4.1 conveniences
     # ------------------------------------------------------------------
     def evaluate(self, plan: LinearPlan) -> float:
-        """Execute a compiled linear plan against the sketch store."""
-        return evaluate_plan(plan, self.count)
+        """Execute a compiled linear plan against the sketch store.
+
+        Terms are grouped by subset and each group answered from one PRF
+        block call (plus the cache), so a plan touching ``q`` subsets
+        costs ``q`` block evaluations instead of ``len(plan.terms)``
+        full passes over the sketches.
+        """
+        return evaluate_plan(plan, self.count, block_count_fn=self.counts_block)
 
     def sum(self, name: str) -> float:
         """Estimated ``sum_u a_u`` (eq. 4)."""

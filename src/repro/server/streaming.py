@@ -56,6 +56,10 @@ class StreamingEstimator:
     def __init__(self, estimator: SketchEstimator) -> None:
         self._estimator = estimator
         self._queries: Dict[QueryKey, _RunningCount] = {}
+        # Registered values per subset, in registration order — the
+        # batching index: one arriving sketch is scored against all of its
+        # subset's values in a single PRF block call.
+        self._values_by_subset: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
         self._seen: Dict[Tuple[str, Tuple[int, ...]], bool] = {}
 
     # ------------------------------------------------------------------
@@ -73,7 +77,9 @@ class StreamingEstimator:
             raise ValueError(
                 f"value width {len(key[1])} does not match subset size {len(key[0])}"
             )
-        self._queries.setdefault(key, _RunningCount())
+        if key not in self._queries:
+            self._queries[key] = _RunningCount()
+            self._values_by_subset.setdefault(key[0], []).append(key[1])
 
     def registered(self) -> List[QueryKey]:
         return list(self._queries)
@@ -94,14 +100,20 @@ class StreamingEstimator:
                 f"user {sketch.user_id!r} already ingested for subset {sketch.subset}"
             )
         self._seen[seen_key] = True
-        updated = 0
-        for (subset, value), count in self._queries.items():
-            if subset != sketch.subset:
-                continue
-            count.hits += sketch.evaluate(self._estimator.prf, value)
+        values = self._values_by_subset.get(sketch.subset, [])
+        if not values:
+            return 0
+        # One PRF block call scores the sketch against every registered
+        # value of its subset; row 0 is bitwise identical to evaluating
+        # each value separately.
+        row = self._estimator.prf.evaluate_block(
+            [sketch.user_id], sketch.subset, values, [sketch.key]
+        )[0]
+        for value, bit in zip(values, row):
+            count = self._queries[(sketch.subset, value)]
+            count.hits += int(bit)
             count.total += 1
-            updated += 1
-        return updated
+        return len(values)
 
     def ingest_many(self, sketches: Sequence[Sketch]) -> int:
         """Bulk ingestion; returns total query updates."""

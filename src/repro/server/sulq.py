@@ -32,6 +32,7 @@ from ..core.estimator import SketchEstimator
 from ..core.sketch import Sketcher
 from ..data.profiles import ProfileDatabase
 from .collector import SketchStore, publish_database
+from .engine import SketchEvaluationCache
 
 __all__ = ["QueryBudgetExhausted", "QueryRecord", "SulqServer", "DualModeServer"]
 
@@ -143,6 +144,10 @@ class DualModeServer:
         )
         self.store: SketchStore = publish_database(database, sketcher, subsets)
         self._estimator = estimator
+        # Free mode is where "unlimited queries" lives: analysts replay
+        # the same counts indefinitely, so evaluations are cached per
+        # (subset, value) — repeats never touch the PRF again.
+        self._cache = SketchEvaluationCache(self.store, estimator)
         self._log: List[QueryRecord] = []
 
     @property
@@ -151,8 +156,32 @@ class DualModeServer:
 
     def count(self, subset: Sequence[int], value: Sequence[int], mode: str = "free") -> float:
         """Answer a conjunctive count in the requested mode."""
+        return self.count_many(subset, [value], mode=mode)[0]
+
+    def count_many(
+        self,
+        subset: Sequence[int],
+        values: Sequence[Sequence[int]],
+        mode: str = "free",
+    ) -> List[float]:
+        """Answer several counts over one subset in the requested mode.
+
+        Paid mode stays a per-value loop (each answer draws fresh noise
+        and spends budget) but checks the whole batch against the budget
+        first, so a mid-batch exhaustion never spends budget on answers
+        the caller won't receive; free mode resolves all values from a
+        single cached block evaluation.
+        """
         if mode == "paid":
-            return self.paid.count(subset, value)
+            # A single query keeps SulqServer's own (tested) exhaustion
+            # message; larger batches are all-or-nothing.
+            if len(values) > 1 and len(values) > self.paid.queries_remaining:
+                raise QueryBudgetExhausted(
+                    f"batch of {len(values)} paid queries exceeds the remaining "
+                    f"budget of {self.paid.queries_remaining}; switch to the free "
+                    "sketch mode"
+                )
+            return [self.paid.count(subset, value) for value in values]
         if mode != "free":
             raise ValueError(f"unknown mode {mode!r}; expected 'paid' or 'free'")
         key = tuple(int(i) for i in subset)
@@ -161,8 +190,10 @@ class DualModeServer:
                 f"free mode has no sketches for subset {key}; the administrator "
                 f"sketched {sorted(self.store.subsets)}"
             )
-        sketches = self.store.sketches_for(key)
-        estimate = self._estimator.estimate(sketches, value)
-        answer = estimate.count
-        self._log.append(QueryRecord("free", key, tuple(value), answer))
-        return answer
+        value_ts = [tuple(int(bit) for bit in v) for v in values]
+        answers = []
+        for value_t, estimate in zip(value_ts, self._cache.estimates(key, value_ts)):
+            answer = estimate.count
+            self._log.append(QueryRecord("free", key, value_t, answer))
+            answers.append(answer)
+        return answers

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Makes ``tests`` a proper package so pytest imports the suite under a
+stable package name and ``from .conftest import make_prf`` resolves from
+any working directory.
+"""

@@ -1,0 +1,245 @@
+"""The batched PRF engine: bitwise identity with the per-call path.
+
+The block evaluator is an optimisation, not a semantic change — every
+test here pins exact equality (bits and floats, not approx) between the
+batched paths and the scalar Algorithm 2 machinery they replace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PrivacyParams,
+    Sketch,
+    Sketcher,
+    SketchEstimator,
+    TrueRandomOracle,
+)
+from repro.core.prf import encode_input
+from repro.data import ProfileDatabase, Schema
+from repro.queries import evaluate_plan, group_terms_by_subset, range_plan, sum_plan
+from repro.server import (
+    QueryEngine,
+    SketchEvaluationCache,
+    SketchStore,
+    publish_database,
+)
+
+from .conftest import make_prf
+
+SUBSET = (0, 2, 5)
+
+
+def all_values(width: int):
+    return [
+        tuple((v >> (width - 1 - i)) & 1 for i in range(width))
+        for v in range(1 << width)
+    ]
+
+
+def reference_block(prf, user_ids, subset, values, keys) -> np.ndarray:
+    """The seed per-call path, looped — ground truth for identity checks."""
+    return np.asarray(
+        [[prf.evaluate(uid, subset, v, key) for v in values] for uid, key in zip(user_ids, keys)],
+        dtype=np.int8,
+    )
+
+
+class TestEvaluateBlock:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_users=st.integers(min_value=1, max_value=12),
+        width=st.integers(min_value=1, max_value=3),
+        p=st.floats(min_value=0.05, max_value=0.45),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_matches_pointwise_for_prf(self, num_users, width, p, seed):
+        prf = make_prf(p)
+        rng = np.random.default_rng(seed)
+        ids = [f"user-{rng.integers(1 << 20)}" for _ in range(num_users)]
+        keys = [int(k) for k in rng.integers(0, 1 << 10, size=num_users)]
+        subset = tuple(range(0, 2 * width, 2))
+        values = all_values(width)
+        block = prf.evaluate_block(ids, subset, values, keys)
+        assert block.dtype == np.int8
+        assert block.shape == (num_users, len(values))
+        np.testing.assert_array_equal(block, reference_block(prf, ids, subset, values, keys))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_users=st.integers(min_value=1, max_value=8),
+        block_first=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_oracle_memo_consistent_in_both_orders(self, num_users, block_first, seed):
+        oracle = TrueRandomOracle(p=0.3, rng=np.random.default_rng(seed))
+        ids = [f"u{i}" for i in range(num_users)]
+        keys = list(range(num_users))
+        values = all_values(2)
+        subset = (1, 4)
+        if block_first:
+            block = oracle.evaluate_block(ids, subset, values, keys)
+            reference = reference_block(oracle, ids, subset, values, keys)
+        else:
+            reference = reference_block(oracle, ids, subset, values, keys)
+            block = oracle.evaluate_block(ids, subset, values, keys)
+        np.testing.assert_array_equal(block, reference)
+        # both passes hit the same memo table: one point per (user, value)
+        assert oracle.num_evaluations == num_users * len(values)
+
+    def test_evaluate_many_is_single_column(self):
+        prf = make_prf(0.3)
+        ids = [f"u{i}" for i in range(50)]
+        keys = list(range(50))
+        vector = prf.evaluate_many(ids, SUBSET, (1, 0, 1), keys)
+        expected = reference_block(prf, ids, SUBSET, [(1, 0, 1)], keys)[:, 0]
+        np.testing.assert_array_equal(vector, expected)
+
+    def test_payload_splice_matches_encode_input(self):
+        # the block path must hash the exact canonical payloads
+        from repro.core.prf import _payload_prefix, _payload_suffix, _payload_value
+
+        spliced = _payload_prefix("alice", SUBSET) + _payload_value((0, 1, 1)) + _payload_suffix(9)
+        assert spliced == encode_input("alice", SUBSET, (0, 1, 1), 9)
+
+    def test_validates_alignment_and_width(self):
+        prf = make_prf(0.3)
+        with pytest.raises(ValueError, match="align"):
+            prf.evaluate_block(["a", "b"], SUBSET, [(1, 1, 1)], [1])
+        with pytest.raises(ValueError, match="equal length"):
+            prf.evaluate_block(["a"], SUBSET, [(1, 1)], [1])
+
+    def test_empty_block_shapes(self):
+        prf = make_prf(0.3)
+        assert prf.evaluate_block([], SUBSET, [(1, 1, 1)], []).shape == (0, 1)
+        assert prf.evaluate_block(["a"], SUBSET, [], [1]).shape == (1, 0)
+
+
+@pytest.fixture
+def sketches(params, prf, rng):
+    sketcher = Sketcher(params, prf, sketch_bits=8, rng=rng)
+    out = []
+    for i in range(60):
+        bits = [int(b) for b in rng.integers(0, 2, size=6)]
+        out.append(sketcher.sketch(f"u{i}", bits, SUBSET))
+    return out
+
+
+class TestEstimateMany:
+    def test_exactly_matches_per_value_estimates(self, estimator, sketches):
+        values = all_values(3)
+        batched = estimator.estimate_many(sketches, values)
+        for value, many in zip(values, batched):
+            single = estimator.estimate(sketches, value)
+            assert many == single  # dataclass equality: identical floats
+
+    def test_oracle_backed_estimator_no_extra_points(self, params, sketches):
+        oracle = TrueRandomOracle(p=params.p, rng=np.random.default_rng(1))
+        estimator = SketchEstimator(params, oracle)
+        values = all_values(3)
+        batched = estimator.estimate_many(sketches, values)
+        assert oracle.num_evaluations == len(sketches) * len(values)
+        for value, many in zip(values, batched):
+            assert many == estimator.estimate(sketches, value)
+        # the re-estimates above were all memo hits
+        assert oracle.num_evaluations == len(sketches) * len(values)
+
+    def test_rejects_mixed_subsets_and_bad_width(self, estimator, sketches):
+        with pytest.raises(ValueError, match="does not match subset size"):
+            estimator.estimate_many(sketches, [(1, 1)])
+        mixed = sketches[:2] + [Sketch("x", (0, 1, 2), key=0, num_bits=8, iterations=1)]
+        with pytest.raises(ValueError, match="mixed subsets"):
+            estimator.estimate_many(mixed, [(1, 1, 1)])
+
+
+@pytest.fixture
+def analytics(params, rng):
+    schema = Schema.build(boolean=["f"], uint={"a": 4})
+    database = ProfileDatabase(schema)
+    for i in range(150):
+        database.add_values(f"u{i}", {"f": int(rng.integers(2)), "a": int(rng.integers(16))})
+    oracle = TrueRandomOracle(p=params.p, rng=np.random.default_rng(77))
+    sketcher = Sketcher(params, oracle, sketch_bits=8, rng=rng)
+    estimator = SketchEstimator(params, oracle)
+    subsets = [(pos,) for pos in range(schema.total_bits)]
+    subsets.append(schema.bits("a"))
+    store = publish_database(database, sketcher, subsets)
+    return schema, database, store, estimator, oracle, sketcher
+
+
+class TestEngineBlockPaths:
+    def test_estimate_matches_uncached_estimator(self, analytics):
+        schema, _, store, estimator, _, _ = analytics
+        engine = QueryEngine(schema, store, estimator)
+        subset = schema.bits("a")
+        for value in ((0, 0, 1, 1), (1, 0, 1, 0)):
+            direct = estimator.estimate(store.sketches_for(subset), value)
+            assert engine.estimate(subset, value) == direct
+
+    def test_repeat_queries_never_rehash(self, analytics):
+        schema, _, store, estimator, oracle, _ = analytics
+        engine = QueryEngine(schema, store, estimator)
+        plan = sum_plan(schema, "a")
+        first = engine.evaluate(plan)
+        points = oracle.num_evaluations
+        for _ in range(5):
+            assert engine.evaluate(plan) == first
+        assert oracle.num_evaluations == points
+        entries, cached = engine.cache.info()
+        assert entries == plan.num_queries
+        assert cached == entries * store.num_users((schema.bit("a", 1),))
+
+    def test_grouped_plan_equals_per_term_path(self, analytics):
+        schema, _, store, estimator, _, _ = analytics
+        engine = QueryEngine(schema, store, estimator)
+        plan = range_plan(schema, "a", 3, 12) + sum_plan(schema, "a")
+        grouped = engine.evaluate(plan)
+        per_term = evaluate_plan(plan, engine.count)
+        assert grouped == per_term  # same counts, same summation order
+
+    def test_group_terms_dedupes_within_subset(self, analytics):
+        schema = analytics[0]
+        plan = range_plan(schema, "a", 3, 12)
+        groups = group_terms_by_subset(plan)
+        for subset, values in groups.items():
+            assert len(values) == len(set(values))
+        assert sum(len(v) for v in groups.values()) <= plan.num_queries
+
+    def test_marginal_matches_estimate_many(self, analytics):
+        schema, database, store, estimator, _, _ = analytics
+        engine = QueryEngine(schema, store, estimator)
+        subset = schema.bits("a")
+        marginal = engine.marginal(subset)
+        assert marginal.shape == (16,)
+        for value, fraction in zip(all_values(4), marginal):
+            assert fraction == engine.estimate(subset, value).fraction
+        truth = np.asarray(
+            [database.exact_count(subset, v) / len(database) for v in all_values(4)]
+        )
+        assert np.abs(marginal - truth).max() < 0.25  # sanity, not accuracy
+
+    def test_cache_extends_when_store_grows(self, analytics):
+        schema, _, store, estimator, oracle, sketcher = analytics
+        engine = QueryEngine(schema, store, estimator)
+        subset = schema.bits("a")
+        value = (0, 1, 1, 0)
+        engine.estimate(subset, value)
+        before = store.num_users(subset)
+        for i in range(25):
+            bits = [0] * schema.total_bits
+            store.publish(sketcher.sketch(f"late{i}", bits, subset))
+        grown = engine.estimate(subset, value)
+        assert grown.num_users == before + 25
+        # identical to a cold engine over the same (memoised) oracle
+        cold = QueryEngine(schema, store, SketchEstimator(engine.estimator.params, oracle))
+        assert grown == cold.estimate(subset, value)
+
+    def test_cache_validates_value_width(self, analytics):
+        schema, _, store, estimator, _, _ = analytics
+        cache = SketchEvaluationCache(store, estimator)
+        with pytest.raises(ValueError, match="does not match subset size"):
+            cache.bits(schema.bits("a"), [(1, 0)])

@@ -74,9 +74,12 @@ class TestLinearPlan:
             description="demo",
         )
 
-    def test_empty_plan_rejected(self):
-        with pytest.raises(ValueError):
-            LinearPlan((), description="empty")
+    def test_empty_plan_is_valid_and_answers_zero(self):
+        # Unsatisfiable queries (e.g. a < 0) compile to the empty plan.
+        plan = LinearPlan((), description="empty")
+        assert plan.num_queries == 0
+        assert plan.max_width == 0
+        assert evaluate_plan(plan, lambda subset, value: 1e9) == 0.0
 
     def test_num_queries_and_width(self):
         plan = self.make_plan()

@@ -119,9 +119,20 @@ class TestIntervalPlans:
         assert strict == pytest.approx(0.0)
         assert loose == pytest.approx(10.0)
 
-    def test_less_than_zero_rejected(self, schema):
-        with pytest.raises(ValueError):
-            less_than_plan(schema, "a", 0)
+    def test_less_than_zero_is_empty_plan(self, schema, database):
+        # a < 0 is unsatisfiable: the plan is empty and the answer exactly 0.
+        plan = less_than_plan(schema, "a", 0)
+        assert plan.num_queries == 0
+        assert evaluate_plan(plan, exact_count_fn(database)) == 0.0
+
+    def test_boundary_consistency_at_zero(self, schema, database):
+        # <=0 still costs one query and agrees with ground truth; the
+        # range [0, high] matches <=high term-for-term.
+        loose = less_equal_plan(schema, "a", 0)
+        assert loose.num_queries == 1
+        expected = int((database.attribute_values("a") <= 0).sum())
+        assert evaluate_plan(loose, exact_count_fn(database)) == pytest.approx(expected)
+        assert range_plan(schema, "a", 0, 13).terms == less_equal_plan(schema, "a", 13).terms
 
     @pytest.mark.parametrize("low,high", [(0, 31), (5, 10), (13, 13), (1, 30)])
     def test_range_exact(self, schema, database, low, high):
