@@ -1,0 +1,111 @@
+"""E21 — sharded sketch collection vs single-process publishing.
+
+Collection is embarrassingly parallel on the user axis: each user's
+Algorithm 1 run is independent and the store is a pure union.  The
+sharded ``publish_database(..., workers=N)`` path derives every user's
+private coins from ``(seed, global user index)``, so any worker layout
+publishes bit-identical sketches; this benchmark measures the M=50k,
+4-subset collection on 1 vs 4 workers, asserts the stores are equal
+byte for byte (iterations included), and asserts the >=2x wall-clock
+speedup the subsystem exists for.  The sequential arm uses the same
+deterministic per-user seeding, so the comparison isolates the pool
+overhead (shard serialization round-trips + fork + merge) against the
+parallel sketching gain.
+
+Run directly (``--quick`` shrinks M for CI) or via pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.data import bernoulli_panel
+from repro.server import publish_database
+from repro.server.serialization import dumps_store
+
+from _harness import make_stack, write_table
+
+SUBSETS = [(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5)]
+SEED = 21
+
+
+def run(num_users: int = 50_000, workers: int = 4, min_speedup: float = 2.0) -> float:
+    params, prf, sketcher, _, rng = make_stack(p=0.3, seed=SEED)
+    database = bernoulli_panel(num_users, 6, density=0.5, rng=rng)
+
+    start = time.perf_counter()
+    sequential = publish_database(database, sketcher, SUBSETS, workers=1, seed=SEED)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = publish_database(database, sketcher, SUBSETS, workers=workers, seed=SEED)
+    sharded_s = time.perf_counter() - start
+
+    assert dumps_store(sequential, include_iterations=True) == dumps_store(
+        sharded, include_iterations=True
+    ), "sharded store differs from the sequential store"
+    speedup = sequential_s / sharded_s
+
+    sketches = num_users * len(SUBSETS)
+    write_table(
+        "E21",
+        f"Sharded collection: M={num_users}, {len(SUBSETS)} subsets "
+        f"({sketches/1e3:.0f}k sketches)",
+        ["path", "seconds", "k sketches/s", "speedup"],
+        [
+            ("workers=1", f"{sequential_s:.2f}", f"{sketches/sequential_s/1e3:.1f}", "1.0x"),
+            (
+                f"workers={workers}",
+                f"{sharded_s:.2f}",
+                f"{sketches/sharded_s/1e3:.1f}",
+                f"{speedup:.1f}x",
+            ),
+        ],
+        notes=(
+            "Both arms use deterministic per-user coins derived from (seed, user\n"
+            "index); the stores are asserted byte-identical including the iteration\n"
+            "diagnostics, so the sharded path is a drop-in replacement."
+        ),
+    )
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    if cores is not None and cores < workers:
+        # A speedup floor is a statement about the software, not the host:
+        # on a machine with fewer usable cores than workers the pool is
+        # oversubscribed and wall-clock parallelism is capped at `cores`,
+        # so asserting it would only measure the hardware.  The bitwise
+        # identity above is asserted unconditionally.
+        print(
+            f"\nNOTE: only {cores} usable core(s) for {workers} workers — "
+            f"speedup floor of {min_speedup}x not enforced on this host."
+        )
+        return speedup
+    assert speedup >= min_speedup, (
+        f"sharded collection is only {speedup:.2f}x over one worker "
+        f"(required {min_speedup}x)"
+    )
+    return speedup
+
+
+def test_e21_parallel_collect():
+    # CI-sized run: identity is asserted exactly; the speedup floor is
+    # disabled (a 2-core shared runner can legitimately see ~1x at small M,
+    # where pool start-up and shard serialization dominate).
+    run(num_users=2_000, workers=2, min_speedup=0.0)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: M=2k, 2 workers, no speedup floor (noisy-runner safe) "
+        "instead of M=50k / 4 workers / 2x",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        run(num_users=2_000, workers=2, min_speedup=0.0)
+    else:
+        run(num_users=50_000, workers=4, min_speedup=2.0)

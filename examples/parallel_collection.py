@@ -1,0 +1,82 @@
+"""Sharded collection: the same store from 1 worker or N, bit for bit.
+
+Collection is embarrassingly parallel on the user axis — each user runs
+Algorithm 1 on their own machine, and the collector's store is a pure
+union of what arrives.  ``publish_database(..., workers=N)`` models that
+with a ``multiprocessing`` pool: users are split into contiguous shards,
+each worker sketches its shard with per-user coins derived from
+``(seed, global user index)``, and the shard stores merge via
+``merge_stores``.  Because the coins never depend on the worker layout,
+every ``workers`` value publishes the *identical* store — this script
+collects sequentially and sharded, then asserts the stores and every
+query answer agree exactly.
+
+Run:  python examples/parallel_collection.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
+from repro.data import correlated_survey
+from repro.server import publish_database
+from repro.server.serialization import dumps_store
+
+NUM_USERS = 4000
+SUBSETS = [(0, 1), (1, 2), (0, 2, 3)]
+SEED = 2006
+
+
+def main() -> None:
+    params = PrivacyParams(p=0.3)
+    prf = BiasedPRF(p=params.p, global_key=b"any 32 public bytes will do....!")
+    database = correlated_survey(
+        NUM_USERS, 4, base_rate=0.35, copy_prob=0.75, rng=np.random.default_rng(7)
+    )
+    sketcher = Sketcher(params, prf, sketch_bits=10)
+
+    # 1. Sequential collection (workers=1): one process, but the same
+    #    deterministic per-user coins the sharded path uses.
+    start = time.perf_counter()
+    sequential = publish_database(database, sketcher, SUBSETS, workers=1, seed=SEED)
+    sequential_s = time.perf_counter() - start
+
+    # 2. Sharded collection: users split across a process pool, shard
+    #    stores merged.  Nothing else changes.
+    start = time.perf_counter()
+    sharded = publish_database(database, sketcher, SUBSETS, workers=2, seed=SEED)
+    sharded_s = time.perf_counter() - start
+
+    print(f"{NUM_USERS} users x {len(SUBSETS)} subsets")
+    print(f"  workers=1: {sequential_s:.2f}s")
+    print(f"  workers=2: {sharded_s:.2f}s")
+
+    # 3. The stores are byte-identical — same users, same keys, same
+    #    iteration counts, so any downstream consumer is oblivious to how
+    #    collection was laid out.
+    assert dumps_store(sequential, include_iterations=True) == dumps_store(
+        sharded, include_iterations=True
+    ), "sharded store differs from sequential store"
+    print("stores identical: yes (byte-for-byte, iterations included)")
+
+    # 4. Hence every query answers identically (not merely close).
+    estimator = SketchEstimator(params, prf)
+    for subset in SUBSETS:
+        value = tuple([1] * len(subset))
+        a = estimator.estimate(sequential.sketches_for(subset), value)
+        b = estimator.estimate(sharded.sketches_for(subset), value)
+        assert a.fraction == b.fraction, (subset, a.fraction, b.fraction)
+        truth = database.exact_conjunction(subset, value)
+        print(
+            f"  query d_{subset} = {value}: estimate {a.fraction:.4f} "
+            f"(truth {truth:.4f}) — identical on both stores"
+        )
+
+    print("\nOK: sharded collection is a drop-in replacement.")
+
+
+if __name__ == "__main__":
+    main()

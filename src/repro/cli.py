@@ -71,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--p", type=float, default=0.3)
     demo.add_argument("--width", type=int, default=3, help="query width k")
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--workers", type=int, default=None,
+        help="shard collection across N processes (deterministic per-user "
+        "coins; same store for every N)",
+    )
 
     subparsers.add_parser("experiments", help="list the experiment index")
     return parser
@@ -114,18 +119,24 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if args.width < 1 or args.users < 10:
         print("error: need width >= 1 and users >= 10", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     rng = np.random.default_rng(args.seed)
     params = PrivacyParams(p=args.p)
     prf = BiasedPRF(p=args.p)
     database = bernoulli_panel(args.users, args.width, density=0.5, rng=rng)
     subset = tuple(range(args.width))
     sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
-    store = publish_database(database, sketcher, [subset])
+    store = publish_database(
+        database, sketcher, [subset], workers=args.workers, seed=args.seed
+    )
     estimator = SketchEstimator(params, prf)
     value = tuple([1] * args.width)
     estimate = estimator.estimate(store.sketches_for(subset), value)
     truth = database.exact_conjunction(subset, value)
-    print(f"{args.users} users published one {sketcher.sketch_bits}-bit sketch each")
+    sharding = f" across {args.workers} workers" if args.workers else ""
+    print(f"{args.users} users published one {sketcher.sketch_bits}-bit sketch each{sharding}")
     print(f"query: all {args.width} bits = 1")
     print(f"  estimate = {estimate.fraction:.4f}  (95% CI +/- {estimate.half_width:.4f})")
     print(f"  truth    = {truth:.4f}")

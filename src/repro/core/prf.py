@@ -87,7 +87,21 @@ def encode_input(user_id: str, subset: Tuple[int, ...], value: Tuple[int, ...], 
 
 
 class BiasedFunction(ABC):
-    """Interface of the public p-biased function ``H``."""
+    """Interface of the public p-biased function ``H``.
+
+    Class attribute ``stateless`` declares whether evaluations are pure
+    functions of the payload with no observable internal state.  A
+    stateless function may be evaluated *speculatively* (a chunk of
+    candidate keys ahead of Algorithm 1's stopping point) and *in other
+    processes* (sharded collection) without changing any result.  The
+    deployed :class:`BiasedPRF` is stateless; the memoising
+    :class:`TrueRandomOracle` is not — its lazily-sampled table depends on
+    the exact draw order, which extra or out-of-process evaluations would
+    perturb.
+    """
+
+    #: Whether evaluations are pure in the payload (see class docstring).
+    stateless: bool = False
 
     def __init__(self, p: float) -> None:
         if not 0.0 < p < 1.0:
@@ -130,6 +144,39 @@ class BiasedFunction(ABC):
         identical to looping :meth:`evaluate`.
         """
         return self.evaluate_block(user_ids, subset, [value], keys)[:, 0]
+
+    def evaluate_keys(
+        self,
+        user_id: str,
+        subset: Tuple[int, ...],
+        value: Tuple[int, ...],
+        keys: Sequence[int],
+    ) -> np.ndarray:
+        """``(K,)`` int8 vector of ``H(id, B, v, s_k)`` over candidate keys.
+
+        The *user-side* chunk primitive: Algorithm 1's rejection loop
+        evaluates the true value ``d_B`` at a run of candidate keys, so
+        here one ``(id, B, v)`` head is shared by every key.  Payloads are
+        built in key order and fed through the scalar :meth:`_uniform64`,
+        which keeps memoising implementations (the random oracle) sampling
+        in exactly the order a scalar loop would; :class:`BiasedPRF`
+        overrides this with a hash-state-copy fast path.  Bitwise
+        identical to looping :meth:`evaluate`.
+        """
+        subset_t = tuple(int(b) for b in subset)
+        value_t = tuple(int(bit) for bit in value)
+        if len(subset_t) != len(value_t):
+            raise ValueError(
+                f"subset and value must have equal length, got "
+                f"{len(subset_t)} and {len(value_t)}"
+            )
+        head = _payload_prefix(user_id, subset_t) + _payload_value(value_t)
+        uniform = self._uniform64
+        threshold = self._threshold
+        out = np.empty(len(keys), dtype=np.int8)
+        for index, key in enumerate(keys):
+            out[index] = 1 if uniform(head + _payload_suffix(int(key))) < threshold else 0
+        return out
 
     def evaluate_block(
         self,
@@ -211,6 +258,8 @@ class BiasedPRF(BiasedFunction):
         accepts keys up to 64 bytes, so a 300+ bit key is supported directly.
     """
 
+    stateless = True
+
     def __init__(self, p: float, global_key: bytes | None = None) -> None:
         super().__init__(p)
         if global_key is None:
@@ -220,6 +269,37 @@ class BiasedPRF(BiasedFunction):
                 f"global_key must be 16-64 bytes for keyed BLAKE2b, got {len(global_key)}"
             )
         self.global_key = global_key
+
+    def evaluate_keys(
+        self,
+        user_id: str,
+        subset: Tuple[int, ...],
+        value: Tuple[int, ...],
+        keys: Sequence[int],
+    ) -> np.ndarray:
+        # The (id, B, v) head is shared by every candidate key: absorb it
+        # into one keyed BLAKE2b state, then copy() per key and splice the
+        # suffix — the same stream-state trick evaluate_block plays on the
+        # value axis, here on the key axis.
+        subset_t = tuple(int(b) for b in subset)
+        value_t = tuple(int(bit) for bit in value)
+        if len(subset_t) != len(value_t):
+            raise ValueError(
+                f"subset and value must have equal length, got "
+                f"{len(subset_t)} and {len(value_t)}"
+            )
+        if len(keys) == 0:
+            return np.zeros(0, dtype=np.int8)
+        head = _payload_prefix(user_id, subset_t) + _payload_value(value_t)
+        base = hashlib.blake2b(head, key=self.global_key, digest_size=8)
+        copy = base.copy
+        buffer = bytearray()
+        for key in keys:
+            state = copy()
+            state.update(_payload_suffix(int(key)))
+            buffer += state.digest()
+        words = np.frombuffer(buffer, dtype=">u8").astype(np.uint64)
+        return (words < np.uint64(self._threshold)).astype(np.int8)
 
     def _uniform64(self, payload: bytes) -> int:
         digest = hashlib.blake2b(payload, key=self.global_key, digest_size=8).digest()

@@ -22,6 +22,7 @@ distribution over published keys is within ``((1-p)/p)**4`` of uniform for
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -120,6 +121,18 @@ class Sketcher:
         Draw cap for the with-replacement variant.  Defaults to enough
         draws for a ``1e-12`` failure probability.  Ignored without
         replacement (the key space itself is the cap).
+    block_size:
+        Candidate keys evaluated per PRF chunk call when the function is
+        :attr:`~repro.core.prf.BiasedFunction.stateless` (the deployed
+        :class:`~repro.core.prf.BiasedPRF`).  Defaults to a small multiple
+        of the expected iteration count, so the typical run finishes in
+        one :meth:`~repro.core.prf.BiasedFunction.evaluate_keys` chunk.
+        Stateful functions (the :class:`~repro.core.prf.TrueRandomOracle`
+        test double) always fall back to one ``evaluate`` per candidate,
+        preserving the oracle's lazily-sampled draw order; chunking would
+        speculatively evaluate keys past the stopping point, which for a
+        stateless function costs nothing but bounded wasted hashing.  The
+        published sketch is identical for every ``block_size``.
     """
 
     def __init__(
@@ -130,6 +143,7 @@ class Sketcher:
         rng: np.random.Generator | None = None,
         with_replacement: bool = False,
         max_iterations: int | None = None,
+        block_size: int | None = None,
     ) -> None:
         if abs(prf.p - params.p) > 1e-12:
             raise ValueError(
@@ -152,23 +166,32 @@ class Sketcher:
             # Enough draws for failure probability <= 1e-12 conditioned on
             # ANY evaluation pattern: even when every key evaluates to 0,
             # each draw still stops via the accept coin with probability r.
-            import math
-
             stop = params.rejection_probability
             max_iterations = math.ceil(math.log(1e-12) / math.log(1.0 - stop))
         self.max_iterations = max_iterations
         self._rng = rng if rng is not None else np.random.default_rng()
+        if block_size is None:
+            block_size = max(4, math.ceil(2.0 * params.expected_iterations))
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = min(block_size, 1 << sketch_bits)
 
     @property
     def num_keys(self) -> int:
         """Size ``L = 2**l`` of the key space."""
         return 1 << self.sketch_bits
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The sketcher's default source of private coins."""
+        return self._rng
+
     def sketch(
         self,
         user_id: str,
         profile: Sequence[int],
         subset: Sequence[int],
+        rng: np.random.Generator | None = None,
     ) -> Sketch:
         """Run Algorithm 1: publish a sketch of ``profile`` restricted to ``subset``.
 
@@ -180,6 +203,11 @@ class Sketcher:
             The user's full private bit vector ``d`` (0/1 entries).
         subset:
             Bit positions ``B`` to sketch, indices into ``profile``.
+        rng:
+            Override for this run's private coins.  The sharded collector
+            passes a per-user generator derived from ``(seed, user index)``
+            so the same user draws the same coins on every worker layout;
+            ``None`` uses the sketcher's own generator.
 
         Returns
         -------
@@ -195,6 +223,7 @@ class Sketcher:
         IndexError
             If ``subset`` indexes outside the profile.
         """
+        rng = rng if rng is not None else self._rng
         subset_t = tuple(int(i) for i in subset)
         true_value = self._project(profile, subset_t)
         accept_prob = self.params.rejection_probability
@@ -202,10 +231,10 @@ class Sketcher:
         if self.with_replacement:
             # Ablation variant: fresh uniform draw every iteration.
             for iteration in range(1, self.max_iterations + 1):
-                key = int(self._rng.integers(0, self.num_keys))
+                key = int(rng.integers(0, self.num_keys))
                 if self.prf.evaluate(user_id, subset_t, true_value, key) == 1:
                     return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
-                if self._rng.random() < accept_prob:
+                if rng.random() < accept_prob:
                     return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
             raise SketchFailure(
                 f"with-replacement draw cap of {self.max_iterations} hit for "
@@ -216,12 +245,37 @@ class Sketcher:
         # order chosen by the user's private coins.  A permutation is the
         # direct transcription of "choose s uniformly at random without
         # replacement" and costs O(L) = O(2**l) which is tiny (l <= 30).
-        order = self._rng.permutation(self.num_keys)
+        order = rng.permutation(self.num_keys)
+
+        if self.prf.stateless and self.block_size > 1:
+            # Chunked loop: evaluate a run of candidate keys in one
+            # evaluate_keys call, then replay Algorithm 1's decisions over
+            # the precomputed bits.  The user's coin stream is untouched
+            # (the permutation was already drawn; accept coins fire only on
+            # misses, in order, stopping where the scalar loop stops), so
+            # the published sketch — key, length, iteration count — is
+            # identical; keys past the stopping point inside the final
+            # chunk are speculative hashes a stateless PRF can discard.
+            iteration = 0
+            for start in range(0, self.num_keys, self.block_size):
+                chunk = [int(k) for k in order[start : start + self.block_size]]
+                bits = self.prf.evaluate_keys(user_id, subset_t, true_value, chunk)
+                for key, bit in zip(chunk, bits):
+                    iteration += 1
+                    if bit == 1:
+                        return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
+                    if rng.random() < accept_prob:
+                        return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
+            raise SketchFailure(
+                f"all {self.num_keys} keys exhausted for user {user_id!r}; "
+                f"this event has probability < {self.params.failure_probability(self.sketch_bits):.3e}"
+            )
+
         for iteration, key in enumerate(order, start=1):
             key = int(key)
             if self.prf.evaluate(user_id, subset_t, true_value, key) == 1:
                 return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
-            if self._rng.random() < accept_prob:
+            if rng.random() < accept_prob:
                 return Sketch(user_id, subset_t, key, self.sketch_bits, iteration)
         raise SketchFailure(
             f"all {self.num_keys} keys exhausted for user {user_id!r}; "

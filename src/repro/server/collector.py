@@ -16,15 +16,60 @@ need to be sketched") maps onto three policy helpers:
   queries on non-binary data);
 * :func:`prefix_subsets` — one sketch per prefix ``A_i`` of an integer
   attribute (interval queries without linear-system combination).
+
+Collection is embarrassingly parallel on the user axis — each user's
+sketch is produced independently and the store is a pure union — so
+:func:`publish_database` can shard users across a ``multiprocessing``
+pool (``workers=N``).  Each worker receives a spawn-safe payload (the
+profile shard as its JSONL serialization plus primitive sketcher
+parameters), rebuilds the stack, sketches its span with per-user coins
+derived from ``(seed, global user index)``, and ships its shard store
+back through the store serialization; the parent merges shards with
+:func:`~repro.server.streaming.merge_stores`.  Because the coins depend
+only on the seed and the user's global position, the result is bitwise
+identical for every worker count.
+
+Examples
+--------
+Sequential (``workers=1``) and sharded (``workers=2``) collection agree
+bit for bit for the deployed, stateless :class:`~repro.core.prf.BiasedPRF`:
+
+>>> import numpy as np
+>>> from repro.core import BiasedPRF, PrivacyParams, Sketcher
+>>> from repro.data import bernoulli_panel
+>>> params = PrivacyParams(p=0.3)
+>>> prf = BiasedPRF(p=0.3, global_key=b"0123456789abcdef")
+>>> database = bernoulli_panel(40, 3, rng=np.random.default_rng(0))
+>>> sketcher = Sketcher(params, prf, sketch_bits=6)
+>>> one = publish_database(database, sketcher, [(0, 1)], workers=1, seed=7)
+>>> two = publish_database(database, sketcher, [(0, 1)], workers=2, seed=7)
+>>> [s.key for s in one.sketches_for((0, 1))] == [s.key for s in two.sketches_for((0, 1))]
+True
+>>> one.num_users((0, 1))
+40
+
+The memoising :class:`~repro.core.prf.TrueRandomOracle` test double cannot
+span processes (its lazily-sampled table lives in one address space), so
+``workers > 1`` rejects it explicitly:
+
+>>> from repro.core import TrueRandomOracle
+>>> oracle_sketcher = Sketcher(params, TrueRandomOracle(p=0.3), sketch_bits=6)
+>>> publish_database(database, oracle_sketcher, [(0, 1)], workers=2, seed=7)
+Traceback (most recent call last):
+    ...
+ValueError: workers=2 needs a stateless PRF; TrueRandomOracle memoises draws in-process, so its draw order cannot span workers (use workers=1 or BiasedPRF)
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from ..core.accountant import PrivacyAccountant
+from ..core.prf import BiasedPRF
 from ..core.sketch import Sketch, Sketcher
-from ..data.profiles import ProfileDatabase
+from ..data.profiles import Profile, ProfileDatabase
 from ..data.schema import Schema
 
 __all__ = [
@@ -141,12 +186,81 @@ def prefix_subsets(schema: Schema, name: str) -> List[Subset]:
     return [schema.prefix(name, length) for length in range(1, spec.bits + 1)]
 
 
+def _user_rng(seed: int, user_index: int) -> np.random.Generator:
+    """Per-user private coins as a pure function of ``(seed, user index)``.
+
+    ``SeedSequence(seed, spawn_key=(i,))`` is deterministic and
+    order-independent, so any worker handling global user ``i`` derives
+    the same generator — the invariant behind the bitwise identity of
+    every worker layout.
+    """
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(user_index,)))
+
+
+def _sketch_span(
+    profiles: Sequence[Profile],
+    sketcher: Sketcher,
+    subset_keys: Sequence[Subset],
+    seed: int,
+    start_index: int,
+    store: SketchStore,
+) -> None:
+    """Sketch a contiguous span of users into ``store`` with seeded coins."""
+    for offset, profile in enumerate(profiles):
+        rng = _user_rng(seed, start_index + offset)
+        for subset in subset_keys:
+            store.publish(sketcher.sketch(profile.user_id, profile.bits, subset, rng=rng))
+
+
+def _collect_shard(payload: tuple) -> str:
+    """Pool worker: rebuild the stack from primitives, sketch one shard.
+
+    The payload is spawn-safe by construction — a JSONL string for the
+    profile shard plus primitive sketcher parameters — and the return
+    value is the shard store's JSONL serialization (``iterations``
+    included, so the round-trip is fully lossless).
+    """
+    (
+        database_payload,
+        subset_keys,
+        start_index,
+        seed,
+        p,
+        global_key_hex,
+        sketch_bits,
+        with_replacement,
+        max_iterations,
+        block_size,
+    ) = payload
+    from ..core.params import PrivacyParams
+    from ..data.serialization import loads_database
+    from .serialization import dumps_store
+
+    database = loads_database(database_payload)
+    prf = BiasedPRF(p=p, global_key=bytes.fromhex(global_key_hex))
+    sketcher = Sketcher(
+        PrivacyParams(p=p),
+        prf,
+        sketch_bits=sketch_bits,
+        with_replacement=with_replacement,
+        max_iterations=max_iterations,
+        block_size=block_size,
+    )
+    store = SketchStore()
+    _sketch_span(
+        list(database), sketcher, [tuple(s) for s in subset_keys], seed, start_index, store
+    )
+    return dumps_store(store, include_iterations=True)
+
+
 def publish_database(
     database: ProfileDatabase,
     sketcher: Sketcher,
     subsets: Sequence[Sequence[int]],
     store: SketchStore | None = None,
     accountant: PrivacyAccountant | None = None,
+    workers: int | None = None,
+    seed: int | None = None,
 ) -> SketchStore:
     """Have every user of a database publish sketches for the given subsets.
 
@@ -157,7 +271,7 @@ def publish_database(
         sketches *their own* profile; nothing raw reaches the store).
     sketcher:
         The Algorithm 1 implementation (shared params/PRF; per-user coins
-        come from its RNG).
+        come from its RNG, or from ``seed`` when ``workers`` is given).
     subsets:
         The publishing policy: which subsets each user sketches.
     store:
@@ -165,13 +279,120 @@ def publish_database(
     accountant:
         Optional privacy ledger; when given, each user's releases are
         charged and :class:`~repro.core.accountant.BudgetExceeded` aborts
-        over-publishing.
+        over-publishing.  With ``workers`` the whole database is charged
+        up front, before any sketching starts.
+    workers:
+        ``None`` (default) keeps the classic sequential path: one shared
+        RNG stream from the sketcher, users processed in order.  An
+        integer switches to the *deterministic sharded* path: each user's
+        coins derive from ``(seed, global user index)``, users are split
+        into ``workers`` contiguous shards, and shards beyond the first
+        worker run in a ``multiprocessing`` pool.  The output store is
+        bitwise identical for every ``workers >= 1`` value; ``workers > 1``
+        requires a stateless PRF (:class:`~repro.core.prf.BiasedPRF`) —
+        the memoising :class:`~repro.core.prf.TrueRandomOracle` raises.
+    seed:
+        Base seed for the sharded path's per-user coins.  ``None`` draws
+        one from the sketcher's RNG (reproducible when the sketcher was
+        seeded); ignored when ``workers`` is ``None``.
     """
     store = store if store is not None else SketchStore()
     subset_keys = [tuple(int(i) for i in s) for s in subsets]
-    for profile in database:
-        if accountant is not None:
+
+    if workers is None:
+        for profile in database:
+            if accountant is not None:
+                accountant.charge(profile.user_id, len(subset_keys))
+            for subset in subset_keys:
+                store.publish(sketcher.sketch(profile.user_id, profile.bits, subset))
+        return store
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    prf = sketcher.prf
+    if workers > 1:
+        # Validate the PRF against the *requested* worker count, before
+        # the accountant is charged or the sketcher RNG consumed: a
+        # rejected call must not spend privacy budget, and whether it is
+        # rejected must not depend on the database size (a small
+        # database may collapse to a single in-process shard below).
+        if not prf.stateless:
+            raise ValueError(
+                f"workers={workers} needs a stateless PRF; {type(prf).__name__} "
+                "memoises draws in-process, so its draw order cannot span workers "
+                "(use workers=1 or BiasedPRF)"
+            )
+        if not isinstance(prf, BiasedPRF):
+            raise ValueError(
+                f"workers={workers} can only ship a BiasedPRF to the pool, "
+                f"got {type(prf).__name__}"
+            )
+    profiles = list(database)
+    if accountant is not None:
+        for profile in profiles:
             accountant.charge(profile.user_id, len(subset_keys))
-        for subset in subset_keys:
-            store.publish(sketcher.sketch(profile.user_id, profile.bits, subset))
+    if seed is None:
+        seed = int(sketcher.rng.integers(0, 2**63))
+    if not profiles:
+        return store
+
+    num_workers = min(workers, len(profiles))
+    if num_workers == 1:
+        _sketch_span(profiles, sketcher, subset_keys, seed, 0, store)
+        return store
+
+    import multiprocessing
+
+    from ..data.serialization import dumps_database
+    from .serialization import loads_store
+    from .streaming import merge_stores
+
+    # Several shards per worker: the parent serialises shard payloads
+    # lazily (overlapping dispatch) and parses shard results as they
+    # stream back (overlapping the remaining compute), so its serial
+    # JSON work hides behind the pool instead of bracketing it.  imap
+    # preserves input order, keeping the merged user order — and hence
+    # the store bytes — independent of worker count and timing.
+    shard_count = min(len(profiles), num_workers * 4)
+    base, remainder = divmod(len(profiles), shard_count)
+
+    def shard_payloads():
+        start = 0
+        for shard_index in range(shard_count):
+            stop = start + base + (1 if shard_index < remainder else 0)
+            shard = ProfileDatabase(database.schema, profiles[start:stop])
+            yield (
+                dumps_database(shard),
+                subset_keys,
+                start,
+                seed,
+                prf.p,
+                prf.global_key.hex(),
+                sketcher.sketch_bits,
+                sketcher.with_replacement,
+                sketcher.max_iterations,
+                sketcher.block_size,
+            )
+            start = stop
+
+    # Payloads are spawn-safe, but prefer fork where the platform has it:
+    # worker start-up then costs a page-table copy instead of a fresh
+    # interpreter + numpy import per worker.
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    shard_stores = []
+    with context.Pool(processes=num_workers) as pool:
+        for payload in pool.imap(_collect_shard, shard_payloads()):
+            shard_stores.append(loads_store(payload)[0])
+
+    merged = merge_stores(*shard_stores)
+    # Republish in publishing-policy order: store serialization sorts
+    # subsets, so the merged union's column order differs from the
+    # sequential path's (policy order).  Restoring it keeps even the
+    # store's iteration order — not just its serialized bytes —
+    # identical for every worker count.
+    for subset in subset_keys:
+        if merged.has_subset(subset):
+            for sketch in merged.sketches_for(subset):
+                store.publish(sketch)
     return store

@@ -10,8 +10,11 @@ disk, ships it between parties, republishes it.  The format is JSON Lines:
 * each further line — one sketch: ``{"id", "subset", "key", "bits"}``.
 
 Round-tripping is lossless for everything queryable.  The per-run
-``iterations`` diagnostic is not persisted (it is not part of the published
-record; see :class:`~repro.core.sketch.Sketch`)."""
+``iterations`` diagnostic is not persisted by default (it is not part of the
+published record; see :class:`~repro.core.sketch.Sketch`); pass
+``include_iterations=True`` for a fully lossless round-trip — the sharded
+collector uses it so worker shards ship back bit-identical to an
+in-process run.  The optional ``"it"`` field is ignored by older readers."""
 
 from __future__ import annotations
 
@@ -35,7 +38,12 @@ def _header(params: PrivacyParams | None) -> dict:
     return header
 
 
-def _write(store: SketchStore, handle: IO[str], params: PrivacyParams | None) -> int:
+def _write(
+    store: SketchStore,
+    handle: IO[str],
+    params: PrivacyParams | None,
+    include_iterations: bool = False,
+) -> int:
     handle.write(json.dumps(_header(params)) + "\n")
     count = 0
     for subset in sorted(store.subsets):
@@ -46,6 +54,8 @@ def _write(store: SketchStore, handle: IO[str], params: PrivacyParams | None) ->
                 "key": sketch.key,
                 "bits": sketch.num_bits,
             }
+            if include_iterations:
+                record["it"] = sketch.iterations
             handle.write(json.dumps(record) + "\n")
             count += 1
     return count
@@ -77,7 +87,7 @@ def _read(handle: IO[str]) -> tuple[SketchStore, dict]:
                 subset=tuple(int(i) for i in record["subset"]),
                 key=int(record["key"]),
                 num_bits=int(record["bits"]),
-                iterations=0,
+                iterations=int(record.get("it", 0)),
             )
         except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
             raise ValueError(f"malformed sketch record on line {line_number}: {exc}") from exc
@@ -86,11 +96,14 @@ def _read(handle: IO[str]) -> tuple[SketchStore, dict]:
 
 
 def save_store(
-    store: SketchStore, path: str | os.PathLike, params: PrivacyParams | None = None
+    store: SketchStore,
+    path: str | os.PathLike,
+    params: PrivacyParams | None = None,
+    include_iterations: bool = False,
 ) -> int:
     """Write a store to a JSONL file; returns the number of sketches written."""
     with open(path, "w", encoding="utf-8") as handle:
-        return _write(store, handle, params)
+        return _write(store, handle, params, include_iterations)
 
 
 def load_store(path: str | os.PathLike) -> tuple[SketchStore, dict]:
@@ -104,12 +117,16 @@ def load_store(path: str | os.PathLike) -> tuple[SketchStore, dict]:
         return _read(handle)
 
 
-def dumps_store(store: SketchStore, params: PrivacyParams | None = None) -> str:
+def dumps_store(
+    store: SketchStore,
+    params: PrivacyParams | None = None,
+    include_iterations: bool = False,
+) -> str:
     """In-memory variant of :func:`save_store`."""
     import io
 
     buffer = io.StringIO()
-    _write(store, buffer, params)
+    _write(store, buffer, params, include_iterations)
     return buffer.getvalue()
 
 

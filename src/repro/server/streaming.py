@@ -11,8 +11,35 @@ estimates.  Two pieces support that:
   evaluations, de-biased on read), so the final answer matches the batch
   estimator exactly.
 * :func:`merge_stores` — union of shard stores (e.g. two regional
-  collectors), with duplicate publications rejected rather than silently
+  collectors, or the per-worker shards of
+  :func:`~repro.server.collector.publish_database` with ``workers=N``),
+  with duplicate publications rejected rather than silently
   double-counted.
+
+Examples
+--------
+Merging is a pure union keyed by ``(user, subset)``: shards may overlap
+on *subsets* (two collectors each gathered some users of the same
+column), never on publications:
+
+>>> from repro.core import Sketch
+>>> from repro.server import SketchStore, merge_stores
+>>> east, west = SketchStore(), SketchStore()
+>>> east.publish(Sketch("alice", (0, 1), key=3, num_bits=4, iterations=1))
+>>> west.publish(Sketch("bob", (0, 1), key=9, num_bits=4, iterations=2))
+>>> west.publish(Sketch("bob", (2,), key=0, num_bits=4, iterations=1))
+>>> merged = merge_stores(east, west)
+>>> merged.num_users((0, 1)), merged.num_users((2,))
+(2, 1)
+
+A user published through two collectors would be double-counted, so that
+merge raises instead:
+
+>>> west.publish(Sketch("alice", (0, 1), key=5, num_bits=4, iterations=1))
+>>> merge_stores(east, west)
+Traceback (most recent call last):
+    ...
+ValueError: user 'alice' already published a sketch for subset (0, 1)
 """
 
 from __future__ import annotations
@@ -163,7 +190,11 @@ def merge_stores(*stores: SketchStore) -> SketchStore:
     Duplicate (user, subset) publications across shards raise — a user
     publishing through two collectors would otherwise be double-counted
     (and would have spent privacy budget twice, which the upstream
-    accountant should have prevented).
+    accountant should have prevented).  Overlapping *subsets* are fine:
+    sketches for the same subset from different shards land in one
+    column, in shard order.  This is the reduce step of the sharded
+    ``publish_database(..., workers=N)`` path, whose shards partition
+    users, so their union is always disjoint.
     """
     if not stores:
         raise ValueError("need at least one store to merge")

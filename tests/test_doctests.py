@@ -1,0 +1,27 @@
+"""Doctests of the documented deployment modules, run as part of tier 1.
+
+The CI docs job runs the same doctests standalone; running them here too
+keeps the examples in the collector/streaming docstrings from rotting
+between doc builds.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import repro.core.params
+import repro.server.collector
+import repro.server.streaming
+
+DOCUMENTED_MODULES = [
+    repro.server.collector,
+    repro.server.streaming,
+    repro.core.params,
+]
+
+
+def test_documented_modules_doctests():
+    for module in DOCUMENTED_MODULES:
+        result = doctest.testmod(module, verbose=False)
+        assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+        assert result.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,233 @@
+"""Tests for sharded collection and the Sketcher's chunked rejection loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BiasedPRF,
+    PrivacyAccountant,
+    PrivacyParams,
+    Sketch,
+    Sketcher,
+    TrueRandomOracle,
+)
+from repro.data import bernoulli_panel
+from repro.server import SketchStore, merge_stores, publish_database
+from repro.server.serialization import dumps_store, loads_store
+
+from .conftest import GLOBAL_KEY
+
+SUBSETS = [(0, 1), (1, 2), (0, 2, 3)]
+
+
+def make_stack(p: float = 0.3, sketch_bits: int = 8):
+    params = PrivacyParams(p=p)
+    prf = BiasedPRF(p=p, global_key=GLOBAL_KEY)
+    return params, prf, Sketcher(params, prf, sketch_bits=sketch_bits)
+
+
+class TestShardedEquivalence:
+    def test_parallel_matches_sequential_bit_for_bit(self):
+        _, _, sketcher = make_stack()
+        database = bernoulli_panel(97, 4, rng=np.random.default_rng(0))
+        one = publish_database(database, sketcher, SUBSETS, workers=1, seed=11)
+        three = publish_database(database, sketcher, SUBSETS, workers=3, seed=11)
+        assert one.subsets == three.subsets
+        for subset in SUBSETS:
+            a = one.sketches_for(subset)
+            b = three.sketches_for(subset)
+            # Per-subset bit equality of the full published records —
+            # users, keys, lengths, and the iteration diagnostics.
+            assert a == b
+        assert dumps_store(one, include_iterations=True) == dumps_store(
+            three, include_iterations=True
+        )
+
+    def test_worker_count_never_changes_the_store(self):
+        _, _, sketcher = make_stack()
+        database = bernoulli_panel(30, 4, rng=np.random.default_rng(1))
+        stores = [
+            publish_database(database, sketcher, [(0, 1)], workers=w, seed=5)
+            for w in (1, 2, 4)
+        ]
+        payloads = {dumps_store(s, include_iterations=True) for s in stores}
+        assert len(payloads) == 1
+
+    def test_seed_drawn_from_sketcher_rng_is_reproducible(self):
+        # seed=None derives the base seed from the sketcher's RNG, so two
+        # identically-seeded sketchers agree across worker counts too.
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(p=0.3, global_key=GLOBAL_KEY)
+        database = bernoulli_panel(25, 4, rng=np.random.default_rng(2))
+
+        def collect(workers):
+            sketcher = Sketcher(
+                params, prf, sketch_bits=8, rng=np.random.default_rng(99)
+            )
+            return publish_database(database, sketcher, [(0, 1)], workers=workers)
+
+        assert dumps_store(collect(1), include_iterations=True) == dumps_store(
+            collect(2), include_iterations=True
+        )
+
+    def test_extends_existing_store(self):
+        _, _, sketcher = make_stack()
+        early = bernoulli_panel(10, 4, rng=np.random.default_rng(3))
+        late = bernoulli_panel(10, 4, rng=np.random.default_rng(4))
+        # Distinct user ids for the second wave.
+        for profile in late:
+            object.__setattr__(profile, "user_id", "late-" + profile.user_id)
+        store = publish_database(early, sketcher, [(0, 1)], workers=2, seed=1)
+        grown = publish_database(late, sketcher, [(0, 1)], store=store, workers=2, seed=2)
+        assert grown is store
+        assert store.num_users((0, 1)) == 20
+
+    def test_accountant_charged_for_every_user(self):
+        _, _, sketcher = make_stack()
+        database = bernoulli_panel(12, 4, rng=np.random.default_rng(5))
+        # epsilon generous enough for 3 sketches/user at p = 0.3.
+        accountant = PrivacyAccountant(PrivacyParams(p=0.3), epsilon=1e6)
+        publish_database(
+            database, sketcher, SUBSETS, accountant=accountant, workers=2, seed=3
+        )
+        for profile in database:
+            assert accountant.spent(profile.user_id).num_sketches == len(SUBSETS)
+
+    def test_workers_zero_rejected(self):
+        _, _, sketcher = make_stack()
+        database = bernoulli_panel(5, 4, rng=np.random.default_rng(6))
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            publish_database(database, sketcher, [(0,)], workers=0)
+
+    def test_empty_database_returns_empty_store(self):
+        _, _, sketcher = make_stack()
+        database = bernoulli_panel(0, 4)
+        store = publish_database(database, sketcher, [(0,)], workers=4, seed=1)
+        assert store.subsets == ()
+
+
+class TestOracleRestriction:
+    def test_oracle_rejected_across_processes(self):
+        params = PrivacyParams(p=0.3)
+        oracle = TrueRandomOracle(p=0.3, rng=np.random.default_rng(0))
+        sketcher = Sketcher(params, oracle, sketch_bits=6)
+        database = bernoulli_panel(8, 2, rng=np.random.default_rng(1))
+        with pytest.raises(ValueError, match="stateless"):
+            publish_database(database, sketcher, [(0,)], workers=2, seed=1)
+
+    def test_oracle_rejection_is_data_independent(self):
+        # A one-user database collapses to a single in-process shard, but
+        # the contract is about the *requested* worker count — the same
+        # call must raise regardless of database size.
+        params = PrivacyParams(p=0.3)
+        oracle = TrueRandomOracle(p=0.3, rng=np.random.default_rng(0))
+        sketcher = Sketcher(params, oracle, sketch_bits=6)
+        database = bernoulli_panel(1, 2, rng=np.random.default_rng(1))
+        with pytest.raises(ValueError, match="stateless"):
+            publish_database(database, sketcher, [(0,)], workers=2, seed=1)
+
+    def test_rejected_call_spends_no_budget(self):
+        # Validation precedes charging: a call that publishes nothing
+        # must not burn the users' privacy budget.
+        params = PrivacyParams(p=0.3)
+        oracle = TrueRandomOracle(p=0.3, rng=np.random.default_rng(0))
+        sketcher = Sketcher(params, oracle, sketch_bits=6)
+        database = bernoulli_panel(8, 2, rng=np.random.default_rng(1))
+        accountant = PrivacyAccountant(PrivacyParams(p=0.3), epsilon=1e6)
+        with pytest.raises(ValueError, match="stateless"):
+            publish_database(
+                database, sketcher, [(0,)], accountant=accountant, workers=2, seed=1
+            )
+        for profile in database:
+            assert accountant.spent(profile.user_id).num_sketches == 0
+
+    def test_oracle_allowed_in_process(self):
+        # workers=1 stays in this address space, so the memoised draw
+        # order is well-defined and sharding semantics still apply.
+        params = PrivacyParams(p=0.3)
+        oracle = TrueRandomOracle(p=0.3, rng=np.random.default_rng(0))
+        sketcher = Sketcher(params, oracle, sketch_bits=6)
+        database = bernoulli_panel(8, 2, rng=np.random.default_rng(1))
+        store = publish_database(database, sketcher, [(0,)], workers=1, seed=1)
+        assert store.num_users((0,)) == 8
+
+
+class TestSketcherChunking:
+    def test_block_sizes_publish_identical_sketches(self):
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(p=0.3, global_key=GLOBAL_KEY)
+        runs = []
+        for block_size in (1, 4, 64):
+            sketcher = Sketcher(
+                params, prf, sketch_bits=8,
+                rng=np.random.default_rng(42), block_size=block_size,
+            )
+            runs.append(
+                [sketcher.sketch(f"u{i}", [1, 0, 1], (0, 1, 2)) for i in range(150)]
+            )
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_oracle_stays_on_the_scalar_path(self):
+        # A memoising oracle must never be evaluated speculatively: the
+        # number of distinct points it has sampled equals the number of
+        # iterations Algorithm 1 actually performed.
+        params = PrivacyParams(p=0.3)
+        oracle = TrueRandomOracle(p=0.3, rng=np.random.default_rng(7))
+        sketcher = Sketcher(
+            params, oracle, sketch_bits=6,
+            rng=np.random.default_rng(8), block_size=16,
+        )
+        total_iterations = sum(
+            sketcher.sketch(f"u{i}", [1], (0,)).iterations for i in range(60)
+        )
+        assert oracle.num_evaluations == total_iterations
+
+    def test_evaluate_keys_matches_scalar_evaluate(self):
+        prf = BiasedPRF(p=0.3, global_key=GLOBAL_KEY)
+        keys = list(range(40))
+        block = prf.evaluate_keys("user", (0, 2), (1, 0), keys)
+        scalar = [prf.evaluate("user", (0, 2), (1, 0), key) for key in keys]
+        assert block.tolist() == scalar
+
+    def test_evaluate_keys_default_path_matches_override(self):
+        oracle = TrueRandomOracle(p=0.3, rng=np.random.default_rng(9))
+        keys = list(range(20))
+        first = oracle.evaluate_keys("user", (1,), (0,), keys)
+        again = [oracle.evaluate("user", (1,), (0,), key) for key in keys]
+        assert first.tolist() == again
+
+
+class TestMergeStores:
+    def test_overlapping_subsets_union_into_one_column(self):
+        east, west = SketchStore(), SketchStore()
+        east.publish(Sketch("a", (0, 1), key=1, num_bits=4, iterations=1))
+        east.publish(Sketch("b", (0, 1), key=2, num_bits=4, iterations=1))
+        west.publish(Sketch("c", (0, 1), key=3, num_bits=4, iterations=1))
+        west.publish(Sketch("c", (2,), key=0, num_bits=4, iterations=1))
+        merged = merge_stores(east, west)
+        assert merged.num_users((0, 1)) == 3
+        assert merged.num_users((2,)) == 1
+        assert [s.user_id for s in merged.sketches_for((0, 1))] == ["a", "b", "c"]
+
+    def test_duplicate_publication_across_shards_raises(self):
+        east, west = SketchStore(), SketchStore()
+        east.publish(Sketch("a", (0,), key=1, num_bits=4, iterations=1))
+        west.publish(Sketch("a", (0,), key=2, num_bits=4, iterations=1))
+        with pytest.raises(ValueError, match="already published"):
+            merge_stores(east, west)
+
+
+class TestIterationsRoundTrip:
+    def test_iterations_preserved_when_requested(self):
+        store = SketchStore()
+        store.publish(Sketch("a", (0,), key=1, num_bits=4, iterations=7))
+        reloaded, _ = loads_store(dumps_store(store, include_iterations=True))
+        assert reloaded.sketches_for((0,))[0].iterations == 7
+
+    def test_iterations_dropped_by_default(self):
+        store = SketchStore()
+        store.publish(Sketch("a", (0,), key=1, num_bits=4, iterations=7))
+        reloaded, _ = loads_store(dumps_store(store))
+        assert reloaded.sketches_for((0,))[0].iterations == 0
