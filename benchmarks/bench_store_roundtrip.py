@@ -1,0 +1,203 @@
+"""E22 — columnar store format v2 + persistent evaluation cache.
+
+The published sketch store *is* the dataset, so its save/load path is a
+deployment's real I/O bill.  This benchmark measures, at M=50k (one
+three-bit subset = 50k sketches, ``--quick`` shrinks M for CI):
+
+* **save/load wall-clock** for the JSONL v1 format vs the columnar v2
+  ``.npz`` format, asserting the >=5x load speedup the columnar path
+  exists for (the floor that matters: load happens on every consumer,
+  save once at the publisher);
+* **on-disk size** of both formats;
+* **cold vs warm persistent-cache** latency for a repeated full marginal
+  through a ``cache_dir``-backed :class:`QueryEngine`, asserting the warm
+  engine issues **zero** new PRF block evaluations (restart-and-reuse is
+  the whole point of spilling the cache to disk).
+
+Results are written both as the usual text table and as
+``benchmarks/results/BENCH_store_roundtrip.json`` so CI can track the
+perf trajectory as an artifact.
+
+Run directly (``--quick`` for CI sizing) or via pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.data import bernoulli_panel
+from repro.server import QueryEngine, publish_database
+from repro.server.serialization import dumps_store, load_store, save_store
+
+from _harness import RESULTS_DIR, make_stack, write_table
+
+SUBSET = (0, 1, 2)
+SEED = 22
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_store_roundtrip.json")
+
+
+def run(num_users: int = 50_000, min_load_speedup: float = 5.0) -> dict:
+    params, prf, sketcher, _, rng = make_stack(p=0.3, seed=SEED)
+    database = bernoulli_panel(num_users, 3, density=0.5, rng=rng)
+    store = publish_database(database, sketcher, [SUBSET], workers=1, seed=SEED)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        jsonl_path = os.path.join(workdir, "store.jsonl")
+        columnar_path = os.path.join(workdir, "store.npz")
+
+        start = time.perf_counter()
+        save_store(store, jsonl_path, params, include_iterations=True)
+        jsonl_save_s = time.perf_counter() - start
+        start = time.perf_counter()
+        save_store(
+            store, columnar_path, params, include_iterations=True, format="columnar"
+        )
+        columnar_save_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        from_jsonl, _ = load_store(jsonl_path)
+        jsonl_load_s = time.perf_counter() - start
+        start = time.perf_counter()
+        from_columnar, _ = load_store(columnar_path)
+        columnar_load_s = time.perf_counter() - start
+
+        reference = dumps_store(store, include_iterations=True)
+        assert dumps_store(from_jsonl, include_iterations=True) == reference
+        assert dumps_store(from_columnar, include_iterations=True) == reference
+
+        jsonl_bytes = os.path.getsize(jsonl_path)
+        columnar_bytes = os.path.getsize(columnar_path)
+
+        # Cold vs warm persistent cache: two engines over the same store
+        # and cache_dir model a restart.  The PRF-call counter pins the
+        # "warm = zero new evaluations" contract exactly.
+        cache_dir = os.path.join(workdir, "evaluation-cache")
+        prf_block_calls = {"n": 0}
+        original_evaluate_block = prf.evaluate_block
+
+        def counted_evaluate_block(*args, **kwargs):
+            prf_block_calls["n"] += 1
+            return original_evaluate_block(*args, **kwargs)
+
+        prf.evaluate_block = counted_evaluate_block
+        try:
+            from repro.core import SketchEstimator
+
+            cold_engine = QueryEngine(
+                database.schema, store, SketchEstimator(params, prf), cache_dir=cache_dir
+            )
+            start = time.perf_counter()
+            cold_marginal = cold_engine.marginal(SUBSET)
+            cold_s = time.perf_counter() - start
+            cold_calls = prf_block_calls["n"]
+
+            warm_engine = QueryEngine(
+                database.schema, store, SketchEstimator(params, prf), cache_dir=cache_dir
+            )
+            start = time.perf_counter()
+            warm_marginal = warm_engine.marginal(SUBSET)
+            warm_s = time.perf_counter() - start
+            warm_calls = prf_block_calls["n"] - cold_calls
+        finally:
+            prf.evaluate_block = original_evaluate_block
+
+        assert (cold_marginal == warm_marginal).all(), "warm marginal deviates"
+        assert warm_calls == 0, (
+            f"warm persistent cache issued {warm_calls} PRF block calls; expected 0"
+        )
+
+    load_speedup = jsonl_load_s / columnar_load_s
+    results = {
+        "experiment": "E22",
+        "num_users": num_users,
+        "jsonl": {
+            "save_s": jsonl_save_s,
+            "load_s": jsonl_load_s,
+            "bytes": jsonl_bytes,
+        },
+        "columnar": {
+            "save_s": columnar_save_s,
+            "load_s": columnar_load_s,
+            "bytes": columnar_bytes,
+        },
+        "load_speedup": load_speedup,
+        "cache": {
+            "cold_marginal_s": cold_s,
+            "warm_marginal_s": warm_s,
+            "cold_prf_block_calls": cold_calls,
+            "warm_prf_block_calls": warm_calls,
+            "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        },
+    }
+    write_table(
+        "E22",
+        f"Store format v2 + persistent cache: M={num_users}",
+        ["path", "save s", "load s", "bytes", "load speedup"],
+        [
+            ("jsonl v1", f"{jsonl_save_s:.3f}", f"{jsonl_load_s:.3f}", jsonl_bytes, "1.0x"),
+            (
+                "columnar v2",
+                f"{columnar_save_s:.3f}",
+                f"{columnar_load_s:.3f}",
+                columnar_bytes,
+                f"{load_speedup:.1f}x",
+            ),
+            (
+                "marginal cold",
+                "-",
+                f"{cold_s:.3f}",
+                "-",
+                f"{cold_calls} PRF block call(s)",
+            ),
+            (
+                "marginal warm",
+                "-",
+                f"{warm_s:.3f}",
+                "-",
+                f"{warm_calls} PRF block call(s)",
+            ),
+        ],
+        notes=(
+            "Both formats reload bit-identical stores (asserted against the\n"
+            "canonical JSONL bytes, iterations included).  The warm engine is a\n"
+            "fresh QueryEngine over the same cache_dir — a restarted process —\n"
+            "and answers the full marginal from memory-mapped columns with zero\n"
+            "new PRF evaluations."
+        ),
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"\nwrote {JSON_PATH}")
+    assert load_speedup >= min_load_speedup, (
+        f"columnar load is only {load_speedup:.1f}x over JSONL "
+        f"(required {min_load_speedup}x)"
+    )
+    return results
+
+
+def test_e22_store_roundtrip():
+    # CI-sized run: correctness (bit-identity, zero warm PRF calls) is
+    # asserted exactly; the load-speedup floor is relaxed — at small M the
+    # columnar path's fixed costs (zip framing, npz open) weigh more.
+    run(num_users=5_000, min_load_speedup=2.0)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: M=5k and a 2x load-speedup floor instead of "
+        "M=50k / 5x",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        run(num_users=5_000, min_load_speedup=2.0)
+    else:
+        run(num_users=50_000, min_load_speedup=5.0)

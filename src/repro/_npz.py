@@ -1,0 +1,128 @@
+"""Shared plumbing for the columnar (v2) ``.npz`` file formats.
+
+Both columnar serializers — sketch stores (`repro.server.serialization`)
+and profile databases (`repro.data.serialization`) — use the same
+envelope: a zip-framed NumPy archive whose ``meta`` member is a JSON
+header (format tag + version) followed by payload arrays.  The sniffing,
+meta validation, and truncation handling live here once so the two
+formats cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import zipfile
+from typing import IO
+
+import numpy as np
+
+__all__ = [
+    "ZIP_MAGIC",
+    "decode_strings",
+    "encode_strings",
+    "is_zip_payload",
+    "meta_array",
+    "open_npz",
+    "read_meta",
+    "truncation_guard",
+]
+
+# A .npz archive is a zip file; the JSONL formats open with "{".
+ZIP_MAGIC = b"PK"
+
+
+def is_zip_payload(payload: bytes) -> bool:
+    """Whether an in-memory payload is zip-framed (i.e. columnar v2)."""
+    return payload[:2] == ZIP_MAGIC
+
+
+def meta_array(meta: dict) -> np.ndarray:
+    """Encode a JSON header as the uint8 ``meta`` member of an archive."""
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+
+def encode_strings(strings) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a string sequence as ``(utf-8 byte blob, char lengths)``.
+
+    Fixed-width numpy unicode arrays silently strip trailing NUL
+    characters (``np.asarray(["a\\x00"]).tolist() == ["a"]``), which
+    would break the lossless round-trip contract for pathological ids;
+    a raw byte blob preserves every code point.  Lengths are counted in
+    *characters* so the reader can decode the whole blob once and slice,
+    instead of decoding per string.
+    """
+    values = [str(s) for s in strings]
+    blob = np.frombuffer("".join(values).encode("utf-8"), dtype=np.uint8)
+    lengths = np.fromiter((len(v) for v in values), dtype=np.int64, count=len(values))
+    return blob, lengths
+
+
+def decode_strings(blob: np.ndarray, lengths: np.ndarray) -> list[str]:
+    """Inverse of :func:`encode_strings`."""
+    if not np.issubdtype(np.asarray(lengths).dtype, np.integer):
+        raise ValueError(
+            f"string lengths must be integers, got dtype {np.asarray(lengths).dtype}"
+        )
+    try:
+        text = bytes(blob).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ValueError(f"malformed string blob: {exc}") from exc
+    strings: list[str] = []
+    position = 0
+    for length in lengths.tolist():
+        if length < 0:
+            raise ValueError(f"negative string length {length} in blob index")
+        strings.append(text[position : position + length])
+        position += length
+    if position != len(text):
+        raise ValueError(
+            f"string blob holds {len(text)} characters but the lengths "
+            f"account for {position}"
+        )
+    return strings
+
+
+def open_npz(handle: IO[bytes], describe: str):
+    """Open an ``.npz`` archive, mapping framing failures to ValueError."""
+    try:
+        return np.load(handle, allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise ValueError(
+            f"malformed or truncated columnar {describe} file: {exc}"
+        ) from exc
+
+
+@contextlib.contextmanager
+def truncation_guard(describe: str):
+    """Re-raise mid-read framing failures as ValueError.
+
+    Array members decompress lazily, so truncation can surface while
+    payload arrays are being read rather than at open time; domain
+    ``ValueError``s raised inside the block pass through untouched.
+    """
+    try:
+        yield
+    except (zipfile.BadZipFile, OSError, EOFError) as exc:
+        raise ValueError(
+            f"malformed or truncated columnar {describe} file: {exc}"
+        ) from exc
+
+
+def read_meta(archive, tag: str, version: int, describe: str) -> dict:
+    """Extract and validate the JSON ``meta`` member of an archive."""
+    if "meta" not in archive.files:
+        raise ValueError(f"columnar {describe} file has no 'meta' member")
+    try:
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed columnar {describe} meta: {exc}") from exc
+    if not isinstance(meta, dict) or meta.get("format") != tag:
+        got = meta.get("format") if isinstance(meta, dict) else meta
+        raise ValueError(f"not a {describe} file (format={got!r})")
+    if meta.get("version") != version:
+        raise ValueError(
+            f"unsupported columnar {describe} version {meta.get('version')!r}; "
+            f"this library reads version {version}"
+        )
+    return meta

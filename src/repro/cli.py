@@ -14,6 +14,7 @@ without writing code:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -43,6 +44,8 @@ _EXPERIMENTS = [
     ("E18", "dictionary attack", "benchmarks/bench_attack.py"),
     ("E19", "decision trees / exactly-l", "benchmarks/bench_boolean.py"),
     ("E20", "non-binary categorical histograms", "benchmarks/bench_categorical.py"),
+    ("E21", "sharded collection speedup + identity", "benchmarks/bench_parallel_collect.py"),
+    ("E22", "columnar store v2 + persistent cache", "benchmarks/bench_store_roundtrip.py"),
     ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
     ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
     ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
@@ -75,6 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="shard collection across N processes (deterministic per-user "
         "coins; same store for every N)",
+    )
+    demo.add_argument(
+        "--store-format", choices=["jsonl", "columnar"], default=None,
+        help="round-trip the published store through the given on-disk "
+        "format (v1 JSONL or v2 columnar) before querying, verifying the "
+        "reload is lossless",
+    )
+    demo.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent evaluation-cache directory: PRF evaluations spill "
+        "to memory-mapped columns keyed by the store's content hash, so "
+        "re-running the demo against the same store skips the PRF entirely",
     )
 
     subparsers.add_parser("experiments", help="list the experiment index")
@@ -111,7 +126,7 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .core import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
     from .data import bernoulli_panel
-    from .server import publish_database
+    from .server import QueryEngine, publish_database
 
     if not 0.0 < args.p < 0.5:
         print(f"error: p must be in (0, 1/2), got {args.p}", file=sys.stderr)
@@ -124,16 +139,58 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         return 2
     rng = np.random.default_rng(args.seed)
     params = PrivacyParams(p=args.p)
-    prf = BiasedPRF(p=args.p)
+    # The public key derives from the seed so a re-run reproduces the same
+    # function H — which is also what lets --cache-dir stay warm across
+    # demo invocations (the store content hash covers the key).
+    import hashlib
+
+    prf = BiasedPRF(
+        p=args.p,
+        global_key=hashlib.blake2b(
+            f"repro-demo-key-{args.seed}".encode("ascii"), digest_size=32
+        ).digest(),
+    )
     database = bernoulli_panel(args.users, args.width, density=0.5, rng=rng)
     subset = tuple(range(args.width))
     sketcher = Sketcher(params, prf, sketch_bits=10, rng=rng)
     store = publish_database(
         database, sketcher, [subset], workers=args.workers, seed=args.seed
     )
-    estimator = SketchEstimator(params, prf)
+    if args.store_format is not None:
+        # Exercise the persistence layer end-to-end: write the published
+        # store in the requested format, reload it (auto-detected), and
+        # verify the round trip is lossless before querying the reload.
+        import tempfile
+
+        from .server import load_store, save_store
+        from .server.serialization import dumps_store
+
+        suffix = ".jsonl" if args.store_format == "jsonl" else ".npz"
+        with tempfile.NamedTemporaryFile(suffix=suffix, delete=False) as handle:
+            store_path = handle.name
+        try:
+            size = save_store(
+                store, store_path, params,
+                include_iterations=True, format=args.store_format,
+            )
+            reloaded, _ = load_store(store_path)
+            if dumps_store(reloaded, include_iterations=True) != dumps_store(
+                store, include_iterations=True
+            ):
+                print("error: store round-trip was not lossless", file=sys.stderr)
+                return 1
+            print(
+                f"store round-tripped through {args.store_format} "
+                f"({size} sketches, {os.path.getsize(store_path)} bytes on disk)"
+            )
+            store = reloaded
+        finally:
+            os.unlink(store_path)
+    engine = QueryEngine(
+        database.schema, store, SketchEstimator(params, prf), cache_dir=args.cache_dir
+    )
     value = tuple([1] * args.width)
-    estimate = estimator.estimate(store.sketches_for(subset), value)
+    estimate = engine.estimate(subset, value)
     truth = database.exact_conjunction(subset, value)
     sharding = f" across {args.workers} workers" if args.workers else ""
     print(f"{args.users} users published one {sketcher.sketch_bits}-bit sketch each{sharding}")
@@ -141,6 +198,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"  estimate = {estimate.fraction:.4f}  (95% CI +/- {estimate.half_width:.4f})")
     print(f"  truth    = {truth:.4f}")
     print(f"  |error|  = {abs(estimate.fraction - truth):.4f}")
+    if args.cache_dir is not None:
+        entries, evaluations = engine.cache.info()
+        print(
+            f"  cache    = {entries} column(s), {evaluations} evaluations "
+            f"persisted under {args.cache_dir}"
+        )
     return 0 if estimate.covers(truth) else 1
 
 

@@ -150,6 +150,33 @@ class SketchEstimator:
             [s.user_id for s in sketches], subset, value_ts, [s.key for s in sketches]
         )
 
+    def evaluations_block_columns(
+        self,
+        subset: Sequence[int],
+        user_ids: Sequence[str],
+        keys: Sequence[int],
+        values: Sequence[Sequence[int]],
+    ) -> np.ndarray:
+        """Column-speaking :meth:`evaluations_block`: aligned id/key arrays
+        in, the same ``(M, V)`` virtual-bit matrix out.
+
+        The store-format-v2 fast path: a columnar
+        :class:`~repro.server.collector.SketchStore` hands its arrays here
+        directly, so the aggregator's hot loop never materialises
+        per-:class:`Sketch` objects at all.  Bitwise identical to
+        :meth:`evaluations_block` over the corresponding sketches.
+        """
+        if len(user_ids) == 0:
+            raise ValueError("cannot estimate from an empty sketch collection")
+        subset_t = tuple(int(i) for i in subset)
+        value_ts = [tuple(int(bit) for bit in value) for value in values]
+        for value_t in value_ts:
+            if len(value_t) != len(subset_t):
+                raise ValueError(
+                    f"value length {len(value_t)} does not match subset size {len(subset_t)}"
+                )
+        return self.prf.evaluate_block(user_ids, subset_t, value_ts, keys)
+
     def estimate_many(
         self,
         sketches: Sequence[Sketch],

@@ -77,6 +77,39 @@ class Sketch:
                 f"key {self.key} out of range for a {self.num_bits}-bit sketch"
             )
 
+    @classmethod
+    def _trusted(
+        cls,
+        user_id: str,
+        subset: Tuple[int, ...],
+        key: int,
+        num_bits: int,
+        iterations: int,
+    ) -> "Sketch":
+        """Construct without per-instance validation.
+
+        Bulk loaders (the columnar store format) validate whole key
+        columns vectorially before materialising any objects; repeating
+        the range check per sketch would be the dominant cost of a
+        50k-row load.  Callers must have established
+        ``0 <= key < 2**num_bits`` already.
+        """
+        sketch = object.__new__(cls)
+        # One attribute-dict swap instead of five frozen-dataclass
+        # object.__setattr__ calls plus __post_init__.
+        object.__setattr__(
+            sketch,
+            "__dict__",
+            {
+                "user_id": user_id,
+                "subset": subset,
+                "key": key,
+                "num_bits": num_bits,
+                "iterations": iterations,
+            },
+        )
+        return sketch
+
     @property
     def size_bits(self) -> int:
         """Published size in bits — the paper's headline ``ceil(log log M)``."""

@@ -2,27 +2,53 @@
 
 Experiment fixtures need to be shareable: a generator run saved once and
 reloaded bit-exactly beats regenerating with a hopefully-identical seed.
-The format is JSON Lines mirroring the sketch-store format:
+Two formats are supported, selected with ``format=`` on save and
+auto-detected on load:
+
+**v1 — JSON Lines** (``format="jsonl"``, the default) mirroring the
+sketch-store format:
 
 * line 1 — header: format tag, version, and the schema (attribute specs in
   order);
 * each further line — one profile: ``{"id", "values"}`` with decoded
   attribute values (human-readable and diff-friendly; the bit layout is
   reconstructed from the schema on load).
+
+**v2 — columnar** (``format="columnar"``): a NumPy ``.npz`` archive with a
+``meta`` JSON member (format tag, version 2, the schema, the bit width),
+a ``user_ids`` unicode array, and the profile bit matrix bit-packed along
+the attribute axis (``np.packbits``) — 8x smaller than int8 on the wire
+and parsed without any per-record JSON work.  This is what the sharded
+collector ships to pool workers, removing the parent-side JSON ceiling.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
 from typing import IO
 
-from .profiles import ProfileDatabase
+import numpy as np
+
+from .._npz import (
+    decode_strings,
+    encode_strings,
+    is_zip_payload,
+    meta_array,
+    open_npz,
+    read_meta,
+    truncation_guard,
+)
+from .profiles import Profile, ProfileDatabase
 from .schema import AttributeSpec, Schema
 
 __all__ = ["save_database", "load_database", "dumps_database", "loads_database"]
 
 _FORMAT_VERSION = 1
+_COLUMNAR_VERSION = 2
+_FORMAT_TAG = "repro-profile-db"
+_DESCRIBE = "profile-db"
 
 
 def _schema_to_json(schema: Schema) -> list:
@@ -53,7 +79,7 @@ def _schema_from_json(payload: list) -> Schema:
 
 def _write(database: ProfileDatabase, handle: IO[str]) -> int:
     header = {
-        "format": "repro-profile-db",
+        "format": _FORMAT_TAG,
         "version": _FORMAT_VERSION,
         "schema": _schema_to_json(database.schema),
     }
@@ -76,12 +102,13 @@ def _read(handle: IO[str]) -> ProfileDatabase:
     if not first:
         raise ValueError("empty profile-database file")
     header = json.loads(first)
-    if header.get("format") != "repro-profile-db":
+    if header.get("format") != _FORMAT_TAG:
         raise ValueError(f"not a profile-db file (format={header.get('format')!r})")
     if header.get("version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported profile-db version {header.get('version')!r}; "
-            f"this library reads version {_FORMAT_VERSION}"
+            f"this library reads version {_FORMAT_VERSION} (JSONL) and "
+            f"{_COLUMNAR_VERSION} (columnar)"
         )
     schema = _schema_from_json(header["schema"])
     database = ProfileDatabase(schema)
@@ -99,29 +126,133 @@ def _read(handle: IO[str]) -> ProfileDatabase:
     return database
 
 
-def save_database(database: ProfileDatabase, path: str | os.PathLike) -> int:
-    """Write a database to JSONL; returns the number of profiles written."""
-    with open(path, "w", encoding="utf-8") as handle:
-        return _write(database, handle)
+# ----------------------------------------------------------------------
+# Columnar format (v2)
+# ----------------------------------------------------------------------
+def _write_columnar(database: ProfileDatabase, handle: IO[bytes]) -> int:
+    matrix = database.matrix()
+    meta = {
+        "format": _FORMAT_TAG,
+        "version": _COLUMNAR_VERSION,
+        "schema": _schema_to_json(database.schema),
+        "num_profiles": int(matrix.shape[0]),
+        "num_bits": int(database.schema.total_bits),
+    }
+    # Ids travel as a utf-8 blob + char lengths (NUL-safe; fixed-width
+    # unicode arrays would strip trailing NULs).
+    id_blob, id_lengths = encode_strings(database.user_ids)
+    np.savez(
+        handle,
+        meta=meta_array(meta),
+        user_ids=id_blob,
+        user_id_lengths=id_lengths,
+        # packbits handles the degenerate shapes too: (0, W) packs to
+        # (0, ceil(W/8)) and (M, 0) to (M, 0), which is exactly what the
+        # reader's shape checks expect.
+        bits=np.packbits(matrix.astype(np.uint8), axis=1),
+    )
+    return int(matrix.shape[0])
+
+
+def _read_columnar(handle: IO[bytes]) -> ProfileDatabase:
+    archive = open_npz(handle, _DESCRIBE)
+    with archive, truncation_guard(_DESCRIBE):
+        meta = read_meta(archive, _FORMAT_TAG, _COLUMNAR_VERSION, _DESCRIBE)
+        try:
+            schema = _schema_from_json(meta["schema"])
+            num_profiles = int(meta["num_profiles"])
+            num_bits = int(meta["num_bits"])
+            user_ids = decode_strings(
+                archive["user_ids"], archive["user_id_lengths"]
+            )
+            packed = archive["bits"]
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed columnar profile-db file: {exc}") from exc
+        if num_bits != schema.total_bits:
+            raise ValueError(
+                f"columnar profile-db claims {num_bits} bits per profile but "
+                f"its schema implies {schema.total_bits}"
+            )
+        if len(user_ids) != num_profiles:
+            raise ValueError(
+                f"columnar profile-db has {len(user_ids)} user ids for "
+                f"{num_profiles} profiles"
+            )
+        if packed.ndim != 2 or packed.shape[0] != num_profiles:
+            raise ValueError(
+                f"columnar profile-db bit matrix shape {packed.shape} does not "
+                f"match {num_profiles} profiles"
+            )
+        if packed.dtype != np.uint8:
+            raise ValueError(
+                f"columnar profile-db bit matrix must be uint8-packed, got "
+                f"dtype {packed.dtype}"
+            )
+        if num_bits and packed.shape[1] != (num_bits + 7) // 8:
+            raise ValueError(
+                f"columnar profile-db bit matrix packs {packed.shape[1] * 8} "
+                f"bits per profile; schema expects {num_bits}"
+            )
+        if num_bits:
+            matrix = np.unpackbits(packed, axis=1)[:, :num_bits].astype(np.int8)
+        else:
+            matrix = np.zeros((num_profiles, 0), dtype=np.int8)
+    return ProfileDatabase(
+        schema, (Profile(uid, row) for uid, row in zip(user_ids, matrix))
+    )
+
+
+def save_database(
+    database: ProfileDatabase, path: str | os.PathLike, format: str = "jsonl"
+) -> int:
+    """Write a database to disk; returns the number of profiles written.
+
+    ``format="jsonl"`` (default) writes the human-readable v1 lines;
+    ``format="columnar"`` the bit-packed v2 ``.npz``.  :func:`load_database`
+    auto-detects either.
+    """
+    if format == "jsonl":
+        with open(path, "w", encoding="utf-8") as handle:
+            return _write(database, handle)
+    if format == "columnar":
+        with open(path, "wb") as handle:
+            return _write_columnar(database, handle)
+    raise ValueError(f"unknown database format {format!r}; expected 'jsonl' or 'columnar'")
 
 
 def load_database(path: str | os.PathLike) -> ProfileDatabase:
-    """Read a database from JSONL."""
+    """Read a database from disk (format auto-detected)."""
+    with open(path, "rb") as binary:
+        if is_zip_payload(binary.read(2)):
+            binary.seek(0)
+            return _read_columnar(binary)
     with open(path, "r", encoding="utf-8") as handle:
         return _read(handle)
 
 
-def dumps_database(database: ProfileDatabase) -> str:
-    """In-memory variant of :func:`save_database`."""
-    import io
+def dumps_database(database: ProfileDatabase, format: str = "jsonl") -> str | bytes:
+    """In-memory variant of :func:`save_database`.
 
-    buffer = io.StringIO()
-    _write(database, buffer)
-    return buffer.getvalue()
+    Returns ``str`` for JSONL and ``bytes`` for columnar — both are
+    spawn-safe pool payloads; the sharded collector ships the columnar
+    form to its workers.
+    """
+    if format == "jsonl":
+        buffer = io.StringIO()
+        _write(database, buffer)
+        return buffer.getvalue()
+    if format == "columnar":
+        binary = io.BytesIO()
+        _write_columnar(database, binary)
+        return binary.getvalue()
+    raise ValueError(f"unknown database format {format!r}; expected 'jsonl' or 'columnar'")
 
 
-def loads_database(payload: str) -> ProfileDatabase:
-    """In-memory variant of :func:`load_database`."""
-    import io
-
+def loads_database(payload: str | bytes) -> ProfileDatabase:
+    """In-memory variant of :func:`load_database` (format auto-detected)."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        payload = bytes(payload)
+        if is_zip_payload(payload):
+            return _read_columnar(io.BytesIO(payload))
+        payload = payload.decode("utf-8")
     return _read(io.StringIO(payload))

@@ -2,14 +2,30 @@
 Appendix A server."""
 
 from .collector import (
+    SketchColumn,
     SketchStore,
     attribute_subsets,
     per_bit_subsets,
     prefix_subsets,
     publish_database,
 )
-from .engine import MissingSketchError, QueryEngine, SketchEvaluationCache
-from .serialization import dumps_store, load_store, loads_store, save_store
+from .engine import (
+    MissingSketchError,
+    QueryEngine,
+    SketchEvaluationCache,
+    store_content_hash,
+)
+from .serialization import (
+    dumps_block_request,
+    dumps_block_response,
+    dumps_store,
+    handle_block_request,
+    load_store,
+    loads_block_request,
+    loads_block_response,
+    loads_store,
+    save_store,
+)
 from .streaming import StreamingEstimator, merge_stores
 from .sulq import DualModeServer, QueryBudgetExhausted, QueryRecord, SulqServer
 
@@ -18,18 +34,25 @@ __all__ = [
     "MissingSketchError",
     "QueryBudgetExhausted",
     "QueryEngine",
-    "SketchEvaluationCache",
     "QueryRecord",
+    "SketchColumn",
+    "SketchEvaluationCache",
     "SketchStore",
     "StreamingEstimator",
     "SulqServer",
     "attribute_subsets",
+    "dumps_block_request",
+    "dumps_block_response",
     "dumps_store",
+    "handle_block_request",
     "load_store",
-    "merge_stores",
+    "loads_block_request",
+    "loads_block_response",
     "loads_store",
+    "merge_stores",
     "per_bit_subsets",
     "prefix_subsets",
     "publish_database",
     "save_store",
+    "store_content_hash",
 ]

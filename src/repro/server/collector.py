@@ -20,14 +20,19 @@ need to be sketched") maps onto three policy helpers:
 Collection is embarrassingly parallel on the user axis — each user's
 sketch is produced independently and the store is a pure union — so
 :func:`publish_database` can shard users across a ``multiprocessing``
-pool (``workers=N``).  Each worker receives a spawn-safe payload (the
-profile shard as its JSONL serialization plus primitive sketcher
-parameters), rebuilds the stack, sketches its span with per-user coins
-derived from ``(seed, global user index)``, and ships its shard store
-back through the store serialization; the parent merges shards with
-:func:`~repro.server.streaming.merge_stores`.  Because the coins depend
-only on the seed and the user's global position, the result is bitwise
-identical for every worker count.
+pool (``workers=N``).  Users are cut into many small interleaved chunks
+(user ``i`` rides chunk ``i mod C``) drained through
+``pool.imap_unordered``, so slow chunks are balanced dynamically across
+workers.  Each worker receives a spawn-safe payload (the profile shard
+in the columnar v2 serialization plus primitive sketcher parameters),
+rebuilds the stack, sketches its chunk with per-user coins derived from
+``(seed, global user index)``, and ships its shard store back as
+columnar arrays; the parent concatenates each subset's shard columns,
+argsorts them back to global user order, and bulk-publishes the result
+(:meth:`SketchStore.publish_column`) without materialising per-sketch
+records.  Because the coins depend only on the seed and the user's
+global position — never on the chunking or arrival order — the result
+is bitwise identical for every worker count.
 
 Examples
 --------
@@ -62,7 +67,7 @@ ValueError: workers=2 needs a stateless PRF; TrueRandomOracle memoises draws in-
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
@@ -73,6 +78,7 @@ from ..data.profiles import Profile, ProfileDatabase
 from ..data.schema import Schema
 
 __all__ = [
+    "SketchColumn",
     "SketchStore",
     "per_bit_subsets",
     "attribute_subsets",
@@ -83,21 +89,72 @@ __all__ = [
 Subset = Tuple[int, ...]
 
 
+class SketchColumn(NamedTuple):
+    """One subset's sketches as parallel arrays — the v2 columnar unit.
+
+    ``user_ids`` is a list of python strings (publication order);
+    ``keys``/``num_bits``/``iterations`` are numpy arrays aligned with it.
+    This is the in-memory face of the columnar store format: everything
+    that moves sketches in bulk (worker shards, the ``.npz`` persistence,
+    the evaluation-cache content hash) speaks it instead of per-
+    :class:`~repro.core.sketch.Sketch` records.
+    """
+
+    user_ids: List[str]
+    keys: np.ndarray  # uint64
+    num_bits: np.ndarray  # uint8
+    iterations: np.ndarray  # unsigned integer (uint16 when it fits)
+
+
 class SketchStore:
     """Column store of published sketches, keyed by subset.
 
     Sketches for the same subset are kept in publication order; most
     queries need them *user-aligned* across subsets, which
     :meth:`aligned_groups` provides.
+
+    Internally a subset's column lives in one of two states: a dict of
+    :class:`~repro.core.sketch.Sketch` records (anything published
+    through :meth:`publish`), or a **lazy** :class:`SketchColumn` of
+    parallel arrays (anything bulk-loaded through :meth:`from_columns`,
+    e.g. the columnar v2 file format).  Lazy columns are validated
+    vectorially up front but only materialised into ``Sketch`` objects
+    when a caller actually asks for records (:meth:`sketches_for`,
+    :meth:`aligned_groups`, or publishing into the same subset); the
+    column-speaking paths — :meth:`column_for`, :meth:`to_columns`, the
+    evaluation cache, serialization — never pay the per-object cost.
     """
 
     def __init__(self) -> None:
-        self._by_subset: Dict[Subset, Dict[str, Sketch]] = {}
+        # Value is a dict of materialised sketches, or None while the
+        # column is still lazy (arrays parked in _lazy).  Keeping the
+        # placeholder in _by_subset preserves one insertion order across
+        # both states.
+        self._by_subset: Dict[Subset, Dict[str, Sketch] | None] = {}
+        self._lazy: Dict[Subset, SketchColumn] = {}
+
+    def _materialise(self, subset: Subset) -> None:
+        """Convert one lazy column into Sketch records (validated at load)."""
+        column = self._lazy.pop(subset, None)
+        if column is None:
+            return
+        trusted = Sketch._trusted
+        self._by_subset[subset] = {
+            uid: trusted(uid, subset, key, bits, its)
+            for uid, key, bits, its in zip(
+                column.user_ids,
+                column.keys.tolist(),
+                column.num_bits.tolist(),
+                column.iterations.tolist(),
+            )
+        }
 
     def publish(self, sketch: Sketch) -> None:
         """Record one published sketch (idempotence is an error: a user
         publishing two sketches of the same subset would spend extra
         privacy budget for no utility)."""
+        if self._by_subset.get(sketch.subset) is None and sketch.subset in self._lazy:
+            self._materialise(sketch.subset)
         column = self._by_subset.setdefault(sketch.subset, {})
         if sketch.user_id in column:
             raise ValueError(
@@ -117,15 +174,22 @@ class SketchStore:
         return tuple(subset) in self._by_subset
 
     def num_users(self, subset: Sequence[int]) -> int:
-        return len(self._by_subset.get(tuple(subset), {}))
+        key = tuple(subset)
+        column = self._by_subset.get(key)
+        if column is None:
+            lazy = self._lazy.get(key)
+            return len(lazy.user_ids) if lazy is not None else 0
+        return len(column)
 
     def total_published_bits(self) -> int:
         """Total size of everything published, in bits (experiment E8)."""
-        return sum(
-            sketch.size_bits
-            for column in self._by_subset.values()
-            for sketch in column.values()
-        )
+        total = 0
+        for key, column in self._by_subset.items():
+            if column is None:
+                total += int(self._lazy[key].num_bits.sum())
+            else:
+                total += sum(sketch.size_bits for sketch in column.values())
+        return total
 
     # ------------------------------------------------------------------
     # Retrieval
@@ -138,7 +202,152 @@ class SketchStore:
                 f"no sketches published for subset {key}; available: "
                 f"{sorted(self._by_subset)}"
             )
+        if self._by_subset[key] is None:
+            self._materialise(key)
         return list(self._by_subset[key].values())
+
+    # ------------------------------------------------------------------
+    # Columnar bulk conversion (store format v2)
+    # ------------------------------------------------------------------
+    def column_for(self, subset: Sequence[int]) -> SketchColumn:
+        """One subset's sketches as parallel arrays (stable user order).
+
+        Zero-copy for lazily-loaded columns; otherwise built from the
+        materialised records.  Callers must not mutate the arrays — they
+        may be shared with the store's internal state.
+        """
+        key = tuple(subset)
+        if key not in self._by_subset:
+            raise KeyError(
+                f"no sketches published for subset {key}; available: "
+                f"{sorted(self._by_subset)}"
+            )
+        lazy = self._lazy.get(key)
+        if lazy is not None:
+            return lazy
+        sketches = list(self._by_subset[key].values())
+        count = len(sketches)
+        iterations = np.fromiter(
+            (s.iterations for s in sketches), dtype=np.int64, count=count
+        )
+        # uint16 covers every realistic iteration count (Lemma 3.1:
+        # ~10-bit sketches, expected iterations ~1/p^2); a pathological
+        # store keeps full width rather than overflowing silently.
+        it_dtype = np.uint16 if (count == 0 or iterations.max() < 1 << 16) else np.uint32
+        return SketchColumn(
+            user_ids=[s.user_id for s in sketches],
+            keys=np.fromiter((s.key for s in sketches), dtype=np.uint64, count=count),
+            num_bits=np.fromiter(
+                (s.num_bits for s in sketches), dtype=np.uint8, count=count
+            ),
+            iterations=iterations.astype(it_dtype),
+        )
+
+    def to_columns(self) -> Dict[Subset, SketchColumn]:
+        """Decompose the store into per-subset :class:`SketchColumn` arrays.
+
+        The inverse of :meth:`from_columns`; publication order is
+        preserved, so ``from_columns(store.to_columns())`` reproduces the
+        store exactly, iteration diagnostics included.
+        """
+        return {subset: self.column_for(subset) for subset in self._by_subset}
+
+    @staticmethod
+    def _validated_column(subset_t: Subset, column: SketchColumn) -> SketchColumn | None:
+        """Vectorised whole-column validation; returns the normalised
+        column (python-str ids, contiguous typed arrays), or ``None`` for
+        an empty one."""
+        ids, keys, num_bits, iterations = column
+        ids = [str(uid) for uid in ids]
+        count = len(ids)
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        num_bits = np.ascontiguousarray(num_bits, dtype=np.uint8)
+        iterations = np.ascontiguousarray(iterations)
+        if not np.issubdtype(iterations.dtype, np.integer):
+            raise ValueError(
+                f"iteration counts for subset {subset_t} must be integers, "
+                f"got dtype {iterations.dtype}"
+            )
+        if iterations.size and int(iterations.min()) < 0:
+            raise ValueError(
+                f"negative iteration count in column for subset {subset_t}"
+            )
+        if not (keys.size == num_bits.size == iterations.size == count):
+            raise ValueError(
+                f"misaligned columns for subset {subset_t}: "
+                f"{count} ids vs {keys.size} keys, {num_bits.size} bit "
+                f"widths, {iterations.size} iteration counts"
+            )
+        if count == 0:
+            return None
+        if num_bits.max() > 30 or num_bits.min() < 1:
+            raise ValueError(
+                f"sketch bit widths for subset {subset_t} outside [1, 30]"
+            )
+        if np.any(keys >> num_bits.astype(np.uint64)):
+            bad = int(np.argmax(keys >> num_bits.astype(np.uint64) != 0))
+            raise ValueError(
+                f"key {int(keys[bad])} out of range for a "
+                f"{int(num_bits[bad])}-bit sketch (subset {subset_t})"
+            )
+        if len(set(ids)) != count:
+            raise ValueError(
+                f"duplicate user ids in column for subset {subset_t}"
+            )
+        return SketchColumn(ids, keys, num_bits, iterations)
+
+    def publish_column(self, subset: Sequence[int], column: SketchColumn) -> int:
+        """Bulk-publish one subset's sketches from parallel arrays.
+
+        The column-speaking counterpart of looping :meth:`publish`:
+        validation is vectorised, and when the subset is new to this
+        store the arrays are parked lazily — no per-:class:`Sketch`
+        objects are created until someone asks for records.  Publishing
+        into an existing column keeps the duplicate-user contract.
+        Returns the number of sketches published.
+        """
+        subset_t = tuple(int(i) for i in subset)
+        validated = self._validated_column(subset_t, column)
+        if validated is None:
+            return 0
+        if subset_t not in self._by_subset:
+            self._by_subset[subset_t] = None
+            self._lazy[subset_t] = validated
+            return len(validated.user_ids)
+        if self._by_subset[subset_t] is None:
+            self._materialise(subset_t)
+        existing = self._by_subset[subset_t]
+        duplicates = existing.keys() & set(validated.user_ids)
+        if duplicates:
+            raise ValueError(
+                f"user {min(duplicates)!r} already published a sketch for "
+                f"subset {subset_t}"
+            )
+        trusted = Sketch._trusted
+        for uid, key, bits, its in zip(
+            validated.user_ids,
+            validated.keys.tolist(),
+            validated.num_bits.tolist(),
+            validated.iterations.tolist(),
+        ):
+            existing[uid] = trusted(uid, subset_t, key, bits, its)
+        return len(validated.user_ids)
+
+    @classmethod
+    def from_columns(cls, columns: Dict[Subset, SketchColumn]) -> "SketchStore":
+        """Bulk-construct a store from per-subset column arrays.
+
+        Validation happens vectorially per column (key ranges, duplicate
+        users, aligned lengths) up front; the per-:class:`Sketch` records
+        are materialised lazily, only if a caller asks for them — the
+        column-speaking query paths never pay that cost.  This is what
+        makes the columnar load path an order of magnitude faster than
+        the per-record JSONL path at M=50k.
+        """
+        store = cls()
+        for subset, column in columns.items():
+            store.publish_column(subset, column)
+        return store
 
     def aligned_groups(self, subsets: Sequence[Sequence[int]]) -> List[List[Sketch]]:
         """Sketch groups for several subsets, aligned on common users.
@@ -152,6 +361,8 @@ class SketchStore:
         for key in keys:
             if key not in self._by_subset:
                 raise KeyError(f"no sketches published for subset {key}")
+            if self._by_subset[key] is None:
+                self._materialise(key)
         common = set(self._by_subset[keys[0]])
         for key in keys[1:]:
             common &= set(self._by_subset[key])
@@ -202,28 +413,34 @@ def _sketch_span(
     sketcher: Sketcher,
     subset_keys: Sequence[Subset],
     seed: int,
-    start_index: int,
+    indices: Sequence[int],
     store: SketchStore,
 ) -> None:
-    """Sketch a contiguous span of users into ``store`` with seeded coins."""
-    for offset, profile in enumerate(profiles):
-        rng = _user_rng(seed, start_index + offset)
+    """Sketch a run of users into ``store`` with seeded per-user coins.
+
+    ``indices[k]`` is the *global* position of ``profiles[k]`` in the full
+    database — the only input to the user's coin stream, so any chunking
+    of the users (contiguous spans, interleaved strides) publishes
+    identical sketches.
+    """
+    for profile, global_index in zip(profiles, indices):
+        rng = _user_rng(seed, global_index)
         for subset in subset_keys:
             store.publish(sketcher.sketch(profile.user_id, profile.bits, subset, rng=rng))
 
 
-def _collect_shard(payload: tuple) -> str:
+def _collect_shard(payload: tuple) -> bytes:
     """Pool worker: rebuild the stack from primitives, sketch one shard.
 
-    The payload is spawn-safe by construction — a JSONL string for the
-    profile shard plus primitive sketcher parameters — and the return
-    value is the shard store's JSONL serialization (``iterations``
-    included, so the round-trip is fully lossless).
+    The payload is spawn-safe by construction — the profile shard as its
+    columnar (v2) serialization plus primitive sketcher parameters — and
+    the return value is the shard store's columnar serialization
+    (``iterations`` included, so the round-trip is fully lossless).
     """
     (
         database_payload,
         subset_keys,
-        start_index,
+        indices,
         seed,
         p,
         global_key_hex,
@@ -248,9 +465,9 @@ def _collect_shard(payload: tuple) -> str:
     )
     store = SketchStore()
     _sketch_span(
-        list(database), sketcher, [tuple(s) for s in subset_keys], seed, start_index, store
+        list(database), sketcher, [tuple(s) for s in subset_keys], seed, indices, store
     )
-    return dumps_store(store, include_iterations=True)
+    return dumps_store(store, include_iterations=True, format="columnar")
 
 
 def publish_database(
@@ -285,12 +502,15 @@ def publish_database(
         ``None`` (default) keeps the classic sequential path: one shared
         RNG stream from the sketcher, users processed in order.  An
         integer switches to the *deterministic sharded* path: each user's
-        coins derive from ``(seed, global user index)``, users are split
-        into ``workers`` contiguous shards, and shards beyond the first
-        worker run in a ``multiprocessing`` pool.  The output store is
-        bitwise identical for every ``workers >= 1`` value; ``workers > 1``
-        requires a stateless PRF (:class:`~repro.core.prf.BiasedPRF`) —
-        the memoising :class:`~repro.core.prf.TrueRandomOracle` raises.
+        coins derive from ``(seed, global user index)``, users are cut
+        into ~8 small interleaved chunks per worker (user ``i`` rides
+        chunk ``i mod C``) drained through a ``multiprocessing`` pool's
+        ``imap_unordered``, and the shard columns are reassembled in
+        global user order.  The output store is bitwise identical for
+        every ``workers >= 1`` value and every pool schedule;
+        ``workers > 1`` requires a stateless PRF
+        (:class:`~repro.core.prf.BiasedPRF`) — the memoising
+        :class:`~repro.core.prf.TrueRandomOracle` raises.
     seed:
         Base seed for the sharded path's per-user coins.  ``None`` draws
         one from the sketcher's RNG (reproducible when the sketcher was
@@ -338,33 +558,37 @@ def publish_database(
 
     num_workers = min(workers, len(profiles))
     if num_workers == 1:
-        _sketch_span(profiles, sketcher, subset_keys, seed, 0, store)
+        _sketch_span(profiles, sketcher, subset_keys, seed, range(len(profiles)), store)
         return store
 
     import multiprocessing
 
     from ..data.serialization import dumps_database
     from .serialization import loads_store
-    from .streaming import merge_stores
 
-    # Several shards per worker: the parent serialises shard payloads
-    # lazily (overlapping dispatch) and parses shard results as they
-    # stream back (overlapping the remaining compute), so its serial
-    # JSON work hides behind the pool instead of bracketing it.  imap
-    # preserves input order, keeping the merged user order — and hence
-    # the store bytes — independent of worker count and timing.
-    shard_count = min(len(profiles), num_workers * 4)
-    base, remainder = divmod(len(profiles), shard_count)
+    # Dynamic shard balancing: many small *interleaved* chunks dispatched
+    # through imap_unordered.  Chunk j takes users j, j+C, j+2C, ... —
+    # Algorithm 1's iteration count is i.i.d. per user, so striding makes
+    # every chunk's expected cost identical, and the surplus of chunks
+    # over workers lets the pool steal work from whichever chunk runs
+    # long.  Determinism is untouched: each user's coins are a pure
+    # function of (seed, global index), and the merged columns are
+    # republished in global user order below, so arrival order cannot
+    # leak into the store.  Payloads and results travel in the columnar
+    # (v2) format — bit-packed profiles out, column arrays back — which
+    # removes the parent's serial JSON ceiling at M=50k.
+    shard_count = min(len(profiles), num_workers * 8)
 
     def shard_payloads():
-        start = 0
-        for shard_index in range(shard_count):
-            stop = start + base + (1 if shard_index < remainder else 0)
-            shard = ProfileDatabase(database.schema, profiles[start:stop])
+        for chunk_index in range(shard_count):
+            indices = tuple(range(chunk_index, len(profiles), shard_count))
+            shard = ProfileDatabase(
+                database.schema, [profiles[i] for i in indices]
+            )
             yield (
-                dumps_database(shard),
+                dumps_database(shard, format="columnar"),
                 subset_keys,
-                start,
+                indices,
                 seed,
                 prf.p,
                 prf.global_key.hex(),
@@ -373,26 +597,44 @@ def publish_database(
                 sketcher.max_iterations,
                 sketcher.block_size,
             )
-            start = stop
 
     # Payloads are spawn-safe, but prefer fork where the platform has it:
     # worker start-up then costs a page-table copy instead of a fresh
     # interpreter + numpy import per worker.
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    shard_stores = []
+    shard_columns: List[Dict[Subset, SketchColumn]] = []
     with context.Pool(processes=num_workers) as pool:
-        for payload in pool.imap(_collect_shard, shard_payloads()):
-            shard_stores.append(loads_store(payload)[0])
+        for payload in pool.imap_unordered(_collect_shard, shard_payloads()):
+            # to_columns on a freshly-loaded columnar store is zero-copy.
+            shard_columns.append(loads_store(payload)[0].to_columns())
 
-    merged = merge_stores(*shard_stores)
-    # Republish in publishing-policy order: store serialization sorts
-    # subsets, so the merged union's column order differs from the
-    # sequential path's (policy order).  Restoring it keeps even the
+    # Columnar reduce, in publishing-policy order and global user order:
+    # the shard arrival order reflects pool timing (imap_unordered), so
+    # each subset's shard columns are concatenated and argsorted back to
+    # the sequential path's user order before one bulk publish_column —
+    # no per-Sketch records are materialised.  This keeps even the
     # store's iteration order — not just its serialized bytes —
-    # identical for every worker count.
+    # identical for every worker count and every pool schedule.
+    position = {profile.user_id: i for i, profile in enumerate(profiles)}
     for subset in subset_keys:
-        if merged.has_subset(subset):
-            for sketch in merged.sketches_for(subset):
-                store.publish(sketch)
+        pieces = [columns[subset] for columns in shard_columns if subset in columns]
+        if not pieces:
+            continue
+        ids = [uid for piece in pieces for uid in piece.user_ids]
+        order = np.argsort(
+            np.fromiter((position[uid] for uid in ids), dtype=np.int64, count=len(ids))
+        )
+        order_list = order.tolist()
+        store.publish_column(
+            subset,
+            SketchColumn(
+                user_ids=[ids[i] for i in order_list],
+                keys=np.concatenate([piece.keys for piece in pieces])[order],
+                num_bits=np.concatenate([piece.num_bits for piece in pieces])[order],
+                iterations=np.concatenate(
+                    [piece.iterations for piece in pieces]
+                )[order],
+            ),
+        )
     return store

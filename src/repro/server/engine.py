@@ -17,6 +17,11 @@ sketches through the public PRF.
 
 from __future__ import annotations
 
+import hashlib
+import io
+import json
+import os
+import tempfile
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,11 +43,54 @@ from ..queries.disjunction import disjunction_fraction
 from ..queries.interval import less_equal_plan, less_than_plan, range_plan
 from ..queries.numeric import inner_product_plan, moment_plan, sum_plan
 from ..queries.virtual import addition_interval_fraction
-from .collector import SketchStore
+from .collector import SketchColumn, SketchStore
 
-__all__ = ["MissingSketchError", "SketchEvaluationCache", "QueryEngine"]
+__all__ = [
+    "MissingSketchError",
+    "SketchEvaluationCache",
+    "QueryEngine",
+    "store_content_hash",
+]
 
 Subset = Tuple[int, ...]
+
+_CACHE_FORMAT = "repro-eval-cache"
+_CACHE_VERSION = 1
+# Entries at or above this size are memory-mapped on read (zero-copy,
+# shared page cache across sibling processes); smaller ones are read
+# eagerly and the descriptor closed — a memmap pins one fd for the
+# array's lifetime, and a wide marginal (up to 2**12 values) over small
+# columns would otherwise exhaust the process fd limit.
+_MMAP_THRESHOLD_BYTES = 1 << 23
+
+
+def store_content_hash(store: SketchStore, prf) -> str:
+    """Content hash identifying a store's queryable state under one PRF.
+
+    Covers everything a ``(subset, value) -> bits`` evaluation depends on:
+    the PRF identity (bias ``p`` and, when present, the public global key)
+    and each subset column's user ids, keys, and bit widths — in column
+    order, since cached vectors are positional.  The ``iterations``
+    diagnostics are deliberately excluded: they never enter the PRF, so a
+    store saved with or without them hashes (and caches) identically.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(b"repro-eval-cache-v1|")
+    digest.update(repr(float(prf.p)).encode("ascii"))
+    global_key = getattr(prf, "global_key", None)
+    digest.update(b"|key|" + (global_key if global_key is not None else b"<none>"))
+    for subset, column in sorted(store.to_columns().items()):
+        digest.update(b"|B|" + ",".join(str(i) for i in subset).encode("ascii"))
+        # Length-prefix every id: ids may themselves contain NULs (the
+        # on-disk format round-trips them), so a bare separator join
+        # would let distinct id columns collide.
+        digest.update(b"|ids|")
+        for user_id in column.user_ids:
+            encoded = user_id.encode("utf-8")
+            digest.update(len(encoded).to_bytes(4, "big") + encoded)
+        digest.update(b"|keys|" + np.ascontiguousarray(column.keys).tobytes())
+        digest.update(b"|bits|" + np.ascontiguousarray(column.num_bits).tobytes())
+    return digest.hexdigest()
 
 
 class SketchEvaluationCache:
@@ -54,12 +102,154 @@ class SketchEvaluationCache:
     re-hash, and growth only costs evaluating the newly-published tail.
     Cache misses for several values of one subset resolve in a single PRF
     block call.
+
+    With ``cache_dir`` the cache is **persistent**: every computed column
+    is spilled as an int8 ``.npy`` file under
+    ``cache_dir/store-<content-hash>/`` and read back memory-mapped, so a
+    restarted process — or a sibling worker process pointed at the same
+    directory — reuses PRF evaluations instead of recomputing them.  The
+    directory is keyed by :func:`store_content_hash`, so a cache written
+    for a different store (or a different PRF) can never be silently
+    reused: a stale store lands in a different directory, and a tampered
+    directory whose recorded hash disagrees with the current store is
+    rejected with :class:`ValueError`.  Persistence requires a
+    :attr:`~repro.core.prf.BiasedFunction.stateless` PRF — a memoising
+    oracle's bits are not a pure function of the store, so sharing them
+    across processes would be wrong.
     """
 
-    def __init__(self, store: SketchStore, estimator: SketchEstimator) -> None:
+    def __init__(
+        self,
+        store: SketchStore,
+        estimator: SketchEstimator,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
         self.store = store
         self.estimator = estimator
         self._bits: dict[Tuple[Subset, Tuple[int, ...]], np.ndarray] = {}
+        self._dir: str | None = None
+        self._column_sizes: dict[Subset, int] = {}
+        if cache_dir is not None:
+            if not self.estimator.prf.stateless:
+                raise ValueError(
+                    f"persistent caching needs a stateless PRF; "
+                    f"{type(self.estimator.prf).__name__} memoises draws "
+                    "in-process, so its evaluations cannot be shared across "
+                    "processes or restarts"
+                )
+            store_hash = store_content_hash(store, self.estimator.prf)
+            self._dir = os.path.join(os.fspath(cache_dir), f"store-{store_hash}")
+            os.makedirs(self._dir, exist_ok=True)
+            self._validate_or_write_meta(store_hash)
+            # Snapshot of the column sizes the hash was computed over:
+            # if the store grows afterwards the in-memory tail extension
+            # stays correct, but the directory no longer describes the
+            # store, so writes are suppressed (reads were full columns
+            # taken before the growth, i.e. valid prefixes).
+            self._column_sizes = {
+                subset: store.num_users(subset) for subset in store.subsets
+            }
+
+    # ------------------------------------------------------------------
+    # Persistent layer
+    # ------------------------------------------------------------------
+    def _validate_or_write_meta(self, store_hash: str) -> None:
+        assert self._dir is not None
+        meta_path = os.path.join(self._dir, "meta.json")
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ValueError(
+                    f"corrupt evaluation-cache directory {self._dir}: "
+                    f"unreadable meta.json ({exc})"
+                ) from exc
+            if (
+                not isinstance(meta, dict)
+                or meta.get("format") != _CACHE_FORMAT
+                or meta.get("version") != _CACHE_VERSION
+                or meta.get("store_hash") != store_hash
+            ):
+                raise ValueError(
+                    f"evaluation-cache directory {self._dir} was written for a "
+                    f"different store or format (recorded "
+                    f"{meta.get('store_hash') if isinstance(meta, dict) else meta!r}, "
+                    f"expected {store_hash}); refusing to reuse it"
+                )
+            return
+        meta = {
+            "format": _CACHE_FORMAT,
+            "version": _CACHE_VERSION,
+            "store_hash": store_hash,
+            "p": float(self.estimator.params.p),
+        }
+        self._atomic_write(meta_path, json.dumps(meta).encode("utf-8"))
+
+    def _atomic_write(self, path: str, payload: bytes) -> None:
+        """Write-then-rename so sibling processes never see partial files."""
+        assert self._dir is not None
+        fd, tmp_path = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def _entry_path(self, subset: Subset, value: Tuple[int, ...]) -> str:
+        assert self._dir is not None
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(",".join(str(i) for i in subset).encode("ascii"))
+        digest.update(b"|v|" + bytes(int(bit) & 1 for bit in value))
+        return os.path.join(self._dir, f"{digest.hexdigest()}.npy")
+
+    def _disk_get(
+        self, subset: Subset, value: Tuple[int, ...], num_users: int
+    ) -> np.ndarray | None:
+        """Memory-mapped cached column, or ``None`` on a clean miss."""
+        if self._dir is None:
+            return None
+        path = self._entry_path(subset, value)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return None
+        try:
+            if size >= _MMAP_THRESHOLD_BYTES:
+                column = np.load(path, mmap_mode="r", allow_pickle=False)
+            else:
+                with open(path, "rb") as handle:
+                    column = np.load(handle, allow_pickle=False)
+        except (OSError, ValueError, EOFError) as exc:
+            raise ValueError(
+                f"corrupt evaluation-cache entry {path}: {exc}"
+            ) from exc
+        if column.ndim != 1 or column.dtype != np.int8:
+            raise ValueError(
+                f"corrupt evaluation-cache entry {path}: expected a 1-D int8 "
+                f"column, got shape {column.shape} dtype {column.dtype}"
+            )
+        if column.size > num_users:
+            raise ValueError(
+                f"stale evaluation-cache entry {path}: holds {column.size} "
+                f"evaluations but the store has only {num_users} sketches for "
+                f"subset {subset}; refusing to reuse it"
+            )
+        return column
+
+    def _disk_put(self, subset: Subset, value: Tuple[int, ...], bits: np.ndarray) -> None:
+        if self._dir is None:
+            return
+        # The store grew past the hashed snapshot: the directory name no
+        # longer describes this store, so stop persisting into it.
+        if self.store.num_users(subset) != self._column_sizes.get(subset):
+            return
+        buffer = io.BytesIO()
+        np.save(buffer, np.ascontiguousarray(bits, dtype=np.int8))
+        self._atomic_write(self._entry_path(subset, value), buffer.getvalue())
 
     def bits(self, subset: Subset, values: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
         """Per-user virtual bit vectors for several values of one subset.
@@ -72,29 +262,53 @@ class SketchEvaluationCache:
                 raise ValueError(
                     f"value length {len(value)} does not match subset size {len(subset)}"
                 )
-        sketches = self.store.sketches_for(subset)
-        num_users = len(sketches)
+        num_users = self.store.num_users(subset)
+        # The store column feeds the PRF directly — the query hot path
+        # never materialises per-Sketch records (store format v2) — but
+        # it is only fetched when a miss or tail extension needs it: the
+        # all-hit path answers from the cache in O(values).
+        store_column = None
+
+        def column() -> SketchColumn:
+            nonlocal store_column
+            if store_column is None:
+                store_column = self.store.column_for(subset)
+            return store_column
+
         resolved: dict[Tuple[int, ...], np.ndarray] = {}
         misses: List[Tuple[int, ...]] = []
         for value in values:
             if value in resolved:
                 continue
             cached = self._bits.get((subset, value))
+            if cached is None:
+                cached = self._disk_get(subset, value, num_users)
+                if cached is not None:
+                    self._bits[(subset, value)] = cached
             if cached is not None and cached.size == num_users:
                 resolved[value] = cached
             elif cached is not None and 0 < cached.size < num_users:
-                tail = self.estimator.evaluations_block(sketches[cached.size:], [value])
+                tail = self.estimator.evaluations_block_columns(
+                    subset,
+                    column().user_ids[cached.size:],
+                    column().keys[cached.size:],
+                    [value],
+                )
                 grown = np.concatenate([cached, tail[:, 0]])
                 self._bits[(subset, value)] = grown
                 resolved[value] = grown
+                self._disk_put(subset, value, grown)
             else:
                 misses.append(value)
         if misses:
-            block = self.estimator.evaluations_block(sketches, misses)
+            block = self.estimator.evaluations_block_columns(
+                subset, column().user_ids, column().keys, misses
+            )
             for j, value in enumerate(misses):
-                column = np.ascontiguousarray(block[:, j])
-                self._bits[(subset, value)] = column
-                resolved[value] = column
+                column_bits = np.ascontiguousarray(block[:, j])
+                self._bits[(subset, value)] = column_bits
+                resolved[value] = column_bits
+                self._disk_put(subset, value, column_bits)
         return [resolved[value] for value in values]
 
     def estimates(
@@ -130,13 +344,25 @@ class QueryEngine:
         The published sketches.
     estimator:
         Algorithm 2 implementation (carries the public PRF and ``p``).
+    cache_dir:
+        Optional directory for the persistent evaluation cache: computed
+        ``(subset, value)`` columns are spilled as memory-mapped int8
+        files keyed by the store's content hash, so engine restarts and
+        sibling processes querying the same store skip the PRF entirely.
+        ``None`` (default) keeps the cache in-memory only.
     """
 
-    def __init__(self, schema: Schema, store: SketchStore, estimator: SketchEstimator) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        store: SketchStore,
+        estimator: SketchEstimator,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
         self.schema = schema
         self.store = store
         self.estimator = estimator
-        self.cache = SketchEvaluationCache(store, estimator)
+        self.cache = SketchEvaluationCache(store, estimator, cache_dir=cache_dir)
 
     # ------------------------------------------------------------------
     # Conjunctive primitives

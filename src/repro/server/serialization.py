@@ -1,7 +1,10 @@
-"""Persistence for published sketch stores.
+"""Persistence and wire formats for published sketch stores.
 
 A sketch store *is* the public dataset — a real deployment writes it to
-disk, ships it between parties, republishes it.  The format is JSON Lines:
+disk, ships it between parties, republishes it.  Two on-disk formats are
+supported, selected with ``format=`` on save and auto-detected on load:
+
+**v1 — JSON Lines** (``format="jsonl"``, the default; human-readable):
 
 * line 1 — a header object: format version, bias ``p``, and the sketch
   length (sanity metadata a consumer needs to query correctly; the global
@@ -9,30 +12,83 @@ disk, ships it between parties, republishes it.  The format is JSON Lines:
   out of band, like the paper's public function);
 * each further line — one sketch: ``{"id", "subset", "key", "bits"}``.
 
-Round-tripping is lossless for everything queryable.  The per-run
-``iterations`` diagnostic is not persisted by default (it is not part of the
-published record; see :class:`~repro.core.sketch.Sketch`); pass
+**v2 — columnar** (``format="columnar"``; binary, an order of magnitude
+faster to load at M=50k):
+
+a NumPy ``.npz`` archive holding one ``meta`` JSON member (format tag,
+version 2, ``p``, the subset list) plus, per subset ``i``, the parallel
+arrays ``ids_i``/``idlen_i`` (utf-8 byte blob + per-id character lengths
+— NUL-safe, unlike fixed-width unicode arrays), ``keys_i`` (uint64),
+``bits_i`` (uint8) and — when ``include_iterations=True`` — ``it_i``
+(uint16, widened only if a count overflows).  The arrays are exactly
+:meth:`~repro.server.collector.SketchStore.to_columns`, so loading is a
+vectorised validation plus a bulk
+:meth:`~repro.server.collector.SketchStore.from_columns` — no per-record
+JSON parsing, no per-sketch validation.
+
+Round-tripping is lossless for everything queryable in both formats, and
+the two formats are interchangeable: saving a store as JSONL and as
+columnar yields stores that compare equal sketch for sketch.  The per-run
+``iterations`` diagnostic is not persisted by default (it is not part of
+the published record; see :class:`~repro.core.sketch.Sketch`); pass
 ``include_iterations=True`` for a fully lossless round-trip — the sharded
 collector uses it so worker shards ship back bit-identical to an
-in-process run.  The optional ``"it"`` field is ignored by older readers."""
+in-process run.  The optional ``"it"`` field is ignored by older readers.
+
+The module also defines the **batched block-request wire protocol**:
+one JSON message carrying ``(subset, values[])`` and its response carrying
+the matching counts, so a remote analyst's multi-value query (a histogram,
+a full marginal, a plan group) costs one round trip resolved through
+:meth:`~repro.server.engine.QueryEngine.counts_block` instead of one
+conjunctive query per message.  :func:`handle_block_request` is the
+server-side dispatcher: payload in, payload out.
+"""
 
 from __future__ import annotations
 
+import io
 import json
 import os
-from typing import IO
+from typing import IO, TYPE_CHECKING, List, Sequence, Tuple
 
+import numpy as np
+
+from .._npz import (
+    decode_strings,
+    encode_strings,
+    is_zip_payload,
+    meta_array,
+    open_npz,
+    read_meta,
+    truncation_guard,
+)
 from ..core.params import PrivacyParams
 from ..core.sketch import Sketch
-from .collector import SketchStore
+from .collector import SketchColumn, SketchStore
 
-__all__ = ["save_store", "load_store", "dumps_store", "loads_store"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports collector)
+    from .engine import QueryEngine
+
+__all__ = [
+    "save_store",
+    "load_store",
+    "dumps_store",
+    "loads_store",
+    "dumps_block_request",
+    "loads_block_request",
+    "dumps_block_response",
+    "loads_block_response",
+    "handle_block_request",
+]
 
 _FORMAT_VERSION = 1
+_COLUMNAR_VERSION = 2
+_FORMAT_TAG = "repro-sketch-store"
+_DESCRIBE = "sketch-store"
 
 
 def _header(params: PrivacyParams | None) -> dict:
-    header = {"format": "repro-sketch-store", "version": _FORMAT_VERSION}
+    header = {"format": _FORMAT_TAG, "version": _FORMAT_VERSION}
     if params is not None:
         header["p"] = params.p
     return header
@@ -66,14 +122,15 @@ def _read(handle: IO[str]) -> tuple[SketchStore, dict]:
     if not first:
         raise ValueError("empty sketch-store file")
     header = json.loads(first)
-    if header.get("format") != "repro-sketch-store":
+    if header.get("format") != _FORMAT_TAG:
         raise ValueError(
             f"not a sketch-store file (format={header.get('format')!r})"
         )
     if header.get("version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported sketch-store version {header.get('version')!r}; "
-            f"this library reads version {_FORMAT_VERSION}"
+            f"this library reads version {_FORMAT_VERSION} (JSONL) and "
+            f"{_COLUMNAR_VERSION} (columnar)"
         )
     store = SketchStore()
     for line_number, line in enumerate(handle, start=2):
@@ -95,24 +152,117 @@ def _read(handle: IO[str]) -> tuple[SketchStore, dict]:
     return store, header
 
 
+# ----------------------------------------------------------------------
+# Columnar format (v2)
+# ----------------------------------------------------------------------
+def _write_columnar(
+    store: SketchStore,
+    handle: IO[bytes],
+    params: PrivacyParams | None,
+    include_iterations: bool = False,
+) -> int:
+    columns = store.to_columns()
+    subsets = sorted(columns)
+    meta = _header(params)
+    meta["version"] = _COLUMNAR_VERSION
+    meta["include_iterations"] = bool(include_iterations)
+    meta["subsets"] = [list(subset) for subset in subsets]
+    arrays: dict[str, np.ndarray] = {"meta": meta_array(meta)}
+    count = 0
+    for index, subset in enumerate(subsets):
+        column = columns[subset]
+        # Ids travel as a utf-8 blob + char lengths (NUL-safe; fixed-width
+        # unicode arrays would strip trailing NULs).
+        arrays[f"ids_{index}"], arrays[f"idlen_{index}"] = encode_strings(
+            column.user_ids
+        )
+        arrays[f"keys_{index}"] = column.keys
+        arrays[f"bits_{index}"] = column.num_bits
+        if include_iterations:
+            arrays[f"it_{index}"] = column.iterations
+        count += len(column.user_ids)
+    np.savez(handle, **arrays)
+    return count
+
+
+def _read_columnar(handle: IO[bytes]) -> tuple[SketchStore, dict]:
+    archive = open_npz(handle, _DESCRIBE)
+    with archive, truncation_guard(_DESCRIBE):
+        meta = read_meta(archive, _FORMAT_TAG, _COLUMNAR_VERSION, _DESCRIBE)
+        subsets = [tuple(int(i) for i in subset) for subset in meta.get("subsets", [])]
+        if len(set(subsets)) != len(subsets):
+            duplicate = next(s for s in subsets if subsets.count(s) > 1)
+            raise ValueError(
+                f"columnar sketch-store file lists subset {duplicate} twice"
+            )
+        columns: dict[tuple[int, ...], SketchColumn] = {}
+        for index, subset_t in enumerate(subsets):
+            try:
+                id_blob = archive[f"ids_{index}"]
+                id_lengths = archive[f"idlen_{index}"]
+                keys = archive[f"keys_{index}"]
+                bits = archive[f"bits_{index}"]
+            except KeyError as exc:
+                raise ValueError(
+                    f"columnar sketch-store file is missing arrays for "
+                    f"subset {subset_t}: {exc}"
+                ) from exc
+            if id_blob.ndim != 1 or id_lengths.ndim != 1 or keys.ndim != 1 or bits.ndim != 1:
+                raise ValueError(
+                    f"columnar arrays for subset {subset_t} are not 1-D"
+                )
+            ids = decode_strings(id_blob, id_lengths)
+            iterations = (
+                archive[f"it_{index}"]
+                if f"it_{index}" in archive.files
+                else np.zeros(len(ids), dtype=np.uint16)
+            )
+            columns[subset_t] = SketchColumn(
+                user_ids=ids,
+                keys=keys,
+                num_bits=bits,
+                iterations=iterations,
+            )
+        store = SketchStore.from_columns(columns)
+    header = {key: meta[key] for key in ("format", "version", "p") if key in meta}
+    return store, header
+
+
 def save_store(
     store: SketchStore,
     path: str | os.PathLike,
     params: PrivacyParams | None = None,
     include_iterations: bool = False,
+    format: str = "jsonl",
 ) -> int:
-    """Write a store to a JSONL file; returns the number of sketches written."""
-    with open(path, "w", encoding="utf-8") as handle:
-        return _write(store, handle, params, include_iterations)
+    """Write a store to disk; returns the number of sketches written.
+
+    ``format="jsonl"`` (default) writes the human-readable v1 lines;
+    ``format="columnar"`` writes the v2 ``.npz`` column arrays.  Both are
+    read back by :func:`load_store`, which auto-detects the format.
+    """
+    if format == "jsonl":
+        with open(path, "w", encoding="utf-8") as handle:
+            return _write(store, handle, params, include_iterations)
+    if format == "columnar":
+        with open(path, "wb") as handle:
+            return _write_columnar(store, handle, params, include_iterations)
+    raise ValueError(f"unknown store format {format!r}; expected 'jsonl' or 'columnar'")
 
 
 def load_store(path: str | os.PathLike) -> tuple[SketchStore, dict]:
-    """Read a store from a JSONL file; returns ``(store, header)``.
+    """Read a store from disk; returns ``(store, header)``.
 
-    The header carries the bias ``p`` the publisher recorded (if any) so
-    the consumer can construct matching :class:`PrivacyParams` — querying
-    with the wrong ``p`` silently mis-debiases, so check it.
+    The format (JSONL v1 or columnar v2) is auto-detected from the file's
+    leading bytes.  The header carries the bias ``p`` the publisher
+    recorded (if any) so the consumer can construct matching
+    :class:`PrivacyParams` — querying with the wrong ``p`` silently
+    mis-debiases, so check it.
     """
+    with open(path, "rb") as binary:
+        if is_zip_payload(binary.read(2)):
+            binary.seek(0)
+            return _read_columnar(binary)
     with open(path, "r", encoding="utf-8") as handle:
         return _read(handle)
 
@@ -121,17 +271,143 @@ def dumps_store(
     store: SketchStore,
     params: PrivacyParams | None = None,
     include_iterations: bool = False,
-) -> str:
-    """In-memory variant of :func:`save_store`."""
-    import io
+    format: str = "jsonl",
+) -> str | bytes:
+    """In-memory variant of :func:`save_store`.
 
-    buffer = io.StringIO()
-    _write(store, buffer, params, include_iterations)
-    return buffer.getvalue()
+    Returns ``str`` for JSONL and ``bytes`` for columnar (both spawn-safe
+    pool payloads; the sharded collector ships the columnar form).
+    """
+    if format == "jsonl":
+        buffer = io.StringIO()
+        _write(store, buffer, params, include_iterations)
+        return buffer.getvalue()
+    if format == "columnar":
+        binary = io.BytesIO()
+        _write_columnar(store, binary, params, include_iterations)
+        return binary.getvalue()
+    raise ValueError(f"unknown store format {format!r}; expected 'jsonl' or 'columnar'")
 
 
-def loads_store(payload: str) -> tuple[SketchStore, dict]:
-    """In-memory variant of :func:`load_store`."""
-    import io
-
+def loads_store(payload: str | bytes) -> tuple[SketchStore, dict]:
+    """In-memory variant of :func:`load_store` (format auto-detected)."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        payload = bytes(payload)
+        if is_zip_payload(payload):
+            return _read_columnar(io.BytesIO(payload))
+        payload = payload.decode("utf-8")
     return _read(io.StringIO(payload))
+
+
+# ----------------------------------------------------------------------
+# Batched block-request wire protocol
+# ----------------------------------------------------------------------
+_REQUEST_TAG = "repro-block-request"
+_RESPONSE_TAG = "repro-block-response"
+_WIRE_VERSION = 1
+
+
+def dumps_block_request(
+    subset: Sequence[int], values: Sequence[Sequence[int]]
+) -> str:
+    """Encode one batched ``(subset, values[])`` count request.
+
+    A remote analyst sends every candidate value of one subset — a
+    histogram, a full marginal, one group of a compiled plan — in a
+    single message instead of one conjunctive query per value.
+    """
+    subset_t = tuple(int(i) for i in subset)
+    value_ts = [tuple(int(bit) for bit in value) for value in values]
+    if not value_ts:
+        raise ValueError("a block request needs at least one value")
+    for value_t in value_ts:
+        if len(value_t) != len(subset_t):
+            raise ValueError(
+                f"value width {len(value_t)} does not match subset size {len(subset_t)}"
+            )
+    return json.dumps(
+        {
+            "format": _REQUEST_TAG,
+            "version": _WIRE_VERSION,
+            "subset": list(subset_t),
+            "values": [list(v) for v in value_ts],
+        }
+    )
+
+
+def loads_block_request(payload: str) -> Tuple[Tuple[int, ...], List[Tuple[int, ...]]]:
+    """Decode a block request into ``(subset, values)`` tuples."""
+    message = _loads_wire_message(payload, _REQUEST_TAG)
+    try:
+        subset = tuple(int(i) for i in message["subset"])
+        values = [tuple(int(bit) for bit in value) for value in message["values"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed block request: {exc}") from exc
+    if not values:
+        raise ValueError("malformed block request: empty value list")
+    for value in values:
+        if len(value) != len(subset):
+            raise ValueError(
+                f"malformed block request: value width {len(value)} does not "
+                f"match subset size {len(subset)}"
+            )
+    return subset, values
+
+
+def dumps_block_response(
+    subset: Sequence[int],
+    values: Sequence[Sequence[int]],
+    counts: Sequence[float],
+) -> str:
+    """Encode the response to a block request: one count per value."""
+    if len(counts) != len(values):
+        raise ValueError(
+            f"{len(counts)} counts for {len(values)} values; must match 1:1"
+        )
+    return json.dumps(
+        {
+            "format": _RESPONSE_TAG,
+            "version": _WIRE_VERSION,
+            "subset": [int(i) for i in subset],
+            "values": [[int(bit) for bit in value] for value in values],
+            "counts": [float(count) for count in counts],
+        }
+    )
+
+
+def loads_block_response(payload: str) -> List[float]:
+    """Decode a block response into the per-value counts (request order)."""
+    message = _loads_wire_message(payload, _RESPONSE_TAG)
+    try:
+        return [float(count) for count in message["counts"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed block response: {exc}") from exc
+
+
+def handle_block_request(engine: "QueryEngine", payload: str) -> str:
+    """Server-side dispatcher: block-request payload in, response out.
+
+    Resolves the whole batch through
+    :meth:`~repro.server.engine.QueryEngine.counts_block` — one cached PRF
+    block evaluation for a directly-sketched subset — so remote analysts
+    get the same batched path in-process callers enjoy.
+    """
+    subset, values = loads_block_request(payload)
+    counts = engine.counts_block(subset, values)
+    return dumps_block_response(subset, values, counts)
+
+
+def _loads_wire_message(payload: str, expected_tag: str) -> dict:
+    try:
+        message = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed wire message: {exc}") from exc
+    if not isinstance(message, dict) or message.get("format") != expected_tag:
+        got = message.get("format") if isinstance(message, dict) else message
+        raise ValueError(f"expected a {expected_tag} message, got format={got!r}")
+    if message.get("version") != _WIRE_VERSION:
+        raise ValueError(
+            f"unsupported {expected_tag} version {message.get('version')!r}; "
+            f"this library speaks version {_WIRE_VERSION}"
+        )
+    return message

@@ -146,6 +146,42 @@ class StreamingEstimator:
         """Bulk ingestion; returns total query updates."""
         return sum(self.ingest(sketch) for sketch in sketches)
 
+    def ingest_store(self, store: SketchStore) -> int:
+        """Ingest every sketch of a store through the columnar bulk path.
+
+        One PRF block call scores each subset's whole column against all
+        of that subset's registered values — the backfill workload (a
+        shard store arrives, a dashboard catches up) at columnar speed.
+        The running counts end up identical to ingesting sketch by
+        sketch; duplicate ``(user, subset)`` publications anywhere in the
+        store raise before *any* count or seen-mark is touched, so a
+        rejected bulk ingestion leaves the estimator exactly as it was.
+        """
+        columns = store.to_columns()
+        for subset, column in columns.items():
+            for user_id in column.user_ids:
+                if (user_id, subset) in self._seen:
+                    raise ValueError(
+                        f"user {user_id!r} already ingested for subset {subset}"
+                    )
+        updates = 0
+        for subset, column in columns.items():
+            for user_id in column.user_ids:
+                self._seen[(user_id, subset)] = True
+            values = self._values_by_subset.get(subset, [])
+            if not values:
+                continue
+            block = self._estimator.prf.evaluate_block(
+                column.user_ids, subset, values, column.keys.tolist()
+            )
+            hits = block.sum(axis=0)
+            for value, hit_count in zip(values, hits):
+                count = self._queries[(subset, value)]
+                count.hits += int(hit_count)
+                count.total += len(column.user_ids)
+            updates += len(values) * len(column.user_ids)
+        return updates
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ adversary cannot steer).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
@@ -136,6 +137,7 @@ class DualModeServer:
         subsets: Sequence[Sequence[int]],
         noise_magnitude: float,
         rng: np.random.Generator | None = None,
+        cache_dir: str | os.PathLike | None = None,
     ) -> None:
         self.paid = SulqServer(
             database,
@@ -146,8 +148,10 @@ class DualModeServer:
         self._estimator = estimator
         # Free mode is where "unlimited queries" lives: analysts replay
         # the same counts indefinitely, so evaluations are cached per
-        # (subset, value) — repeats never touch the PRF again.
-        self._cache = SketchEvaluationCache(self.store, estimator)
+        # (subset, value) — repeats never touch the PRF again.  With
+        # cache_dir the columns survive restarts too (memory-mapped,
+        # keyed by the store's content hash).
+        self._cache = SketchEvaluationCache(self.store, estimator, cache_dir=cache_dir)
         self._log: List[QueryRecord] = []
 
     @property
