@@ -1,0 +1,242 @@
+"""E23 — object-free multi-subset queries: aligned columns + cached combination.
+
+Before PR 4 every multi-subset query — Appendix F combination,
+disjunctions (``any_of``), and the Appendix E virtual-bit pipelines
+(``bit_matrix`` / ``exactly_l`` / ``addition_below``) — materialised
+per-``Sketch`` records through ``SketchStore.aligned_groups`` and
+re-evaluated the PRF on every call through the uncached
+``SketchEstimator.evaluations``.  The rewired path intersects the store's
+columns at the array level (``aligned_columns``), fetches **full cached**
+``(subset, value)`` evaluation columns, and gathers the aligned rows by
+fancy-indexing.
+
+This benchmark measures, at M=50k users over per-bit subsets
+(``--quick`` shrinks M for CI):
+
+* **per-query wall-clock** of the object path (which cannot cache: it
+  rebuilds groups and re-hashes per call) vs the rewired engine path
+  cold (first call — pays the same PRF bill once) and warm (steady
+  state — zero PRF work), asserting the ≥5x warm floor the path exists
+  for on both ``any_of`` and ``bit_matrix``;
+* **PRF block-call counts**: cold = exactly one per component subset,
+  warm in-memory repeat = zero, and a **fresh engine over a warm
+  persistent cache** (a restarted process) answering the repeated
+  disjunction = zero;
+* exact **parity**: the rewired answers equal the object path's floats
+  (and the bit matrix bit for bit).
+
+Results are written as the usual text table and as
+``benchmarks/results/BENCH_aligned_columns.json`` for the CI artifact.
+
+Run directly (``--quick`` for CI sizing) or via pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.data import bernoulli_panel
+from repro.queries import Conjunction, disjunction_fraction
+from repro.server import QueryEngine, publish_database
+
+from _harness import RESULTS_DIR, make_stack, write_table
+
+SEED = 23
+POSITIONS = [0, 1, 2]
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_aligned_columns.json")
+
+
+def object_any_of(store, estimator, queries):
+    """The pre-PR4 engine path: materialised groups, uncached evaluations."""
+    groups = store.aligned_groups([q.subset for q in queries])
+    return disjunction_fraction(estimator, groups, [q.value for q in queries])
+
+
+def object_bit_matrix(store, estimator, positions, target=1):
+    groups = store.aligned_groups([(int(p),) for p in positions])
+    return np.column_stack(
+        [estimator.evaluations(group, (target,)) for group in groups]
+    )
+
+
+def timed(fn, repeats=2):
+    """(best wall-clock seconds, last result)."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(num_users: int = 50_000, min_speedup: float = 5.0) -> dict:
+    params, prf, sketcher, estimator, rng = make_stack(p=0.3, seed=SEED)
+    database = bernoulli_panel(num_users, len(POSITIONS), density=0.5, rng=rng)
+    subsets = [(p,) for p in POSITIONS]
+    store = publish_database(database, sketcher, subsets, workers=1, seed=SEED)
+    queries = [Conjunction.of((p, 1)) for p in POSITIONS]
+
+    # Count PRF block calls through the estimator (both the object path's
+    # evaluate_many and the cache's evaluate_block funnel through here).
+    calls = {"n": 0}
+    original_evaluate_block = prf.evaluate_block
+
+    def counted_evaluate_block(*args, **kwargs):
+        calls["n"] += 1
+        return original_evaluate_block(*args, **kwargs)
+
+    prf.evaluate_block = counted_evaluate_block
+    try:
+        object_any_s, object_any = timed(
+            lambda: object_any_of(store, estimator, queries)
+        )
+        object_bm_s, object_bm = timed(
+            lambda: object_bit_matrix(store, estimator, POSITIONS)
+        )
+
+        with tempfile.TemporaryDirectory() as cache_root:
+            engine = QueryEngine(
+                database.schema, store, estimator, cache_dir=cache_root
+            )
+            calls["n"] = 0
+            cold_any_s, cold_any = timed(lambda: engine.any_of(queries), repeats=1)
+            cold_any_calls = calls["n"]
+            warm_any_s, warm_any = timed(lambda: engine.any_of(queries))
+            warm_any_calls = calls["n"] - cold_any_calls
+
+            calls["n"] = 0
+            # bit_matrix reuses the cached per-bit columns any_of filled.
+            warm_bm_s, warm_bm = timed(lambda: engine.bit_matrix(POSITIONS))
+            warm_bm_calls = calls["n"]
+
+            # A restarted process: fresh engine over the same persistent
+            # cache answers the repeated disjunction with zero PRF calls.
+            restarted = QueryEngine(
+                database.schema, store, estimator, cache_dir=cache_root
+            )
+            calls["n"] = 0
+            restarted_any = restarted.any_of(queries)
+            restarted_calls = calls["n"]
+    finally:
+        prf.evaluate_block = original_evaluate_block
+
+    # Parity: the rewired path must answer exactly what the object path did.
+    assert cold_any == warm_any == restarted_any == object_any, "any_of deviates"
+    assert np.array_equal(warm_bm, object_bm), "bit_matrix deviates"
+    assert cold_any_calls == len(queries), (
+        f"cold any_of issued {cold_any_calls} PRF block calls; expected "
+        f"exactly one per component subset ({len(queries)})"
+    )
+    assert warm_any_calls == 0, (
+        f"warm any_of issued {warm_any_calls} PRF block calls; expected 0"
+    )
+    assert warm_bm_calls == 0, (
+        f"warm bit_matrix issued {warm_bm_calls} PRF block calls; expected 0"
+    )
+    assert restarted_calls == 0, (
+        f"warm persistent cache issued {restarted_calls} PRF block calls "
+        "for the repeated disjunction; expected 0"
+    )
+
+    any_speedup = object_any_s / warm_any_s
+    bm_speedup = object_bm_s / warm_bm_s
+    results = {
+        "experiment": "E23",
+        "num_users": num_users,
+        "components": len(queries),
+        "any_of": {
+            "object_s": object_any_s,
+            "cold_s": cold_any_s,
+            "warm_s": warm_any_s,
+            "warm_speedup": any_speedup,
+            "cold_prf_block_calls": cold_any_calls,
+            "warm_prf_block_calls": warm_any_calls,
+        },
+        "bit_matrix": {
+            "object_s": object_bm_s,
+            "warm_s": warm_bm_s,
+            "warm_speedup": bm_speedup,
+            "warm_prf_block_calls": warm_bm_calls,
+        },
+        "persistent_restart_prf_block_calls": restarted_calls,
+    }
+    write_table(
+        "E23",
+        f"Object-free multi-subset queries: M={num_users}, "
+        f"{len(queries)} per-bit components",
+        ["query", "object s", "cold s", "warm s", "warm speedup", "PRF calls"],
+        [
+            (
+                "any_of",
+                f"{object_any_s:.4f}",
+                f"{cold_any_s:.4f}",
+                f"{warm_any_s:.4f}",
+                f"{any_speedup:.1f}x",
+                f"cold {cold_any_calls}, warm {warm_any_calls}",
+            ),
+            (
+                "bit_matrix",
+                f"{object_bm_s:.4f}",
+                "-",
+                f"{warm_bm_s:.4f}",
+                f"{bm_speedup:.1f}x",
+                f"warm {warm_bm_calls}",
+            ),
+            (
+                "any_of restarted",
+                "-",
+                "-",
+                "-",
+                "persistent cache",
+                f"{restarted_calls}",
+            ),
+        ],
+        notes=(
+            "The object path cannot cache: every call rebuilds per-Sketch\n"
+            "groups and re-hashes the PRF.  The rewired path pays the PRF\n"
+            "once (one block call per component subset, cold) and then\n"
+            "answers from cached columns gathered by fancy-indexing; the\n"
+            "restarted row is a fresh engine over the same cache_dir.\n"
+            "All answers are asserted equal to the object path's floats\n"
+            "(bit_matrix bit for bit)."
+        ),
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"\nwrote {JSON_PATH}")
+    assert any_speedup >= min_speedup, (
+        f"warm any_of is only {any_speedup:.1f}x over the object path "
+        f"(required {min_speedup}x)"
+    )
+    assert bm_speedup >= min_speedup, (
+        f"warm bit_matrix is only {bm_speedup:.1f}x over the object path "
+        f"(required {min_speedup}x)"
+    )
+    return results
+
+
+def test_e23_aligned_columns():
+    # CI-sized run: parity and the PRF-call contracts are asserted exactly;
+    # the speedup floor is relaxed — at small M fixed costs (intersection,
+    # linear solve) weigh more against the smaller PRF bill.
+    run(num_users=4_000, min_speedup=2.0)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: M=4k and a 2x warm-speedup floor instead of M=50k / 5x",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        run(num_users=4_000, min_speedup=2.0)
+    else:
+        run(num_users=50_000, min_speedup=5.0)

@@ -46,6 +46,7 @@ _EXPERIMENTS = [
     ("E20", "non-binary categorical histograms", "benchmarks/bench_categorical.py"),
     ("E21", "sharded collection speedup + identity", "benchmarks/bench_parallel_collect.py"),
     ("E22", "columnar store v2 + persistent cache", "benchmarks/bench_store_roundtrip.py"),
+    ("E23", "object-free multi-subset queries (aligned columns)", "benchmarks/bench_aligned_columns.py"),
     ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
     ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
     ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
@@ -88,8 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help="persistent evaluation-cache directory: PRF evaluations spill "
-        "to memory-mapped columns keyed by the store's content hash, so "
+        "to bit-packed columns keyed by the store's content hash, so "
         "re-running the demo against the same store skips the PRF entirely",
+    )
+    demo.add_argument(
+        "--cache-budget", type=int, default=None, metavar="BYTES",
+        help="size cap for the current store's cache subdirectory: "
+        "exceeding it triggers an LRU sweep over the entry files "
+        "(directories left behind by older store versions are not "
+        "swept); 0 disables persistence entirely (only meaningful "
+        "with --cache-dir)",
     )
 
     subparsers.add_parser("experiments", help="list the experiment index")
@@ -136,6 +145,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         return 2
     if args.workers is not None and args.workers < 1:
         print(f"error: workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.cache_budget is not None and args.cache_budget < 0:
+        print(
+            f"error: cache budget must be >= 0, got {args.cache_budget}",
+            file=sys.stderr,
+        )
         return 2
     rng = np.random.default_rng(args.seed)
     params = PrivacyParams(p=args.p)
@@ -187,7 +202,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         finally:
             os.unlink(store_path)
     engine = QueryEngine(
-        database.schema, store, SketchEstimator(params, prf), cache_dir=args.cache_dir
+        database.schema, store, SketchEstimator(params, prf),
+        cache_dir=args.cache_dir, cache_budget_bytes=args.cache_budget,
     )
     value = tuple([1] * args.width)
     estimate = engine.estimate(subset, value)
@@ -200,9 +216,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"  |error|  = {abs(estimate.fraction - truth):.4f}")
     if args.cache_dir is not None:
         entries, evaluations = engine.cache.info()
+        stats = engine.cache.stats
+        persisted = (
+            f"persisted under {args.cache_dir}"
+            if args.cache_budget != 0
+            else "persistence disabled (budget 0)"
+        )
         print(
             f"  cache    = {entries} column(s), {evaluations} evaluations "
-            f"persisted under {args.cache_dir}"
+            f"{persisted}; {stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"{stats['sweeps']} sweep(s) evicting {stats['swept_entries']} "
+            f"entry(ies) / {stats['swept_bytes']} byte(s)"
         )
     return 0 if estimate.covers(truth) else 1
 

@@ -20,6 +20,7 @@ from .accountant import (
 from .combine import (
     CombinedEstimate,
     combine_mixed_bits,
+    combine_aligned_bits,
     combine_sketch_groups,
     combine_virtual_bits,
     condition_number,
@@ -64,6 +65,7 @@ __all__ = [
     "TrueRandomOracle",
     "average_publish_probability",
     "combine_mixed_bits",
+    "combine_aligned_bits",
     "combine_sketch_groups",
     "combine_virtual_bits",
     "condition_number",

@@ -43,6 +43,7 @@ __all__ = [
     "solve_weight_counts",
     "CombinedEstimate",
     "combine_virtual_bits",
+    "combine_aligned_bits",
     "combine_sketch_groups",
     "mixed_perturbation_matrix",
     "combine_mixed_bits",
@@ -193,6 +194,33 @@ def combine_virtual_bits(bits_per_user: np.ndarray, p: float) -> CombinedEstimat
     )
 
 
+def combine_aligned_bits(
+    bit_columns: Sequence[np.ndarray], p: float
+) -> CombinedEstimate:
+    """Appendix F reconstruction from per-subset aligned virtual-bit columns.
+
+    The column-speaking entry point of the combination: each element of
+    ``bit_columns`` is one subset's p-perturbed indicator vector, already
+    gathered onto a common user order (row ``u`` of every column belongs
+    to the same user — :meth:`repro.server.collector.SketchStore.aligned_columns`
+    produces exactly such gathers from full cached evaluation columns).
+    Produces the same floats as :func:`combine_sketch_groups` over the
+    corresponding sketch groups.
+    """
+    if not bit_columns:
+        raise ValueError("need at least one bit column")
+    columns = [np.asarray(column) for column in bit_columns]
+    for column in columns:
+        if column.ndim != 1:
+            raise ValueError(
+                f"expected 1-D per-user bit columns, got shape {column.shape}"
+            )
+    sizes = {column.size for column in columns}
+    if len(sizes) != 1:
+        raise ValueError(f"bit columns have mismatched user counts: {sorted(sizes)}")
+    return combine_virtual_bits(np.column_stack(columns), p)
+
+
 def combine_sketch_groups(
     estimator: SketchEstimator,
     sketch_groups: Sequence[Sequence[Sketch]],
@@ -236,8 +264,7 @@ def combine_sketch_groups(
         estimator.evaluations(group, value)
         for group, value in zip(sketch_groups, values)
     ]
-    bits = np.column_stack(columns)
-    return combine_virtual_bits(bits, estimator.params.p)
+    return combine_aligned_bits(columns, estimator.params.p)
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,11 @@ from .conjunctive import (
     exact_count_fn,
     group_terms_by_subset,
 )
-from .disjunction import disjunction_by_inclusion_exclusion, disjunction_fraction
+from .disjunction import (
+    disjunction_by_inclusion_exclusion,
+    disjunction_fraction,
+    disjunction_fraction_from_bits,
+)
 from .interval import less_equal_plan, less_than_plan, range_plan
 from .numeric import inner_product_plan, moment_plan, sum_plan
 from .virtual import (
@@ -48,6 +52,7 @@ __all__ = [
     "decision_tree_plan",
     "disjunction_by_inclusion_exclusion",
     "disjunction_fraction",
+    "disjunction_fraction_from_bits",
     "equal_and_less_plan",
     "evaluate_plan",
     "group_terms_by_subset",

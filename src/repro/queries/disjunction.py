@@ -20,12 +20,22 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..core.combine import CombinedEstimate, combine_sketch_groups
+import numpy as np
+
+from ..core.combine import (
+    CombinedEstimate,
+    combine_aligned_bits,
+    combine_sketch_groups,
+)
 from ..core.estimator import SketchEstimator
 from ..core.sketch import Sketch
 from .ast import Conjunction
 
-__all__ = ["disjunction_fraction", "disjunction_by_inclusion_exclusion"]
+__all__ = [
+    "disjunction_fraction",
+    "disjunction_fraction_from_bits",
+    "disjunction_by_inclusion_exclusion",
+]
 
 
 def disjunction_fraction(
@@ -52,6 +62,28 @@ def disjunction_fraction(
     few components.
     """
     combined: CombinedEstimate = combine_sketch_groups(estimator, sketch_groups, values)
+    fraction = 1.0 - combined.none_fraction
+    if clamp:
+        fraction = min(1.0, max(0.0, fraction))
+    return fraction
+
+
+def disjunction_fraction_from_bits(
+    bit_columns: Sequence[np.ndarray],
+    p: float,
+    clamp: bool = True,
+) -> float:
+    """Disjunction fraction from per-component aligned virtual-bit columns.
+
+    The column-speaking sibling of :func:`disjunction_fraction`: each
+    element of ``bit_columns`` is one component conjunction's p-perturbed
+    indicator vector, gathered onto a common user order (typically a full
+    cached evaluation column fancy-indexed by
+    :meth:`repro.server.collector.SketchStore.aligned_columns` views).
+    Produces the same floats as :func:`disjunction_fraction` over the
+    corresponding sketch groups.
+    """
+    combined = combine_aligned_bits(bit_columns, p)
     fraction = 1.0 - combined.none_fraction
     if clamp:
         fraction = min(1.0, max(0.0, fraction))

@@ -2,6 +2,7 @@
 Appendix A server."""
 
 from .collector import (
+    AlignedColumns,
     SketchColumn,
     SketchStore,
     attribute_subsets,
@@ -30,6 +31,7 @@ from .streaming import StreamingEstimator, merge_stores
 from .sulq import DualModeServer, QueryBudgetExhausted, QueryRecord, SulqServer
 
 __all__ = [
+    "AlignedColumns",
     "DualModeServer",
     "MissingSketchError",
     "QueryBudgetExhausted",

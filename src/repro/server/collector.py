@@ -78,6 +78,7 @@ from ..data.profiles import Profile, ProfileDatabase
 from ..data.schema import Schema
 
 __all__ = [
+    "AlignedColumns",
     "SketchColumn",
     "SketchStore",
     "per_bit_subsets",
@@ -106,12 +107,36 @@ class SketchColumn(NamedTuple):
     iterations: np.ndarray  # unsigned integer (uint16 when it fits)
 
 
+class AlignedColumns(NamedTuple):
+    """Array-level user alignment across several subsets' columns.
+
+    ``user_ids`` lists the users who published for *every* requested
+    subset, in the canonical (sorted) alignment order; ``indices[i]``
+    maps that order into subset ``i``'s column (publication order), so
+    any per-user column of subset ``i`` — cached evaluation vectors,
+    ``keys``, ``num_bits`` — gathers onto the aligned rows by fancy-
+    indexing with ``indices[i]``.  ``keys[i]`` is that gather applied to
+    the published sketch keys (uint64), for callers that feed the PRF
+    directly instead of through a cache.
+
+    This is the object-free face of :meth:`SketchStore.aligned_groups`:
+    the multi-subset query paths (Appendix F combination, disjunctions,
+    Appendix E virtual-bit pipelines) consume these views without ever
+    materialising per-:class:`~repro.core.sketch.Sketch` records.
+    """
+
+    user_ids: List[str]
+    indices: List[np.ndarray]  # int64, one array per subset
+    keys: List[np.ndarray]  # uint64, gathered publication keys per subset
+
+
 class SketchStore:
     """Column store of published sketches, keyed by subset.
 
     Sketches for the same subset are kept in publication order; most
     queries need them *user-aligned* across subsets, which
-    :meth:`aligned_groups` provides.
+    :meth:`aligned_columns` provides at the array level (and
+    :meth:`aligned_groups` as materialised records).
 
     Internally a subset's column lives in one of two states: a dict of
     :class:`~repro.core.sketch.Sketch` records (anything published
@@ -349,27 +374,68 @@ class SketchStore:
             store.publish_column(subset, column)
         return store
 
-    def aligned_groups(self, subsets: Sequence[Sequence[int]]) -> List[List[Sketch]]:
-        """Sketch groups for several subsets, aligned on common users.
+    def aligned_columns(self, subsets: Sequence[Sequence[int]]) -> AlignedColumns:
+        """User-aligned array views over several subsets' columns.
 
-        Only users who published for *every* requested subset contribute;
-        the groups are returned in a consistent user order so that row
-        ``u`` of every group belongs to the same user (as Appendix F's
-        combination requires).
+        The array-level intersection behind every multi-subset query:
+        only users who published for *every* requested subset contribute,
+        in a consistent (sorted) order, so position ``u`` of every
+        returned view belongs to the same user — exactly the alignment
+        Appendix F's combination requires — without materialising a
+        single :class:`~repro.core.sketch.Sketch` record.  Lazily-loaded
+        (columnar v2) stores stay lazy.
+
+        Raises
+        ------
+        KeyError
+            If any requested subset was never published.
+        ValueError
+            If no user published sketches for all requested subsets.
         """
         keys = [tuple(s) for s in subsets]
+        columns = []
         for key in keys:
             if key not in self._by_subset:
                 raise KeyError(f"no sketches published for subset {key}")
-            if self._by_subset[key] is None:
-                self._materialise(key)
-        common = set(self._by_subset[keys[0]])
-        for key in keys[1:]:
-            common &= set(self._by_subset[key])
+            columns.append(self.column_for(key))
+        # Index-back maps: user id -> position in that subset's column.
+        # Distinct subsets usually share one publishing policy, so the
+        # common set is nearly the whole column; building the maps is the
+        # O(total users) pass that replaces per-Sketch materialisation.
+        position_maps = [
+            {uid: i for i, uid in enumerate(column.user_ids)} for column in columns
+        ]
+        common = set(position_maps[0])
+        for position_map in position_maps[1:]:
+            common &= position_map.keys()
         if not common:
             raise ValueError(f"no user published sketches for all of {keys}")
         order = sorted(common)
-        return [[self._by_subset[key][uid] for uid in order] for key in keys]
+        count = len(order)
+        indices = [
+            np.fromiter((pmap[uid] for uid in order), dtype=np.int64, count=count)
+            for pmap in position_maps
+        ]
+        gathered_keys = [
+            column.keys[index] for column, index in zip(columns, indices)
+        ]
+        return AlignedColumns(order, indices, gathered_keys)
+
+    def aligned_groups(self, subsets: Sequence[Sequence[int]]) -> List[List[Sketch]]:
+        """Sketch groups for several subsets, aligned on common users.
+
+        Compatibility shim over :meth:`aligned_columns` for callers that
+        still want materialised :class:`~repro.core.sketch.Sketch`
+        records (the query engine's hot paths no longer do); row ``u`` of
+        every group belongs to the same user.
+        """
+        keys = [tuple(s) for s in subsets]
+        aligned = self.aligned_columns(keys)
+        groups: List[List[Sketch]] = []
+        for key, index in zip(keys, aligned.indices):
+            records = self.sketches_for(key)
+            groups.append([records[i] for i in index.tolist()])
+        return groups
 
 
 # ----------------------------------------------------------------------

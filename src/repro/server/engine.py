@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.combine import combine_sketch_groups
+from ..core.combine import combine_aligned_bits
 from ..core.estimator import QueryEstimate, SketchEstimator
 from ..data.schema import Schema
 from ..queries.ast import Conjunction
@@ -39,11 +39,11 @@ from ..queries.combined import (
 )
 from ..data.encoding import int_to_bits
 from ..queries.conjunctive import LinearPlan, evaluate_plan
-from ..queries.disjunction import disjunction_fraction
+from ..queries.disjunction import disjunction_fraction_from_bits
 from ..queries.interval import less_equal_plan, less_than_plan, range_plan
 from ..queries.numeric import inner_product_plan, moment_plan, sum_plan
 from ..queries.virtual import addition_interval_fraction
-from .collector import SketchColumn, SketchStore
+from .collector import AlignedColumns, SketchColumn, SketchStore
 
 __all__ = [
     "MissingSketchError",
@@ -55,13 +55,19 @@ __all__ = [
 Subset = Tuple[int, ...]
 
 _CACHE_FORMAT = "repro-eval-cache"
-_CACHE_VERSION = 1
-# Entries at or above this size are memory-mapped on read (zero-copy,
-# shared page cache across sibling processes); smaller ones are read
-# eagerly and the descriptor closed — a memmap pins one fd for the
-# array's lifetime, and a wide marginal (up to 2**12 values) over small
-# columns would otherwise exhaust the process fd limit.
-_MMAP_THRESHOLD_BYTES = 1 << 23
+# Version 2: entries are bit-packed (np.packbits behind an 8-byte length
+# header) and meta.json carries a per-column prefix-hash index so grown
+# stores can seed their fresh directory from an older one's columns.
+# The directory-name hash domain is bumped in step (store_content_hash),
+# so version-1 directories become invisible siblings — an upgraded
+# deployment recomputes transparently instead of failing on a
+# version-mismatched meta.json.
+_CACHE_VERSION = 2
+# Little-endian uint64 bit count prepended to each packed entry:
+# np.packbits pads the last byte with zeros, so the true column length
+# must travel with the payload (entries seeded from an older directory
+# are strict prefixes of the current column).
+_ENTRY_HEADER_BYTES = 8
 
 
 def store_content_hash(store: SketchStore, prf) -> str:
@@ -74,12 +80,23 @@ def store_content_hash(store: SketchStore, prf) -> str:
     diagnostics are deliberately excluded: they never enter the PRF, so a
     store saved with or without them hashes (and caches) identically.
     """
+    return _content_hash_from_columns(store.to_columns(), prf)
+
+
+def _content_hash_from_columns(columns: dict, prf) -> str:
+    """:func:`store_content_hash` over an already-materialised column dict.
+
+    Split out so the cache constructor can snapshot ``store.to_columns()``
+    once and share it between the content hash, the meta columns index,
+    and seed-directory discovery (for a dict-backed store each
+    ``column_for`` call rebuilds the arrays from per-Sketch records).
+    """
     digest = hashlib.blake2b(digest_size=16)
-    digest.update(b"repro-eval-cache-v1|")
+    digest.update(b"repro-eval-cache-v2|")
     digest.update(repr(float(prf.p)).encode("ascii"))
     global_key = getattr(prf, "global_key", None)
     digest.update(b"|key|" + (global_key if global_key is not None else b"<none>"))
-    for subset, column in sorted(store.to_columns().items()):
+    for subset, column in sorted(columns.items()):
         digest.update(b"|B|" + ",".join(str(i) for i in subset).encode("ascii"))
         # Length-prefix every id: ids may themselves contain NULs (the
         # on-disk format round-trips them), so a bare separator join
@@ -90,6 +107,32 @@ def store_content_hash(store: SketchStore, prf) -> str:
             digest.update(len(encoded).to_bytes(4, "big") + encoded)
         digest.update(b"|keys|" + np.ascontiguousarray(column.keys).tobytes())
         digest.update(b"|bits|" + np.ascontiguousarray(column.num_bits).tobytes())
+    return digest.hexdigest()
+
+
+def _column_prefix_hash(prf, subset: Subset, column: SketchColumn, size: int) -> str:
+    """Hash of one column's first ``size`` rows under one PRF.
+
+    The per-column unit of :func:`store_content_hash`: everything a
+    cached ``(subset, value) -> bits`` vector over those rows depends on
+    (PRF identity included, so a directory written under a different
+    global key can never seed this one).  Because store columns are
+    append-only, a grown store whose prefix hashes to an old directory's
+    recorded value can soundly treat that directory's entries as
+    prefixes of its own columns.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(b"repro-eval-cache-column-v2|")
+    digest.update(repr(float(prf.p)).encode("ascii"))
+    global_key = getattr(prf, "global_key", None)
+    digest.update(b"|key|" + (global_key if global_key is not None else b"<none>"))
+    digest.update(b"|B|" + ",".join(str(i) for i in subset).encode("ascii"))
+    digest.update(b"|ids|")
+    for user_id in column.user_ids[:size]:
+        encoded = user_id.encode("utf-8")
+        digest.update(len(encoded).to_bytes(4, "big") + encoded)
+    digest.update(b"|keys|" + np.ascontiguousarray(column.keys[:size]).tobytes())
+    digest.update(b"|bits|" + np.ascontiguousarray(column.num_bits[:size]).tobytes())
     return digest.hexdigest()
 
 
@@ -104,8 +147,8 @@ class SketchEvaluationCache:
     block call.
 
     With ``cache_dir`` the cache is **persistent**: every computed column
-    is spilled as an int8 ``.npy`` file under
-    ``cache_dir/store-<content-hash>/`` and read back memory-mapped, so a
+    is spilled as a bit-packed ``.npy`` file under
+    ``cache_dir/store-<content-hash>/`` and unpacked on readback, so a
     restarted process — or a sibling worker process pointed at the same
     directory — reuses PRF evaluations instead of recomputing them.  The
     directory is keyed by :func:`store_content_hash`, so a cache written
@@ -116,6 +159,26 @@ class SketchEvaluationCache:
     :attr:`~repro.core.prf.BiasedFunction.stateless` PRF — a memoising
     oracle's bits are not a pure function of the store, so sharing them
     across processes would be wrong.
+
+    On-disk entries are **bit-packed** (``np.packbits`` behind an 8-byte
+    length header — 8x smaller than the int8 columns of cache version 1)
+    and the directory honours an optional **size budget**:
+    ``cache_budget_bytes`` caps the total entry bytes, enforced by an
+    LRU sweep over entry mtimes after each write batch (read recency is
+    recorded in-process and flushed to entry mtimes just before each
+    eviction decision, meta.json is never swept, and POSIX unlink keeps
+    any concurrently-open entry readable).  ``cache_budget_bytes=0``
+    disables persistence entirely — no directory is created or read.
+    ``meta.json`` additionally records a per-column prefix-hash index;
+    when a *grown* store (append-only tail extension, possibly with new
+    subsets) hashes to a fresh directory, sibling ``store-*`` directories
+    whose recorded column hashes match a prefix of the current columns
+    **seed** the fresh directory: their entries are read as prefixes,
+    tail-extended with one PRF call, and re-spilled at full length.
+    Sibling columns whose recorded hash mismatches (different PRF,
+    different users, tampering) are refused.  ``stats`` counts cache
+    ``hits`` / ``misses`` (per distinct requested value) and sweep
+    activity (``sweeps`` / ``swept_entries`` / ``swept_bytes``).
     """
 
     def __init__(
@@ -123,12 +186,39 @@ class SketchEvaluationCache:
         store: SketchStore,
         estimator: SketchEstimator,
         cache_dir: str | os.PathLike | None = None,
+        cache_budget_bytes: int | None = None,
     ) -> None:
         self.store = store
         self.estimator = estimator
         self._bits: dict[Tuple[Subset, Tuple[int, ...]], np.ndarray] = {}
         self._dir: str | None = None
         self._column_sizes: dict[Subset, int] = {}
+        self._seed_dirs: List[Tuple[str, dict[Subset, int]]] = []
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "sweeps": 0,
+            "swept_entries": 0,
+            "swept_bytes": 0,
+        }
+        self._dirty = False  # disk writes since the last budget sweep
+        self._used_since_sweep: set = set()  # entry recency, flushed at sweep
+        self._prefix_hashes: dict[Tuple[Subset, int], str] = {}
+        self._budget: int | None = None
+        if cache_budget_bytes is not None:
+            cache_budget_bytes = int(cache_budget_bytes)
+            if cache_budget_bytes < 0:
+                raise ValueError(
+                    f"cache_budget_bytes must be >= 0, got {cache_budget_bytes}"
+                )
+            if cache_budget_bytes == 0:
+                # Budget 0 = persistence off: the in-memory cache still
+                # works, but nothing is created, read, or written on disk.
+                cache_dir = None
+            elif cache_dir is not None:
+                # A budget without a directory would only accumulate
+                # recency bookkeeping nothing ever flushes.
+                self._budget = cache_budget_bytes
         if cache_dir is not None:
             if not self.estimator.prf.stateless:
                 raise ValueError(
@@ -137,23 +227,29 @@ class SketchEvaluationCache:
                     "in-process, so its evaluations cannot be shared across "
                     "processes or restarts"
                 )
-            store_hash = store_content_hash(store, self.estimator.prf)
-            self._dir = os.path.join(os.fspath(cache_dir), f"store-{store_hash}")
+            # One column materialisation pass shared by the content hash,
+            # the meta columns index, and seed discovery (column_for on a
+            # dict-backed store rebuilds arrays per call).
+            columns = store.to_columns()
+            store_hash = _content_hash_from_columns(columns, self.estimator.prf)
+            root = os.fspath(cache_dir)
+            self._dir = os.path.join(root, f"store-{store_hash}")
             os.makedirs(self._dir, exist_ok=True)
-            self._validate_or_write_meta(store_hash)
+            self._validate_or_write_meta(store_hash, columns)
             # Snapshot of the column sizes the hash was computed over:
             # if the store grows afterwards the in-memory tail extension
             # stays correct, but the directory no longer describes the
             # store, so writes are suppressed (reads were full columns
             # taken before the growth, i.e. valid prefixes).
             self._column_sizes = {
-                subset: store.num_users(subset) for subset in store.subsets
+                subset: len(column.user_ids) for subset, column in columns.items()
             }
+            self._seed_dirs = self._discover_seed_dirs(root, columns)
 
     # ------------------------------------------------------------------
     # Persistent layer
     # ------------------------------------------------------------------
-    def _validate_or_write_meta(self, store_hash: str) -> None:
+    def _validate_or_write_meta(self, store_hash: str, store_columns: dict) -> None:
         assert self._dir is not None
         meta_path = os.path.join(self._dir, "meta.json")
         if os.path.exists(meta_path):
@@ -173,18 +269,104 @@ class SketchEvaluationCache:
             ):
                 raise ValueError(
                     f"evaluation-cache directory {self._dir} was written for a "
-                    f"different store or format (recorded "
-                    f"{meta.get('store_hash') if isinstance(meta, dict) else meta!r}, "
-                    f"expected {store_hash}); refusing to reuse it"
+                    f"different store or format (recorded hash "
+                    f"{meta.get('store_hash') if isinstance(meta, dict) else meta!r} "
+                    f"version {meta.get('version') if isinstance(meta, dict) else '?'}, "
+                    f"expected hash {store_hash} version {_CACHE_VERSION}); "
+                    "refusing to reuse it — delete the directory to recompute"
                 )
             return
+        # The per-column prefix-hash index: a future cache for a *grown*
+        # store consults it to decide whether this directory's entries
+        # are valid prefixes of its own columns (sound because store
+        # columns are append-only).
+        columns = {
+            ",".join(str(i) for i in subset): {
+                "size": len(column.user_ids),
+                "hash": self._prefix_hash(subset, column, len(column.user_ids)),
+            }
+            for subset, column in store_columns.items()
+        }
         meta = {
             "format": _CACHE_FORMAT,
             "version": _CACHE_VERSION,
             "store_hash": store_hash,
             "p": float(self.estimator.params.p),
+            "columns": columns,
         }
         self._atomic_write(meta_path, json.dumps(meta).encode("utf-8"))
+
+    def _prefix_hash(self, subset: Subset, column: SketchColumn, size: int) -> str:
+        """Memoised :func:`_column_prefix_hash` — columns are append-only
+        and the PRF is fixed per cache, so ``(subset, size)`` is a
+        sufficient key; meta creation and every sibling-directory probe
+        share one hashing pass per distinct prefix length."""
+        memo_key = (subset, size)
+        cached = self._prefix_hashes.get(memo_key)
+        if cached is None:
+            cached = _column_prefix_hash(self.estimator.prf, subset, column, size)
+            self._prefix_hashes[memo_key] = cached
+        return cached
+
+    def _discover_seed_dirs(
+        self, root: str, store_columns: dict
+    ) -> List[Tuple[str, dict[Subset, int]]]:
+        """Sibling ``store-*`` directories whose columns are validated
+        prefixes of this store's columns.
+
+        For every sibling directory, every subset whose recorded
+        ``(size, hash)`` matches :func:`_column_prefix_hash` over the
+        current column's first ``size`` rows becomes seedable from that
+        directory; mismatching columns (different PRF or users,
+        tampering) and unreadable/foreign metas are refused silently —
+        unrelated stores sharing one cache root are the normal case, not
+        an error.
+        """
+        assert self._dir is not None
+        seeds: List[Tuple[str, dict[Subset, int]]] = []
+        own = os.path.basename(self._dir)
+        try:
+            entries = sorted(
+                (e for e in os.scandir(root) if e.name.startswith("store-")),
+                key=lambda e: e.name,
+            )
+        except OSError:
+            return seeds
+        candidates = [e for e in entries if e.name != own and e.is_dir()]
+        if not candidates:
+            return seeds
+        current = store_columns
+        for candidate in candidates:
+            try:
+                with open(
+                    os.path.join(candidate.path, "meta.json"), "r", encoding="utf-8"
+                ) as handle:
+                    meta = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (
+                not isinstance(meta, dict)
+                or meta.get("format") != _CACHE_FORMAT
+                or meta.get("version") != _CACHE_VERSION
+                or not isinstance(meta.get("columns"), dict)
+            ):
+                continue
+            seedable: dict[Subset, int] = {}
+            for subset, column in current.items():
+                record = meta["columns"].get(",".join(str(i) for i in subset))
+                if not isinstance(record, dict):
+                    continue
+                size, recorded = record.get("size"), record.get("hash")
+                if not isinstance(size, int) or not isinstance(recorded, str):
+                    continue
+                if not 0 < size <= len(column.user_ids):
+                    continue
+                if self._prefix_hash(subset, column, size) != recorded:
+                    continue
+                seedable[subset] = size
+            if seedable:
+                seeds.append((candidate.path, seedable))
+        return seeds
 
     def _atomic_write(self, path: str, payload: bytes) -> None:
         """Write-then-rename so sibling processes never see partial files."""
@@ -206,39 +388,98 @@ class SketchEvaluationCache:
         digest.update(b"|v|" + bytes(int(bit) & 1 for bit in value))
         return os.path.join(self._dir, f"{digest.hexdigest()}.npy")
 
-    def _disk_get(
-        self, subset: Subset, value: Tuple[int, ...], num_users: int
+    @staticmethod
+    def _pack_entry(bits: np.ndarray) -> bytes:
+        """Serialized packed entry: ``.npy`` of uint8 = length header + packbits."""
+        column = np.ascontiguousarray(bits, dtype=np.int8)
+        header = np.frombuffer(
+            int(column.size).to_bytes(_ENTRY_HEADER_BYTES, "little"), dtype=np.uint8
+        )
+        packed = np.packbits(column.view(np.uint8))
+        buffer = io.BytesIO()
+        np.save(buffer, np.concatenate([header, packed]))
+        return buffer.getvalue()
+
+    def _read_entry(
+        self, path: str, max_bits: int, subset: Subset, strict: bool
     ) -> np.ndarray | None:
-        """Memory-mapped cached column, or ``None`` on a clean miss."""
-        if self._dir is None:
+        """Decode one packed entry file into an int8 column, or ``None``.
+
+        ``strict`` governs anomalies: entries in the cache's own
+        directory raise :class:`ValueError` (corruption/staleness under
+        the right hash must be loud), entries in best-effort *seed*
+        directories are skipped quietly.
+        """
+
+        def reject(reason: str) -> np.ndarray | None:
+            if strict:
+                raise ValueError(f"{reason} evaluation-cache entry {path}")
             return None
-        path = self._entry_path(subset, value)
+
+        # Eager read, descriptor closed immediately: the unpack below
+        # materialises a fresh int8 column regardless, so a memmap would
+        # only pin an fd without saving a copy (packed payloads are
+        # num_users/8 bytes — 8MB even at 64M users).
         try:
-            size = os.path.getsize(path)
+            handle = open(path, "rb")
         except OSError:
             return None
         try:
-            if size >= _MMAP_THRESHOLD_BYTES:
-                column = np.load(path, mmap_mode="r", allow_pickle=False)
-            else:
-                with open(path, "rb") as handle:
-                    column = np.load(handle, allow_pickle=False)
+            with handle:
+                raw = np.load(handle, allow_pickle=False)
         except (OSError, ValueError, EOFError) as exc:
-            raise ValueError(
-                f"corrupt evaluation-cache entry {path}: {exc}"
-            ) from exc
-        if column.ndim != 1 or column.dtype != np.int8:
-            raise ValueError(
-                f"corrupt evaluation-cache entry {path}: expected a 1-D int8 "
-                f"column, got shape {column.shape} dtype {column.dtype}"
+            if strict:
+                raise ValueError(
+                    f"corrupt evaluation-cache entry {path}: {exc}"
+                ) from exc
+            return None
+        if raw.ndim != 1 or raw.dtype != np.uint8 or raw.size < _ENTRY_HEADER_BYTES:
+            return reject("corrupt (not a packed uint8 column)")
+        num_bits = int.from_bytes(raw[:_ENTRY_HEADER_BYTES].tobytes(), "little")
+        if raw.size != _ENTRY_HEADER_BYTES + (num_bits + 7) // 8:
+            return reject(f"corrupt (payload does not match {num_bits} packed bits)")
+        if num_bits > max_bits:
+            if strict:
+                raise ValueError(
+                    f"stale evaluation-cache entry {path}: holds {num_bits} "
+                    f"evaluations but the store has only {max_bits} sketches "
+                    f"for subset {subset}; refusing to reuse it"
+                )
+            return None
+        unpacked = np.unpackbits(
+            np.asarray(raw[_ENTRY_HEADER_BYTES:], dtype=np.uint8), count=num_bits
+        )
+        return unpacked.astype(np.int8)
+
+    def _disk_get(
+        self, subset: Subset, value: Tuple[int, ...], num_users: int
+    ) -> np.ndarray | None:
+        """Cached column from this directory or a validated seed, or ``None``."""
+        if self._dir is None:
+            return None
+        path = self._entry_path(subset, value)
+        column = self._read_entry(path, num_users, subset, strict=True)
+        if column is not None:
+            return column
+        entry_name = os.path.basename(path)
+        for seed_dir, seedable in self._seed_dirs:
+            limit = seedable.get(subset)
+            if limit is None:
+                continue
+            seeded = self._read_entry(
+                os.path.join(seed_dir, entry_name), limit, subset, strict=False
             )
-        if column.size > num_users:
-            raise ValueError(
-                f"stale evaluation-cache entry {path}: holds {column.size} "
-                f"evaluations but the store has only {num_users} sketches for "
-                f"subset {subset}; refusing to reuse it"
-            )
-        return column
+            if seeded is not None:
+                # A validated prefix of the current column.  A strict
+                # prefix is tail-extended by the caller and re-spilled at
+                # full length; an already-full column (growth added only
+                # new subsets) is re-spilled here, so this directory
+                # never stays dependent on the seed's survival.  The
+                # seed directory itself is never written to.
+                if seeded.size == num_users:
+                    self._disk_put(subset, value, seeded)
+                return seeded
+        return None
 
     def _disk_put(self, subset: Subset, value: Tuple[int, ...], bits: np.ndarray) -> None:
         if self._dir is None:
@@ -247,9 +488,62 @@ class SketchEvaluationCache:
         # longer describes this store, so stop persisting into it.
         if self.store.num_users(subset) != self._column_sizes.get(subset):
             return
-        buffer = io.BytesIO()
-        np.save(buffer, np.ascontiguousarray(bits, dtype=np.int8))
-        self._atomic_write(self._entry_path(subset, value), buffer.getvalue())
+        self._atomic_write(self._entry_path(subset, value), self._pack_entry(bits))
+        # Sweeping is deferred to the end of the bits() batch: a cold
+        # wide marginal writes up to 2**12 entries in one call, and a
+        # directory scan per write would be quadratic in stat calls.
+        self._dirty = True
+
+    def _sweep(self) -> None:
+        """Evict least-recently-used entries until the directory fits the
+        budget.
+
+        mtime ascending = least recently touched first (reads refresh it
+        under a budget).  ``meta.json`` and in-flight ``.tmp`` files are
+        never candidates, and eviction is a plain ``unlink`` — an entry a
+        sibling process already opened (or memory-mapped) stays readable
+        until it drops the handle; only future opens miss.
+        """
+        if self._dir is None or self._budget is None:
+            return
+        # Flush this process's read recency to entry mtimes *before*
+        # deciding what to evict — hits are recorded as cheap set adds on
+        # the hot path and paid as syscalls only here, so the eviction
+        # order is true LRU with respect to everything this cache served
+        # since the previous sweep.
+        for used_key in self._used_since_sweep:
+            try:
+                os.utime(self._entry_path(*used_key))
+            except OSError:
+                pass
+        self._used_since_sweep.clear()
+        entries = []
+        try:
+            with os.scandir(self._dir) as it:
+                for entry in it:
+                    if not entry.name.endswith(".npy"):
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime_ns, entry.name, entry.path, stat.st_size))
+        except OSError:
+            return
+        total = sum(size for _, _, _, size in entries)
+        if total <= self._budget:
+            return
+        self.stats["sweeps"] += 1
+        for _, _, path, size in sorted(entries):
+            if total <= self._budget:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.stats["swept_entries"] += 1
+            self.stats["swept_bytes"] += size
 
     def bits(self, subset: Subset, values: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
         """Per-user virtual bit vectors for several values of one subset.
@@ -277,29 +571,51 @@ class SketchEvaluationCache:
 
         resolved: dict[Tuple[int, ...], np.ndarray] = {}
         misses: List[Tuple[int, ...]] = []
+        # Prefix entries grouped by prefix length, so each distinct tail
+        # resolves in ONE block call covering every affected value (a
+        # store seeded from an older cache generation hits this path for
+        # every entry at once).
+        extensions: dict[int, List[Tuple[Tuple[int, ...], np.ndarray]]] = {}
+        seen: set = set()
         for value in values:
-            if value in resolved:
+            if value in seen:
                 continue
+            seen.add(value)
             cached = self._bits.get((subset, value))
             if cached is None:
                 cached = self._disk_get(subset, value, num_users)
                 if cached is not None:
                     self._bits[(subset, value)] = cached
             if cached is not None and cached.size == num_users:
+                self.stats["hits"] += 1
+                if self._budget is not None:
+                    # Recency for the LRU sweep: recorded in-process here
+                    # (a set add — the warm hot path makes no syscalls)
+                    # and flushed to entry mtimes when a sweep runs.
+                    self._used_since_sweep.add((subset, value))
                 resolved[value] = cached
             elif cached is not None and 0 < cached.size < num_users:
-                tail = self.estimator.evaluations_block_columns(
-                    subset,
-                    column().user_ids[cached.size:],
-                    column().keys[cached.size:],
-                    [value],
-                )
-                grown = np.concatenate([cached, tail[:, 0]])
+                # A valid prefix (in-memory store growth, or a column
+                # seeded from an older directory): reused, so a hit —
+                # only the newly-published tail costs PRF work, batched
+                # per prefix length below.
+                self.stats["hits"] += 1
+                extensions.setdefault(cached.size, []).append((value, cached))
+            else:
+                self.stats["misses"] += 1
+                misses.append(value)
+        for prefix_size, group in extensions.items():
+            tail_block = self.estimator.evaluations_block_columns(
+                subset,
+                column().user_ids[prefix_size:],
+                column().keys[prefix_size:],
+                [value for value, _ in group],
+            )
+            for j, (value, cached) in enumerate(group):
+                grown = np.concatenate([cached, tail_block[:, j]])
                 self._bits[(subset, value)] = grown
                 resolved[value] = grown
                 self._disk_put(subset, value, grown)
-            else:
-                misses.append(value)
         if misses:
             block = self.estimator.evaluations_block_columns(
                 subset, column().user_ids, column().keys, misses
@@ -309,6 +625,9 @@ class SketchEvaluationCache:
                 self._bits[(subset, value)] = column_bits
                 resolved[value] = column_bits
                 self._disk_put(subset, value, column_bits)
+        if self._dirty:
+            self._sweep()
+            self._dirty = False
         return [resolved[value] for value in values]
 
     def estimates(
@@ -346,10 +665,15 @@ class QueryEngine:
         Algorithm 2 implementation (carries the public PRF and ``p``).
     cache_dir:
         Optional directory for the persistent evaluation cache: computed
-        ``(subset, value)`` columns are spilled as memory-mapped int8
-        files keyed by the store's content hash, so engine restarts and
-        sibling processes querying the same store skip the PRF entirely.
+        ``(subset, value)`` columns are spilled as bit-packed files keyed
+        by the store's content hash, so engine restarts and sibling
+        processes querying the same store skip the PRF entirely.
         ``None`` (default) keeps the cache in-memory only.
+    cache_budget_bytes:
+        Optional size cap for the persistent cache directory; exceeding
+        it triggers an LRU sweep over the entry files.  ``0`` disables
+        persistence (``cache_dir`` is then ignored), ``None`` (default)
+        leaves the directory unbounded.
     """
 
     def __init__(
@@ -358,11 +682,27 @@ class QueryEngine:
         store: SketchStore,
         estimator: SketchEstimator,
         cache_dir: str | os.PathLike | None = None,
+        cache_budget_bytes: int | None = None,
     ) -> None:
         self.schema = schema
         self.store = store
         self.estimator = estimator
-        self.cache = SketchEvaluationCache(store, estimator, cache_dir=cache_dir)
+        self.cache = SketchEvaluationCache(
+            store, estimator, cache_dir=cache_dir,
+            cache_budget_bytes=cache_budget_bytes,
+        )
+        # Exact-cover partitions are pure functions of (target, published
+        # subsets): memoised until the store's subset list changes (plan
+        # execution re-derives the same partition for every term group).
+        self._partition_cache: dict[Subset, Optional[List[Subset]]] = {}
+        self._partition_snapshot: Tuple[Subset, ...] = store.subsets
+        # Aligned intersections are pure functions of (subset tuple,
+        # column sizes) — store columns are append-only, so unchanged
+        # sizes mean unchanged columns.  Memoising them makes a warm
+        # multi-subset query pure gather + linear solve.
+        self._aligned_cache: dict[
+            Tuple[Subset, ...], Tuple[Tuple[int, ...], AlignedColumns]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Conjunctive primitives
@@ -409,19 +749,23 @@ class QueryEngine:
         return np.asarray([e.fraction for e in estimates])
 
     def fraction(self, subset: Sequence[int], value: Sequence[int]) -> float:
-        """Fraction of users with ``d_B = v``; combines sketches if needed."""
+        """Fraction of users with ``d_B = v``; combines sketches if needed.
+
+        The Appendix F combination path is object-free and cache-fed: the
+        partition's pieces are user-aligned at the array level
+        (:meth:`~repro.server.collector.SketchStore.aligned_columns`) and
+        each piece's virtual bits come from the full cached ``(subset,
+        value)`` evaluation column, gathered by fancy-indexing — a warm
+        cache answers without any new PRF call, a cold one costs one
+        block call per piece.
+        """
         key = tuple(int(i) for i in subset)
         if self.store.has_subset(key):
             return self.estimate(key, value).fraction
-        partition = self._find_partition(key)
-        if partition is None:
-            raise MissingSketchError(
-                f"subset {key} is neither sketched nor a disjoint union of "
-                f"sketched subsets; available: {sorted(self.store.subsets)}"
-            )
+        partition = self._require_partition(key)
         values = self._project_value(key, tuple(int(v) for v in value), partition)
-        groups = self.store.aligned_groups(partition)
-        combined = combine_sketch_groups(self.estimator, groups, values)
+        columns, _ = self._aligned_cached_bits(partition, values)
+        combined = combine_aligned_bits(columns, self.estimator.params.p)
         return combined.clamped_fraction
 
     def count(self, subset: Sequence[int], value: Sequence[int]) -> float:
@@ -440,14 +784,39 @@ class QueryEngine:
         """Estimated counts for several values of one subset.
 
         Directly-sketched subsets resolve every value from a single cached
-        block evaluation; subsets needing the Appendix F combination fall
-        back to the per-value path.  Each entry equals ``count`` exactly.
+        block evaluation.  Partition-covered subsets go through the
+        cache-fed Appendix F combination **batched**: one aligned
+        intersection and one cached column fetch per partition piece
+        (covering every requested projection), instead of redoing both
+        per value.  Each entry equals ``count`` exactly.
         """
         key = tuple(int(i) for i in subset)
         value_ts = [tuple(int(bit) for bit in v) for v in values]
-        if not self.store.has_subset(key):
-            return [self.count(key, value) for value in value_ts]
-        return [estimate.count for estimate in self.cache.estimates(key, value_ts)]
+        if self.store.has_subset(key):
+            return [estimate.count for estimate in self.cache.estimates(key, value_ts)]
+        if not value_ts:
+            return []
+        partition = self._require_partition(key)
+        aligned = self._aligned_columns(tuple(partition))
+        num_users = len(aligned.user_ids)
+        # projections[j][i] = value j projected onto partition piece i.
+        projections = [
+            self._project_value(key, value_t, partition) for value_t in value_ts
+        ]
+        gathered: List[List[np.ndarray]] = []
+        for i, (piece, index) in enumerate(zip(partition, aligned.indices)):
+            fulls = self.cache.bits(
+                piece, [projections[j][i] for j in range(len(value_ts))]
+            )
+            gathered.append([np.asarray(full)[index] for full in fulls])
+        p = self.estimator.params.p
+        counts = []
+        for j in range(len(value_ts)):
+            combined = combine_aligned_bits(
+                [gathered[i][j] for i in range(len(partition))], p
+            )
+            counts.append(combined.clamped_fraction * num_users)
+        return counts
 
     def conjunction(self, query: Conjunction) -> float:
         """Fraction of users satisfying a conjunction of literals."""
@@ -584,7 +953,10 @@ class QueryEngine:
 
         Appendix F's complement trick: reconstruct the per-user count of
         satisfied components and return ``1 - Pr[none]``.  Each component
-        conjunction's subset must have been sketched directly.
+        conjunction's subset must have been sketched directly.  The
+        component indicator columns are full cached evaluation vectors
+        gathered onto the aligned users — a warm cache answers with zero
+        new PRF block calls, a cold one with one per component subset.
         """
         if not queries:
             raise ValueError("need at least one conjunction")
@@ -595,10 +967,10 @@ class QueryEngine:
                     f"subset {subset} was not sketched; disjunctions need "
                     "each component's subset published directly"
                 )
-        groups = self.store.aligned_groups(subsets)
-        return disjunction_fraction(
-            self.estimator, groups, [query.value for query in queries]
+        columns, _ = self._aligned_cached_bits(
+            subsets, [query.value for query in queries]
         )
+        return disjunction_fraction_from_bits(columns, self.estimator.params.p)
 
     # ------------------------------------------------------------------
     # Virtual-bit queries (Appendix E, exactly-l)
@@ -617,10 +989,8 @@ class QueryEngine:
                     f"bit {subset[0]} was not sketched individually; "
                     "use a per-bit publishing policy"
                 )
-        groups = self.store.aligned_groups(subsets)
-        columns = [
-            self.estimator.evaluations(group, (target,)) for group in groups
-        ]
+        target_t = (int(target),)
+        columns, _ = self._aligned_cached_bits(subsets, [target_t] * len(subsets))
         return np.column_stack(columns)
 
     def exactly_l(self, positions: Sequence[int], l: int) -> float:
@@ -645,7 +1015,80 @@ class QueryEngine:
             raise MissingSketchError("the sketch store is empty")
         return max(counts)
 
+    def _aligned_cached_bits(
+        self,
+        subsets: Sequence[Sequence[int]],
+        values: Sequence[Sequence[int]],
+    ) -> Tuple[List[np.ndarray], int]:
+        """Per-subset virtual-bit columns gathered onto the aligned users.
+
+        The object-free multi-subset primitive every combination path
+        shares: intersect the subsets' columns at the array level, fetch
+        each subset's **full** cached evaluation column for its value
+        (one PRF block call on a cold cache, none on a warm one), and
+        gather the aligned rows by fancy-indexing.  Returns the per-
+        subset columns plus the aligned user count; row ``u`` of every
+        column belongs to the same user.
+        """
+        keys = [tuple(int(i) for i in s) for s in subsets]
+        aligned = self._aligned_columns(tuple(keys))
+        columns = []
+        for key, index, value in zip(keys, aligned.indices, values):
+            full = self.cache.bits(key, [tuple(int(bit) for bit in value)])[0]
+            columns.append(np.asarray(full)[index])
+        return columns, len(aligned.user_ids)
+
+    def _aligned_columns(self, keys: Tuple[Subset, ...]) -> AlignedColumns:
+        """Memoised :meth:`~repro.server.collector.SketchStore.aligned_columns`.
+
+        Sound because store columns are append-only: the intersection is
+        a pure function of the subset tuple and the column sizes, so an
+        entry is reused until any participating column grows (and then
+        recomputed, never patched).
+        """
+        sizes = tuple(self.store.num_users(key) for key in keys)
+        cached = self._aligned_cache.get(keys)
+        if cached is not None and cached[0] == sizes:
+            return cached[1]
+        aligned = self.store.aligned_columns(keys)
+        # Bounded FIFO: each entry holds O(M) index/id references, so an
+        # analyst sweeping many distinct subset combinations must not
+        # grow memory without limit — beyond the bound the oldest shape
+        # is dropped and simply recomputed on its next use.
+        if len(self._aligned_cache) >= 64:
+            self._aligned_cache.pop(next(iter(self._aligned_cache)))
+        self._aligned_cache[keys] = (sizes, aligned)
+        return aligned
+
+    def _require_partition(self, target: Subset) -> List[Subset]:
+        """The memoised partition of ``target``, or :class:`MissingSketchError`."""
+        partition = self._find_partition(target)
+        if partition is None:
+            raise MissingSketchError(
+                f"subset {target} is neither sketched nor a disjoint union of "
+                f"sketched subsets; available: {sorted(self.store.subsets)}"
+            )
+        return partition
+
     def _find_partition(self, target: Subset) -> Optional[List[Subset]]:
+        """Memoised exact-cover search (see :meth:`_search_partition`).
+
+        The result is a pure function of ``(target, store.subsets)``:
+        cached per target and invalidated wholesale when the store's
+        subset list changes (publishing into an *existing* subset cannot
+        change any partition).
+        """
+        subsets = self.store.subsets
+        if subsets != self._partition_snapshot:
+            self._partition_cache.clear()
+            self._partition_snapshot = subsets
+        if target in self._partition_cache:
+            return self._partition_cache[target]
+        partition = self._search_partition(target)
+        self._partition_cache[target] = partition
+        return partition
+
+    def _search_partition(self, target: Subset) -> Optional[List[Subset]]:
         """Exact-cover search: express ``target`` as a disjoint union of
         sketched subsets.  Candidate lists are tiny (a publishing policy
         rarely has more than a few hundred subsets), so a simple
@@ -670,14 +1113,8 @@ class QueryEngine:
         return search(remaining, 0)
 
     def _partition_users(self, target: Subset) -> int:
-        partition = self._find_partition(target)
-        if partition is None:
-            raise MissingSketchError(
-                f"subset {target} is neither sketched nor coverable; "
-                f"available: {sorted(self.store.subsets)}"
-            )
-        groups = self.store.aligned_groups(partition)
-        return len(groups[0])
+        partition = self._require_partition(target)
+        return len(self._aligned_columns(tuple(partition)).user_ids)
 
     @staticmethod
     def _project_value(

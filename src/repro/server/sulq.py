@@ -138,6 +138,7 @@ class DualModeServer:
         noise_magnitude: float,
         rng: np.random.Generator | None = None,
         cache_dir: str | os.PathLike | None = None,
+        cache_budget_bytes: int | None = None,
     ) -> None:
         self.paid = SulqServer(
             database,
@@ -149,9 +150,13 @@ class DualModeServer:
         # Free mode is where "unlimited queries" lives: analysts replay
         # the same counts indefinitely, so evaluations are cached per
         # (subset, value) — repeats never touch the PRF again.  With
-        # cache_dir the columns survive restarts too (memory-mapped,
-        # keyed by the store's content hash).
-        self._cache = SketchEvaluationCache(self.store, estimator, cache_dir=cache_dir)
+        # cache_dir the columns survive restarts too (bit-packed on
+        # disk, keyed by the store's content hash, optionally capped by
+        # cache_budget_bytes with an LRU sweep).
+        self._cache = SketchEvaluationCache(
+            self.store, estimator, cache_dir=cache_dir,
+            cache_budget_bytes=cache_budget_bytes,
+        )
         self._log: List[QueryRecord] = []
 
     @property

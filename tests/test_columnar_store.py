@@ -429,11 +429,19 @@ class TestPersistentEvaluationCache:
         entries = [p for p in cache_dir.iterdir() if p.suffix == ".npy"]
         assert entries
         # Grow the entry past the store's column length — a stale cache
-        # masquerading under the right hash must be rejected on read.
-        np.save(entries[0], np.zeros(10_000, dtype=np.int8))
+        # masquerading under the right hash (and in the valid bit-packed
+        # entry format) must be rejected on read.
+        entries[0].write_bytes(
+            SketchEvaluationCache._pack_entry(np.zeros(10_000, dtype=np.int8))
+        )
         fresh = QueryEngine(database.schema, store, estimator, cache_dir=tmp_path)
         with pytest.raises(ValueError, match="stale"):
             fresh.estimate((0, 1), (1, 1))
+        # An entry that is not even a packed column is rejected as corrupt.
+        np.save(entries[0], np.zeros(100, dtype=np.int8))
+        corrupt = QueryEngine(database.schema, store, estimator, cache_dir=tmp_path)
+        with pytest.raises(ValueError, match="corrupt"):
+            corrupt.estimate((0, 1), (1, 1))
 
     def test_store_hash_distinguishes_nul_boundary_ids(self):
         # ["a\x00", "b"] and ["a", "\x00b"] concatenate identically; the
@@ -480,9 +488,12 @@ class TestPersistentEvaluationCache:
         # No directory may hold a column longer than its store had users:
         # the post-growth store hashes to a new directory, and writes into
         # the pre-growth directory were suppressed once the size snapshot
-        # went stale.
+        # went stale.  (Entries are bit-packed behind an 8-byte little-
+        # endian length header.)
         for entry in tmp_path.glob("store-*/*.npy"):
-            assert np.load(entry).size <= store.num_users((0, 1))
+            raw = np.load(entry)
+            recorded_bits = int.from_bytes(raw[:8].tobytes(), "little")
+            assert recorded_bits <= store.num_users((0, 1))
 
     def test_sulq_server_accepts_cache_dir(self, tmp_path):
         from repro.server import DualModeServer
