@@ -47,6 +47,7 @@ _EXPERIMENTS = [
     ("E21", "sharded collection speedup + identity", "benchmarks/bench_parallel_collect.py"),
     ("E22", "columnar store v2 + persistent cache", "benchmarks/bench_store_roundtrip.py"),
     ("E23", "object-free multi-subset queries (aligned columns)", "benchmarks/bench_aligned_columns.py"),
+    ("E24", "counter-mode PRF backend + batched collection", "benchmarks/bench_prf_backends.py"),
     ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
     ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
     ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
@@ -100,6 +101,27 @@ def build_parser() -> argparse.ArgumentParser:
         "swept); 0 disables persistence entirely (only meaningful "
         "with --cache-dir)",
     )
+    demo.add_argument(
+        "--prf", choices=["blake2b", "counter"], default="blake2b",
+        help="PRF backend: 'blake2b' is the reference keyed-hash "
+        "construction (one hash per point); 'counter' derives one "
+        "BLAKE2b subkey per (user, subset) and expands every point "
+        "with counter-mode Philox — the vectorised cold path.  The two "
+        "are distinct functions: sketches must be queried under the "
+        "backend that collected them",
+    )
+    demo.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="byte cap for the engine's in-process evaluation cache "
+        "(LRU eviction past the cap; default unlimited)",
+    )
+    demo.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="age out superseded cache generations: sibling store "
+        "directories untouched for this many seconds are reclaimed at "
+        "engine start (never the live generation; only meaningful with "
+        "--cache-dir)",
+    )
 
     subparsers.add_parser("experiments", help="list the experiment index")
     return parser
@@ -133,7 +155,7 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from .core import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
+    from .core import BiasedPRF, CounterPRF, PrivacyParams, SketchEstimator, Sketcher
     from .data import bernoulli_panel
     from .server import QueryEngine, publish_database
 
@@ -152,14 +174,25 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.memory_budget is not None and args.memory_budget < 0:
+        print(
+            f"error: memory budget must be >= 0, got {args.memory_budget}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_ttl is not None and args.cache_ttl < 0:
+        print(f"error: cache TTL must be >= 0, got {args.cache_ttl}", file=sys.stderr)
+        return 2
     rng = np.random.default_rng(args.seed)
     params = PrivacyParams(p=args.p)
     # The public key derives from the seed so a re-run reproduces the same
     # function H — which is also what lets --cache-dir stay warm across
-    # demo invocations (the store content hash covers the key).
+    # demo invocations (the store content hash covers the key AND the
+    # construction, so the two backends never share cache directories).
     import hashlib
 
-    prf = BiasedPRF(
+    backend = BiasedPRF if args.prf == "blake2b" else CounterPRF
+    prf = backend(
         p=args.p,
         global_key=hashlib.blake2b(
             f"repro-demo-key-{args.seed}".encode("ascii"), digest_size=32
@@ -186,9 +219,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         try:
             size = save_store(
                 store, store_path, params,
-                include_iterations=True, format=args.store_format,
+                include_iterations=True, format=args.store_format, prf=prf,
             )
-            reloaded, _ = load_store(store_path)
+            reloaded, _ = load_store(store_path, expected_prf=prf)
             if dumps_store(reloaded, include_iterations=True) != dumps_store(
                 store, include_iterations=True
             ):
@@ -204,19 +237,24 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     engine = QueryEngine(
         database.schema, store, SketchEstimator(params, prf),
         cache_dir=args.cache_dir, cache_budget_bytes=args.cache_budget,
+        memory_budget_bytes=args.memory_budget,
+        generation_ttl_seconds=args.cache_ttl,
     )
     value = tuple([1] * args.width)
     estimate = engine.estimate(subset, value)
     truth = database.exact_conjunction(subset, value)
     sharding = f" across {args.workers} workers" if args.workers else ""
-    print(f"{args.users} users published one {sketcher.sketch_bits}-bit sketch each{sharding}")
+    print(
+        f"{args.users} users published one {sketcher.sketch_bits}-bit sketch "
+        f"each{sharding} (PRF backend: {prf.algorithm})"
+    )
     print(f"query: all {args.width} bits = 1")
     print(f"  estimate = {estimate.fraction:.4f}  (95% CI +/- {estimate.half_width:.4f})")
     print(f"  truth    = {truth:.4f}")
     print(f"  |error|  = {abs(estimate.fraction - truth):.4f}")
+    stats = engine.cache.stats
     if args.cache_dir is not None:
         entries, evaluations = engine.cache.info()
-        stats = engine.cache.stats
         persisted = (
             f"persisted under {args.cache_dir}"
             if args.cache_budget != 0
@@ -227,6 +265,19 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"{persisted}; {stats['hits']} hit(s), {stats['misses']} miss(es), "
             f"{stats['sweeps']} sweep(s) evicting {stats['swept_entries']} "
             f"entry(ies) / {stats['swept_bytes']} byte(s)"
+        )
+    if args.memory_budget is not None:
+        # The in-process budget is active with or without --cache-dir.
+        print(
+            f"  memory   = budget {args.memory_budget} byte(s); "
+            f"{stats['memory_evictions']} eviction(s) / "
+            f"{stats['memory_evicted_bytes']} byte(s)"
+        )
+    if args.cache_ttl is not None:
+        print(
+            f"  gen GC   = TTL {args.cache_ttl:g}s; reclaimed "
+            f"{stats['gc_directories']} superseded generation(s) / "
+            f"{stats['gc_bytes']} byte(s)"
         )
     return 0 if estimate.covers(truth) else 1
 

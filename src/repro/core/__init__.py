@@ -41,14 +41,23 @@ from .exact import (
     worst_case_ratio,
 )
 from .params import PrivacyParams, epsilon_for_p, p_for_epsilon
-from .prf import BiasedFunction, BiasedPRF, TrueRandomOracle, encode_input
-from .sketch import Sketch, SketchFailure, Sketcher
+from .prf import (
+    BiasedFunction,
+    BiasedPRF,
+    CounterPRF,
+    TrueRandomOracle,
+    encode_input,
+    prf_from_spec,
+)
+from .sketch import CollectionCoins, Sketch, SketchFailure, Sketcher, UserCoins
 
 __all__ = [
     "BiasedFunction",
     "BiasedPRF",
     "BudgetExceeded",
+    "CollectionCoins",
     "CombinedEstimate",
+    "CounterPRF",
     "FunctionEstimator",
     "FunctionSketcher",
     "PrivacyAccountant",
@@ -63,6 +72,7 @@ __all__ = [
     "SketchFailure",
     "Sketcher",
     "TrueRandomOracle",
+    "UserCoins",
     "average_publish_probability",
     "combine_mixed_bits",
     "combine_aligned_bits",
@@ -76,6 +86,7 @@ __all__ = [
     "mixed_perturbation_matrix",
     "p_for_epsilon",
     "perturbation_matrix",
+    "prf_from_spec",
     "publish_probability",
     "solve_weight_counts",
     "transition_probability",

@@ -22,6 +22,7 @@ distribution over published keys is within ``((1-p)/p)**4`` of uniform for
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
@@ -29,9 +30,141 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from .params import PrivacyParams
+from .philox import philox4x64_rows, philox4x64_zero_tail, uniform_doubles
 from .prf import BiasedFunction
 
-__all__ = ["Sketch", "SketchFailure", "Sketcher"]
+__all__ = [
+    "CollectionCoins",
+    "Sketch",
+    "SketchFailure",
+    "Sketcher",
+    "UserCoins",
+]
+
+
+class CollectionCoins:
+    """Counter-based private coins for deterministic (sharded) collection.
+
+    The sharded collector needs each user's coins to be a pure function of
+    ``(seed, global user index, subset run)`` — that is what makes the
+    published store bitwise identical for every worker count and every
+    pool schedule.  Per-user ``numpy`` generators satisfy that contract
+    but cost ~20us per user just to *construct and permute*, which caps
+    collection far below the hashing cost.  This scheme keeps the purity
+    and drops the per-user state: one BLAKE2b call per *run* derives a
+    128-bit Philox key, and every coin of every user then lives at a fixed
+    counter — ``(position, user index)`` — of that keyed Philox4x64-10
+    stream (see :mod:`repro.core.philox`), so a whole chunk of users draws
+    all its coins in one vectorised pass.
+
+    Each *position* ``k`` of a user's stream carries one candidate draw:
+    an unsigned key word (mapped to a candidate sketch key by taking its
+    top ``sketch_bits`` bits — uniform over the key space) and one accept
+    coin (mapped to a double in ``[0, 1)``).  Algorithm 1's
+    without-replacement draw is realised by *skipping repeats*: a
+    candidate equal to an earlier one in the same stream is ignored, which
+    conditions the i.i.d. draws on distinctness — exactly the law of
+    sampling without replacement — while keeping every position's words
+    independent of chunking, so the published sketch does not depend on
+    ``block_size`` or on how many users were processed together.
+    """
+
+    _DOMAIN = b"repro-collect-coins-v1"
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._run_keys: dict[int, Tuple[int, int]] = {}
+
+    def run_key(self, run_index: int) -> Tuple[int, int]:
+        """The 128-bit Philox key for one subset run, as two uint64 words."""
+        run_index = int(run_index)
+        cached = self._run_keys.get(run_index)
+        if cached is None:
+            digest = hashlib.blake2b(
+                self._DOMAIN
+                + b"|seed|"
+                + str(self.seed).encode("ascii")
+                + b"|run|"
+                + str(run_index).encode("ascii"),
+                digest_size=16,
+            ).digest()
+            cached = (
+                int.from_bytes(digest[:8], "little"),
+                int.from_bytes(digest[8:], "little"),
+            )
+            self._run_keys[run_index] = cached
+        return cached
+
+    def user(self, user_index: int, run_index: int) -> "UserCoins":
+        """The scalar coin stream of one ``(user, run)`` pair."""
+        return UserCoins(self, int(user_index), int(run_index))
+
+    def draw_grid(
+        self,
+        user_indices: np.ndarray,
+        run_index: int,
+        num_positions: int,
+        start_position: int = 0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(U, P)`` candidate words and accept coins for a user chunk.
+
+        Row ``u`` holds positions ``start .. start+P-1`` of user
+        ``user_indices[u]``'s stream — identical to what
+        :class:`UserCoins` yields scalar-wise, drawn in one vectorised
+        Philox pass.  ``start_position`` must be even (two positions per
+        Philox block); ``P`` is rounded up to the next even number.
+        """
+        if start_position % 2:
+            raise ValueError(f"start_position must be even, got {start_position}")
+        start_block = start_position // 2
+        num_blocks = (int(num_positions) + 1) // 2
+        k0, k1 = self.run_key(run_index)
+        indices = np.ascontiguousarray(user_indices, dtype=np.uint64)
+        words = philox4x64_rows(
+            np.arange(start_block, start_block + num_blocks, dtype=np.uint64)[None, :],
+            indices[:, None],
+            np.uint64(k0),
+            np.uint64(k1),
+        )
+        # Block j carries positions 2j (words 0, 1) and 2j+1 (words 2, 3):
+        # even lanes are candidate words, odd lanes accept-coin words.
+        num_users = indices.size
+        lattice = np.empty((num_users, num_blocks, 4), dtype=np.uint64)
+        for lane, word in enumerate(words):
+            lattice[:, :, lane] = word
+        flat = lattice.reshape(num_users, num_blocks * 2, 2)
+        return flat[:, :, 0], uniform_doubles(flat[:, :, 1])
+
+
+class UserCoins:
+    """Scalar view of one user's :class:`CollectionCoins` stream."""
+
+    def __init__(self, coins: CollectionCoins, user_index: int, run_index: int) -> None:
+        self.coins = coins
+        self.user_index = user_index
+        self.run_index = run_index
+
+    def draw(self, start_position: int, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate words and accept coins for positions ``start .. start+count-1``.
+
+        Bitwise identical to the corresponding columns of
+        :meth:`CollectionCoins.draw_grid` — chunk boundaries never change
+        a coin.
+        """
+        start_block = start_position // 2
+        end_block = (start_position + count + 1) // 2
+        k0, k1 = self.coins.run_key(self.run_index)
+        blocks = np.arange(start_block, end_block, dtype=np.uint64)
+        words = philox4x64_zero_tail(
+            blocks,
+            np.full(blocks.size, self.user_index, dtype=np.uint64),
+            np.uint64(k0),
+            np.uint64(k1),
+        )
+        lattice = np.stack(words, axis=-1).reshape(blocks.size * 2, 2)
+        offset = start_position - 2 * start_block
+        span = lattice[offset : offset + count]
+        return span[:, 0], uniform_doubles(span[:, 1])
 
 
 class SketchFailure(RuntimeError):
@@ -225,6 +358,7 @@ class Sketcher:
         profile: Sequence[int],
         subset: Sequence[int],
         rng: np.random.Generator | None = None,
+        coins: UserCoins | None = None,
     ) -> Sketch:
         """Run Algorithm 1: publish a sketch of ``profile`` restricted to ``subset``.
 
@@ -237,10 +371,15 @@ class Sketcher:
         subset:
             Bit positions ``B`` to sketch, indices into ``profile``.
         rng:
-            Override for this run's private coins.  The sharded collector
-            passes a per-user generator derived from ``(seed, user index)``
-            so the same user draws the same coins on every worker layout;
-            ``None`` uses the sketcher's own generator.
+            Override for this run's private coins; ``None`` uses the
+            sketcher's own generator.  This is the classic sequential
+            path: a uniform key permutation plus lazy accept coins.
+        coins:
+            Deterministic counter-based coins instead of a generator (see
+            :class:`CollectionCoins`) — the scalar form of the schedule
+            :meth:`sketch_many` vectorises, used by the sharded collector
+            so every user's sketch is a pure function of ``(seed, global
+            user index, run)``.  Mutually exclusive with ``rng``.
 
         Returns
         -------
@@ -256,9 +395,13 @@ class Sketcher:
         IndexError
             If ``subset`` indexes outside the profile.
         """
-        rng = rng if rng is not None else self._rng
         subset_t = tuple(int(i) for i in subset)
         true_value = self._project(profile, subset_t)
+        if coins is not None:
+            if rng is not None:
+                raise ValueError("pass either rng or coins, not both")
+            return self._sketch_with_coins(user_id, subset_t, true_value, coins)
+        rng = rng if rng is not None else self._rng
         accept_prob = self.params.rejection_probability
 
         if self.with_replacement:
@@ -314,6 +457,260 @@ class Sketcher:
             f"all {self.num_keys} keys exhausted for user {user_id!r}; "
             f"this event has probability < {self.params.failure_probability(self.sketch_bits):.3e}"
         )
+
+    def _sketch_with_coins(
+        self,
+        user_id: str,
+        subset_t: Tuple[int, ...],
+        true_value: Tuple[int, ...],
+        coins: UserCoins,
+    ) -> Sketch:
+        """Scalar reference of the deterministic coin schedule.
+
+        Position ``k`` of the user's coin stream carries one candidate
+        draw (key word + accept coin); a candidate already considered is
+        skipped, which turns the i.i.d. stream into Algorithm 1's
+        without-replacement sampling (see :class:`CollectionCoins`).
+        Every decision depends only on the stream contents at its own
+        position, so the published sketch is independent of chunk sizes —
+        and bitwise identical to :meth:`sketch_many`, which vectorises
+        exactly this loop and falls back here for stragglers.
+        """
+        accept_prob = self.params.rejection_probability
+        key_shift = np.uint64(64 - self.sketch_bits)
+        # Chunking only batches word generation — decisions are
+        # position-local, so the published sketch is chunk-independent.
+        chunk = min(max(2, self.block_size), 1024)
+        seen: set = set()
+        iteration = 0
+        position = 0
+        cap = self.max_iterations if self.with_replacement else None
+        while True:
+            key_words, accept_coins = coins.draw(position, chunk)
+            candidates = (key_words >> key_shift).tolist()
+            if self.prf.stateless:
+                # A stateless PRF may be evaluated speculatively: the
+                # whole chunk in one call, wasted hashes discarded.
+                bits = self.prf.evaluate_keys(
+                    user_id, subset_t, true_value, candidates
+                )
+            else:
+                # A memoising function is evaluated lazily, one considered
+                # candidate at a time — its sampled points stay exactly
+                # the iterations Algorithm 1 performed.
+                bits = None
+            for offset, candidate in enumerate(candidates):
+                if not self.with_replacement:
+                    if candidate in seen:
+                        continue
+                    seen.add(candidate)
+                iteration += 1
+                bit = (
+                    bits[offset]
+                    if bits is not None
+                    else self.prf.evaluate(user_id, subset_t, true_value, candidate)
+                )
+                if bit == 1 or accept_coins[offset] < accept_prob:
+                    return Sketch(
+                        user_id, subset_t, candidate, self.sketch_bits, iteration
+                    )
+                if cap is not None and iteration >= cap:
+                    raise SketchFailure(
+                        f"with-replacement draw cap of {cap} hit for "
+                        f"user {user_id!r}"
+                    )
+            if not self.with_replacement and len(seen) == self.num_keys:
+                raise SketchFailure(
+                    f"all {self.num_keys} keys exhausted for user {user_id!r}; "
+                    f"this event has probability < "
+                    f"{self.params.failure_probability(self.sketch_bits):.3e}"
+                )
+            position += chunk
+
+    def sketch_many(
+        self,
+        user_ids: Sequence[str],
+        profile_rows: np.ndarray,
+        subset: Sequence[int],
+        coins: CollectionCoins,
+        user_indices: Sequence[int],
+        run_index: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run Algorithm 1 for a whole chunk of users at once.
+
+        The collection hot path: one ``(users x candidate-keys)`` PRF
+        block for the chunk
+        (:meth:`~repro.core.prf.BiasedFunction.evaluate_grid`), one
+        vectorised coin pass (:meth:`CollectionCoins.draw_grid`), and a
+        vectorised first-acceptance scan (``argmax`` over the per-position
+        stop events).  Only the rare stragglers that neither hit nor
+        accept inside the evaluated block — about
+        ``((1-p)(1-r))**block_size`` of users — replay the scalar
+        schedule, which is bitwise identical by construction.
+
+        Parameters
+        ----------
+        user_ids:
+            Public identifiers, aligned with ``profile_rows``.
+        profile_rows:
+            ``(U, total_bits)`` 0/1 matrix of the users' private profiles.
+        subset:
+            Bit positions ``B`` to sketch.
+        coins:
+            The deterministic coin source shared by the whole collection.
+        user_indices:
+            Each user's *global* database index — the only per-user input
+            to the coin stream, which is what makes any chunking of the
+            users publish identical sketches.
+        run_index:
+            Position of ``subset`` in the publishing policy (distinct
+            runs draw independent coins).
+
+        Returns
+        -------
+        (keys, iterations):
+            ``uint64`` published keys and ``int64`` iteration counts,
+            aligned with ``user_ids``.  Bitwise identical to looping
+            :meth:`sketch` with ``coins=coins.user(index, run_index)``.
+        """
+        subset_t = tuple(int(i) for i in subset)
+        rows = np.asarray(profile_rows)
+        if rows.ndim != 2 or rows.shape[0] != len(user_ids):
+            raise ValueError(
+                f"profile_rows must be (num_users, total_bits) aligned with "
+                f"user_ids, got {rows.shape} for {len(user_ids)} users"
+            )
+        indices = np.asarray(user_indices, dtype=np.int64)
+        if indices.size != len(user_ids):
+            raise ValueError(
+                f"user_indices ({indices.size}) must align with user_ids "
+                f"({len(user_ids)})"
+            )
+        num_users = len(user_ids)
+        keys_out = np.zeros(num_users, dtype=np.uint64)
+        iterations_out = np.zeros(num_users, dtype=np.int64)
+        if num_users == 0:
+            return keys_out, iterations_out
+        values = rows[:, list(subset_t)]
+        if values.size and not np.isin(values, (0, 1)).all():
+            bad = int(np.argmax(~np.isin(values, (0, 1)).all(axis=1)))
+            raise ValueError(
+                f"profile bits for user {user_ids[bad]!r} are not 0/1 on "
+                f"subset {subset_t}"
+            )
+
+        if not self.prf.stateless:
+            # A memoising function must sample points in scalar order —
+            # speculative grid evaluation would perturb its draws.  The
+            # scalar schedule is the same coins, user by user.
+            for position in range(num_users):
+                record = self.sketch(
+                    str(user_ids[position]),
+                    rows[position],
+                    subset_t,
+                    coins=coins.user(int(indices[position]), run_index),
+                )
+                keys_out[position] = record.key
+                iterations_out[position] = record.iterations
+            return keys_out, iterations_out
+
+        # Vectorised rounds: the first covers `block_size` stream positions
+        # for every user; each following round doubles the window and runs
+        # only for the users still unstopped (a geometrically-shrinking
+        # set), so the scalar fallback below is reached with probability
+        # ~((1-p)(1-r))**position_cap per user — effectively never.
+        key_shift = np.uint64(64 - self.sketch_bits)
+        accept_prob = self.params.rejection_probability
+        width = 2 * ((min(max(2, self.block_size), 64) + 1) // 2)
+        if self.with_replacement:
+            # The ablation variant keeps one vectorised round (the draw
+            # cap and its SketchFailure semantics live in the scalar
+            # schedule, which stragglers replay).
+            position_cap = width
+        else:
+            position_cap = max(width, 4 * self.num_keys)
+        active = np.arange(num_users)
+        active_values = values
+        active_user_ids = list(map(str, user_ids))
+        active_indices = indices
+        # Dup-skip state for the active users: all candidates drawn so
+        # far (the without-replacement filter looks across rounds) and the
+        # number of iterations already consumed.
+        drawn: np.ndarray | None = None
+        consumed = np.zeros(num_users, dtype=np.int64)
+        start = 0
+        while active.size and start + width <= position_cap:
+            key_words, accept_coins = coins.draw_grid(
+                active_indices, run_index, width, start_position=start
+            )
+            candidates = key_words >> key_shift
+            bits = self.prf.evaluate_grid(
+                active_user_ids, subset_t, active_values, candidates
+            )
+            stop = bits.astype(bool)
+            np.logical_or(stop, accept_coins < accept_prob, out=stop)
+            if self.with_replacement:
+                valid = np.ones_like(stop)
+                if self.max_iterations is not None and width > self.max_iterations:
+                    # Positions past the draw cap must not publish.
+                    stop[:, self.max_iterations:] = False
+            else:
+                # A candidate equal to an earlier one in the same stream
+                # (this round or any previous) is a skipped repeat — it
+                # neither stops nor counts an iteration.  A stable sort
+                # clusters equal candidates in position order, so
+                # everything equal to its sorted predecessor is a repeat.
+                history = (
+                    candidates
+                    if drawn is None
+                    else np.concatenate([drawn, candidates], axis=1)
+                )
+                order = np.argsort(history, axis=1, kind="stable")
+                sorted_history = np.take_along_axis(history, order, axis=1)
+                repeat_sorted = np.zeros(history.shape, dtype=bool)
+                repeat_sorted[:, 1:] = sorted_history[:, 1:] == sorted_history[:, :-1]
+                dup = np.zeros(history.shape, dtype=bool)
+                np.put_along_axis(dup, order, repeat_sorted, axis=1)
+                valid = ~dup[:, start:]
+                stop &= valid
+                drawn = history
+            first = np.argmax(stop, axis=1)
+            row_axis = np.arange(active.size)
+            stopped = stop[row_axis, first]
+            considered = np.cumsum(valid, axis=1)
+            finished = active[stopped]
+            keys_out[finished] = candidates[row_axis, first][stopped]
+            iterations_out[finished] = (
+                consumed[active] + considered[row_axis, first]
+            )[stopped]
+            remaining = ~stopped
+            consumed[active] += considered[:, -1]
+            active = active[remaining]
+            if active.size:
+                active_values = active_values[remaining]
+                active_user_ids = [
+                    uid for uid, keep in zip(active_user_ids, remaining) if keep
+                ]
+                active_indices = active_indices[remaining]
+                if drawn is not None:
+                    drawn = drawn[remaining]
+            start += width
+            width *= 2
+        for position in active:
+            # Scalar fallback (exhausted the vectorised position budget,
+            # or the with-replacement round): replay the full schedule
+            # from position 0 — the PRF is pure, so the replayed prefix
+            # is identical, and exhaustion/draw-cap failures surface with
+            # the scalar path's exact semantics.
+            record = self.sketch(
+                str(user_ids[position]),
+                rows[position],
+                subset_t,
+                coins=coins.user(int(indices[position]), run_index),
+            )
+            keys_out[position] = record.key
+            iterations_out[position] = record.iterations
+        return keys_out, iterations_out
 
     @staticmethod
     def _project(profile: Sequence[int], subset: Tuple[int, ...]) -> Tuple[int, ...]:

@@ -40,6 +40,7 @@ from .._npz import (
     read_meta,
     truncation_guard,
 )
+from ..core.prf import public_prf_meta
 from .profiles import Profile, ProfileDatabase
 from .schema import AttributeSpec, Schema
 
@@ -77,12 +78,14 @@ def _schema_from_json(payload: list) -> Schema:
     return Schema(specs)
 
 
-def _write(database: ProfileDatabase, handle: IO[str]) -> int:
+def _write(database: ProfileDatabase, handle: IO[str], prf=None) -> int:
     header = {
         "format": _FORMAT_TAG,
         "version": _FORMAT_VERSION,
         "schema": _schema_to_json(database.schema),
     }
+    if prf is not None:
+        header["prf"] = public_prf_meta(prf)
     handle.write(json.dumps(header) + "\n")
     from .encoding import decode_profile
 
@@ -129,7 +132,7 @@ def _read(handle: IO[str]) -> ProfileDatabase:
 # ----------------------------------------------------------------------
 # Columnar format (v2)
 # ----------------------------------------------------------------------
-def _write_columnar(database: ProfileDatabase, handle: IO[bytes]) -> int:
+def _write_columnar(database: ProfileDatabase, handle: IO[bytes], prf=None) -> int:
     matrix = database.matrix()
     meta = {
         "format": _FORMAT_TAG,
@@ -138,6 +141,8 @@ def _write_columnar(database: ProfileDatabase, handle: IO[bytes]) -> int:
         "num_profiles": int(matrix.shape[0]),
         "num_bits": int(database.schema.total_bits),
     }
+    if prf is not None:
+        meta["prf"] = public_prf_meta(prf)
     # Ids travel as a utf-8 blob + char lengths (NUL-safe; fixed-width
     # unicode arrays would strip trailing NULs).
     id_blob, id_lengths = encode_strings(database.user_ids)
@@ -203,20 +208,24 @@ def _read_columnar(handle: IO[bytes]) -> ProfileDatabase:
 
 
 def save_database(
-    database: ProfileDatabase, path: str | os.PathLike, format: str = "jsonl"
+    database: ProfileDatabase,
+    path: str | os.PathLike,
+    format: str = "jsonl",
+    prf=None,
 ) -> int:
     """Write a database to disk; returns the number of profiles written.
 
     ``format="jsonl"`` (default) writes the human-readable v1 lines;
     ``format="columnar"`` the bit-packed v2 ``.npz``.  :func:`load_database`
-    auto-detects either.
+    auto-detects either.  Passing ``prf`` records the deployment's public
+    PRF spec (construction + bias) as provenance metadata.
     """
     if format == "jsonl":
         with open(path, "w", encoding="utf-8") as handle:
-            return _write(database, handle)
+            return _write(database, handle, prf)
     if format == "columnar":
         with open(path, "wb") as handle:
-            return _write_columnar(database, handle)
+            return _write_columnar(database, handle, prf)
     raise ValueError(f"unknown database format {format!r}; expected 'jsonl' or 'columnar'")
 
 
@@ -230,7 +239,9 @@ def load_database(path: str | os.PathLike) -> ProfileDatabase:
         return _read(handle)
 
 
-def dumps_database(database: ProfileDatabase, format: str = "jsonl") -> str | bytes:
+def dumps_database(
+    database: ProfileDatabase, format: str = "jsonl", prf=None
+) -> str | bytes:
     """In-memory variant of :func:`save_database`.
 
     Returns ``str`` for JSONL and ``bytes`` for columnar — both are
@@ -239,11 +250,11 @@ def dumps_database(database: ProfileDatabase, format: str = "jsonl") -> str | by
     """
     if format == "jsonl":
         buffer = io.StringIO()
-        _write(database, buffer)
+        _write(database, buffer, prf)
         return buffer.getvalue()
     if format == "columnar":
         binary = io.BytesIO()
-        _write_columnar(database, binary)
+        _write_columnar(database, binary, prf)
         return binary.getvalue()
     raise ValueError(f"unknown database format {format!r}; expected 'jsonl' or 'columnar'")
 

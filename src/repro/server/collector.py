@@ -24,15 +24,19 @@ pool (``workers=N``).  Users are cut into many small interleaved chunks
 (user ``i`` rides chunk ``i mod C``) drained through
 ``pool.imap_unordered``, so slow chunks are balanced dynamically across
 workers.  Each worker receives a spawn-safe payload (the profile shard
-in the columnar v2 serialization plus primitive sketcher parameters),
-rebuilds the stack, sketches its chunk with per-user coins derived from
-``(seed, global user index)``, and ships its shard store back as
+in the columnar v2 serialization, the PRF spec, and primitive sketcher
+parameters), rebuilds the stack, and sketches its whole chunk through
+:meth:`~repro.core.sketch.Sketcher.sketch_many` — Algorithm 1's
+rejection loop vectorised across the chunk's users, with each user's
+private coins read from the counter-based
+:class:`~repro.core.sketch.CollectionCoins` stream keyed by ``(seed,
+global user index, subset run)``.  The shard store ships back as
 columnar arrays; the parent concatenates each subset's shard columns,
 argsorts them back to global user order, and bulk-publishes the result
 (:meth:`SketchStore.publish_column`) without materialising per-sketch
 records.  Because the coins depend only on the seed and the user's
-global position — never on the chunking or arrival order — the result
-is bitwise identical for every worker count.
+global position — never on the chunking, the worker count, or the
+arrival order — the result is bitwise identical for every worker count.
 
 Examples
 --------
@@ -62,7 +66,7 @@ span processes (its lazily-sampled table lives in one address space), so
 >>> publish_database(database, oracle_sketcher, [(0, 1)], workers=2, seed=7)
 Traceback (most recent call last):
     ...
-ValueError: workers=2 needs a stateless PRF; TrueRandomOracle memoises draws in-process, so its draw order cannot span workers (use workers=1 or BiasedPRF)
+ValueError: workers=2 needs a stateless PRF; TrueRandomOracle memoises draws in-process, so its draw order cannot span workers (use workers=1 or a keyed stateless PRF such as BiasedPRF)
 """
 
 from __future__ import annotations
@@ -72,8 +76,8 @@ from typing import Dict, Iterable, List, NamedTuple, Sequence, Tuple
 import numpy as np
 
 from ..core.accountant import PrivacyAccountant
-from ..core.prf import BiasedPRF
-from ..core.sketch import Sketch, Sketcher
+from ..core.prf import prf_from_spec
+from ..core.sketch import CollectionCoins, Sketch, Sketcher
 from ..data.profiles import Profile, ProfileDatabase
 from ..data.schema import Schema
 
@@ -463,17 +467,6 @@ def prefix_subsets(schema: Schema, name: str) -> List[Subset]:
     return [schema.prefix(name, length) for length in range(1, spec.bits + 1)]
 
 
-def _user_rng(seed: int, user_index: int) -> np.random.Generator:
-    """Per-user private coins as a pure function of ``(seed, user index)``.
-
-    ``SeedSequence(seed, spawn_key=(i,))`` is deterministic and
-    order-independent, so any worker handling global user ``i`` derives
-    the same generator — the invariant behind the bitwise identity of
-    every worker layout.
-    """
-    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(user_index,)))
-
-
 def _sketch_span(
     profiles: Sequence[Profile],
     sketcher: Sketcher,
@@ -485,31 +478,59 @@ def _sketch_span(
     """Sketch a run of users into ``store`` with seeded per-user coins.
 
     ``indices[k]`` is the *global* position of ``profiles[k]`` in the full
-    database — the only input to the user's coin stream, so any chunking
-    of the users (contiguous spans, interleaved strides) publishes
-    identical sketches.
+    database — the only per-user input to the counter-based coin stream
+    (:class:`~repro.core.sketch.CollectionCoins`), so any chunking of the
+    users (contiguous spans, interleaved strides) publishes identical
+    sketches.  The whole span advances through
+    :meth:`~repro.core.sketch.Sketcher.sketch_many` — one vectorised
+    rejection loop per subset instead of one Python loop per user — and
+    lands in the store as bulk columns.
     """
-    for profile, global_index in zip(profiles, indices):
-        rng = _user_rng(seed, global_index)
-        for subset in subset_keys:
-            store.publish(sketcher.sketch(profile.user_id, profile.bits, subset, rng=rng))
+    if not profiles:
+        return
+    coins = CollectionCoins(seed)
+    user_ids = [profile.user_id for profile in profiles]
+    rows = np.stack([profile.bits for profile in profiles])
+    num_bits = np.full(len(user_ids), sketcher.sketch_bits, dtype=np.uint8)
+    for run_index, subset in enumerate(subset_keys):
+        keys, iterations = sketcher.sketch_many(
+            user_ids, rows, subset, coins, indices, run_index
+        )
+        # Narrow to the columnar format's iteration dtype (uint16 unless
+        # a count overflows — same rule as SketchStore.column_for), so a
+        # store published through this path serializes byte-identically
+        # to one round-tripped through JSONL and re-materialised.
+        it_dtype = (
+            np.uint16
+            if iterations.size == 0 or int(iterations.max()) < 1 << 16
+            else np.uint32
+        )
+        store.publish_column(
+            subset,
+            SketchColumn(
+                user_ids=user_ids,
+                keys=keys,
+                num_bits=num_bits,
+                iterations=iterations.astype(it_dtype),
+            ),
+        )
 
 
 def _collect_shard(payload: tuple) -> bytes:
     """Pool worker: rebuild the stack from primitives, sketch one shard.
 
     The payload is spawn-safe by construction — the profile shard as its
-    columnar (v2) serialization plus primitive sketcher parameters — and
-    the return value is the shard store's columnar serialization
-    (``iterations`` included, so the round-trip is fully lossless).
+    columnar (v2) serialization, the PRF spec, and primitive sketcher
+    parameters — and the return value is the shard store's columnar
+    serialization (``iterations`` included, so the round-trip is fully
+    lossless).
     """
     (
         database_payload,
         subset_keys,
         indices,
         seed,
-        p,
-        global_key_hex,
+        prf_spec,
         sketch_bits,
         with_replacement,
         max_iterations,
@@ -520,9 +541,9 @@ def _collect_shard(payload: tuple) -> bytes:
     from .serialization import dumps_store
 
     database = loads_database(database_payload)
-    prf = BiasedPRF(p=p, global_key=bytes.fromhex(global_key_hex))
+    prf = prf_from_spec(prf_spec)
     sketcher = Sketcher(
-        PrivacyParams(p=p),
+        PrivacyParams(p=prf.p),
         prf,
         sketch_bits=sketch_bits,
         with_replacement=with_replacement,
@@ -568,14 +589,18 @@ def publish_database(
         ``None`` (default) keeps the classic sequential path: one shared
         RNG stream from the sketcher, users processed in order.  An
         integer switches to the *deterministic sharded* path: each user's
-        coins derive from ``(seed, global user index)``, users are cut
-        into ~8 small interleaved chunks per worker (user ``i`` rides
-        chunk ``i mod C``) drained through a ``multiprocessing`` pool's
-        ``imap_unordered``, and the shard columns are reassembled in
-        global user order.  The output store is bitwise identical for
-        every ``workers >= 1`` value and every pool schedule;
-        ``workers > 1`` requires a stateless PRF
-        (:class:`~repro.core.prf.BiasedPRF`) — the memoising
+        coins are read from the counter-based
+        :class:`~repro.core.sketch.CollectionCoins` stream keyed by
+        ``(seed, global user index, subset run)``, chunks advance through
+        the vectorised :meth:`~repro.core.sketch.Sketcher.sketch_many`
+        rejection loop, users are cut into ~8 small interleaved chunks
+        per worker (user ``i`` rides chunk ``i mod C``) drained through a
+        ``multiprocessing`` pool's ``imap_unordered``, and the shard
+        columns are reassembled in global user order.  The output store
+        is bitwise identical for every ``workers >= 1`` value and every
+        pool schedule; ``workers > 1`` requires a keyed stateless PRF
+        (:class:`~repro.core.prf.BiasedPRF` or
+        :class:`~repro.core.prf.CounterPRF`) — the memoising
         :class:`~repro.core.prf.TrueRandomOracle` raises.
     seed:
         Base seed for the sharded path's per-user coins.  ``None`` draws
@@ -606,13 +631,15 @@ def publish_database(
             raise ValueError(
                 f"workers={workers} needs a stateless PRF; {type(prf).__name__} "
                 "memoises draws in-process, so its draw order cannot span workers "
-                "(use workers=1 or BiasedPRF)"
+                "(use workers=1 or a keyed stateless PRF such as BiasedPRF)"
             )
-        if not isinstance(prf, BiasedPRF):
+        try:
+            prf_spec = prf.spec()
+        except TypeError as exc:
             raise ValueError(
-                f"workers={workers} can only ship a BiasedPRF to the pool, "
-                f"got {type(prf).__name__}"
-            )
+                f"workers={workers} can only ship a keyed stateless PRF "
+                f"(BiasedPRF or CounterPRF) to the pool, got {type(prf).__name__}"
+            ) from exc
     profiles = list(database)
     if accountant is not None:
         for profile in profiles:
@@ -656,8 +683,7 @@ def publish_database(
                 subset_keys,
                 indices,
                 seed,
-                prf.p,
-                prf.global_key.hex(),
+                prf_spec,
                 sketcher.sketch_bits,
                 sketcher.with_replacement,
                 sketcher.max_iterations,

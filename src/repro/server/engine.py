@@ -21,13 +21,16 @@ import hashlib
 import io
 import json
 import os
+import shutil
 import tempfile
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.combine import combine_aligned_bits
 from ..core.estimator import QueryEstimate, SketchEstimator
+from ..core.prf import validate_value_bits
 from ..data.schema import Schema
 from ..queries.ast import Conjunction
 from ..queries.boolean import DecisionNode, decision_tree_plan, exactly_l_fraction
@@ -96,6 +99,7 @@ def _content_hash_from_columns(columns: dict, prf) -> str:
     digest.update(repr(float(prf.p)).encode("ascii"))
     global_key = getattr(prf, "global_key", None)
     digest.update(b"|key|" + (global_key if global_key is not None else b"<none>"))
+    _update_algorithm(digest, prf)
     for subset, column in sorted(columns.items()):
         digest.update(b"|B|" + ",".join(str(i) for i in subset).encode("ascii"))
         # Length-prefix every id: ids may themselves contain NULs (the
@@ -108,6 +112,22 @@ def _content_hash_from_columns(columns: dict, prf) -> str:
         digest.update(b"|keys|" + np.ascontiguousarray(column.keys).tobytes())
         digest.update(b"|bits|" + np.ascontiguousarray(column.num_bits).tobytes())
     return digest.hexdigest()
+
+
+def _update_algorithm(digest, prf) -> None:
+    """Fold a non-default PRF construction into an identity digest.
+
+    The PRF *identity* is (bias, key, construction): a
+    :class:`~repro.core.prf.CounterPRF` under some key is a different
+    function from a :class:`~repro.core.prf.BiasedPRF` under the same
+    key, so their caches must live in different directories.  BLAKE2b —
+    the construction every pre-existing cache directory was written
+    under — contributes nothing, keeping those directory names (and the
+    warm caches behind them) stable.
+    """
+    algorithm = getattr(prf, "algorithm", "blake2b")
+    if algorithm != "blake2b":
+        digest.update(b"|alg|" + str(algorithm).encode("ascii"))
 
 
 def _column_prefix_hash(prf, subset: Subset, column: SketchColumn, size: int) -> str:
@@ -126,6 +146,7 @@ def _column_prefix_hash(prf, subset: Subset, column: SketchColumn, size: int) ->
     digest.update(repr(float(prf.p)).encode("ascii"))
     global_key = getattr(prf, "global_key", None)
     digest.update(b"|key|" + (global_key if global_key is not None else b"<none>"))
+    _update_algorithm(digest, prf)
     digest.update(b"|B|" + ",".join(str(i) for i in subset).encode("ascii"))
     digest.update(b"|ids|")
     for user_id in column.user_ids[:size]:
@@ -179,6 +200,23 @@ class SketchEvaluationCache:
     different users, tampering) are refused.  ``stats`` counts cache
     ``hits`` / ``misses`` (per distinct requested value) and sweep
     activity (``sweeps`` / ``swept_entries`` / ``swept_bytes``).
+
+    Two further budgets bound the cache's other growth axes:
+
+    * ``memory_budget_bytes`` caps the **in-process** ``_bits`` dict the
+      same way ``cache_budget_bytes`` caps the directory: entries are
+      kept in LRU order and evicted past the cap (``memory_evictions`` /
+      ``memory_evicted_bytes`` in ``stats``), so a pathological query
+      stream sweeping endless distinct ``(subset, value)`` pairs runs in
+      bounded memory — evicted columns are re-read from disk or
+      re-evaluated, never answered differently.  ``None`` (default)
+      keeps the historical unbounded behaviour.
+    * ``generation_ttl_seconds`` opts into **generation GC**: superseded
+      sibling ``store-*`` directories (older store generations this
+      directory no longer needs) whose newest content is older than the
+      TTL are deleted at construction time (``gc_directories`` /
+      ``gc_bytes`` in ``stats``).  The live generation is never
+      reclaimed.  ``None`` (default) never deletes sibling directories.
     """
 
     def __init__(
@@ -187,10 +225,15 @@ class SketchEvaluationCache:
         estimator: SketchEstimator,
         cache_dir: str | os.PathLike | None = None,
         cache_budget_bytes: int | None = None,
+        memory_budget_bytes: int | None = None,
+        generation_ttl_seconds: float | None = None,
     ) -> None:
         self.store = store
         self.estimator = estimator
+        # Insertion order doubles as recency order (entries are re-inserted
+        # on every hit when a memory budget is set), so the dict is the LRU.
         self._bits: dict[Tuple[Subset, Tuple[int, ...]], np.ndarray] = {}
+        self._bits_bytes = 0
         self._dir: str | None = None
         self._column_sizes: dict[Subset, int] = {}
         self._seed_dirs: List[Tuple[str, dict[Subset, int]]] = []
@@ -200,11 +243,30 @@ class SketchEvaluationCache:
             "sweeps": 0,
             "swept_entries": 0,
             "swept_bytes": 0,
+            "memory_evictions": 0,
+            "memory_evicted_bytes": 0,
+            "gc_directories": 0,
+            "gc_bytes": 0,
         }
         self._dirty = False  # disk writes since the last budget sweep
         self._used_since_sweep: set = set()  # entry recency, flushed at sweep
         self._prefix_hashes: dict[Tuple[Subset, int], str] = {}
         self._budget: int | None = None
+        self._memory_budget: int | None = None
+        if memory_budget_bytes is not None:
+            memory_budget_bytes = int(memory_budget_bytes)
+            if memory_budget_bytes < 0:
+                raise ValueError(
+                    f"memory_budget_bytes must be >= 0, got {memory_budget_bytes}"
+                )
+            self._memory_budget = memory_budget_bytes
+        if generation_ttl_seconds is not None:
+            generation_ttl_seconds = float(generation_ttl_seconds)
+            if generation_ttl_seconds < 0:
+                raise ValueError(
+                    f"generation_ttl_seconds must be >= 0, got {generation_ttl_seconds}"
+                )
+        self._generation_ttl = generation_ttl_seconds
         if cache_budget_bytes is not None:
             cache_budget_bytes = int(cache_budget_bytes)
             if cache_budget_bytes < 0:
@@ -245,10 +307,117 @@ class SketchEvaluationCache:
                 subset: len(column.user_ids) for subset, column in columns.items()
             }
             self._seed_dirs = self._discover_seed_dirs(root, columns)
+            # Generation GC runs after seed discovery because *seedable*
+            # is what "superseded" means: a sibling whose columns are
+            # validated prefixes of ours is an older generation of this
+            # same store.  Unrelated stores sharing the cache root are
+            # never candidates — their live directories must survive any
+            # TTL.
+            if self._generation_ttl is not None:
+                self._sweep_generations()
+
+    # ------------------------------------------------------------------
+    # In-memory LRU layer
+    # ------------------------------------------------------------------
+    def _remember(self, key: Tuple[Subset, Tuple[int, ...]], bits: np.ndarray) -> None:
+        """Insert one column into the in-process cache, evicting LRU
+        entries past the memory budget.
+
+        With no budget the dict grows unboundedly (the pre-existing
+        behaviour); with one, total cached bytes stay at or under it —
+        evicted columns are simply re-read from disk or re-evaluated on
+        their next use, so eviction never changes an answer.
+        """
+        previous = self._bits.pop(key, None)
+        if previous is not None:
+            self._bits_bytes -= previous.nbytes
+        budget = self._memory_budget
+        if budget is not None and bits.nbytes > budget:
+            # A column that alone exceeds the budget is served but never
+            # retained — retaining it would evict everything else first
+            # and still violate the cap.
+            self.stats["memory_evictions"] += 1
+            self.stats["memory_evicted_bytes"] += int(bits.nbytes)
+            return
+        self._bits[key] = bits
+        self._bits_bytes += bits.nbytes
+        if budget is None:
+            return
+        while self._bits_bytes > budget:
+            old_key = next(iter(self._bits))
+            evicted = self._bits.pop(old_key)
+            self._bits_bytes -= evicted.nbytes
+            self.stats["memory_evictions"] += 1
+            self.stats["memory_evicted_bytes"] += int(evicted.nbytes)
+
+    def _touch(self, key: Tuple[Subset, Tuple[int, ...]]) -> None:
+        """Refresh one entry's LRU recency (dict order = recency order)."""
+        if self._memory_budget is None:
+            return
+        cached = self._bits.pop(key, None)
+        if cached is not None:
+            self._bits[key] = cached
 
     # ------------------------------------------------------------------
     # Persistent layer
     # ------------------------------------------------------------------
+    def _sweep_generations(self) -> None:
+        """Reclaim superseded predecessor directories past the TTL.
+
+        Every store growth leaves the previous generation's directory
+        behind as a sibling — useful briefly (the fresh directory seeds
+        its columns from it) but dead weight once re-spilled.  With
+        ``generation_ttl_seconds`` set, *seedable* siblings (validated
+        predecessors of this store, per :meth:`_discover_seed_dirs` —
+        unrelated stores sharing the cache root never qualify) whose
+        newest content (meta or entry, by mtime — reads refresh entry
+        mtimes under a budget) is older than the TTL are deleted whole
+        and dropped from the seed list.  The live generation — this
+        cache's own directory — is never a candidate, and removal is
+        best-effort: a directory a concurrent process is mid-write on
+        simply survives to the next sweep.
+
+        The TTL is the operator's promise that no live process still
+        serves — and no fresh generation still wants to seed from — a
+        directory that old: a long-lived engine on the old store whose
+        reads never touch disk (no byte budget, so no mtime refresh) can
+        have its directory reclaimed under it — it degrades gracefully
+        (``_atomic_write`` recreates the directory and re-spills;
+        answers never change) but loses its warm entries — and an
+        expired predecessor is reclaimed *without* first migrating its
+        entries (entry filenames are opaque hashes, so they cannot be
+        safely attributed to a validated subset without the query that
+        names them; a grown store restarting after a gap longer than the
+        TTL therefore recomputes cold).  Cross-process coordination
+        (lock file / refcount) is a ROADMAP item; until then pick a TTL
+        longer than any reader's idle span and any expected downtime.
+        """
+        assert self._dir is not None and self._generation_ttl is not None
+        deadline = time.time() - self._generation_ttl
+        survivors: List[Tuple[str, dict[Subset, int]]] = []
+        for seed_dir, seedable in self._seed_dirs:
+            newest = 0.0
+            total_bytes = 0
+            try:
+                with os.scandir(seed_dir) as it:
+                    for item in it:
+                        stat = item.stat()
+                        newest = max(newest, stat.st_mtime)
+                        total_bytes += stat.st_size
+            except OSError:
+                survivors.append((seed_dir, seedable))
+                continue
+            if newest > deadline:
+                survivors.append((seed_dir, seedable))
+                continue
+            shutil.rmtree(seed_dir, ignore_errors=True)
+            if os.path.exists(seed_dir):
+                survivors.append((seed_dir, seedable))
+            else:
+                self.stats["gc_directories"] += 1
+                self.stats["gc_bytes"] += total_bytes
+        self._seed_dirs = survivors
+
     def _validate_or_write_meta(self, store_hash: str, store_columns: dict) -> None:
         assert self._dir is not None
         meta_path = os.path.join(self._dir, "meta.json")
@@ -369,9 +538,21 @@ class SketchEvaluationCache:
         return seeds
 
     def _atomic_write(self, path: str, payload: bytes) -> None:
-        """Write-then-rename so sibling processes never see partial files."""
+        """Write-then-rename so sibling processes never see partial files.
+
+        The directory is recreated if missing: a sibling process's
+        generation GC may reclaim this directory while this engine is
+        live (its TTL only sees mtimes, and reads refresh them only
+        under a byte budget), and the correct degradation is to re-spill
+        into a fresh directory, not to crash the query that happened to
+        write next.
+        """
         assert self._dir is not None
-        fd, tmp_path = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+        try:
+            fd, tmp_path = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+        except FileNotFoundError:
+            os.makedirs(self._dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
@@ -385,7 +566,9 @@ class SketchEvaluationCache:
         assert self._dir is not None
         digest = hashlib.blake2b(digest_size=16)
         digest.update(",".join(str(i) for i in subset).encode("ascii"))
-        digest.update(b"|v|" + bytes(int(bit) & 1 for bit in value))
+        # Values reaching here were validated as strict 0/1 bits — masking
+        # would let a malformed value collide with a genuine one.
+        digest.update(b"|v|" + bytes(int(bit) for bit in value))
         return os.path.join(self._dir, f"{digest.hexdigest()}.npy")
 
     @staticmethod
@@ -556,6 +739,9 @@ class SketchEvaluationCache:
                 raise ValueError(
                     f"value length {len(value)} does not match subset size {len(subset)}"
                 )
+            # Strict 0/1 validation up front: entry paths hash the value
+            # bytes, so a masked bit would alias two distinct queries.
+            validate_value_bits(value)
         num_users = self.store.num_users(subset)
         # The store column feeds the PRF directly — the query hot path
         # never materialises per-Sketch records (store format v2) — but
@@ -585,7 +771,9 @@ class SketchEvaluationCache:
             if cached is None:
                 cached = self._disk_get(subset, value, num_users)
                 if cached is not None:
-                    self._bits[(subset, value)] = cached
+                    self._remember((subset, value), cached)
+            else:
+                self._touch((subset, value))
             if cached is not None and cached.size == num_users:
                 self.stats["hits"] += 1
                 if self._budget is not None:
@@ -613,7 +801,7 @@ class SketchEvaluationCache:
             )
             for j, (value, cached) in enumerate(group):
                 grown = np.concatenate([cached, tail_block[:, j]])
-                self._bits[(subset, value)] = grown
+                self._remember((subset, value), grown)
                 resolved[value] = grown
                 self._disk_put(subset, value, grown)
         if misses:
@@ -622,7 +810,7 @@ class SketchEvaluationCache:
             )
             for j, value in enumerate(misses):
                 column_bits = np.ascontiguousarray(block[:, j])
-                self._bits[(subset, value)] = column_bits
+                self._remember((subset, value), column_bits)
                 resolved[value] = column_bits
                 self._disk_put(subset, value, column_bits)
         if self._dirty:
@@ -674,6 +862,14 @@ class QueryEngine:
         it triggers an LRU sweep over the entry files.  ``0`` disables
         persistence (``cache_dir`` is then ignored), ``None`` (default)
         leaves the directory unbounded.
+    memory_budget_bytes:
+        Optional byte cap for the in-process evaluation cache (LRU
+        eviction past the cap); ``None`` (default) leaves it unbounded.
+    generation_ttl_seconds:
+        Opt-in age-out for superseded cache generations: sibling
+        ``store-*`` directories untouched for longer than this many
+        seconds are reclaimed when the engine starts.  ``None``
+        (default) never deletes them.
     """
 
     def __init__(
@@ -683,6 +879,8 @@ class QueryEngine:
         estimator: SketchEstimator,
         cache_dir: str | os.PathLike | None = None,
         cache_budget_bytes: int | None = None,
+        memory_budget_bytes: int | None = None,
+        generation_ttl_seconds: float | None = None,
     ) -> None:
         self.schema = schema
         self.store = store
@@ -690,6 +888,8 @@ class QueryEngine:
         self.cache = SketchEvaluationCache(
             store, estimator, cache_dir=cache_dir,
             cache_budget_bytes=cache_budget_bytes,
+            memory_budget_bytes=memory_budget_bytes,
+            generation_ttl_seconds=generation_ttl_seconds,
         )
         # Exact-cover partitions are pure functions of (target, published
         # subsets): memoised until the store's subset list changes (plan

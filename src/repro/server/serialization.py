@@ -63,6 +63,7 @@ from .._npz import (
     truncation_guard,
 )
 from ..core.params import PrivacyParams
+from ..core.prf import public_prf_meta
 from ..core.sketch import Sketch
 from .collector import SketchColumn, SketchStore
 
@@ -87,10 +88,12 @@ _FORMAT_TAG = "repro-sketch-store"
 _DESCRIBE = "sketch-store"
 
 
-def _header(params: PrivacyParams | None) -> dict:
+def _header(params: PrivacyParams | None, prf=None) -> dict:
     header = {"format": _FORMAT_TAG, "version": _FORMAT_VERSION}
     if params is not None:
         header["p"] = params.p
+    if prf is not None:
+        header["prf"] = public_prf_meta(prf)
     return header
 
 
@@ -99,8 +102,9 @@ def _write(
     handle: IO[str],
     params: PrivacyParams | None,
     include_iterations: bool = False,
+    prf=None,
 ) -> int:
-    handle.write(json.dumps(_header(params)) + "\n")
+    handle.write(json.dumps(_header(params, prf)) + "\n")
     count = 0
     for subset in sorted(store.subsets):
         for sketch in store.sketches_for(subset):
@@ -160,10 +164,11 @@ def _write_columnar(
     handle: IO[bytes],
     params: PrivacyParams | None,
     include_iterations: bool = False,
+    prf=None,
 ) -> int:
     columns = store.to_columns()
     subsets = sorted(columns)
-    meta = _header(params)
+    meta = _header(params, prf)
     meta["version"] = _COLUMNAR_VERSION
     meta["include_iterations"] = bool(include_iterations)
     meta["subsets"] = [list(subset) for subset in subsets]
@@ -224,7 +229,9 @@ def _read_columnar(handle: IO[bytes]) -> tuple[SketchStore, dict]:
                 iterations=iterations,
             )
         store = SketchStore.from_columns(columns)
-    header = {key: meta[key] for key in ("format", "version", "p") if key in meta}
+    header = {
+        key: meta[key] for key in ("format", "version", "p", "prf") if key in meta
+    }
     return store, header
 
 
@@ -234,37 +241,73 @@ def save_store(
     params: PrivacyParams | None = None,
     include_iterations: bool = False,
     format: str = "jsonl",
+    prf=None,
 ) -> int:
     """Write a store to disk; returns the number of sketches written.
 
     ``format="jsonl"`` (default) writes the human-readable v1 lines;
     ``format="columnar"`` writes the v2 ``.npz`` column arrays.  Both are
     read back by :func:`load_store`, which auto-detects the format.
+    Passing ``prf`` records its public spec (construction + bias, never
+    the key) in the header, so a consumer knows which backend to rebuild.
     """
     if format == "jsonl":
         with open(path, "w", encoding="utf-8") as handle:
-            return _write(store, handle, params, include_iterations)
+            return _write(store, handle, params, include_iterations, prf)
     if format == "columnar":
         with open(path, "wb") as handle:
-            return _write_columnar(store, handle, params, include_iterations)
+            return _write_columnar(store, handle, params, include_iterations, prf)
     raise ValueError(f"unknown store format {format!r}; expected 'jsonl' or 'columnar'")
 
 
-def load_store(path: str | os.PathLike) -> tuple[SketchStore, dict]:
+def _check_prf_header(header: dict, expected_prf) -> None:
+    """Fail loudly when a store's recorded PRF spec mismatches the
+    consumer's backend.
+
+    Only enforced when both sides are present: older files carry no
+    ``prf`` field, and a reader that passed no ``expected_prf`` keeps the
+    historical trust-the-caller behaviour.
+    """
+    recorded = header.get("prf")
+    if expected_prf is None or not isinstance(recorded, dict):
+        return
+    expected = public_prf_meta(expected_prf)
+    if recorded.get("algorithm") != expected["algorithm"] or (
+        recorded.get("p") is not None
+        and abs(float(recorded["p"]) - expected["p"]) > 1e-12
+    ):
+        raise ValueError(
+            f"store was collected under PRF {recorded}, but the consumer "
+            f"supplied {expected}; the two are different functions, so "
+            "every estimate would silently mis-de-bias — rebuild the "
+            "matching backend (see repro.core.prf_from_spec)"
+        )
+
+
+def load_store(
+    path: str | os.PathLike, expected_prf=None
+) -> tuple[SketchStore, dict]:
     """Read a store from disk; returns ``(store, header)``.
 
     The format (JSONL v1 or columnar v2) is auto-detected from the file's
     leading bytes.  The header carries the bias ``p`` the publisher
     recorded (if any) so the consumer can construct matching
     :class:`PrivacyParams` — querying with the wrong ``p`` silently
-    mis-debiases, so check it.
+    mis-debiases, so check it.  Passing ``expected_prf`` additionally
+    cross-checks the recorded PRF spec (when the file carries one)
+    against that backend's construction and bias, raising ``ValueError``
+    on mismatch instead of mis-estimating later.
     """
     with open(path, "rb") as binary:
         if is_zip_payload(binary.read(2)):
             binary.seek(0)
-            return _read_columnar(binary)
+            store, header = _read_columnar(binary)
+            _check_prf_header(header, expected_prf)
+            return store, header
     with open(path, "r", encoding="utf-8") as handle:
-        return _read(handle)
+        store, header = _read(handle)
+    _check_prf_header(header, expected_prf)
+    return store, header
 
 
 def dumps_store(
@@ -272,6 +315,7 @@ def dumps_store(
     params: PrivacyParams | None = None,
     include_iterations: bool = False,
     format: str = "jsonl",
+    prf=None,
 ) -> str | bytes:
     """In-memory variant of :func:`save_store`.
 
@@ -280,23 +324,27 @@ def dumps_store(
     """
     if format == "jsonl":
         buffer = io.StringIO()
-        _write(store, buffer, params, include_iterations)
+        _write(store, buffer, params, include_iterations, prf)
         return buffer.getvalue()
     if format == "columnar":
         binary = io.BytesIO()
-        _write_columnar(store, binary, params, include_iterations)
+        _write_columnar(store, binary, params, include_iterations, prf)
         return binary.getvalue()
     raise ValueError(f"unknown store format {format!r}; expected 'jsonl' or 'columnar'")
 
 
-def loads_store(payload: str | bytes) -> tuple[SketchStore, dict]:
+def loads_store(payload: str | bytes, expected_prf=None) -> tuple[SketchStore, dict]:
     """In-memory variant of :func:`load_store` (format auto-detected)."""
     if isinstance(payload, (bytes, bytearray, memoryview)):
         payload = bytes(payload)
         if is_zip_payload(payload):
-            return _read_columnar(io.BytesIO(payload))
+            store, header = _read_columnar(io.BytesIO(payload))
+            _check_prf_header(header, expected_prf)
+            return store, header
         payload = payload.decode("utf-8")
-    return _read(io.StringIO(payload))
+    store, header = _read(io.StringIO(payload))
+    _check_prf_header(header, expected_prf)
+    return store, header
 
 
 # ----------------------------------------------------------------------
