@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the things someone evaluating the library wants
+Five commands cover the things someone evaluating the library wants
 without writing code:
 
 * ``bounds``      — the closed-form privacy/utility/size numbers for a
   parameter choice (Lemmas 3.1, 3.3, 4.1, Corollary 3.4);
 * ``demo``        — a self-contained publish-and-query run on synthetic
   data, printing estimate vs truth;
+* ``serve``       — serve a published sketch store over the typed query
+  protocol (asyncio TCP; bearer-token auth, per-analyst rate limiting
+  and privacy budget at the perimeter);
+* ``query``       — send one typed query to a running server and print
+  the JSON result;
 * ``experiments`` — the DESIGN.md experiment index and how to regenerate
   each entry.
 """
@@ -48,6 +53,7 @@ _EXPERIMENTS = [
     ("E22", "columnar store v2 + persistent cache", "benchmarks/bench_store_roundtrip.py"),
     ("E23", "object-free multi-subset queries (aligned columns)", "benchmarks/bench_aligned_columns.py"),
     ("E24", "counter-mode PRF backend + batched collection", "benchmarks/bench_prf_backends.py"),
+    ("E25", "remote serving tier: protocol throughput + latency", "benchmarks/bench_serving.py"),
     ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
     ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
     ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
@@ -121,6 +127,98 @@ def build_parser() -> argparse.ArgumentParser:
         "directories untouched for this many seconds are reclaimed at "
         "engine start (never the live generation; only meaningful with "
         "--cache-dir)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a published sketch store over the typed query protocol",
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="published sketch store to serve (JSONL v1 or columnar v2; "
+        "auto-detected)",
+    )
+    serve.add_argument(
+        "--p", type=float, default=None,
+        help="bias p; defaults to the value recorded in the store header",
+    )
+    key = serve.add_mutually_exclusive_group(required=True)
+    key.add_argument(
+        "--key-hex", default=None, metavar="HEX",
+        help="the public global PRF key, hex-encoded (distributed out of "
+        "band, like the paper's public function)",
+    )
+    key.add_argument(
+        "--key-seed", default=None, metavar="TEXT",
+        help="derive the 32-byte global key from TEXT with BLAKE2b (matches "
+        "'repro demo --seed N' via 'repro-demo-key-N')",
+    )
+    serve.add_argument(
+        "--prf", choices=["blake2b", "counter"], default=None,
+        help="PRF backend; defaults to the construction recorded in the "
+        "store header (else blake2b).  Must match the collecting backend",
+    )
+    serve.add_argument(
+        "--token", action="append", default=[], metavar="ANALYST=SECRET",
+        required=True,
+        help="issue a bearer token (repeatable; one per analyst)",
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=None,
+        help="per-analyst privacy budget enforced at the perimeter "
+        "(Corollary 3.4 ledger over the subsets released to each analyst); "
+        "omit for no perimeter accounting",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="PER_SECOND",
+        help="per-analyst request rate limit (token bucket); omit for none",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7206)
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write 'host port' to PATH once the socket is bound (lets "
+        "scripts use --port 0 and discover the real port)",
+    )
+
+    query = subparsers.add_parser(
+        "query", help="send one typed query to a running repro server"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7206)
+    query.add_argument("--token", required=True, help="bearer token")
+    query.add_argument(
+        "--kind", required=True,
+        choices=[
+            "counts_block", "estimate_many", "marginal", "fraction",
+            "any_of", "exactly_l", "bit_matrix",
+        ],
+    )
+    query.add_argument(
+        "--subset", default=None, metavar="I,J,...",
+        help="profile-bit positions (counts_block / estimate_many / "
+        "marginal / fraction)",
+    )
+    query.add_argument(
+        "--values", default=None, metavar="B,B;B,B;...",
+        help="candidate values, semicolon-separated bit tuples "
+        "(counts_block / estimate_many)",
+    )
+    query.add_argument(
+        "--value", default=None, metavar="B,B,...",
+        help="one bit tuple (fraction)",
+    )
+    query.add_argument(
+        "--queries", default=None, metavar="SUBSET:VALUE;...",
+        help="any_of components, e.g. '0,1:1,1;2:1'",
+    )
+    query.add_argument(
+        "--positions", default=None, metavar="I,J,...",
+        help="per-bit positions (exactly_l / bit_matrix)",
+    )
+    query.add_argument("--l", type=int, default=None, help="exactly_l count")
+    query.add_argument(
+        "--target", type=int, default=1, help="bit_matrix target bit"
     )
 
     subparsers.add_parser("experiments", help="list the experiment index")
@@ -282,6 +380,167 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if estimate.covers(truth) else 1
 
 
+def _parse_ints(text: str) -> tuple:
+    """``'0, 1,2'`` -> ``(0, 1, 2)``."""
+    return tuple(int(x) for x in text.replace(" ", "").split(",") if x != "")
+
+
+def _parse_values(text: str) -> list:
+    """``'0,0;1,1'`` -> ``[(0, 0), (1, 1)]``."""
+    return [_parse_ints(chunk) for chunk in text.split(";") if chunk.strip()]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from .core import BiasedPRF, CounterPRF, PrivacyParams, SketchEstimator
+    from .server import QueryEngine, RemoteServer, load_store
+
+    tokens = {}
+    for item in args.token:
+        analyst, sep, secret = item.partition("=")
+        if not sep or not analyst or not secret:
+            print(
+                f"error: --token expects ANALYST=SECRET, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        tokens[analyst] = secret
+    if args.key_hex is not None:
+        try:
+            global_key = bytes.fromhex(args.key_hex)
+        except ValueError as exc:
+            print(f"error: bad --key-hex: {exc}", file=sys.stderr)
+            return 2
+    else:
+        global_key = hashlib.blake2b(
+            args.key_seed.encode("utf-8"), digest_size=32
+        ).digest()
+    try:
+        store, header = load_store(args.store)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    recorded = header.get("prf") or {}
+    # The bias lives either at the top level (save_store(params=...)) or
+    # inside the recorded PRF identity (save_store(prf=...)).
+    p = args.p if args.p is not None else header.get("p", recorded.get("p"))
+    if p is None:
+        print("error: store header records no bias p; pass --p", file=sys.stderr)
+        return 2
+    by_flag = {"blake2b": BiasedPRF, "counter": CounterPRF}
+    by_algorithm = {BiasedPRF.algorithm: BiasedPRF, CounterPRF.algorithm: CounterPRF}
+    if args.prf is not None:
+        backend = by_flag[args.prf]
+    else:
+        backend = by_algorithm.get(recorded.get("algorithm"), BiasedPRF)
+    if recorded.get("algorithm") not in (None, backend.algorithm):
+        print(
+            f"error: store was collected under PRF {recorded.get('algorithm')!r} "
+            f"but --prf selects {backend.algorithm!r}; estimates would "
+            "silently mis-de-bias",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        params = PrivacyParams(p=float(p))
+        prf = backend(p=float(p), global_key=global_key)
+        engine = QueryEngine(None, store, SketchEstimator(params, prf))
+        server = RemoteServer(
+            engine, tokens, epsilon=args.epsilon, rate_limit=args.rate_limit
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _ready(address) -> None:
+        host, port = address
+        budget = "unlimited" if args.epsilon is None else f"epsilon={args.epsilon:g}"
+        print(
+            f"serving {args.store} on {host}:{port} "
+            f"({len(tokens)} analyst token(s), budget {budget})",
+            flush=True,
+        )
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+
+    server.run(args.host, args.port, ready_callback=_ready)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .protocol.messages import (
+        AnyOfRequest,
+        BitMatrixRequest,
+        CountsBlockRequest,
+        EstimateManyRequest,
+        ExactlyLRequest,
+        FractionRequest,
+        MarginalRequest,
+    )
+    from .server import RemoteQueryEngine
+
+    def need(flag: str, value):
+        if value is None:
+            raise ValueError(f"--kind {args.kind} requires {flag}")
+        return value
+
+    try:
+        if args.kind in ("counts_block", "estimate_many"):
+            cls = (
+                CountsBlockRequest
+                if args.kind == "counts_block"
+                else EstimateManyRequest
+            )
+            request = cls.build(
+                _parse_ints(need("--subset", args.subset)),
+                _parse_values(need("--values", args.values)),
+            )
+        elif args.kind == "marginal":
+            request = MarginalRequest.build(_parse_ints(need("--subset", args.subset)))
+        elif args.kind == "fraction":
+            request = FractionRequest.build(
+                _parse_ints(need("--subset", args.subset)),
+                _parse_ints(need("--value", args.value)),
+            )
+        elif args.kind == "any_of":
+            components = []
+            for chunk in need("--queries", args.queries).split(";"):
+                subset_text, sep, value_text = chunk.partition(":")
+                if not sep:
+                    raise ValueError(
+                        f"malformed any_of component {chunk!r}; expected SUBSET:VALUE"
+                    )
+                components.append((_parse_ints(subset_text), _parse_ints(value_text)))
+            request = AnyOfRequest.build(components)
+        elif args.kind == "exactly_l":
+            request = ExactlyLRequest.build(
+                _parse_ints(need("--positions", args.positions)),
+                need("--l", args.l),
+            )
+        else:  # bit_matrix
+            request = BitMatrixRequest.build(
+                _parse_ints(need("--positions", args.positions)), args.target
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with RemoteQueryEngine(args.host, args.port, args.token) as remote:
+            response = remote.execute(request)
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # mapped server errors: budget, auth, rate, query
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response.result))
+    return 0
+
+
 def _cmd_experiments(_: argparse.Namespace) -> int:
     width = max(len(name) for name, _, _ in _EXPERIMENTS)
     for name, description, target in _EXPERIMENTS:
@@ -294,6 +553,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "bounds": _cmd_bounds,
         "demo": _cmd_demo,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "experiments": _cmd_experiments,
     }
     return handlers[args.command](args)

@@ -1,0 +1,97 @@
+"""The typed query protocol: one request path from analyst to engine.
+
+Everything a query needs to travel — between modules, processes, or
+hosts — lives here: the shared wire envelope
+(:mod:`~repro.protocol.envelope`), one versioned request dataclass per
+query family, the response and structured-error envelopes, and the
+serialisation entry points (:mod:`~repro.protocol.messages`).
+:meth:`repro.server.engine.QueryEngine.execute` dispatches these
+requests; :class:`repro.server.remote.RemoteServer` serves them over a
+socket; the legacy block request/response of
+:mod:`repro.server.serialization` are thin shims over the same
+envelope helpers.
+"""
+
+from .envelope import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    dumps_wire_message,
+    loads_wire_message,
+)
+from .messages import (
+    ERROR_CODES,
+    ERROR_TAG,
+    HELLO_TAG,
+    REQUEST_KINDS,
+    REQUEST_TAG,
+    RESPONSE_TAG,
+    WELCOME_TAG,
+    AnyOfRequest,
+    BitMatrixRequest,
+    CountsBlockRequest,
+    EstimateManyRequest,
+    EvaluatePlanRequest,
+    ExactlyLRequest,
+    FractionRequest,
+    MarginalRequest,
+    QueryError,
+    QueryRequest,
+    QueryResponse,
+    RemoteQueryError,
+    dumps_error,
+    dumps_hello,
+    dumps_request,
+    dumps_response,
+    dumps_welcome,
+    error_from_exception,
+    estimate_from_payload,
+    estimate_to_payload,
+    exception_from_error,
+    loads_error,
+    loads_hello,
+    loads_request,
+    loads_response,
+    loads_welcome,
+    parse_reply,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "dumps_wire_message",
+    "loads_wire_message",
+    "ERROR_CODES",
+    "ERROR_TAG",
+    "HELLO_TAG",
+    "REQUEST_KINDS",
+    "REQUEST_TAG",
+    "RESPONSE_TAG",
+    "WELCOME_TAG",
+    "AnyOfRequest",
+    "BitMatrixRequest",
+    "CountsBlockRequest",
+    "EstimateManyRequest",
+    "EvaluatePlanRequest",
+    "ExactlyLRequest",
+    "FractionRequest",
+    "MarginalRequest",
+    "QueryError",
+    "QueryRequest",
+    "QueryResponse",
+    "RemoteQueryError",
+    "dumps_error",
+    "dumps_hello",
+    "dumps_request",
+    "dumps_response",
+    "dumps_welcome",
+    "error_from_exception",
+    "estimate_from_payload",
+    "estimate_to_payload",
+    "exception_from_error",
+    "loads_error",
+    "loads_hello",
+    "loads_request",
+    "loads_response",
+    "loads_welcome",
+    "parse_reply",
+]

@@ -1,0 +1,88 @@
+"""Wire envelopes: the framing every protocol message shares.
+
+Every message this library puts on a wire — typed query requests and
+responses, the structured error envelope, the auth handshake, and the
+legacy block request/response of :mod:`repro.server.serialization` — is
+one JSON object carrying a ``format`` tag (which message this is) and a
+``version`` (which revision of that message the sender speaks).  The two
+helpers here are the single implementation of that contract:
+
+* :func:`dumps_wire_message` prepends the tag and version to a body dict
+  and serialises it (key order is preserved, so a fixed body-key order
+  yields byte-stable output — the legacy block request relies on this);
+* :func:`loads_wire_message` parses a payload and rejects non-JSON
+  input, foreign tags, and unsupported versions with a
+  :class:`~repro.protocol.messages.ProtocolError` whose ``code`` slots
+  straight into the structured error envelope.
+
+Versioning is per-tag: bumping the query-request version does not
+invalidate stored sketch archives or the legacy block messages, each of
+which carries its own version.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["PROTOCOL_VERSION", "ProtocolError", "dumps_wire_message", "loads_wire_message"]
+
+#: Version of the typed query request/response/error messages.  The
+#: legacy block request/response keep their own historical version (1).
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A message that violates the wire protocol, with a structured code.
+
+    Subclasses :class:`ValueError` so pre-protocol callers (and tests)
+    that caught ``ValueError`` from the legacy wire helpers keep working;
+    the ``code`` attribute is what the server puts in the error envelope
+    instead of a traceback.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def dumps_wire_message(tag: str, version: int, body: dict) -> str:
+    """Serialise one wire message: ``format`` + ``version`` + body keys.
+
+    The body's key order is preserved (after the two envelope keys), so
+    callers that fix their key order get byte-for-byte stable payloads.
+    """
+    message = {"format": tag, "version": int(version)}
+    message.update(body)
+    return json.dumps(message)
+
+
+def loads_wire_message(payload: str, expected_tag: str, expected_version: int) -> dict:
+    """Parse and validate one wire message's envelope; returns the dict.
+
+    Raises
+    ------
+    ProtocolError
+        ``code="malformed_request"`` for non-JSON or non-object payloads
+        and foreign tags; ``code="unsupported_version"`` for a version
+        this library does not speak.  The messages are identical to the
+        historical ``ValueError`` texts, so existing matchers still hold.
+    """
+    try:
+        message = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(
+            "malformed_request", f"malformed wire message: {exc}"
+        ) from exc
+    if not isinstance(message, dict) or message.get("format") != expected_tag:
+        got = message.get("format") if isinstance(message, dict) else message
+        raise ProtocolError(
+            "malformed_request",
+            f"expected a {expected_tag} message, got format={got!r}",
+        )
+    if message.get("version") != expected_version:
+        raise ProtocolError(
+            "unsupported_version",
+            f"unsupported {expected_tag} version {message.get('version')!r}; "
+            f"this library speaks version {expected_version}",
+        )
+    return message

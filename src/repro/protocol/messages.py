@@ -1,0 +1,723 @@
+"""Typed query protocol: one request shape per query family the engine answers.
+
+Before this module existed the same logical query reached the engine
+through three unrelated shapes — direct :class:`QueryEngine` method
+calls, :class:`~repro.queries.conjunctive.LinearPlan` evaluation, and
+the ad-hoc block-request strings of :mod:`repro.server.serialization` —
+so every new transport or message kind multiplied that surface.  Now
+there is exactly one: a **versioned, JSON-serialisable request
+dataclass** per query family, all sharing the
+:mod:`~repro.protocol.envelope` framing, all dispatched through
+:meth:`QueryEngine.execute`, whether the caller is in-process or on the
+other end of a socket.
+
+The request kinds (mirroring the engine's public surface):
+
+==================  ====================================================
+kind                query family
+==================  ====================================================
+``counts_block``    batched counts for several values of one subset
+                    (direct Algorithm 2 or Appendix F partition path)
+``estimate_many``   full Algorithm 2 estimates (fraction, CI, count)
+``marginal``        all ``2**|B|`` de-biased frequencies of a subset
+``fraction``        single fraction, partition-combined when the subset
+                    was not sketched directly
+``any_of``          Appendix F disjunction over component conjunctions
+``exactly_l``       exactly-l-of-k over per-bit sketches
+``bit_matrix``      the p-perturbed per-bit indicator matrix
+``evaluate_plan``   a compiled :class:`LinearPlan` (sums, intervals,
+                    inner products, decision trees, ...)
+==================  ====================================================
+
+Every request round-trips ``loads_request(dumps_request(x)) == x``.
+Responses are :class:`QueryResponse` envelopes; failures are
+:class:`QueryError` envelopes carrying a structured ``code`` + message —
+never a raw traceback across the wire.  :func:`parse_reply` is the
+client-side inverse: it returns the response or raises the exception the
+code maps back to (:class:`BudgetExceeded`, ``MissingSketchError``,
+``ValueError``, or :class:`RemoteQueryError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, List, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..core.accountant import BudgetExceeded
+from ..core.estimator import QueryEstimate
+from ..queries.ast import Conjunction, Literal
+from ..queries.conjunctive import LinearPlan, PlanTerm
+from .envelope import PROTOCOL_VERSION, ProtocolError, dumps_wire_message, loads_wire_message
+
+__all__ = [
+    "REQUEST_TAG",
+    "RESPONSE_TAG",
+    "ERROR_TAG",
+    "HELLO_TAG",
+    "WELCOME_TAG",
+    "ERROR_CODES",
+    "QueryRequest",
+    "CountsBlockRequest",
+    "EstimateManyRequest",
+    "MarginalRequest",
+    "FractionRequest",
+    "AnyOfRequest",
+    "ExactlyLRequest",
+    "BitMatrixRequest",
+    "EvaluatePlanRequest",
+    "QueryResponse",
+    "QueryError",
+    "RemoteQueryError",
+    "REQUEST_KINDS",
+    "dumps_request",
+    "loads_request",
+    "dumps_response",
+    "loads_response",
+    "dumps_error",
+    "loads_error",
+    "parse_reply",
+    "error_from_exception",
+    "exception_from_error",
+    "estimate_to_payload",
+    "estimate_from_payload",
+    "dumps_hello",
+    "loads_hello",
+    "dumps_welcome",
+    "loads_welcome",
+]
+
+REQUEST_TAG = "repro-query-request"
+RESPONSE_TAG = "repro-query-response"
+ERROR_TAG = "repro-query-error"
+HELLO_TAG = "repro-hello"
+WELCOME_TAG = "repro-welcome"
+
+#: Every code the structured error envelope may carry.  4xx-style codes
+#: (caller's fault) come first; ``internal_error`` is the only 5xx-style
+#: one and its message never includes a traceback.
+ERROR_CODES = (
+    "malformed_request",
+    "unsupported_version",
+    "unknown_kind",
+    "invalid_query",
+    "missing_sketch",
+    "budget_exceeded",
+    "unauthorized",
+    "rate_limited",
+    "internal_error",
+)
+
+
+# ----------------------------------------------------------------------
+# Field coercion helpers (shared by build() and from_body())
+# ----------------------------------------------------------------------
+def _int_tuple(values: Sequence[int], what: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(v) for v in values)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("malformed_request", f"malformed {what}: {exc}") from exc
+
+
+def _value_tuple(value: Sequence[int], width: int, what: str) -> Tuple[int, ...]:
+    value_t = _int_tuple(value, what)
+    if len(value_t) != width:
+        raise ProtocolError(
+            "malformed_request",
+            f"malformed {what}: value width {len(value_t)} does not match "
+            f"subset size {width}",
+        )
+    return value_t
+
+
+def _require(body: dict, key: str) -> Any:
+    if key not in body:
+        raise ProtocolError(
+            "malformed_request", f"request body is missing required field {key!r}"
+        )
+    return body[key]
+
+
+# ----------------------------------------------------------------------
+# Request dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryRequest:
+    """Base class: one typed, versioned, JSON-serialisable query request.
+
+    Subclasses declare a unique ``kind`` and tuple-typed fields; the
+    generic :meth:`body`/:meth:`_from_body` machinery (re)builds them, so
+    ``loads_request(dumps_request(x)) == x`` holds for every kind.
+    """
+
+    kind: ClassVar[str] = ""
+
+    def body(self) -> dict:
+        """The JSON body: ``kind`` plus this request's fields, in order."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for field in fields(self):
+            payload[field.name] = _jsonable(getattr(self, field.name))
+        return payload
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        """Distinct sketch-column subsets this request names, in order.
+
+        The perimeter accountant's charging unit: each named subset is
+        one sketch-release the analyst reads (a partition-combined query
+        may touch more columns engine-side; the perimeter charges the
+        declared surface, which is what the analyst learns about).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CountsBlockRequest(QueryRequest):
+    """Batched counts for several candidate values of one subset."""
+
+    subset: Tuple[int, ...]
+    values: Tuple[Tuple[int, ...], ...]
+
+    kind: ClassVar[str] = "counts_block"
+
+    @classmethod
+    def build(
+        cls, subset: Sequence[int], values: Sequence[Sequence[int]]
+    ) -> "CountsBlockRequest":
+        subset_t = _int_tuple(subset, "subset")
+        return cls(
+            subset=subset_t,
+            values=tuple(
+                _value_tuple(value, len(subset_t), "values") for value in values
+            ),
+        )
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "CountsBlockRequest":
+        return cls.build(_require(body, "subset"), _require(body, "values"))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return (self.subset,)
+
+
+@dataclass(frozen=True)
+class EstimateManyRequest(QueryRequest):
+    """Full Algorithm 2 estimates (fraction, count, CI) for many values."""
+
+    subset: Tuple[int, ...]
+    values: Tuple[Tuple[int, ...], ...]
+
+    kind: ClassVar[str] = "estimate_many"
+
+    @classmethod
+    def build(
+        cls, subset: Sequence[int], values: Sequence[Sequence[int]]
+    ) -> "EstimateManyRequest":
+        subset_t = _int_tuple(subset, "subset")
+        return cls(
+            subset=subset_t,
+            values=tuple(
+                _value_tuple(value, len(subset_t), "values") for value in values
+            ),
+        )
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "EstimateManyRequest":
+        return cls.build(_require(body, "subset"), _require(body, "values"))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return (self.subset,)
+
+
+@dataclass(frozen=True)
+class MarginalRequest(QueryRequest):
+    """All ``2**|B|`` de-biased frequencies of one subset (MSB-first)."""
+
+    subset: Tuple[int, ...]
+
+    kind: ClassVar[str] = "marginal"
+
+    @classmethod
+    def build(cls, subset: Sequence[int]) -> "MarginalRequest":
+        return cls(subset=_int_tuple(subset, "subset"))
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "MarginalRequest":
+        return cls.build(_require(body, "subset"))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return (self.subset,)
+
+
+@dataclass(frozen=True)
+class FractionRequest(QueryRequest):
+    """One fraction; partition-combined when the subset was not sketched."""
+
+    subset: Tuple[int, ...]
+    value: Tuple[int, ...]
+
+    kind: ClassVar[str] = "fraction"
+
+    @classmethod
+    def build(cls, subset: Sequence[int], value: Sequence[int]) -> "FractionRequest":
+        subset_t = _int_tuple(subset, "subset")
+        return cls(subset=subset_t, value=_value_tuple(value, len(subset_t), "value"))
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "FractionRequest":
+        return cls.build(_require(body, "subset"), _require(body, "value"))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return (self.subset,)
+
+
+@dataclass(frozen=True)
+class AnyOfRequest(QueryRequest):
+    """Appendix F disjunction: ``(subset, value)`` per component conjunction."""
+
+    queries: Tuple[Tuple[Tuple[int, ...], Tuple[int, ...]], ...]
+
+    kind: ClassVar[str] = "any_of"
+
+    @classmethod
+    def build(
+        cls, queries: Sequence[Tuple[Sequence[int], Sequence[int]]]
+    ) -> "AnyOfRequest":
+        built = []
+        for subset, value in queries:
+            subset_t = _int_tuple(subset, "any_of subset")
+            built.append((subset_t, _value_tuple(value, len(subset_t), "any_of value")))
+        return cls(queries=tuple(built))
+
+    def body(self) -> dict:
+        return {
+            "kind": self.kind,
+            "queries": [
+                {"subset": list(subset), "value": list(value)}
+                for subset, value in self.queries
+            ],
+        }
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "AnyOfRequest":
+        raw = _require(body, "queries")
+        if not isinstance(raw, (list, tuple)):
+            raise ProtocolError(
+                "malformed_request", "any_of queries must be a list of objects"
+            )
+        queries = []
+        for entry in raw:
+            if isinstance(entry, dict):
+                queries.append((_require(entry, "subset"), _require(entry, "value")))
+            elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+                queries.append((entry[0], entry[1]))
+            else:
+                raise ProtocolError(
+                    "malformed_request",
+                    f"malformed any_of component: {entry!r}",
+                )
+        return cls.build(queries)
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(dict.fromkeys(subset for subset, _ in self.queries))
+
+
+@dataclass(frozen=True)
+class ExactlyLRequest(QueryRequest):
+    """Fraction of users with exactly ``l`` of the given bits set."""
+
+    positions: Tuple[int, ...]
+    l: int
+
+    kind: ClassVar[str] = "exactly_l"
+
+    @classmethod
+    def build(cls, positions: Sequence[int], l: int) -> "ExactlyLRequest":
+        try:
+            l_int = int(l)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("malformed_request", f"malformed l: {exc}") from exc
+        return cls(positions=_int_tuple(positions, "positions"), l=l_int)
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "ExactlyLRequest":
+        return cls.build(_require(body, "positions"), _require(body, "l"))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(dict.fromkeys((pos,) for pos in self.positions))
+
+
+@dataclass(frozen=True)
+class BitMatrixRequest(QueryRequest):
+    """The p-perturbed per-bit indicator matrix over aligned users."""
+
+    positions: Tuple[int, ...]
+    target: int = 1
+
+    kind: ClassVar[str] = "bit_matrix"
+
+    @classmethod
+    def build(cls, positions: Sequence[int], target: int = 1) -> "BitMatrixRequest":
+        try:
+            target_int = int(target)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("malformed_request", f"malformed target: {exc}") from exc
+        return cls(positions=_int_tuple(positions, "positions"), target=target_int)
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "BitMatrixRequest":
+        return cls.build(_require(body, "positions"), body.get("target", 1))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(dict.fromkeys((pos,) for pos in self.positions))
+
+
+@dataclass(frozen=True)
+class EvaluatePlanRequest(QueryRequest):
+    """A compiled :class:`LinearPlan`: ``(subset, value, coefficient)`` terms.
+
+    Any Section 4.1 query family the compilers produce (sums, means,
+    inner products, intervals, combined constraints, decision trees)
+    travels as this one kind — the compilers stay client-side, the
+    engine just executes the linear combination.
+    """
+
+    terms: Tuple[Tuple[Tuple[int, ...], Tuple[int, ...], float], ...]
+    description: str = ""
+
+    kind: ClassVar[str] = "evaluate_plan"
+
+    @classmethod
+    def build(
+        cls,
+        terms: Sequence[Tuple[Sequence[int], Sequence[int], float]],
+        description: str = "",
+    ) -> "EvaluatePlanRequest":
+        built = []
+        for entry in terms:
+            if len(entry) != 3:
+                raise ProtocolError(
+                    "malformed_request", f"malformed plan term: {entry!r}"
+                )
+            subset, value, coefficient = entry
+            subset_t = _int_tuple(subset, "plan subset")
+            try:
+                coefficient_f = float(coefficient)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "malformed_request", f"malformed plan coefficient: {exc}"
+                ) from exc
+            built.append(
+                (subset_t, _value_tuple(value, len(subset_t), "plan value"), coefficient_f)
+            )
+        return cls(terms=tuple(built), description=str(description))
+
+    @classmethod
+    def from_plan(cls, plan: LinearPlan) -> "EvaluatePlanRequest":
+        return cls.build(
+            [(term.subset, term.value, term.coefficient) for term in plan.terms],
+            description=plan.description,
+        )
+
+    def to_plan(self) -> LinearPlan:
+        return LinearPlan(
+            terms=tuple(
+                PlanTerm(
+                    Conjunction(
+                        tuple(Literal(pos, bit) for pos, bit in zip(subset, value))
+                    ),
+                    coefficient,
+                )
+                for subset, value, coefficient in self.terms
+            ),
+            description=self.description,
+        )
+
+    def body(self) -> dict:
+        return {
+            "kind": self.kind,
+            "terms": [
+                {"subset": list(subset), "value": list(value), "coefficient": coefficient}
+                for subset, value, coefficient in self.terms
+            ],
+            "description": self.description,
+        }
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "EvaluatePlanRequest":
+        raw = _require(body, "terms")
+        if not isinstance(raw, (list, tuple)):
+            raise ProtocolError(
+                "malformed_request", "plan terms must be a list of objects"
+            )
+        terms = []
+        for entry in raw:
+            if isinstance(entry, dict):
+                terms.append(
+                    (
+                        _require(entry, "subset"),
+                        _require(entry, "value"),
+                        entry.get("coefficient", 1.0),
+                    )
+                )
+            elif isinstance(entry, (list, tuple)) and len(entry) == 3:
+                terms.append((entry[0], entry[1], entry[2]))
+            else:
+                raise ProtocolError(
+                    "malformed_request", f"malformed plan term: {entry!r}"
+                )
+        return cls.build(terms, description=body.get("description", ""))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(dict.fromkeys(subset for subset, _, _ in self.terms))
+
+
+#: kind -> request class, the dispatch registry both the serialiser and
+#: :meth:`QueryEngine.execute` share.
+REQUEST_KINDS: Dict[str, Type[QueryRequest]] = {
+    cls.kind: cls
+    for cls in (
+        CountsBlockRequest,
+        EstimateManyRequest,
+        MarginalRequest,
+        FractionRequest,
+        AnyOfRequest,
+        ExactlyLRequest,
+        BitMatrixRequest,
+        EvaluatePlanRequest,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Responses and the structured error envelope
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryResponse:
+    """A successful reply: the request's ``kind`` plus its result payload.
+
+    In-process, ``result`` is whatever the engine handler produced
+    (floats, lists, NumPy arrays, :class:`QueryEstimate` objects); on
+    the wire it is serialised via :func:`_jsonable` (arrays become
+    nested lists, estimates become field dicts) and the client rebuilds
+    the native shape per kind.
+    """
+
+    kind: str
+    result: Any
+
+
+@dataclass(frozen=True)
+class QueryError:
+    """The structured error envelope: a code from :data:`ERROR_CODES` plus
+    a human-readable message.  Never a traceback."""
+
+    code: str
+    message: str
+
+
+class RemoteQueryError(RuntimeError):
+    """Client-side surfacing of error codes with no local exception type
+    (``unauthorized``, ``rate_limited``, ``internal_error``, ...)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def _jsonable(value: Any) -> Any:
+    """Lower a handler result to JSON-native types, losslessly for floats
+    (Python's ``repr`` round-trip) and exactly for ints and 0/1 bits."""
+    if isinstance(value, QueryEstimate):
+        return estimate_to_payload(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    return value
+
+
+def estimate_to_payload(estimate: QueryEstimate) -> dict:
+    """A :class:`QueryEstimate` as a JSON dict; inverse of
+    :func:`estimate_from_payload`, exact for every field."""
+    return {
+        "fraction": float(estimate.fraction),
+        "count": float(estimate.count),
+        "raw_fraction": float(estimate.raw_fraction),
+        "num_users": int(estimate.num_users),
+        "half_width": float(estimate.half_width),
+        "delta": float(estimate.delta),
+    }
+
+
+def estimate_from_payload(payload: dict) -> QueryEstimate:
+    """Rebuild a :class:`QueryEstimate` from its wire dict."""
+    try:
+        return QueryEstimate(
+            fraction=float(payload["fraction"]),
+            count=float(payload["count"]),
+            raw_fraction=float(payload["raw_fraction"]),
+            num_users=int(payload["num_users"]),
+            half_width=float(payload["half_width"]),
+            delta=float(payload["delta"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            "malformed_request", f"malformed estimate payload: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Serialisation entry points
+# ----------------------------------------------------------------------
+def dumps_request(request: QueryRequest) -> str:
+    """Serialise one typed request into its wire envelope."""
+    return dumps_wire_message(REQUEST_TAG, PROTOCOL_VERSION, request.body())
+
+
+def loads_request(payload: str) -> QueryRequest:
+    """Parse one request payload into its typed dataclass.
+
+    Raises
+    ------
+    ProtocolError
+        ``malformed_request`` / ``unsupported_version`` for envelope
+        violations, ``unknown_kind`` for a kind this engine does not
+        answer — each slotting straight into the error envelope.
+    """
+    message = loads_wire_message(payload, REQUEST_TAG, PROTOCOL_VERSION)
+    kind = message.get("kind")
+    request_cls = REQUEST_KINDS.get(kind)
+    if request_cls is None:
+        raise ProtocolError(
+            "unknown_kind",
+            f"unknown request kind {kind!r}; this engine answers "
+            f"{sorted(REQUEST_KINDS)}",
+        )
+    return request_cls._from_body(message)
+
+
+def dumps_response(response: QueryResponse) -> str:
+    """Serialise one response (result lowered to JSON-native types)."""
+    return dumps_wire_message(
+        RESPONSE_TAG,
+        PROTOCOL_VERSION,
+        {"kind": response.kind, "result": _jsonable(response.result)},
+    )
+
+
+def loads_response(payload: str) -> QueryResponse:
+    """Parse one response payload (result stays JSON-native)."""
+    message = loads_wire_message(payload, RESPONSE_TAG, PROTOCOL_VERSION)
+    return QueryResponse(kind=message.get("kind"), result=_require(message, "result"))
+
+
+def dumps_error(error: QueryError) -> str:
+    """Serialise one structured error envelope."""
+    return dumps_wire_message(
+        ERROR_TAG,
+        PROTOCOL_VERSION,
+        {"code": str(error.code), "message": str(error.message)},
+    )
+
+
+def loads_error(payload: str) -> QueryError:
+    """Parse one structured error envelope."""
+    message = loads_wire_message(payload, ERROR_TAG, PROTOCOL_VERSION)
+    return QueryError(
+        code=str(_require(message, "code")), message=str(_require(message, "message"))
+    )
+
+
+def parse_reply(payload: str) -> QueryResponse:
+    """Client-side: parse a server reply, raising on an error envelope.
+
+    The inverse of the server's dispatch: a response envelope is
+    returned, an error envelope is re-raised as the exception its code
+    maps to (so remote callers catch exactly what local callers catch).
+    """
+    import json as _json
+
+    try:
+        probe = _json.loads(payload)
+    except _json.JSONDecodeError as exc:
+        raise ProtocolError(
+            "malformed_request", f"malformed wire message: {exc}"
+        ) from exc
+    tag = probe.get("format") if isinstance(probe, dict) else None
+    if tag == ERROR_TAG:
+        raise exception_from_error(loads_error(payload))
+    return loads_response(payload)
+
+
+# ----------------------------------------------------------------------
+# Exception <-> error-envelope mapping
+# ----------------------------------------------------------------------
+def error_from_exception(exc: BaseException) -> QueryError:
+    """Map an exception to its structured error envelope (server side).
+
+    Engine exceptions become 4xx-style codes; anything unrecognised is
+    ``internal_error`` with the exception's message only — a raw
+    traceback never crosses the wire.
+    """
+    # Imported lazily: engine imports this module, so a module-level
+    # import would be circular.
+    from ..server.engine import MissingSketchError
+
+    if isinstance(exc, BudgetExceeded):
+        return QueryError("budget_exceeded", str(exc))
+    if isinstance(exc, MissingSketchError):
+        # KeyError str() wraps its message in quotes; unwrap for the wire.
+        message = exc.args[0] if exc.args else str(exc)
+        return QueryError("missing_sketch", str(message))
+    if isinstance(exc, ProtocolError):
+        return QueryError(exc.code, str(exc))
+    if isinstance(exc, (ValueError, KeyError, TypeError, ZeroDivisionError)):
+        return QueryError("invalid_query", str(exc))
+    return QueryError("internal_error", f"{type(exc).__name__}: {exc}")
+
+
+def exception_from_error(error: QueryError) -> Exception:
+    """Map an error envelope back to the exception local callers expect."""
+    from ..server.engine import MissingSketchError
+
+    if error.code == "budget_exceeded":
+        return BudgetExceeded(error.message)
+    if error.code == "missing_sketch":
+        return MissingSketchError(error.message)
+    if error.code == "invalid_query":
+        return ValueError(error.message)
+    if error.code in ("malformed_request", "unsupported_version", "unknown_kind"):
+        return ProtocolError(error.code, error.message)
+    return RemoteQueryError(error.code, error.message)
+
+
+# ----------------------------------------------------------------------
+# Auth handshake (first line of every connection)
+# ----------------------------------------------------------------------
+def dumps_hello(token: str) -> str:
+    """Client's opening message: the bearer token, nothing else."""
+    return dumps_wire_message(HELLO_TAG, PROTOCOL_VERSION, {"token": str(token)})
+
+
+def loads_hello(payload: str) -> str:
+    """Parse the opening handshake; returns the bearer token."""
+    message = loads_wire_message(payload, HELLO_TAG, PROTOCOL_VERSION)
+    return str(_require(message, "token"))
+
+
+def dumps_welcome(analyst: str) -> str:
+    """Server's handshake reply: the analyst name the token resolved to."""
+    return dumps_wire_message(WELCOME_TAG, PROTOCOL_VERSION, {"analyst": str(analyst)})
+
+
+def loads_welcome(payload: str) -> str:
+    """Parse the handshake reply; returns the analyst name."""
+    message = loads_wire_message(payload, WELCOME_TAG, PROTOCOL_VERSION)
+    return str(_require(message, "analyst"))

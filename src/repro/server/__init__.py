@@ -16,6 +16,7 @@ from .engine import (
     SketchEvaluationCache,
     store_content_hash,
 )
+from .remote import RemoteQueryEngine, RemoteServer, serve_in_thread
 from .serialization import (
     dumps_block_request,
     dumps_block_response,
@@ -37,6 +38,8 @@ __all__ = [
     "QueryBudgetExhausted",
     "QueryEngine",
     "QueryRecord",
+    "RemoteQueryEngine",
+    "RemoteServer",
     "SketchColumn",
     "SketchEvaluationCache",
     "SketchStore",
@@ -56,5 +59,6 @@ __all__ = [
     "prefix_subsets",
     "publish_database",
     "save_store",
+    "serve_in_thread",
     "store_content_hash",
 ]

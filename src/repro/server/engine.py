@@ -11,6 +11,15 @@
 * the Appendix E addition interval and exactly-l-of-k queries, by
   manufacturing per-bit virtual matrices from single-bit sketches.
 
+Every query family funnels through **one dispatch surface**:
+:meth:`QueryEngine.execute` takes a typed
+:class:`~repro.protocol.messages.QueryRequest` and returns a
+:class:`~repro.protocol.messages.QueryResponse`.  The public methods are
+thin wrappers that build the request and unwrap the response, so local
+calls, tests, and remote calls (:mod:`repro.server.remote`) run the
+identical code path — and all of them hit the aligned-columns/cache-fed
+fast paths.
+
 The engine never touches raw profiles — everything flows from published
 sketches through the public PRF.
 """
@@ -41,6 +50,19 @@ from ..queries.combined import (
     sum_where_less_plan,
 )
 from ..data.encoding import int_to_bits
+from ..protocol.envelope import ProtocolError
+from ..protocol.messages import (
+    AnyOfRequest,
+    BitMatrixRequest,
+    CountsBlockRequest,
+    EstimateManyRequest,
+    EvaluatePlanRequest,
+    ExactlyLRequest,
+    FractionRequest,
+    MarginalRequest,
+    QueryRequest,
+    QueryResponse,
+)
 from ..queries.conjunctive import LinearPlan, evaluate_plan
 from ..queries.disjunction import disjunction_fraction_from_bits
 from ..queries.interval import less_equal_plan, less_than_plan, range_plan
@@ -905,31 +927,48 @@ class QueryEngine:
         ] = {}
 
     # ------------------------------------------------------------------
-    # Conjunctive primitives
+    # The unified dispatch surface
+    # ------------------------------------------------------------------
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Answer one typed protocol request — the single dispatch point.
+
+        Every public query method below is a thin wrapper that builds
+        the matching :class:`~repro.protocol.messages.QueryRequest` and
+        unwraps the response, so an in-process call and a remote call
+        arriving over :mod:`repro.server.remote` execute byte-for-byte
+        the same handler.  Results are native (floats, lists, arrays,
+        :class:`QueryEstimate` objects); the protocol layer lowers them
+        to JSON only when a wire is actually involved.
+
+        Raises
+        ------
+        ProtocolError
+            ``code="unknown_kind"`` for a request kind this engine has
+            no handler for.
+        MissingSketchError, ValueError
+            Exactly as the corresponding public method would.
+        """
+        handler = self._HANDLERS.get(request.kind)
+        if handler is None:
+            raise ProtocolError(
+                "unknown_kind",
+                f"unknown request kind {request.kind!r}; this engine answers "
+                f"{sorted(self._HANDLERS)}",
+            )
+        return QueryResponse(kind=request.kind, result=handler(self, request))
+
+    # ------------------------------------------------------------------
+    # Conjunctive primitives (wrappers over execute)
     # ------------------------------------------------------------------
     def estimate(self, subset: Sequence[int], value: Sequence[int]) -> QueryEstimate:
         """Full Algorithm 2 estimate (with CI) for a directly-sketched subset."""
-        key = tuple(int(i) for i in subset)
-        if not self.store.has_subset(key):
-            raise MissingSketchError(
-                f"subset {key} was not sketched; available subsets: "
-                f"{sorted(self.store.subsets)}"
-            )
-        value_t = tuple(int(bit) for bit in value)
-        return self.cache.estimates(key, [value_t])[0]
+        return self.estimate_many(subset, [value])[0]
 
     def estimate_many(
         self, subset: Sequence[int], values: Sequence[Sequence[int]]
     ) -> List[QueryEstimate]:
         """Algorithm 2 estimates for many candidate values in one block call."""
-        key = tuple(int(i) for i in subset)
-        if not self.store.has_subset(key):
-            raise MissingSketchError(
-                f"subset {key} was not sketched; available subsets: "
-                f"{sorted(self.store.subsets)}"
-            )
-        value_ts = [tuple(int(bit) for bit in v) for v in values]
-        return self.cache.estimates(key, value_ts)
+        return list(self.execute(EstimateManyRequest.build(subset, values)).result)
 
     def marginal(self, subset: Sequence[int]) -> np.ndarray:
         """Estimated fraction for *every* candidate value of a subset.
@@ -937,16 +976,7 @@ class QueryEngine:
         The full-marginal workload — all ``2**|B|`` de-biased frequencies
         from one block evaluation (values enumerated MSB-first).
         """
-        key = tuple(int(i) for i in subset)
-        width = len(key)
-        if width > 12:
-            raise ValueError(
-                f"a marginal over 2**{width} values is not sensible; "
-                "query specific values instead"
-            )
-        candidates = [int_to_bits(v, width) for v in range(1 << width)]
-        estimates = self.estimate_many(key, candidates)
-        return np.asarray([e.fraction for e in estimates])
+        return np.asarray(self.execute(MarginalRequest.build(subset)).result)
 
     def fraction(self, subset: Sequence[int], value: Sequence[int]) -> float:
         """Fraction of users with ``d_B = v``; combines sketches if needed.
@@ -959,24 +989,11 @@ class QueryEngine:
         cache answers without any new PRF call, a cold one costs one
         block call per piece.
         """
-        key = tuple(int(i) for i in subset)
-        if self.store.has_subset(key):
-            return self.estimate(key, value).fraction
-        partition = self._require_partition(key)
-        values = self._project_value(key, tuple(int(v) for v in value), partition)
-        columns, _ = self._aligned_cached_bits(partition, values)
-        combined = combine_aligned_bits(columns, self.estimator.params.p)
-        return combined.clamped_fraction
+        return self.execute(FractionRequest.build(subset, value)).result
 
     def count(self, subset: Sequence[int], value: Sequence[int]) -> float:
         """Estimated count ``I(B, v)``."""
-        key = tuple(int(i) for i in subset)
-        num_users = (
-            self.store.num_users(key)
-            if self.store.has_subset(key)
-            else self._partition_users(key)
-        )
-        return self.fraction(subset, value) * num_users
+        return self.counts_block(subset, [value])[0]
 
     def counts_block(
         self, subset: Sequence[int], values: Sequence[Tuple[int, ...]]
@@ -990,8 +1007,49 @@ class QueryEngine:
         (covering every requested projection), instead of redoing both
         per value.  Each entry equals ``count`` exactly.
         """
-        key = tuple(int(i) for i in subset)
-        value_ts = [tuple(int(bit) for bit in v) for v in values]
+        return list(self.execute(CountsBlockRequest.build(subset, values)).result)
+
+    def conjunction(self, query: Conjunction) -> float:
+        """Fraction of users satisfying a conjunction of literals."""
+        return self.fraction(query.subset, query.value)
+
+    # ------------------------------------------------------------------
+    # Request handlers (the actual query-family implementations)
+    # ------------------------------------------------------------------
+    def _exec_estimate_many(self, request: EstimateManyRequest) -> List[QueryEstimate]:
+        key = request.subset
+        if not self.store.has_subset(key):
+            raise MissingSketchError(
+                f"subset {key} was not sketched; available subsets: "
+                f"{sorted(self.store.subsets)}"
+            )
+        return self.cache.estimates(key, list(request.values))
+
+    def _exec_marginal(self, request: MarginalRequest) -> np.ndarray:
+        key = request.subset
+        width = len(key)
+        if width > 12:
+            raise ValueError(
+                f"a marginal over 2**{width} values is not sensible; "
+                "query specific values instead"
+            )
+        candidates = [int_to_bits(v, width) for v in range(1 << width)]
+        estimates = self.estimate_many(key, candidates)
+        return np.asarray([e.fraction for e in estimates])
+
+    def _exec_fraction(self, request: FractionRequest) -> float:
+        key, value = request.subset, request.value
+        if self.store.has_subset(key):
+            return self.estimate(key, value).fraction
+        partition = self._require_partition(key)
+        values = self._project_value(key, value, partition)
+        columns, _ = self._aligned_cached_bits(partition, values)
+        combined = combine_aligned_bits(columns, self.estimator.params.p)
+        return combined.clamped_fraction
+
+    def _exec_counts_block(self, request: CountsBlockRequest) -> List[float]:
+        key = request.subset
+        value_ts = list(request.values)
         if self.store.has_subset(key):
             return [estimate.count for estimate in self.cache.estimates(key, value_ts)]
         if not value_ts:
@@ -1018,10 +1076,6 @@ class QueryEngine:
             counts.append(combined.clamped_fraction * num_users)
         return counts
 
-    def conjunction(self, query: Conjunction) -> float:
-        """Fraction of users satisfying a conjunction of literals."""
-        return self.fraction(query.subset, query.value)
-
     # ------------------------------------------------------------------
     # Plan execution and Section 4.1 conveniences
     # ------------------------------------------------------------------
@@ -1033,7 +1087,7 @@ class QueryEngine:
         costs ``q`` block evaluations instead of ``len(plan.terms)``
         full passes over the sketches.
         """
-        return evaluate_plan(plan, self.count, block_count_fn=self.counts_block)
+        return self.execute(EvaluatePlanRequest.from_plan(plan)).result
 
     def sum(self, name: str) -> float:
         """Estimated ``sum_u a_u`` (eq. 4)."""
@@ -1160,17 +1214,9 @@ class QueryEngine:
         """
         if not queries:
             raise ValueError("need at least one conjunction")
-        subsets = [query.subset for query in queries]
-        for subset in subsets:
-            if not self.store.has_subset(subset):
-                raise MissingSketchError(
-                    f"subset {subset} was not sketched; disjunctions need "
-                    "each component's subset published directly"
-                )
-        columns, _ = self._aligned_cached_bits(
-            subsets, [query.value for query in queries]
-        )
-        return disjunction_fraction_from_bits(columns, self.estimator.params.p)
+        return self.execute(
+            AnyOfRequest.build([(q.subset, q.value) for q in queries])
+        ).result
 
     # ------------------------------------------------------------------
     # Virtual-bit queries (Appendix E, exactly-l)
@@ -1182,21 +1228,11 @@ class QueryEngine:
         p-perturbed indicator of ``d[pos_j] = target``.  Requires a
         per-bit publishing policy for the positions involved.
         """
-        subsets = [(int(pos),) for pos in positions]
-        for subset in subsets:
-            if not self.store.has_subset(subset):
-                raise MissingSketchError(
-                    f"bit {subset[0]} was not sketched individually; "
-                    "use a per-bit publishing policy"
-                )
-        target_t = (int(target),)
-        columns, _ = self._aligned_cached_bits(subsets, [target_t] * len(subsets))
-        return np.column_stack(columns)
+        return self.execute(BitMatrixRequest.build(positions, target)).result
 
     def exactly_l(self, positions: Sequence[int], l: int) -> float:
         """Fraction of users with exactly ``l`` of the given bits set."""
-        bits = self.bit_matrix(positions, target=1)
-        return exactly_l_fraction(bits, self.estimator.params.p, l)
+        return self.execute(ExactlyLRequest.build(positions, l)).result
 
     def addition_below(self, name_a: str, name_b: str, power: int) -> float:
         """Fraction of users with ``a_u + b_u < 2**power`` (Appendix E)."""
@@ -1205,6 +1241,57 @@ class QueryEngine:
         return addition_interval_fraction(
             matrix_a, matrix_b, self.estimator.params.p, power
         )
+
+    # ------------------------------------------------------------------
+    # Request handlers (continued) and the dispatch table
+    # ------------------------------------------------------------------
+    def _exec_any_of(self, request: AnyOfRequest) -> float:
+        if not request.queries:
+            raise ValueError("need at least one conjunction")
+        subsets = [subset for subset, _value in request.queries]
+        for subset in subsets:
+            if not self.store.has_subset(subset):
+                raise MissingSketchError(
+                    f"subset {subset} was not sketched; disjunctions need "
+                    "each component's subset published directly"
+                )
+        columns, _ = self._aligned_cached_bits(
+            subsets, [value for _subset, value in request.queries]
+        )
+        return disjunction_fraction_from_bits(columns, self.estimator.params.p)
+
+    def _exec_bit_matrix(self, request: BitMatrixRequest) -> np.ndarray:
+        subsets = [(int(pos),) for pos in request.positions]
+        for subset in subsets:
+            if not self.store.has_subset(subset):
+                raise MissingSketchError(
+                    f"bit {subset[0]} was not sketched individually; "
+                    "use a per-bit publishing policy"
+                )
+        target_t = (int(request.target),)
+        columns, _ = self._aligned_cached_bits(subsets, [target_t] * len(subsets))
+        return np.column_stack(columns)
+
+    def _exec_exactly_l(self, request: ExactlyLRequest) -> float:
+        bits = self.bit_matrix(request.positions, target=1)
+        return exactly_l_fraction(bits, self.estimator.params.p, request.l)
+
+    def _exec_evaluate_plan(self, request: EvaluatePlanRequest) -> float:
+        return evaluate_plan(
+            request.to_plan(), self.count, block_count_fn=self.counts_block
+        )
+
+    #: kind -> handler; the one table :meth:`execute` dispatches through.
+    _HANDLERS = {
+        CountsBlockRequest.kind: _exec_counts_block,
+        EstimateManyRequest.kind: _exec_estimate_many,
+        MarginalRequest.kind: _exec_marginal,
+        FractionRequest.kind: _exec_fraction,
+        AnyOfRequest.kind: _exec_any_of,
+        ExactlyLRequest.kind: _exec_exactly_l,
+        BitMatrixRequest.kind: _exec_bit_matrix,
+        EvaluatePlanRequest.kind: _exec_evaluate_plan,
+    }
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,445 @@
+"""The remote serving tier: one socket, one protocol, one perimeter.
+
+:class:`RemoteServer` puts a network face on
+:meth:`~repro.server.engine.QueryEngine.execute`.  The transport is
+deliberately small — newline-delimited JSON over an asyncio TCP socket —
+because every message that travels is already defined by
+:mod:`repro.protocol`; the server adds only what a *perimeter* must add:
+
+* **auth** — the first line of every connection is a bearer-token hello
+  (:func:`~repro.protocol.messages.dumps_hello`); the server resolves it
+  to an analyst name and replies with a welcome, or an ``unauthorized``
+  error envelope and a closed connection;
+* **rate limiting** — a per-analyst token bucket (``rate_limit``
+  requests/second, ``burst`` capacity); an over-rate request costs the
+  analyst nothing and returns a ``rate_limited`` envelope;
+* **privacy accounting** — a per-analyst ledger built on
+  :class:`~repro.core.accountant.PrivacyAccountant`, charged **before
+  dispatch** for every sketched subset a request names that this analyst
+  has not already paid for (re-querying a paid subset is free: the
+  analyst already holds that release).  A request that would blow the
+  budget returns a ``budget_exceeded`` envelope and releases *nothing* —
+  the accountant's ledger and the paid-subset set are only updated after
+  the charge succeeds in full.
+
+Requests are dispatched inline on the event loop — the engine and its
+caches are single-threaded by design, and queries are CPU-bound NumPy
+work, so a thread pool would buy contention, not latency.  Concurrency
+across connections still overlaps the socket I/O.
+
+:class:`RemoteQueryEngine` is the matching blocking client: it speaks
+the same protocol over a plain socket and exposes the same method
+surface as the local engine, raising the same exception types
+(:class:`~repro.server.engine.MissingSketchError`, ``ValueError``,
+:class:`~repro.core.accountant.BudgetExceeded`) that an in-process
+caller would see — the error envelope is mapped back by
+:func:`~repro.protocol.messages.parse_reply`.
+
+:func:`serve_in_thread` runs a server on a daemon thread for tests,
+benchmarks, and notebook use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import math
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.accountant import PrivacyAccountant
+from ..core.estimator import QueryEstimate
+from ..protocol.messages import (
+    ERROR_TAG,
+    AnyOfRequest,
+    BitMatrixRequest,
+    CountsBlockRequest,
+    EstimateManyRequest,
+    EvaluatePlanRequest,
+    ExactlyLRequest,
+    FractionRequest,
+    MarginalRequest,
+    QueryError,
+    QueryRequest,
+    QueryResponse,
+    dumps_error,
+    dumps_hello,
+    dumps_request,
+    dumps_response,
+    dumps_welcome,
+    error_from_exception,
+    estimate_from_payload,
+    exception_from_error,
+    loads_error,
+    loads_hello,
+    loads_request,
+    loads_welcome,
+    parse_reply,
+)
+from ..queries.conjunctive import Conjunction, LinearPlan
+
+__all__ = ["RemoteServer", "RemoteQueryEngine", "serve_in_thread"]
+
+#: Per-line stream limit.  The default asyncio limit (64 KiB) is too
+#: small for a counts_block over thousands of values; 4 MiB is far above
+#: any sane query and still bounds a hostile sender.
+STREAM_LIMIT = 4 * 1024 * 1024
+
+
+class _TokenBucket:
+    """Classic token bucket; ``clock`` injectable for deterministic tests."""
+
+    def __init__(self, rate: float, burst: float, clock: Callable[[], float]):
+        self.rate = float(rate)
+        self.capacity = float(burst)
+        self.tokens = float(burst)
+        self.clock = clock
+        self.last = clock()
+
+    def allow(self) -> bool:
+        now = self.clock()
+        self.tokens = min(self.capacity, self.tokens + (now - self.last) * self.rate)
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class RemoteServer:
+    """Serve a :class:`~repro.server.engine.QueryEngine` over asyncio TCP.
+
+    Parameters
+    ----------
+    engine:
+        The engine to dispatch into (one per server; the store it wraps
+        is the published dataset).
+    tokens:
+        ``{analyst_name: bearer_token}``.  Tokens must be unique — they
+        are the credential, the name is the accounting identity.
+    epsilon:
+        Per-analyst privacy budget enforced at the perimeter, in the
+        sense of :class:`~repro.core.accountant.PrivacyAccountant`:
+        the cumulative distinguishing ratio of the sketched subsets
+        released to one analyst must stay at most ``1 + epsilon``.
+        ``None`` disables perimeter accounting (e.g. a trusted-curator
+        benchmark rig).
+    rate_limit:
+        Requests per second allowed per analyst (token bucket); ``None``
+        disables rate limiting.
+    burst:
+        Bucket capacity; defaults to ``ceil(rate_limit)`` (at least 1).
+    clock:
+        Monotonic clock used by the rate limiter (injectable in tests).
+    """
+
+    def __init__(
+        self,
+        engine,
+        tokens: Mapping[str, str],
+        *,
+        epsilon: Optional[float] = None,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.engine = engine
+        self._analysts: Dict[str, str] = {}
+        for analyst, token in dict(tokens).items():
+            if token in self._analysts:
+                raise ValueError(
+                    f"bearer token for analyst {analyst!r} duplicates the one "
+                    f"issued to {self._analysts[token]!r}; tokens must be unique"
+                )
+            self._analysts[str(token)] = str(analyst)
+        self.epsilon = epsilon
+        self.accountant = (
+            None
+            if epsilon is None
+            else PrivacyAccountant(engine.estimator.params, epsilon)
+        )
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError(f"rate_limit must be positive, got {rate_limit}")
+        self.rate_limit = rate_limit
+        self._burst = (
+            max(1.0, math.ceil(rate_limit)) if rate_limit and burst is None else burst
+        )
+        self._clock = clock
+        self._buckets: Dict[str, _TokenBucket] = {}
+        #: analyst -> sketched subsets already paid for (released).
+        self._released: Dict[str, Set[Tuple[int, ...]]] = {}
+
+    # -- the perimeter -------------------------------------------------
+    def _charge(self, analyst: str, request: QueryRequest) -> None:
+        """Charge the analyst's budget for every *new* subset the request
+        names; raises ``BudgetExceeded`` before anything is released.
+
+        All-or-nothing: the single ``charge`` call either books every new
+        subset or (on an exhausted budget) leaves the ledger untouched,
+        and the paid-subset set is only updated afterwards — an
+        over-budget request releases nothing.
+        """
+        if self.accountant is None:
+            return
+        released = self._released.setdefault(analyst, set())
+        new = [s for s in dict.fromkeys(request.subsets_released()) if s not in released]
+        if not new:
+            return
+        self.accountant.charge(analyst, count=len(new))
+        released.update(new)
+
+    def remaining_sketches(self, analyst: str) -> Optional[int]:
+        """Releases the analyst can still afford (``None`` = unlimited)."""
+        if self.accountant is None:
+            return None
+        return self.accountant.remaining_sketches(analyst)
+
+    def _answer(self, analyst: str, line: str) -> str:
+        """One request line in, one reply line out — never an exception."""
+        try:
+            request = loads_request(line)
+        except Exception as exc:  # noqa: BLE001 - perimeter: envelope everything
+            return dumps_error(error_from_exception(exc))
+        if self.rate_limit is not None:
+            bucket = self._buckets.get(analyst)
+            if bucket is None:
+                bucket = self._buckets[analyst] = _TokenBucket(
+                    self.rate_limit, self._burst, self._clock
+                )
+            if not bucket.allow():
+                return dumps_error(
+                    QueryError(
+                        "rate_limited",
+                        f"analyst {analyst!r} exceeded {self.rate_limit} "
+                        "requests/second; slow down and retry",
+                    )
+                )
+        try:
+            self._charge(analyst, request)
+            response = self.engine.execute(request)
+        except Exception as exc:  # noqa: BLE001 - perimeter: envelope everything
+            return dumps_error(error_from_exception(exc))
+        return dumps_response(response)
+
+    # -- transport -----------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One analyst connection: hello, welcome, then request/reply."""
+
+        async def send(line: str) -> None:
+            writer.write((line + "\n").encode("utf-8"))
+            await writer.drain()
+
+        try:
+            hello = await reader.readline()
+            if not hello:
+                return
+            try:
+                token = loads_hello(hello.decode("utf-8"))
+            except Exception as exc:  # noqa: BLE001
+                await send(dumps_error(error_from_exception(exc)))
+                return
+            analyst = self._analysts.get(token)
+            if analyst is None:
+                await send(
+                    dumps_error(
+                        QueryError("unauthorized", "unknown bearer token")
+                    )
+                )
+                return
+            await send(dumps_welcome(analyst))
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                await send(self._answer(analyst, line.decode("utf-8")))
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # The event loop is shutting down with this connection still
+            # open; end the task quietly instead of logging a traceback.
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
+        """Bind and start accepting; returns the asyncio server object."""
+        return await asyncio.start_server(
+            self.handle_connection, host, port, limit=STREAM_LIMIT
+        )
+
+    def run(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready_callback: Optional[Callable[[Tuple[str, int]], None]] = None,
+    ) -> None:
+        """Blocking entry point (the ``repro serve`` CLI uses this).
+
+        ``ready_callback`` fires once with the bound ``(host, port)`` —
+        with ``port=0`` that is the only way to learn the real port.
+        """
+
+        async def _main() -> None:
+            server = await self.start(host, port)
+            if ready_callback is not None:
+                ready_callback(server.sockets[0].getsockname()[:2])
+            async with server:
+                await server.serve_forever()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+
+
+@contextlib.contextmanager
+def serve_in_thread(server: RemoteServer, host: str = "127.0.0.1", port: int = 0):
+    """Run a :class:`RemoteServer` on a daemon thread; yields ``(host, port)``.
+
+    The pytest/benchmark harness: the event loop lives on the thread,
+    the caller talks to it through :class:`RemoteQueryEngine` sockets,
+    and the loop is stopped (and the thread joined) on exit.
+    """
+    ready = threading.Event()
+    state: dict = {}
+
+    def _thread() -> None:
+        async def _main() -> None:
+            tcp = await server.start(host, port)
+            state["loop"] = asyncio.get_running_loop()
+            state["stop"] = asyncio.Event()
+            state["address"] = tcp.sockets[0].getsockname()[:2]
+            ready.set()
+            async with tcp:
+                await state["stop"].wait()
+
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_thread, daemon=True, name="repro-serve")
+    thread.start()
+    if not ready.wait(timeout=10.0):
+        raise RuntimeError("remote server failed to bind within 10s")
+    try:
+        yield tuple(state["address"])
+    finally:
+        state["loop"].call_soon_threadsafe(state["stop"].set)
+        thread.join(timeout=10.0)
+
+
+# ----------------------------------------------------------------------
+# Blocking client
+# ----------------------------------------------------------------------
+def _parse_welcome(payload: str) -> str:
+    """Handshake reply: the analyst name, or the mapped auth exception."""
+    import json
+
+    try:
+        probe = json.loads(payload)
+    except json.JSONDecodeError:
+        probe = None
+    if isinstance(probe, dict) and probe.get("format") == ERROR_TAG:
+        raise exception_from_error(loads_error(payload))
+    return loads_welcome(payload)
+
+
+class RemoteQueryEngine:
+    """Blocking client speaking the typed protocol to a :class:`RemoteServer`.
+
+    Exposes the same query surface as the local
+    :class:`~repro.server.engine.QueryEngine` — ``count``, ``fraction``,
+    ``counts_block``, ``estimate``, ``estimate_many``, ``marginal``,
+    ``any_of``, ``exactly_l``, ``bit_matrix``, ``evaluate``,
+    ``conjunction`` — and raises the same exception types the local
+    engine would, reconstructed from the error envelope.  Results are
+    bit-identical to local answers: the wire carries ``repr``
+    round-tripped doubles, which JSON parses back to the same bits.
+
+    Usable as a context manager; one connection per instance.
+    """
+
+    def __init__(
+        self, host: str, port: int, token: str, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+        self._send(dumps_hello(token))
+        self.analyst = _parse_welcome(self._recv())
+
+    # -- wire ----------------------------------------------------------
+    def _send(self, line: str) -> None:
+        self._file.write(line + "\n")
+        self._file.flush()
+
+    def _recv(self) -> str:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return line.rstrip("\n")
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Round-trip one typed request; raises mapped server errors."""
+        self._send(dumps_request(request))
+        return parse_reply(self._recv())
+
+    def close(self) -> None:
+        with contextlib.suppress(Exception):
+            self._file.close()
+        with contextlib.suppress(Exception):
+            self._sock.close()
+
+    def __enter__(self) -> "RemoteQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the QueryEngine surface ----------------------------------------
+    def counts_block(
+        self, subset: Sequence[int], values: Sequence[Sequence[int]]
+    ) -> List[float]:
+        result = self.execute(CountsBlockRequest.build(subset, values)).result
+        return [float(count) for count in result]
+
+    def count(self, subset: Sequence[int], value: Sequence[int]) -> float:
+        return self.counts_block(subset, [value])[0]
+
+    def fraction(self, subset: Sequence[int], value: Sequence[int]) -> float:
+        return float(self.execute(FractionRequest.build(subset, value)).result)
+
+    def conjunction(self, query: Conjunction) -> float:
+        return self.fraction(query.subset, query.value)
+
+    def estimate(self, subset: Sequence[int], value: Sequence[int]) -> QueryEstimate:
+        return self.estimate_many(subset, [value])[0]
+
+    def estimate_many(
+        self, subset: Sequence[int], values: Sequence[Sequence[int]]
+    ) -> List[QueryEstimate]:
+        result = self.execute(EstimateManyRequest.build(subset, values)).result
+        return [estimate_from_payload(payload) for payload in result]
+
+    def marginal(self, subset: Sequence[int]) -> np.ndarray:
+        result = self.execute(MarginalRequest.build(subset)).result
+        return np.asarray([float(x) for x in result])
+
+    def any_of(self, queries: Sequence[Conjunction]) -> float:
+        request = AnyOfRequest.build([(q.subset, q.value) for q in queries])
+        return float(self.execute(request).result)
+
+    def exactly_l(self, positions: Sequence[int], l: int) -> float:
+        return float(self.execute(ExactlyLRequest.build(positions, l)).result)
+
+    def bit_matrix(self, positions: Sequence[int], target: int = 1) -> np.ndarray:
+        result = self.execute(BitMatrixRequest.build(positions, target)).result
+        return np.asarray(result, dtype=np.uint8)
+
+    def evaluate(self, plan: LinearPlan) -> float:
+        return float(self.execute(EvaluatePlanRequest.from_plan(plan)).result)

@@ -35,13 +35,15 @@ the published record; see :class:`~repro.core.sketch.Sketch`); pass
 collector uses it so worker shards ship back bit-identical to an
 in-process run.  The optional ``"it"`` field is ignored by older readers.
 
-The module also defines the **batched block-request wire protocol**:
+The module also keeps the **legacy batched block-request wire protocol**:
 one JSON message carrying ``(subset, values[])`` and its response carrying
-the matching counts, so a remote analyst's multi-value query (a histogram,
-a full marginal, a plan group) costs one round trip resolved through
-:meth:`~repro.server.engine.QueryEngine.counts_block` instead of one
-conjunctive query per message.  :func:`handle_block_request` is the
-server-side dispatcher: payload in, payload out.
+the matching counts.  Since the typed query protocol landed
+(:mod:`repro.protocol`), these functions are deprecated shims: they share
+the hoisted envelope helpers, :func:`handle_block_request` dispatches
+through :meth:`~repro.server.engine.QueryEngine.execute` like every other
+caller, and failures come back as the structured error envelope instead
+of a raw exception.  The bytes they emit are unchanged, so PR 3-era
+payloads still parse.
 """
 
 from __future__ import annotations
@@ -65,6 +67,8 @@ from .._npz import (
 from ..core.params import PrivacyParams
 from ..core.prf import public_prf_meta
 from ..core.sketch import Sketch
+from ..protocol.envelope import dumps_wire_message, loads_wire_message
+from ..protocol.messages import CountsBlockRequest, dumps_error, error_from_exception
 from .collector import SketchColumn, SketchStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports collector)
@@ -348,7 +352,7 @@ def loads_store(payload: str | bytes, expected_prf=None) -> tuple[SketchStore, d
 
 
 # ----------------------------------------------------------------------
-# Batched block-request wire protocol
+# Batched block-request wire protocol (deprecated shims over repro.protocol)
 # ----------------------------------------------------------------------
 _REQUEST_TAG = "repro-block-request"
 _RESPONSE_TAG = "repro-block-response"
@@ -363,29 +367,27 @@ def dumps_block_request(
     A remote analyst sends every candidate value of one subset — a
     histogram, a full marginal, one group of a compiled plan — in a
     single message instead of one conjunctive query per value.
+
+    .. deprecated:: superseded by
+       :class:`repro.protocol.messages.CountsBlockRequest`; kept as a
+       byte-compatible shim for PR 3-era payloads.
     """
-    subset_t = tuple(int(i) for i in subset)
-    value_ts = [tuple(int(bit) for bit in value) for value in values]
-    if not value_ts:
+    request = CountsBlockRequest.build(subset, values)
+    if not request.values:
         raise ValueError("a block request needs at least one value")
-    for value_t in value_ts:
-        if len(value_t) != len(subset_t):
-            raise ValueError(
-                f"value width {len(value_t)} does not match subset size {len(subset_t)}"
-            )
-    return json.dumps(
+    return dumps_wire_message(
+        _REQUEST_TAG,
+        _WIRE_VERSION,
         {
-            "format": _REQUEST_TAG,
-            "version": _WIRE_VERSION,
-            "subset": list(subset_t),
-            "values": [list(v) for v in value_ts],
-        }
+            "subset": list(request.subset),
+            "values": [list(v) for v in request.values],
+        },
     )
 
 
 def loads_block_request(payload: str) -> Tuple[Tuple[int, ...], List[Tuple[int, ...]]]:
     """Decode a block request into ``(subset, values)`` tuples."""
-    message = _loads_wire_message(payload, _REQUEST_TAG)
+    message = loads_wire_message(payload, _REQUEST_TAG, _WIRE_VERSION)
     try:
         subset = tuple(int(i) for i in message["subset"])
         values = [tuple(int(bit) for bit in value) for value in message["values"]]
@@ -412,20 +414,20 @@ def dumps_block_response(
         raise ValueError(
             f"{len(counts)} counts for {len(values)} values; must match 1:1"
         )
-    return json.dumps(
+    return dumps_wire_message(
+        _RESPONSE_TAG,
+        _WIRE_VERSION,
         {
-            "format": _RESPONSE_TAG,
-            "version": _WIRE_VERSION,
             "subset": [int(i) for i in subset],
             "values": [[int(bit) for bit in value] for value in values],
             "counts": [float(count) for count in counts],
-        }
+        },
     )
 
 
 def loads_block_response(payload: str) -> List[float]:
     """Decode a block response into the per-value counts (request order)."""
-    message = _loads_wire_message(payload, _RESPONSE_TAG)
+    message = loads_wire_message(payload, _RESPONSE_TAG, _WIRE_VERSION)
     try:
         return [float(count) for count in message["counts"]]
     except (KeyError, TypeError, ValueError) as exc:
@@ -433,29 +435,22 @@ def loads_block_response(payload: str) -> List[float]:
 
 
 def handle_block_request(engine: "QueryEngine", payload: str) -> str:
-    """Server-side dispatcher: block-request payload in, response out.
+    """Server-side dispatcher: block-request payload in, payload out — always.
 
     Resolves the whole batch through
-    :meth:`~repro.server.engine.QueryEngine.counts_block` — one cached PRF
-    block evaluation for a directly-sketched subset — so remote analysts
-    get the same batched path in-process callers enjoy.
+    :meth:`~repro.server.engine.QueryEngine.execute` — the same dispatch
+    table every in-process call and the asyncio server use, so remote
+    analysts hit the identical cached block-evaluation path.
+
+    No exception escapes to the transport caller any more: a malformed,
+    truncated, or unknown payload, a missing sketch, or any engine
+    failure comes back as the structured error envelope
+    (:func:`repro.protocol.messages.dumps_error` — code + message, never
+    a traceback).
     """
-    subset, values = loads_block_request(payload)
-    counts = engine.counts_block(subset, values)
-    return dumps_block_response(subset, values, counts)
-
-
-def _loads_wire_message(payload: str, expected_tag: str) -> dict:
     try:
-        message = json.loads(payload)
-    except json.JSONDecodeError as exc:
-        raise ValueError(f"malformed wire message: {exc}") from exc
-    if not isinstance(message, dict) or message.get("format") != expected_tag:
-        got = message.get("format") if isinstance(message, dict) else message
-        raise ValueError(f"expected a {expected_tag} message, got format={got!r}")
-    if message.get("version") != _WIRE_VERSION:
-        raise ValueError(
-            f"unsupported {expected_tag} version {message.get('version')!r}; "
-            f"this library speaks version {_WIRE_VERSION}"
-        )
-    return message
+        subset, values = loads_block_request(payload)
+        response = engine.execute(CountsBlockRequest.build(subset, values))
+        return dumps_block_response(subset, values, response.result)
+    except Exception as exc:  # noqa: BLE001 - the perimeter never re-raises
+        return dumps_error(error_from_exception(exc))

@@ -1,0 +1,365 @@
+"""The typed query protocol: round trips, error envelopes, legacy shims.
+
+Three layers of guarantees:
+
+* every request kind satisfies ``loads_request(dumps_request(x)) == x``
+  (property-tested over generated subsets/values/plans);
+* every failure crosses the wire as the structured error envelope —
+  code + message, never a raw traceback — and maps back to the exception
+  type a local caller would have caught;
+* the legacy block request/response of ``repro.server.serialization``
+  stay byte-compatible with their pre-protocol output, and
+  ``handle_block_request`` never lets an exception escape to the
+  transport caller.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BiasedPRF, PrivacyParams, SketchEstimator, Sketcher
+from repro.core.accountant import BudgetExceeded
+from repro.core.estimator import QueryEstimate
+from repro.data import bernoulli_panel
+from repro.protocol import (
+    PROTOCOL_VERSION,
+    AnyOfRequest,
+    BitMatrixRequest,
+    CountsBlockRequest,
+    EstimateManyRequest,
+    EvaluatePlanRequest,
+    ExactlyLRequest,
+    FractionRequest,
+    MarginalRequest,
+    ProtocolError,
+    QueryError,
+    RemoteQueryError,
+    REQUEST_KINDS,
+    REQUEST_TAG,
+    dumps_error,
+    dumps_request,
+    dumps_response,
+    dumps_wire_message,
+    error_from_exception,
+    estimate_from_payload,
+    estimate_to_payload,
+    exception_from_error,
+    loads_error,
+    loads_request,
+    loads_response,
+    loads_wire_message,
+    parse_reply,
+)
+from repro.protocol.messages import QueryResponse
+from repro.queries.ast import Conjunction, Literal
+from repro.queries.conjunctive import LinearPlan, PlanTerm
+from repro.server import MissingSketchError, QueryEngine, publish_database
+from repro.server.serialization import (
+    dumps_block_request,
+    handle_block_request,
+    loads_block_response,
+)
+
+from .conftest import GLOBAL_KEY
+
+# ----------------------------------------------------------------------
+# Strategies: structurally valid requests of every kind
+# ----------------------------------------------------------------------
+subsets = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=5, unique=True
+).map(tuple)
+
+
+def values_for(subset):
+    width = len(subset)
+    return st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=1), min_size=width, max_size=width
+        ).map(tuple),
+        min_size=1,
+        max_size=6,
+    )
+
+
+block_requests = subsets.flatmap(
+    lambda s: values_for(s).map(lambda vs: (s, vs))
+)
+
+
+@st.composite
+def any_of_requests(draw):
+    components = draw(
+        st.lists(
+            subsets.flatmap(
+                lambda s: values_for(s).map(lambda vs: (s, vs[0]))
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return AnyOfRequest.build(components)
+
+
+@st.composite
+def plan_requests(draw):
+    terms = draw(
+        st.lists(
+            st.tuples(
+                subsets.flatmap(lambda s: values_for(s).map(lambda vs: (s, vs[0]))),
+                st.floats(
+                    allow_nan=False, allow_infinity=False, min_value=-64, max_value=64
+                ),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return EvaluatePlanRequest.build(
+        [(subset, value, coeff) for (subset, value), coeff in terms],
+        description=draw(st.text(max_size=20)),
+    )
+
+
+class TestRoundTrips:
+    """Every kind: ``loads_request(dumps_request(x)) == x``."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(block_requests)
+    def test_counts_block(self, pair):
+        subset, values = pair
+        request = CountsBlockRequest.build(subset, values)
+        assert loads_request(dumps_request(request)) == request
+
+    @settings(max_examples=50, deadline=None)
+    @given(block_requests)
+    def test_estimate_many(self, pair):
+        subset, values = pair
+        request = EstimateManyRequest.build(subset, values)
+        assert loads_request(dumps_request(request)) == request
+
+    @settings(max_examples=50, deadline=None)
+    @given(subsets)
+    def test_marginal(self, subset):
+        request = MarginalRequest.build(subset)
+        assert loads_request(dumps_request(request)) == request
+
+    @settings(max_examples=50, deadline=None)
+    @given(block_requests)
+    def test_fraction(self, pair):
+        subset, values = pair
+        request = FractionRequest.build(subset, values[0])
+        assert loads_request(dumps_request(request)) == request
+
+    @settings(max_examples=50, deadline=None)
+    @given(any_of_requests())
+    def test_any_of(self, request):
+        assert loads_request(dumps_request(request)) == request
+
+    @settings(max_examples=50, deadline=None)
+    @given(subsets, st.integers(min_value=0, max_value=5))
+    def test_exactly_l(self, positions, l):
+        request = ExactlyLRequest.build(positions, l)
+        assert loads_request(dumps_request(request)) == request
+
+    @settings(max_examples=50, deadline=None)
+    @given(subsets, st.integers(min_value=0, max_value=1))
+    def test_bit_matrix(self, positions, target):
+        request = BitMatrixRequest.build(positions, target)
+        assert loads_request(dumps_request(request)) == request
+
+    @settings(max_examples=50, deadline=None)
+    @given(plan_requests())
+    def test_evaluate_plan(self, request):
+        assert loads_request(dumps_request(request)) == request
+
+    @settings(max_examples=50, deadline=None)
+    @given(plan_requests())
+    def test_plan_survives_ast_round_trip(self, request):
+        """to_plan canonicalises literal order (sorted by position), after
+        which from_plan/to_plan is the identity."""
+        canonical = EvaluatePlanRequest.from_plan(request.to_plan())
+        assert EvaluatePlanRequest.from_plan(canonical.to_plan()) == canonical
+        # Canonicalisation only reorders literals within a term.
+        for (subset, value, coeff), (c_subset, c_value, c_coeff) in zip(
+            request.terms, canonical.terms
+        ):
+            assert sorted(zip(c_subset, c_value)) == sorted(zip(subset, value))
+            assert c_coeff == coeff
+
+    def test_every_registered_kind_is_covered(self):
+        assert sorted(REQUEST_KINDS) == sorted(
+            [
+                "counts_block",
+                "estimate_many",
+                "marginal",
+                "fraction",
+                "any_of",
+                "exactly_l",
+                "bit_matrix",
+                "evaluate_plan",
+            ]
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_estimate_payload_is_exact(self, fraction, num_users):
+        estimate = QueryEstimate(
+            fraction=fraction,
+            count=fraction * num_users,
+            raw_fraction=fraction / 3.0 if fraction else 0.0,
+            num_users=num_users,
+            half_width=abs(fraction) / 7.0 if fraction else 0.125,
+            delta=0.05,
+        )
+        # JSON text round trip included: repr shortest-round-trip floats.
+        payload = json.loads(json.dumps(estimate_to_payload(estimate)))
+        assert estimate_from_payload(payload) == estimate
+
+
+class TestEnvelope:
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError, match="malformed wire message") as info:
+            loads_request("{not json")
+        assert info.value.code == "malformed_request"
+
+    def test_wrong_tag(self):
+        with pytest.raises(ProtocolError, match="expected a repro-query-request"):
+            loads_request(json.dumps({"format": "nope", "version": PROTOCOL_VERSION}))
+
+    def test_wrong_version(self):
+        with pytest.raises(ProtocolError, match="version") as info:
+            loads_request(json.dumps({"format": REQUEST_TAG, "version": 99}))
+        assert info.value.code == "unsupported_version"
+
+    def test_unknown_kind(self):
+        payload = dumps_wire_message(
+            REQUEST_TAG, PROTOCOL_VERSION, {"kind": "histogram_3d"}
+        )
+        with pytest.raises(ProtocolError, match="unknown request kind") as info:
+            loads_request(payload)
+        assert info.value.code == "unknown_kind"
+
+    def test_missing_field(self):
+        payload = dumps_wire_message(
+            REQUEST_TAG, PROTOCOL_VERSION, {"kind": "counts_block", "subset": [0]}
+        )
+        with pytest.raises(ProtocolError, match="missing required field"):
+            loads_request(payload)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ProtocolError, match="width"):
+            CountsBlockRequest.build((0, 1), [(1,)])
+
+    def test_protocol_error_is_a_value_error(self):
+        """Legacy callers catching ValueError keep working."""
+        assert issubclass(ProtocolError, ValueError)
+
+    def test_error_envelope_round_trip(self):
+        error = QueryError("budget_exceeded", "analyst 'a' is out of budget")
+        assert loads_error(dumps_error(error)) == error
+
+    def test_response_round_trip_is_json_native(self):
+        response = QueryResponse(kind="marginal", result=[0.25, 0.75])
+        assert loads_response(dumps_response(response)).result == [0.25, 0.75]
+
+    def test_parse_reply_raises_mapped_exception(self):
+        with pytest.raises(BudgetExceeded):
+            parse_reply(dumps_error(QueryError("budget_exceeded", "spent")))
+        with pytest.raises(MissingSketchError):
+            parse_reply(dumps_error(QueryError("missing_sketch", "no (7, 9)")))
+        with pytest.raises(ValueError):
+            parse_reply(dumps_error(QueryError("invalid_query", "bad width")))
+        with pytest.raises(RemoteQueryError) as info:
+            parse_reply(dumps_error(QueryError("rate_limited", "slow down")))
+        assert info.value.code == "rate_limited"
+
+    def test_error_from_exception_codes(self):
+        assert error_from_exception(BudgetExceeded("x")).code == "budget_exceeded"
+        assert error_from_exception(MissingSketchError("x")).code == "missing_sketch"
+        assert error_from_exception(ValueError("x")).code == "invalid_query"
+        assert (
+            error_from_exception(ProtocolError("unknown_kind", "x")).code
+            == "unknown_kind"
+        )
+        internal = error_from_exception(RuntimeError("boom"))
+        assert internal.code == "internal_error"
+        assert "Traceback" not in internal.message
+        assert "boom" in internal.message
+
+    def test_exception_round_trip_preserves_type(self):
+        for exc in (
+            BudgetExceeded("a"),
+            MissingSketchError("b"),
+            ValueError("c"),
+            ProtocolError("malformed_request", "d"),
+        ):
+            mapped = exception_from_error(error_from_exception(exc))
+            assert type(mapped) is type(exc)
+
+
+# ----------------------------------------------------------------------
+# Legacy block-request shims
+# ----------------------------------------------------------------------
+def make_engine(num_users: int = 120, seed: int = 3):
+    params = PrivacyParams(p=0.3)
+    prf = BiasedPRF(p=0.3, global_key=GLOBAL_KEY)
+    database = bernoulli_panel(num_users, 4, rng=np.random.default_rng(seed))
+    sketcher = Sketcher(params, prf, sketch_bits=8, rng=np.random.default_rng(seed + 1))
+    store = publish_database(
+        database, sketcher, [(0, 1), (1, 2, 3)], workers=1, seed=seed
+    )
+    return QueryEngine(database.schema, store, SketchEstimator(params, prf))
+
+
+class TestLegacyShims:
+    def test_block_request_bytes_are_unchanged(self):
+        """The shim emits exactly the historical payload, byte for byte."""
+        payload = dumps_block_request((0, 1), [(0, 0), (1, 1)])
+        assert payload == json.dumps(
+            {
+                "format": "repro-block-request",
+                "version": 1,
+                "subset": [0, 1],
+                "values": [[0, 0], [1, 1]],
+            }
+        )
+
+    def test_handle_returns_error_envelope_for_malformed_payload(self):
+        engine = make_engine()
+        reply = handle_block_request(engine, "{truncated")
+        error = loads_error(reply)
+        assert error.code == "malformed_request"
+        assert "Traceback" not in error.message
+
+    def test_handle_returns_error_envelope_for_unknown_format(self):
+        engine = make_engine()
+        reply = handle_block_request(
+            engine, json.dumps({"format": "mystery", "version": 1})
+        )
+        assert loads_error(reply).code == "malformed_request"
+
+    def test_handle_returns_error_envelope_for_wrong_version(self):
+        engine = make_engine()
+        reply = handle_block_request(
+            engine, json.dumps({"format": "repro-block-request", "version": 9})
+        )
+        assert loads_error(reply).code == "unsupported_version"
+
+    def test_handle_returns_error_envelope_for_missing_sketch(self):
+        engine = make_engine()
+        request = dumps_block_request((5, 7), [(1, 1)])
+        error = loads_error(handle_block_request(engine, request))
+        assert error.code == "missing_sketch"
+        assert "(5, 7)" in error.message
+
+    def test_handle_success_path_unchanged(self):
+        engine = make_engine()
+        values = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        reply = handle_block_request(engine, dumps_block_request((0, 1), values))
+        assert loads_block_response(reply) == engine.counts_block((0, 1), values)
