@@ -54,6 +54,7 @@ _EXPERIMENTS = [
     ("E23", "object-free multi-subset queries (aligned columns)", "benchmarks/bench_aligned_columns.py"),
     ("E24", "counter-mode PRF backend + batched collection", "benchmarks/bench_prf_backends.py"),
     ("E25", "remote serving tier: protocol throughput + latency", "benchmarks/bench_serving.py"),
+    ("E26", "sharded serving: scatter-gather throughput vs shard count", "benchmarks/bench_sharded.py"),
     ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
     ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
     ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
@@ -179,6 +180,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--ready-file", default=None, metavar="PATH",
         help="write 'host port' to PATH once the socket is bound (lets "
         "scripts use --port 0 and discover the real port)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="serve the store horizontally sharded: split it into N "
+        "contiguous user ranges, run one worker process per shard, and "
+        "answer queries by exact scatter-gather (bit-identical to "
+        "single-store serving)",
+    )
+    serve.add_argument(
+        "--shard-dir", default=None, metavar="PATH",
+        help="directory for the per-shard stores, caches and the "
+        "shard-map checkpoint (default: a temporary directory; only "
+        "meaningful with --shards)",
     )
 
     query = subparsers.add_parser(
@@ -442,30 +456,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    service = None
     try:
         params = PrivacyParams(p=float(p))
         prf = backend(p=float(p), global_key=global_key)
-        engine = QueryEngine(None, store, SketchEstimator(params, prf))
+        if args.shards is not None:
+            import tempfile
+
+            from .server import ShardedService
+
+            shard_dir = args.shard_dir or tempfile.mkdtemp(prefix="repro-shards-")
+            service = ShardedService.from_store(store, prf, args.shards, shard_dir)
+            service.start()
+            front = service.coordinator
+        else:
+            front = QueryEngine(None, store, SketchEstimator(params, prf))
         server = RemoteServer(
-            engine, tokens, epsilon=args.epsilon, rate_limit=args.rate_limit
+            front, tokens, epsilon=args.epsilon, rate_limit=args.rate_limit
         )
     except ValueError as exc:
+        if service is not None:
+            service.close()
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     def _ready(address) -> None:
         host, port = address
         budget = "unlimited" if args.epsilon is None else f"epsilon={args.epsilon:g}"
+        sharding = "" if service is None else f", {args.shards} shard worker(s)"
         print(
             f"serving {args.store} on {host}:{port} "
-            f"({len(tokens)} analyst token(s), budget {budget})",
+            f"({len(tokens)} analyst token(s), budget {budget}{sharding})",
             flush=True,
         )
         if args.ready_file:
             with open(args.ready_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{host} {port}\n")
 
-    server.run(args.host, args.port, ready_callback=_ready)
+    try:
+        server.run(args.host, args.port, ready_callback=_ready)
+    finally:
+        if service is not None:
+            service.close()
     return 0
 
 

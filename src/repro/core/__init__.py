@@ -7,6 +7,7 @@ The module layout mirrors the paper:
 * :mod:`repro.core.sketch` — Algorithm 1 (user-side sketching);
 * :mod:`repro.core.estimator` — Algorithm 2 (aggregator-side queries);
 * :mod:`repro.core.combine` — Appendix F (union-of-subsets queries);
+* :mod:`repro.core.partition` — contiguous user-range sharding helpers;
 * :mod:`repro.core.exact` — exact publish-probability analysis (Lemma 3.3);
 * :mod:`repro.core.accountant` — multi-sketch budgets (Corollary 3.4).
 """
@@ -21,6 +22,7 @@ from .combine import (
     CombinedEstimate,
     combine_mixed_bits,
     combine_aligned_bits,
+    combine_from_weight_counts,
     combine_sketch_groups,
     combine_virtual_bits,
     condition_number,
@@ -30,6 +32,7 @@ from .combine import (
     transition_probability,
     weight_histogram,
 )
+from .partition import range_bounds, split_columns_by_user_range, user_universe
 from .estimator import QueryEstimate, SketchEstimator
 from .functional import FunctionEstimator, FunctionSketcher, ProfileFunction
 from .exact import (
@@ -76,6 +79,7 @@ __all__ = [
     "average_publish_probability",
     "combine_mixed_bits",
     "combine_aligned_bits",
+    "combine_from_weight_counts",
     "combine_sketch_groups",
     "combine_virtual_bits",
     "condition_number",
@@ -88,8 +92,11 @@ __all__ = [
     "perturbation_matrix",
     "prf_from_spec",
     "publish_probability",
+    "range_bounds",
     "solve_weight_counts",
+    "split_columns_by_user_range",
     "transition_probability",
+    "user_universe",
     "weight_histogram",
     "worst_case_ratio",
 ]

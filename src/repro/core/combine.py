@@ -42,6 +42,7 @@ __all__ = [
     "weight_histogram",
     "solve_weight_counts",
     "CombinedEstimate",
+    "combine_from_weight_counts",
     "combine_virtual_bits",
     "combine_aligned_bits",
     "combine_sketch_groups",
@@ -219,6 +220,38 @@ def combine_aligned_bits(
     if len(sizes) != 1:
         raise ValueError(f"bit columns have mismatched user counts: {sorted(sizes)}")
     return combine_virtual_bits(np.column_stack(columns), p)
+
+
+def combine_from_weight_counts(
+    counts: Sequence[int], num_users: int, p: float
+) -> CombinedEstimate:
+    """Appendix F reconstruction from an *integer* Hamming-weight histogram.
+
+    The reduction-side entry point for sharded serving: ``counts[w]`` is
+    the number of aligned users whose ``k`` virtual bits have weight
+    ``w`` (so ``len(counts) == k + 1`` and ``sum(counts) == num_users``).
+    Disjoint user ranges reduce by integer addition, and the fractions
+    ``counts / num_users`` are the same correctly-rounded float64
+    divisions :func:`weight_histogram` performs over the concatenated
+    matrix — so a coordinator that sums per-shard histograms and calls
+    this produces floats bit-identical to :func:`combine_virtual_bits`.
+    """
+    histogram = np.asarray(counts, dtype=np.float64)
+    if histogram.ndim != 1 or histogram.size < 1:
+        raise ValueError(
+            f"expected a 1-D (k+1)-entry weight histogram, got shape {histogram.shape}"
+        )
+    if num_users <= 0:
+        raise ValueError(f"num_users must be positive, got {num_users}")
+    k = histogram.size - 1
+    solved = solve_weight_counts(histogram / int(num_users), p)
+    return CombinedEstimate(
+        fraction=float(solved[-1]),
+        none_fraction=float(solved[0]),
+        weight_distribution=solved,
+        condition=condition_number(k, p),
+        num_users=int(num_users),
+    )
 
 
 def combine_sketch_groups(

@@ -230,6 +230,36 @@ class SketchEstimator:
             delta=delta,
         )
 
+    def estimate_from_counts(
+        self, bit_sum: int, num_users: int, delta: float = 0.05
+    ) -> QueryEstimate:
+        """:meth:`estimate_from_bits` from the sufficient statistic ``(sum, M)``.
+
+        The scatter-gather reduction path: a 0/1 column's mean is
+        ``bit_sum / num_users`` computed in float64, and every partial
+        integer sum is exactly representable, so a coordinator that adds
+        per-shard integer bit sums and calls this reproduces the
+        single-store estimate bit for bit (``np.mean`` over int8 bits
+        accumulates in float64 and performs the same correctly-rounded
+        final division).
+        """
+        num_users = int(num_users)
+        if num_users == 0:
+            raise ValueError("cannot estimate from zero users")
+        raw = float(int(bit_sum)) / num_users
+        fraction = self._debias(raw, self.params.p)
+        if self.clamp:
+            fraction = min(1.0, max(0.0, fraction))
+        half_width = self.half_width(num_users, delta)
+        return QueryEstimate(
+            fraction=fraction,
+            count=fraction * num_users,
+            raw_fraction=raw,
+            num_users=num_users,
+            half_width=half_width,
+            delta=delta,
+        )
+
     def debias_fraction(self, raw_fraction: float, bias: float | None = None) -> float:
         """Invert ``E[r~] = (1-p) r + p (1-r)`` for an arbitrary bias.
 

@@ -1,0 +1,121 @@
+"""Contiguous user-range partitioning — the shard axis of horizontal serving.
+
+The paper's counting queries reduce by pure summation over users, so any
+partition of the user population into disjoint groups recombines
+*exactly*: per-group integer bit sums and Hamming-weight histograms add
+up to precisely the statistics a single store would compute.  This
+module picks the one partition that also preserves *order*: contiguous
+ranges of the **sorted** user-id universe.
+
+Why sorted-contiguous specifically: ``SketchStore.aligned_columns``
+orders its common users by ``sorted(common)``.  When shard ``i`` holds
+the ``i``-th contiguous slice of the sorted universe, every shard's
+aligned order is itself sorted and every aligned user of shard ``i``
+precedes every aligned user of shard ``i + 1`` — so concatenating
+per-shard aligned results in shard order reproduces the single-store
+aligned order exactly, row for row.  That is what lets a coordinator
+return bit-identical ``bit_matrix`` responses (and exact argsort
+reconstruction in the partitioner property tests) without any global
+re-sort.
+
+The helpers here are deliberately store-agnostic: they operate on the
+``{subset: column}`` mapping produced by ``SketchStore.to_columns`` and
+rebuild columns via ``type(column)(...)``, so ``repro.core`` does not
+import ``repro.server``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "range_bounds",
+    "split_columns_by_user_range",
+    "user_universe",
+]
+
+Subset = Tuple[int, ...]
+#: Any ``(user_ids, keys, num_bits, iterations)`` NamedTuple — in
+#: practice :class:`repro.server.collector.SketchColumn`.
+ColumnT = TypeVar("ColumnT")
+
+
+def user_universe(columns: Dict[Subset, ColumnT]) -> List[str]:
+    """Sorted union of every user id appearing in any column.
+
+    Sorted lexicographically — the exact order
+    ``SketchStore.aligned_columns`` sorts common users by, which is what
+    makes contiguous ranges of this universe concatenation-compatible
+    with single-store alignment (see the module docstring).
+    """
+    universe: set = set()
+    for column in columns.values():
+        universe.update(column.user_ids)
+    return sorted(universe)
+
+
+def range_bounds(num_users: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous ``[lo, hi)`` index ranges covering ``range(num_users)``.
+
+    The first ``num_users % n_shards`` shards take one extra user, so
+    shard sizes differ by at most one and concatenating the ranges in
+    shard order reproduces ``range(num_users)`` exactly.  ``n_shards``
+    may exceed ``num_users`` — the surplus shards get empty ranges.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if num_users < 0:
+        raise ValueError(f"num_users must be >= 0, got {num_users}")
+    base, extra = divmod(num_users, n_shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(n_shards):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def split_columns_by_user_range(
+    columns: Dict[Subset, ColumnT], n_shards: int
+) -> List[Dict[Subset, ColumnT]]:
+    """Split per-subset columns into ``n_shards`` contiguous user ranges.
+
+    Properties (asserted by the hypothesis suite in
+    ``tests/test_partition.py``):
+
+    * shard universes are pairwise disjoint and jointly cover every user;
+    * their concatenation in shard order *is* the sorted universe
+      (contiguity);
+    * within each shard, every column keeps its original publication
+      order, so concatenating a subset's shard pieces and argsorting by
+      original position reconstructs the original column exactly.
+
+    A shard whose range contains no publisher of some subset simply
+    omits that subset (stores never hold empty columns — see
+    ``SketchStore.publish_column``).
+    """
+    universe = user_universe(columns)
+    bounds = range_bounds(len(universe), n_shards)
+    shards: List[Dict[Subset, ColumnT]] = []
+    for lo, hi in bounds:
+        members = set(universe[lo:hi])
+        shard: Dict[Subset, ColumnT] = {}
+        for subset, column in columns.items():
+            count = len(column.user_ids)
+            mask = np.fromiter(
+                (uid in members for uid in column.user_ids), dtype=bool, count=count
+            )
+            if not mask.any():
+                continue
+            keep = mask.tolist()
+            shard[subset] = type(column)(
+                user_ids=[uid for uid, kept in zip(column.user_ids, keep) if kept],
+                keys=np.ascontiguousarray(np.asarray(column.keys)[mask]),
+                num_bits=np.ascontiguousarray(np.asarray(column.num_bits)[mask]),
+                iterations=np.ascontiguousarray(np.asarray(column.iterations)[mask]),
+            )
+        shards.append(shard)
+    return shards

@@ -38,6 +38,7 @@ from .messages import (
     QueryRequest,
     QueryResponse,
     RemoteQueryError,
+    ShardPartialRequest,
     dumps_error,
     dumps_hello,
     dumps_request,
@@ -79,6 +80,7 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "RemoteQueryError",
+    "ShardPartialRequest",
     "dumps_error",
     "dumps_hello",
     "dumps_request",

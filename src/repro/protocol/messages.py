@@ -67,6 +67,7 @@ __all__ = [
     "ExactlyLRequest",
     "BitMatrixRequest",
     "EvaluatePlanRequest",
+    "ShardPartialRequest",
     "QueryResponse",
     "QueryError",
     "RemoteQueryError",
@@ -95,8 +96,9 @@ HELLO_TAG = "repro-hello"
 WELCOME_TAG = "repro-welcome"
 
 #: Every code the structured error envelope may carry.  4xx-style codes
-#: (caller's fault) come first; ``internal_error`` is the only 5xx-style
-#: one and its message never includes a traceback.
+#: (caller's fault) come first; ``shard_unavailable`` (a required shard
+#: is unreachable — retryable once it rejoins) and ``internal_error``
+#: are the 5xx-style ones, and no message ever includes a traceback.
 ERROR_CODES = (
     "malformed_request",
     "unsupported_version",
@@ -106,6 +108,7 @@ ERROR_CODES = (
     "budget_exceeded",
     "unauthorized",
     "rate_limited",
+    "shard_unavailable",
     "internal_error",
 )
 
@@ -472,6 +475,92 @@ class EvaluatePlanRequest(QueryRequest):
         return tuple(dict.fromkeys(subset for subset, _, _ in self.terms))
 
 
+@dataclass(frozen=True)
+class ShardPartialRequest(QueryRequest):
+    """Shard-internal partial-statistics request (coordinator → shard worker).
+
+    Not part of the analyst surface: the shard coordinator decomposes
+    each public query into one of three *integer* sufficient statistics,
+    which partials from disjoint user ranges recombine exactly (see
+    :mod:`repro.queries.reduction`):
+
+    ``bit_sums``
+        one subset, each group a single value — the worker returns
+        ``{"num_users", "sums"}``: the subset's user count and one
+        integer bit sum per value.
+    ``weight_counts``
+        ``k`` subsets, each group carrying one value per subset — the
+        worker returns ``{"num_users", "counts"}``: the shard's aligned
+        intersection size and, per group, the ``k + 1``-entry integer
+        Hamming-weight histogram of the aligned virtual-bit matrix.
+    ``matrix_rows``
+        ``k`` subsets, one group of targets — the worker returns
+        ``{"num_users", "rows"}``: its aligned virtual-bit matrix rows,
+        in the shard's (sorted) aligned order.
+
+    A shard holding no publisher of a requested subset — or no user
+    aligned across all of them — answers with ``num_users = 0`` and
+    zero/empty statistics rather than an error; whether a subset is
+    missing *globally* is the coordinator's call against the full
+    catalog, made before any fan-out.
+    """
+
+    op: str
+    subsets: Tuple[Tuple[int, ...], ...]
+    groups: Tuple[Tuple[Tuple[int, ...], ...], ...]
+
+    kind: ClassVar[str] = "shard_partial"
+    OPS: ClassVar[Tuple[str, ...]] = ("bit_sums", "weight_counts", "matrix_rows")
+
+    @classmethod
+    def build(
+        cls,
+        op: str,
+        subsets: Sequence[Sequence[int]],
+        groups: Sequence[Sequence[Sequence[int]]],
+    ) -> "ShardPartialRequest":
+        if op not in cls.OPS:
+            raise ProtocolError(
+                "malformed_request",
+                f"unknown shard partial op {op!r}; expected one of {list(cls.OPS)}",
+            )
+        subset_ts = tuple(_int_tuple(s, "shard partial subset") for s in subsets)
+        if not subset_ts:
+            raise ProtocolError("malformed_request", "shard partial names no subsets")
+        built_groups = []
+        for group in groups:
+            if len(group) != len(subset_ts):
+                raise ProtocolError(
+                    "malformed_request",
+                    f"shard partial group carries {len(group)} values "
+                    f"for {len(subset_ts)} subsets",
+                )
+            built_groups.append(
+                tuple(
+                    _value_tuple(value, len(subset_t), "shard partial value")
+                    for subset_t, value in zip(subset_ts, group)
+                )
+            )
+        return cls(op=str(op), subsets=subset_ts, groups=tuple(built_groups))
+
+    def body(self) -> dict:
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "subsets": [list(s) for s in self.subsets],
+            "groups": [[list(v) for v in group] for group in self.groups],
+        }
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "ShardPartialRequest":
+        return cls.build(
+            _require(body, "op"), _require(body, "subsets"), _require(body, "groups")
+        )
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(dict.fromkeys(self.subsets))
+
+
 #: kind -> request class, the dispatch registry both the serialiser and
 #: :meth:`QueryEngine.execute` share.
 REQUEST_KINDS: Dict[str, Type[QueryRequest]] = {
@@ -485,6 +574,7 @@ REQUEST_KINDS: Dict[str, Type[QueryRequest]] = {
         ExactlyLRequest,
         BitMatrixRequest,
         EvaluatePlanRequest,
+        ShardPartialRequest,
     )
 }
 
@@ -666,9 +756,10 @@ def error_from_exception(exc: BaseException) -> QueryError:
     ``internal_error`` with the exception's message only — a raw
     traceback never crosses the wire.
     """
-    # Imported lazily: engine imports this module, so a module-level
-    # import would be circular.
+    # Imported lazily: engine and sharded import this module, so
+    # module-level imports would be circular.
     from ..server.engine import MissingSketchError
+    from ..server.sharded import ShardUnavailableError
 
     if isinstance(exc, BudgetExceeded):
         return QueryError("budget_exceeded", str(exc))
@@ -676,6 +767,8 @@ def error_from_exception(exc: BaseException) -> QueryError:
         # KeyError str() wraps its message in quotes; unwrap for the wire.
         message = exc.args[0] if exc.args else str(exc)
         return QueryError("missing_sketch", str(message))
+    if isinstance(exc, ShardUnavailableError):
+        return QueryError("shard_unavailable", str(exc))
     if isinstance(exc, ProtocolError):
         return QueryError(exc.code, str(exc))
     if isinstance(exc, (ValueError, KeyError, TypeError, ZeroDivisionError)):
@@ -686,11 +779,14 @@ def error_from_exception(exc: BaseException) -> QueryError:
 def exception_from_error(error: QueryError) -> Exception:
     """Map an error envelope back to the exception local callers expect."""
     from ..server.engine import MissingSketchError
+    from ..server.sharded import ShardUnavailableError
 
     if error.code == "budget_exceeded":
         return BudgetExceeded(error.message)
     if error.code == "missing_sketch":
         return MissingSketchError(error.message)
+    if error.code == "shard_unavailable":
+        return ShardUnavailableError(error.message)
     if error.code == "invalid_query":
         return ValueError(error.message)
     if error.code in ("malformed_request", "unsupported_version", "unknown_kind"):

@@ -33,6 +33,11 @@ from .disjunction import (
 )
 from .interval import less_equal_plan, less_than_plan, range_plan
 from .numeric import inner_product_plan, moment_plan, sum_plan
+from .reduction import (
+    merge_bit_sum_partials,
+    merge_matrix_partials,
+    merge_weight_count_partials,
+)
 from .virtual import (
     addition_event_literals,
     addition_interval_fraction,
@@ -62,6 +67,9 @@ __all__ = [
     "inner_product_plan",
     "less_equal_plan",
     "less_than_plan",
+    "merge_bit_sum_partials",
+    "merge_matrix_partials",
+    "merge_weight_count_partials",
     "moment_plan",
     "range_plan",
     "simplex_project",

@@ -28,6 +28,16 @@ from .serialization import (
     loads_store,
     save_store,
 )
+from .sharded import (
+    ShardCoordinator,
+    ShardMap,
+    ShardSpec,
+    ShardUnavailableError,
+    ShardWorkerEngine,
+    ShardedService,
+    run_shard_worker,
+    sharded_service,
+)
 from .streaming import StreamingEstimator, merge_stores
 from .sulq import DualModeServer, QueryBudgetExhausted, QueryRecord, SulqServer
 
@@ -40,6 +50,12 @@ __all__ = [
     "QueryRecord",
     "RemoteQueryEngine",
     "RemoteServer",
+    "ShardCoordinator",
+    "ShardMap",
+    "ShardSpec",
+    "ShardUnavailableError",
+    "ShardWorkerEngine",
+    "ShardedService",
     "SketchColumn",
     "SketchEvaluationCache",
     "SketchStore",
@@ -58,7 +74,9 @@ __all__ = [
     "per_bit_subsets",
     "prefix_subsets",
     "publish_database",
+    "run_shard_worker",
     "save_store",
     "serve_in_thread",
+    "sharded_service",
     "store_content_hash",
 ]

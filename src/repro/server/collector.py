@@ -378,6 +378,28 @@ class SketchStore:
             store.publish_column(subset, column)
         return store
 
+    def split_by_user_range(self, n_shards: int) -> List["SketchStore"]:
+        """Partition this store into ``n_shards`` stores by contiguous user range.
+
+        Shard ``i`` holds the ``i``-th contiguous slice of the **sorted**
+        user-id universe (balanced: sizes differ by at most one), which
+        keeps each shard's :meth:`aligned_columns` order a contiguous run
+        of the single-store aligned order — the property that makes
+        scatter-gathered query reductions bit-identical (see
+        :mod:`repro.core.partition`).  Within each shard, columns keep
+        their original publication order, and each shard store
+        round-trips through the columnar v2 format unchanged.  A shard
+        whose range contains no publisher of some subset simply lacks
+        that subset (stores never hold empty columns); with more shards
+        than users, the surplus shards are empty stores.
+        """
+        from ..core.partition import split_columns_by_user_range
+
+        return [
+            SketchStore.from_columns(shard)
+            for shard in split_columns_by_user_range(self.to_columns(), n_shards)
+        ]
+
     def aligned_columns(self, subsets: Sequence[Sequence[int]]) -> AlignedColumns:
         """User-aligned array views over several subsets' columns.
 

@@ -26,6 +26,7 @@ sketches through the public PRF.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import io
 import json
@@ -33,6 +34,11 @@ import os
 import shutil
 import tempfile
 import time
+
+try:  # POSIX file locking for cross-process sweep coordination.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -74,6 +80,7 @@ __all__ = [
     "MissingSketchError",
     "SketchEvaluationCache",
     "QueryEngine",
+    "search_exact_cover",
     "store_content_hash",
 ]
 
@@ -750,6 +757,43 @@ class SketchEvaluationCache:
             self.stats["swept_entries"] += 1
             self.stats["swept_bytes"] += size
 
+    _LOCK_FILENAME = ".sweep-lock"
+
+    @contextlib.contextmanager
+    def _sweep_lock(self):
+        """Serialize sibling writers' [write-batch + sweep] critical sections.
+
+        With a byte budget, each ``bits()`` batch ends in an LRU sweep
+        whose eviction decision scans the whole directory; two sibling
+        processes (e.g. shard workers sharing one ``cache_budget_bytes``)
+        interleaving writes *after* each other's scans could both leave
+        the directory over budget with nobody left to notice.  An
+        exclusive ``flock`` on a lock file, held for the duration of the
+        batch, makes [writes + sweep] atomic across processes: the last
+        critical section to run sees every entry, so the budget is a
+        hard invariant once the writers exit — at the price of sibling
+        writers serializing their batches.  The lock file itself is
+        never an eviction candidate (the sweep only considers ``*.npy``)
+        and the protocol degrades to the old per-process soft budget
+        where ``flock`` is unavailable.
+        """
+        if self._dir is None or self._budget is None or fcntl is None:
+            yield
+            return
+        path = os.path.join(self._dir, self._LOCK_FILENAME)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+        except FileNotFoundError:
+            # The directory was removed out from under us; recreate it,
+            # matching _atomic_write's contract.
+            os.makedirs(self._dir, exist_ok=True)
+            fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the descriptor releases the flock
+
     def bits(self, subset: Subset, values: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
         """Per-user virtual bit vectors for several values of one subset.
 
@@ -764,6 +808,12 @@ class SketchEvaluationCache:
             # Strict 0/1 validation up front: entry paths hash the value
             # bytes, so a masked bit would alias two distinct queries.
             validate_value_bits(value)
+        with self._sweep_lock():
+            return self._bits_batch(subset, values)
+
+    def _bits_batch(
+        self, subset: Subset, values: Sequence[Tuple[int, ...]]
+    ) -> List[np.ndarray]:
         num_users = self.store.num_users(subset)
         # The store column feeds the PRF directly — the query hot path
         # never materialises per-Sketch records (store format v2) — but
@@ -860,6 +910,38 @@ class MissingSketchError(KeyError):
     The message lists both the missing subset and what *is* available, so
     the fix (extend the publishing policy) is immediate.
     """
+
+
+def search_exact_cover(
+    target: Subset, subsets: Sequence[Subset]
+) -> Optional[List[Subset]]:
+    """Exact-cover search: express ``target`` as a disjoint union of
+    ``subsets``.  Candidate lists are tiny (a publishing policy rarely
+    has more than a few hundred subsets), so a simple backtracking
+    search is plenty.
+
+    Module-level because the single-store engine and the shard
+    coordinator must pick the *same* partition for the same catalog —
+    identical candidate order (``subsets`` insertion order, stably
+    sorted by length descending) is part of what makes distributed
+    Appendix F reductions bit-identical.
+    """
+    remaining = frozenset(target)
+    candidates = [s for s in subsets if set(s) <= remaining and s]
+    candidates.sort(key=len, reverse=True)
+
+    def search(uncovered: frozenset, start: int) -> Optional[List[Subset]]:
+        if not uncovered:
+            return []
+        for index in range(start, len(candidates)):
+            candidate = candidates[index]
+            if set(candidate) <= uncovered:
+                rest = search(uncovered - set(candidate), index + 1)
+                if rest is not None:
+                    return [candidate] + rest
+        return None
+
+    return search(remaining, 0)
 
 
 class QueryEngine:
@@ -1376,28 +1458,9 @@ class QueryEngine:
         return partition
 
     def _search_partition(self, target: Subset) -> Optional[List[Subset]]:
-        """Exact-cover search: express ``target`` as a disjoint union of
-        sketched subsets.  Candidate lists are tiny (a publishing policy
-        rarely has more than a few hundred subsets), so a simple
-        backtracking search is plenty."""
-        remaining = frozenset(target)
-        candidates = [
-            s for s in self.store.subsets if set(s) <= remaining and s
-        ]
-        candidates.sort(key=len, reverse=True)
-
-        def search(uncovered: frozenset, start: int) -> Optional[List[Subset]]:
-            if not uncovered:
-                return []
-            for index in range(start, len(candidates)):
-                candidate = candidates[index]
-                if set(candidate) <= uncovered:
-                    rest = search(uncovered - set(candidate), index + 1)
-                    if rest is not None:
-                        return [candidate] + rest
-            return None
-
-        return search(remaining, 0)
+        """Express ``target`` as a disjoint union of sketched subsets
+        (see :func:`search_exact_cover`)."""
+        return search_exact_cover(target, self.store.subsets)
 
     def _partition_users(self, target: Subset) -> int:
         partition = self._require_partition(target)

@@ -1,0 +1,1021 @@
+"""Horizontally sharded store serving: shard workers + a scatter-gather coordinator.
+
+One process serving one mmap'd columnar store stops scaling when the
+user population outgrows a single machine's memory.  This module
+partitions the store by **contiguous user range** (see
+:mod:`repro.core.partition`), runs each shard as its own worker process
+— a plain :class:`~repro.server.engine.QueryEngine` over the shard's
+store, with its own persistent cache — and puts a
+:class:`ShardCoordinator` in front that speaks the typed query protocol
+unchanged.
+
+Why the sharded answers are *bit-identical*, not merely close:
+
+* Every query family bottoms out in integer sufficient statistics —
+  bit sums, Hamming-weight histograms, or aligned matrix rows — and
+  integers from disjoint user ranges recombine exactly
+  (:mod:`repro.queries.reduction`).
+* The coordinator re-runs the single-store float arithmetic **once**,
+  on the merged integers: ``sum/M`` is the same correctly-rounded
+  float64 division ``np.mean`` performs, and the merged weight
+  histogram feeds the same ``np.linalg.solve`` Appendix F uses
+  (:meth:`SketchEstimator.estimate_from_counts`,
+  :func:`~repro.core.combine.combine_from_weight_counts`).
+* Contiguous ranges of the *sorted* user universe keep each shard's
+  aligned order a contiguous run of the single-store aligned order, so
+  ``bit_matrix`` rows concatenate back exactly.
+
+Shard workers host a :class:`ShardWorkerEngine` behind the stock
+:class:`~repro.server.remote.RemoteServer`: the public query kinds
+still work against any single shard, and one extra shard-internal kind
+(``shard_partial``, :class:`~repro.protocol.messages.ShardPartialRequest`)
+serves the partial statistics.  The coordinator tracks membership
+(join/leave with request draining), retries a failed shard once on a
+fresh connection, and otherwise raises :class:`ShardUnavailableError` —
+which the protocol layer maps to the structured ``shard_unavailable``
+error envelope, so a remote analyst sees a typed error, never a hang or
+a traceback.  The shard map is checkpointed atomically
+(:meth:`ShardMap.save`) for crash recovery
+(:meth:`ShardedService.from_checkpoint`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.combine import combine_from_weight_counts
+from ..core.estimator import QueryEstimate, SketchEstimator
+from ..core.params import PrivacyParams
+from ..core.partition import user_universe
+from ..core.prf import prf_from_spec
+from ..data.encoding import int_to_bits
+from ..protocol.envelope import ProtocolError
+from ..protocol.messages import (
+    AnyOfRequest,
+    BitMatrixRequest,
+    CountsBlockRequest,
+    EstimateManyRequest,
+    EvaluatePlanRequest,
+    ExactlyLRequest,
+    FractionRequest,
+    MarginalRequest,
+    QueryRequest,
+    QueryResponse,
+    ShardPartialRequest,
+)
+from ..queries.ast import Conjunction
+from ..queries.conjunctive import LinearPlan, evaluate_plan
+from ..queries.reduction import (
+    merge_bit_sum_partials,
+    merge_matrix_partials,
+    merge_weight_count_partials,
+)
+from .engine import MissingSketchError, QueryEngine, search_exact_cover
+from .remote import RemoteQueryEngine, RemoteServer
+from .serialization import load_store, save_store
+
+__all__ = [
+    "SHARD_ANALYST",
+    "ShardCoordinator",
+    "ShardMap",
+    "ShardSpec",
+    "ShardUnavailableError",
+    "ShardWorkerEngine",
+    "ShardedService",
+    "run_shard_worker",
+    "sharded_service",
+]
+
+Subset = Tuple[int, ...]
+
+SHARD_MAP_FORMAT = "repro-shard-map"
+SHARD_MAP_VERSION = 1
+
+#: Bearer identity the coordinator presents on shard-internal
+#: connections.  Workers bind to loopback and serve partial statistics
+#: of already-public sketches, so the name is an identity, not a
+#: secret; a deployment exposing workers beyond localhost must front
+#: them with real per-analyst tokens instead.
+SHARD_ANALYST = "shard-coordinator"
+
+
+class ShardUnavailableError(RuntimeError):
+    """A shard required for an exact answer cannot be reached.
+
+    Raised by the coordinator after its single retry fails, or when a
+    shard has left the membership and not rejoined.  Counting queries
+    reduce exactly only over *all* shards, so a partial answer would be
+    silently wrong — the coordinator refuses instead.  Maps to the
+    ``shard_unavailable`` structured error envelope on the wire; the
+    query is safe to retry once the shard rejoins.
+    """
+
+
+# ----------------------------------------------------------------------
+# The checkpointable shard map
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's durable description: identity, store file, user range."""
+
+    shard_id: str
+    store_path: str
+    num_users: int
+    first_user: str  # "" for an empty shard
+    last_user: str
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The coordinator's durable view of the cluster.
+
+    Carries the **original** store's subset catalog (in publication
+    order — the exact-cover search is order-sensitive, and error
+    messages list it) plus one :class:`ShardSpec` per shard in user-range
+    order.  :meth:`save` writes atomically (temp file + ``os.replace``)
+    so a crash mid-checkpoint leaves the previous map intact;
+    :meth:`load` refuses truncated or foreign files with ``ValueError``.
+    """
+
+    subsets: Tuple[Subset, ...]
+    shards: Tuple[ShardSpec, ...]
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Atomically checkpoint the map as JSON."""
+        path = os.fspath(path)
+        payload = {
+            "format": SHARD_MAP_FORMAT,
+            "version": SHARD_MAP_VERSION,
+            "subsets": [list(subset) for subset in self.subsets],
+            "shards": [
+                {
+                    "shard_id": spec.shard_id,
+                    "store_path": spec.store_path,
+                    "num_users": spec.num_users,
+                    "first_user": spec.first_user,
+                    "last_user": spec.last_user,
+                }
+                for spec in self.shards
+            ],
+        }
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp_path, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+            raise
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ShardMap":
+        """Load a checkpoint, refusing anything malformed with ``ValueError``."""
+        path = os.fspath(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ValueError(f"unreadable shard-map checkpoint {path}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"truncated or corrupt shard-map checkpoint {path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or data.get("format") != SHARD_MAP_FORMAT:
+            raise ValueError(
+                f"not a shard-map checkpoint: {path} "
+                f"(format tag {data.get('format') if isinstance(data, dict) else data!r})"
+            )
+        if data.get("version") != SHARD_MAP_VERSION:
+            raise ValueError(
+                f"unsupported shard-map version {data.get('version')!r} in {path}; "
+                f"this build reads version {SHARD_MAP_VERSION}"
+            )
+        try:
+            subsets = tuple(tuple(int(i) for i in s) for s in data["subsets"])
+            shards = tuple(
+                ShardSpec(
+                    shard_id=str(entry["shard_id"]),
+                    store_path=str(entry["store_path"]),
+                    num_users=int(entry["num_users"]),
+                    first_user=str(entry["first_user"]),
+                    last_user=str(entry["last_user"]),
+                )
+                for entry in data["shards"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed shard-map checkpoint {path}: {exc}") from exc
+        return cls(subsets=subsets, shards=shards)
+
+
+# ----------------------------------------------------------------------
+# The shard worker: QueryEngine + the partial-statistics op
+# ----------------------------------------------------------------------
+class ShardWorkerEngine:
+    """One shard's engine: a plain :class:`QueryEngine` plus ``shard_partial``.
+
+    Delegates every public query kind to the wrapped engine (a single
+    shard is a perfectly good single-store server for its own user
+    range) and answers the shard-internal
+    :class:`~repro.protocol.messages.ShardPartialRequest` with integer
+    sufficient statistics computed through the same cached-column paths
+    the engine's own handlers use — so coordinator reductions reuse the
+    shard's persistent cache exactly like local queries do.
+
+    A shard holding no publisher of a requested subset, or no user
+    aligned across all requested subsets, returns a zero partial
+    (``num_users = 0``) rather than an error: whether a subset is
+    missing *globally* is the coordinator's call against the full
+    catalog.
+    """
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+        # The RemoteServer perimeter reads `.estimator.params` when a
+        # privacy budget is configured; expose the same surface.
+        self.estimator = engine.estimator
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        if request.kind == ShardPartialRequest.kind:
+            return QueryResponse(kind=request.kind, result=self._partial(request))
+        return self.engine.execute(request)
+
+    def _partial(self, request: ShardPartialRequest) -> dict:
+        if request.op == "bit_sums":
+            return self._bit_sums(request)
+        if request.op == "weight_counts":
+            return self._weight_counts(request)
+        return self._matrix_rows(request)
+
+    def _bit_sums(self, request: ShardPartialRequest) -> dict:
+        subset = request.subsets[0]
+        values = [group[0] for group in request.groups]
+        if not self.engine.store.has_subset(subset):
+            return {"num_users": 0, "sums": [0] * len(values)}
+        columns = self.engine.cache.bits(subset, values)
+        return {
+            "num_users": int(self.engine.store.num_users(subset)),
+            "sums": [int(np.asarray(column).sum()) for column in columns],
+        }
+
+    def _aligned_gathers(
+        self,
+        subsets: Tuple[Subset, ...],
+        groups: Tuple[Tuple[Tuple[int, ...], ...], ...],
+    ) -> Tuple[Optional[List[List[np.ndarray]]], int]:
+        """Cached full columns gathered onto this shard's aligned users.
+
+        Returns ``(gathered, num_users)`` with ``gathered[i][j]`` the
+        ``i``-th subset's aligned column for group ``j``, or
+        ``(None, 0)`` when this shard has no user spanning all subsets.
+        """
+        store = self.engine.store
+        if any(not store.has_subset(subset) for subset in subsets):
+            return None, 0
+        try:
+            aligned = self.engine._aligned_columns(tuple(subsets))
+        except ValueError:
+            return None, 0
+        gathered: List[List[np.ndarray]] = []
+        for i, (subset, index) in enumerate(zip(subsets, aligned.indices)):
+            fulls = self.engine.cache.bits(subset, [group[i] for group in groups])
+            gathered.append([np.asarray(full)[index] for full in fulls])
+        return gathered, len(aligned.user_ids)
+
+    def _weight_counts(self, request: ShardPartialRequest) -> dict:
+        k = len(request.subsets)
+        gathered, num_users = self._aligned_gathers(request.subsets, request.groups)
+        if gathered is None:
+            return {
+                "num_users": 0,
+                "counts": [[0] * (k + 1) for _ in request.groups],
+            }
+        counts = []
+        for j in range(len(request.groups)):
+            # Mirrors combine.weight_histogram's integer half exactly:
+            # row sums of the (users x k) int8 matrix, then bincount.
+            matrix = np.column_stack([gathered[i][j] for i in range(k)])
+            weights = matrix.sum(axis=1).astype(np.int64)
+            counts.append(np.bincount(weights, minlength=k + 1).tolist())
+        return {"num_users": num_users, "counts": counts}
+
+    def _matrix_rows(self, request: ShardPartialRequest) -> dict:
+        gathered, num_users = self._aligned_gathers(request.subsets, request.groups)
+        if gathered is None:
+            return {"num_users": 0, "rows": []}
+        matrix = np.column_stack(
+            [gathered[i][0] for i in range(len(request.subsets))]
+        )
+        return {"num_users": num_users, "rows": matrix.tolist()}
+
+
+def run_shard_worker(config: dict) -> None:
+    """Process entry point for one shard worker (spawn-safe primitives only).
+
+    ``config`` keys: ``store_path``, ``prf_spec`` (from ``prf.spec()``),
+    ``ready_path``, ``token``, and optionally ``host``, ``cache_dir``,
+    ``cache_budget_bytes``.  Loads the shard store, serves a
+    :class:`ShardWorkerEngine` on an ephemeral loopback port, and
+    reports the bound address by atomically writing ``"host port"`` to
+    ``ready_path``.  Blocks until the process is terminated.
+    """
+    prf = prf_from_spec(config["prf_spec"])
+    store, _header = load_store(config["store_path"], expected_prf=prf)
+    estimator = SketchEstimator(PrivacyParams(p=prf.p), prf)
+    engine = QueryEngine(
+        None,
+        store,
+        estimator,
+        cache_dir=config.get("cache_dir"),
+        cache_budget_bytes=config.get("cache_budget_bytes"),
+    )
+    server = RemoteServer(ShardWorkerEngine(engine), {SHARD_ANALYST: config["token"]})
+    ready_path = config["ready_path"]
+
+    def _ready(address: Tuple[str, int]) -> None:
+        host, port = address
+        tmp_path = f"{ready_path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(f"{host} {port}\n")
+        os.replace(tmp_path, ready_path)
+
+    server.run(config.get("host", "127.0.0.1"), 0, ready_callback=_ready)
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+class _ShardHandle:
+    """The coordinator's connection to one live shard worker."""
+
+    def __init__(
+        self, shard_id: str, host: str, port: int, token: str, timeout: float
+    ) -> None:
+        self.shard_id = shard_id
+        self.host = host
+        self.port = int(port)
+        self._token = token
+        self._timeout = timeout
+        # One wire per shard: requests to the same shard serialize here
+        # (the asyncio worker executes inline anyway); distinct shards
+        # proceed in parallel.
+        self.lock = threading.Lock()
+        self.client: Optional[RemoteQueryEngine] = RemoteQueryEngine(
+            host, port, token, timeout=timeout
+        )
+
+    def reconnect(self) -> None:
+        # Drop the old client *before* dialing: if the dial fails, the
+        # handle is left with no client (not a closed one), so the next
+        # request goes straight back through the retry path instead of
+        # tripping over a closed socket file.
+        old, self.client = self.client, None
+        if old is not None:
+            with contextlib.suppress(Exception):
+                old.close()
+        self.client = RemoteQueryEngine(
+            self.host, self.port, self._token, timeout=self._timeout
+        )
+
+    def close(self) -> None:
+        if self.client is not None:
+            with contextlib.suppress(Exception):
+                self.client.close()
+
+
+class ShardCoordinator:
+    """Scatter-gather front-end speaking the typed query protocol unchanged.
+
+    Drop-in for a single-store :class:`QueryEngine` wherever only the
+    ``execute``/``estimator`` surface is used — in particular behind
+    :class:`~repro.server.remote.RemoteServer` — and byte-compatible
+    with it: every handler reproduces the single-store result *and* the
+    single-store error messages and precedence, because global checks
+    (catalog membership, widths, partitions) run against the original
+    store's subset catalog **before** any fan-out, and the float
+    arithmetic runs exactly once on exactly-merged integer partials.
+
+    Membership is dynamic: shards :meth:`join` with a live address and
+    :meth:`leave` with request draining (in-flight fan-outs finish
+    first).  A scatter hitting a dead connection retries once on a
+    fresh connection — a worker restarted in place answers, a dead one
+    fails fast into :class:`ShardUnavailableError`.  The shard map is
+    checkpointed atomically on construction when ``checkpoint_path`` is
+    given.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        estimator: SketchEstimator,
+        *,
+        checkpoint_path: str | os.PathLike | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.shard_map = shard_map
+        self.estimator = estimator
+        self.timeout = float(timeout)
+        self._subsets: Tuple[Subset, ...] = tuple(
+            tuple(int(i) for i in subset) for subset in shard_map.subsets
+        )
+        self._catalog: Set[Subset] = set(self._subsets)
+        self._order: List[str] = [spec.shard_id for spec in shard_map.shards]
+        self._handles: Dict[str, _ShardHandle] = {}
+        self._active: Dict[str, int] = {}
+        self._draining: Set[str] = set()
+        self._cond = threading.Condition()
+        self._partition_cache: Dict[Subset, Optional[List[Subset]]] = {}
+        self.checkpoint_path = (
+            None if checkpoint_path is None else os.fspath(checkpoint_path)
+        )
+        if self.checkpoint_path is not None:
+            shard_map.save(self.checkpoint_path)
+
+    # -- membership ----------------------------------------------------
+    def join(self, shard_id: str, host: str, port: int, token: str) -> None:
+        """Admit (or re-admit) a shard worker at a live address."""
+        if shard_id not in self._order:
+            raise ValueError(
+                f"unknown shard id {shard_id!r}; the shard map lists {self._order}"
+            )
+        handle = _ShardHandle(shard_id, host, port, token, self.timeout)
+        with self._cond:
+            old = self._handles.pop(shard_id, None)
+            self._handles[shard_id] = handle
+            self._draining.discard(shard_id)
+            self._cond.notify_all()
+        if old is not None:
+            old.close()
+
+    def leave(self, shard_id: str, drain: bool = True) -> None:
+        """Remove a shard from membership.
+
+        With ``drain`` (default), marks the shard draining — new
+        fan-outs refuse immediately — and waits for in-flight requests
+        against it to finish before closing the connection.
+        """
+        with self._cond:
+            handle = self._handles.get(shard_id)
+            if handle is None:
+                return
+            self._draining.add(shard_id)
+            if drain:
+                while self._active.get(shard_id, 0) > 0:
+                    self._cond.wait(timeout=1.0)
+            self._handles.pop(shard_id, None)
+            self._draining.discard(shard_id)
+        handle.close()
+
+    def live_shards(self) -> List[str]:
+        """Shard ids currently joined (and not draining), in range order."""
+        with self._cond:
+            return [
+                shard_id
+                for shard_id in self._order
+                if shard_id in self._handles and shard_id not in self._draining
+            ]
+
+    def close(self) -> None:
+        with self._cond:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            handle.close()
+
+    # -- scatter-gather ------------------------------------------------
+    def _snapshot(self) -> List[_ShardHandle]:
+        """Pin every shard for one fan-out, or refuse if any is absent."""
+        with self._cond:
+            missing = [
+                shard_id
+                for shard_id in self._order
+                if shard_id not in self._handles or shard_id in self._draining
+            ]
+            if missing:
+                raise ShardUnavailableError(
+                    f"shard {missing[0]!r} has left the cluster (or is draining); "
+                    "exact answers need every shard — rejoin it and retry"
+                )
+            handles = [self._handles[shard_id] for shard_id in self._order]
+            for shard_id in self._order:
+                self._active[shard_id] = self._active.get(shard_id, 0) + 1
+        return handles
+
+    def _release(self, shard_id: str) -> None:
+        with self._cond:
+            self._active[shard_id] -= 1
+            self._cond.notify_all()
+
+    def _scatter(self, request: ShardPartialRequest) -> List[dict]:
+        """One partial request to every shard; partials in range order."""
+        handles = self._snapshot()
+        results: List[Optional[QueryResponse]] = [None] * len(handles)
+        errors: List[Optional[BaseException]] = [None] * len(handles)
+
+        def call(index: int, handle: _ShardHandle) -> None:
+            try:
+                results[index] = self._call_shard(handle, request)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors[index] = exc
+            finally:
+                self._release(handle.shard_id)
+
+        if len(handles) == 1:
+            call(0, handles[0])
+        else:
+            threads = [
+                threading.Thread(
+                    target=call, args=(i, handle), name=f"scatter-{handle.shard_id}"
+                )
+                for i, handle in enumerate(handles)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return [response.result for response in results]
+
+    def _call_shard(
+        self, handle: _ShardHandle, request: ShardPartialRequest
+    ) -> QueryResponse:
+        """Execute on one shard, retrying once on a fresh connection.
+
+        A worker restarted in place answers the retry; a dead one fails
+        fast — no hanging on a half-open socket.
+        """
+        with handle.lock:
+            try:
+                if handle.client is None:
+                    raise ConnectionError("no live connection to the shard")
+                return handle.client.execute(request)
+            except (OSError, EOFError) as exc:
+                first = exc
+            try:
+                handle.reconnect()
+                return handle.client.execute(request)
+            except (OSError, EOFError) as exc:
+                raise ShardUnavailableError(
+                    f"shard {handle.shard_id!r} at {handle.host}:{handle.port} is "
+                    f"unreachable after one retry ({first}); rejoin it and retry "
+                    "the query"
+                ) from exc
+
+    # -- the unified dispatch surface ----------------------------------
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Answer one typed protocol request by exact scatter-gather."""
+        handler = self._HANDLERS.get(request.kind)
+        if handler is None:
+            raise ProtocolError(
+                "unknown_kind",
+                f"unknown request kind {request.kind!r}; this engine answers "
+                f"{sorted(self._HANDLERS)}",
+            )
+        return QueryResponse(kind=request.kind, result=handler(self, request))
+
+    # -- reduction helpers ---------------------------------------------
+    def _missing(self, key: Subset) -> MissingSketchError:
+        return MissingSketchError(
+            f"subset {key} was not sketched; available subsets: "
+            f"{sorted(self._subsets)}"
+        )
+
+    def _estimates(
+        self, key: Subset, values: Sequence[Tuple[int, ...]], delta: float = 0.05
+    ) -> List[QueryEstimate]:
+        """Global Algorithm 2 estimates from merged per-shard bit sums."""
+        if key not in self._catalog:
+            raise self._missing(key)
+        partials = self._scatter(
+            ShardPartialRequest.build("bit_sums", [key], [(value,) for value in values])
+        )
+        sums, num_users = merge_bit_sum_partials(partials, len(values))
+        return [
+            self.estimator.estimate_from_counts(bit_sum, num_users, delta=delta)
+            for bit_sum in sums
+        ]
+
+    def _weight_counts(
+        self,
+        subsets: Sequence[Subset],
+        groups: Sequence[Tuple[Tuple[int, ...], ...]],
+    ) -> Tuple[np.ndarray, int]:
+        """Merged integer weight histograms over the aligned users of
+        ``subsets``; raises the single-store no-common-user ``ValueError``."""
+        keys = [tuple(s) for s in subsets]
+        partials = self._scatter(
+            ShardPartialRequest.build("weight_counts", keys, groups)
+        )
+        counts, num_users = merge_weight_count_partials(
+            partials, len(groups), len(keys)
+        )
+        if num_users == 0:
+            raise ValueError(f"no user published sketches for all of {keys}")
+        return counts, num_users
+
+    def _require_partition(self, target: Subset) -> List[Subset]:
+        if target not in self._partition_cache:
+            self._partition_cache[target] = search_exact_cover(target, self._subsets)
+        partition = self._partition_cache[target]
+        if partition is None:
+            raise MissingSketchError(
+                f"subset {target} is neither sketched nor a disjoint union of "
+                f"sketched subsets; available: {sorted(self._subsets)}"
+            )
+        return partition
+
+    # -- request handlers ----------------------------------------------
+    def _exec_estimate_many(
+        self, request: EstimateManyRequest
+    ) -> List[QueryEstimate]:
+        return self._estimates(request.subset, list(request.values))
+
+    def _exec_marginal(self, request: MarginalRequest) -> np.ndarray:
+        key = request.subset
+        width = len(key)
+        if width > 12:
+            raise ValueError(
+                f"a marginal over 2**{width} values is not sensible; "
+                "query specific values instead"
+            )
+        candidates = [int_to_bits(v, width) for v in range(1 << width)]
+        estimates = self._estimates(key, candidates)
+        return np.asarray([e.fraction for e in estimates])
+
+    def _exec_fraction(self, request: FractionRequest) -> float:
+        key, value = request.subset, request.value
+        if key in self._catalog:
+            return self._estimates(key, [value])[0].fraction
+        partition = self._require_partition(key)
+        values = QueryEngine._project_value(key, value, partition)
+        counts, num_users = self._weight_counts(partition, [tuple(values)])
+        combined = combine_from_weight_counts(
+            counts[0], num_users, self.estimator.params.p
+        )
+        return combined.clamped_fraction
+
+    def _exec_counts_block(self, request: CountsBlockRequest) -> List[float]:
+        key = request.subset
+        value_ts = list(request.values)
+        if key in self._catalog:
+            return [estimate.count for estimate in self._estimates(key, value_ts)]
+        if not value_ts:
+            return []
+        partition = self._require_partition(key)
+        # projections[j] = value j projected onto the partition pieces;
+        # the pieces travel in the partial request itself, so workers
+        # never re-derive the partition (and cannot disagree about it
+        # when their local subset inventories differ).
+        projections = [
+            tuple(QueryEngine._project_value(key, value_t, partition))
+            for value_t in value_ts
+        ]
+        counts, num_users = self._weight_counts(partition, projections)
+        p = self.estimator.params.p
+        return [
+            combine_from_weight_counts(counts[j], num_users, p).clamped_fraction
+            * num_users
+            for j in range(len(value_ts))
+        ]
+
+    def _exec_any_of(self, request: AnyOfRequest) -> float:
+        if not request.queries:
+            raise ValueError("need at least one conjunction")
+        subsets = [subset for subset, _value in request.queries]
+        for subset in subsets:
+            if subset not in self._catalog:
+                raise MissingSketchError(
+                    f"subset {subset} was not sketched; disjunctions need "
+                    "each component's subset published directly"
+                )
+        group = tuple(value for _subset, value in request.queries)
+        counts, num_users = self._weight_counts(subsets, [group])
+        combined = combine_from_weight_counts(
+            counts[0], num_users, self.estimator.params.p
+        )
+        # Matches disjunction_fraction_from_bits(..., clamp=True).
+        fraction = 1.0 - combined.none_fraction
+        return min(1.0, max(0.0, fraction))
+
+    def _check_positions(self, positions: Sequence[int]) -> List[Subset]:
+        subsets = [(int(pos),) for pos in positions]
+        for subset in subsets:
+            if subset not in self._catalog:
+                raise MissingSketchError(
+                    f"bit {subset[0]} was not sketched individually; "
+                    "use a per-bit publishing policy"
+                )
+        return subsets
+
+    def _exec_bit_matrix(self, request: BitMatrixRequest) -> np.ndarray:
+        subsets = self._check_positions(request.positions)
+        target_t = (int(request.target),)
+        keys = [tuple(s) for s in subsets]
+        partials = self._scatter(
+            ShardPartialRequest.build(
+                "matrix_rows", keys, [tuple(target_t for _ in keys)]
+            )
+        )
+        matrix = merge_matrix_partials(partials, len(keys))
+        if matrix is None:
+            raise ValueError(f"no user published sketches for all of {keys}")
+        return matrix
+
+    def _exec_exactly_l(self, request: ExactlyLRequest) -> float:
+        subsets = self._check_positions(request.positions)
+        k = len(subsets)
+        counts, num_users = self._weight_counts(
+            subsets, [tuple((1,) for _ in subsets)]
+        )
+        # Gathering precedes the l-range check, matching the single-store
+        # engine (which builds the bit matrix first).
+        if not 0 <= request.l <= k:
+            raise ValueError(f"l must be in [0, {k}], got {request.l}")
+        combined = combine_from_weight_counts(
+            counts[0], num_users, self.estimator.params.p
+        )
+        return float(combined.weight_distribution[request.l])
+
+    def _exec_evaluate_plan(self, request: EvaluatePlanRequest) -> float:
+        return evaluate_plan(
+            request.to_plan(), self.count, block_count_fn=self.counts_block
+        )
+
+    #: kind -> handler; mirrors QueryEngine._HANDLERS key for key, so
+    #: unknown-kind errors render identically too.
+    _HANDLERS = {
+        CountsBlockRequest.kind: _exec_counts_block,
+        EstimateManyRequest.kind: _exec_estimate_many,
+        MarginalRequest.kind: _exec_marginal,
+        FractionRequest.kind: _exec_fraction,
+        AnyOfRequest.kind: _exec_any_of,
+        ExactlyLRequest.kind: _exec_exactly_l,
+        BitMatrixRequest.kind: _exec_bit_matrix,
+        EvaluatePlanRequest.kind: _exec_evaluate_plan,
+    }
+
+    # -- thin public wrappers (same convenience surface as QueryEngine) -
+    def estimate(
+        self, subset: Sequence[int], value: Sequence[int]
+    ) -> QueryEstimate:
+        return self.estimate_many(subset, [value])[0]
+
+    def estimate_many(
+        self, subset: Sequence[int], values: Sequence[Sequence[int]]
+    ) -> List[QueryEstimate]:
+        return list(self.execute(EstimateManyRequest.build(subset, values)).result)
+
+    def marginal(self, subset: Sequence[int]) -> np.ndarray:
+        return np.asarray(self.execute(MarginalRequest.build(subset)).result)
+
+    def fraction(self, subset: Sequence[int], value: Sequence[int]) -> float:
+        return self.execute(FractionRequest.build(subset, value)).result
+
+    def count(self, subset: Sequence[int], value: Sequence[int]) -> float:
+        return self.counts_block(subset, [value])[0]
+
+    def counts_block(
+        self, subset: Sequence[int], values: Sequence[Tuple[int, ...]]
+    ) -> List[float]:
+        return list(self.execute(CountsBlockRequest.build(subset, values)).result)
+
+    def conjunction(self, query: Conjunction) -> float:
+        return self.fraction(query.subset, query.value)
+
+    def any_of(self, queries: Sequence[Conjunction]) -> float:
+        if not queries:
+            raise ValueError("need at least one conjunction")
+        return self.execute(
+            AnyOfRequest.build([(q.subset, q.value) for q in queries])
+        ).result
+
+    def bit_matrix(self, positions: Sequence[int], target: int = 1) -> np.ndarray:
+        return self.execute(BitMatrixRequest.build(positions, target)).result
+
+    def exactly_l(self, positions: Sequence[int], l: int) -> float:
+        return self.execute(ExactlyLRequest.build(positions, l)).result
+
+    def evaluate(self, plan: LinearPlan) -> float:
+        return self.execute(EvaluatePlanRequest.from_plan(plan)).result
+
+
+# ----------------------------------------------------------------------
+# The process supervisor
+# ----------------------------------------------------------------------
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """fork where available (same choice as publish_database: cheap,
+    no re-import per worker), spawn elsewhere — worker payloads are
+    spawn-safe primitives either way."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ShardedService:
+    """Supervisor: shard stores on disk, one worker process each, a
+    coordinator in front.
+
+    The deployment harness the CLI, tests, and benchmarks share.
+    Directory layout under ``base_dir``::
+
+        shard-<i>.npz      per-shard columnar v2 store
+        shard_map.json     atomic shard-map checkpoint (crash recovery)
+        ready/<shard_id>   worker address handshake files
+        cache/<shard_id>/  per-worker persistent cache root (opt-in)
+
+    Build with :meth:`from_store` (splits and lays the directory out) or
+    :meth:`from_checkpoint` (crash recovery: reattaches to the shard
+    stores a previous supervisor left behind), then :meth:`start` to
+    spawn workers and join them into the coordinator.  Context-manager
+    friendly; :func:`sharded_service` wraps the whole lifecycle.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        prf,
+        base_dir: str | os.PathLike,
+        *,
+        cache: bool = False,
+        cache_budget_bytes: int | None = None,
+        timeout: float = 30.0,
+        token: str = "shard-internal",
+    ) -> None:
+        self.shard_map = shard_map
+        self.prf = prf
+        self.base_dir = os.fspath(base_dir)
+        self._cache = bool(cache)
+        self._cache_budget = cache_budget_bytes
+        self._token = token
+        self._processes: Dict[str, multiprocessing.process.BaseProcess] = {}
+        estimator = SketchEstimator(PrivacyParams(p=prf.p), prf)
+        self.coordinator = ShardCoordinator(
+            shard_map,
+            estimator,
+            checkpoint_path=os.path.join(self.base_dir, "shard_map.json"),
+            timeout=timeout,
+        )
+
+    @classmethod
+    def from_store(
+        cls, store, prf, n_shards: int, base_dir: str | os.PathLike, **kwargs
+    ) -> "ShardedService":
+        """Split ``store`` into ``n_shards`` and lay out the service
+        directory.  Does not start workers — call :meth:`start`."""
+        base_dir = os.fspath(base_dir)
+        os.makedirs(base_dir, exist_ok=True)
+        shards = store.split_by_user_range(n_shards)
+        specs = []
+        for index, shard in enumerate(shards):
+            store_path = os.path.join(base_dir, f"shard-{index}.npz")
+            save_store(
+                shard, store_path, include_iterations=True, format="columnar", prf=prf
+            )
+            universe = user_universe(shard.to_columns())
+            specs.append(
+                ShardSpec(
+                    shard_id=f"shard-{index}",
+                    store_path=store_path,
+                    num_users=len(universe),
+                    first_user=universe[0] if universe else "",
+                    last_user=universe[-1] if universe else "",
+                )
+            )
+        shard_map = ShardMap(subsets=tuple(store.subsets), shards=tuple(specs))
+        return cls(shard_map, prf, base_dir, **kwargs)
+
+    @classmethod
+    def from_checkpoint(
+        cls, base_dir: str | os.PathLike, prf, **kwargs
+    ) -> "ShardedService":
+        """Crash recovery: rebuild the supervisor from the checkpointed
+        shard map, reattaching to the shard stores already on disk."""
+        base_dir = os.fspath(base_dir)
+        shard_map = ShardMap.load(os.path.join(base_dir, "shard_map.json"))
+        return cls(shard_map, prf, base_dir, **kwargs)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> "ShardedService":
+        """Spawn every shard worker, wait for each to bind, join them all."""
+        for spec in self.shard_map.shards:
+            self._spawn(spec)
+        for spec in self.shard_map.shards:
+            host, port = self._wait_ready(spec, timeout)
+            self.coordinator.join(spec.shard_id, host, port, self._token)
+        return self
+
+    def _ready_path(self, shard_id: str) -> str:
+        return os.path.join(self.base_dir, "ready", shard_id)
+
+    def _spawn(self, spec: ShardSpec) -> None:
+        os.makedirs(os.path.join(self.base_dir, "ready"), exist_ok=True)
+        ready_path = self._ready_path(spec.shard_id)
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(ready_path)
+        config = {
+            "store_path": spec.store_path,
+            "prf_spec": self.prf.spec(),
+            "ready_path": ready_path,
+            "token": self._token,
+            "cache_dir": (
+                os.path.join(self.base_dir, "cache", spec.shard_id)
+                if self._cache
+                else None
+            ),
+            "cache_budget_bytes": self._cache_budget,
+        }
+        process = _preferred_context().Process(
+            target=run_shard_worker,
+            args=(config,),
+            daemon=True,
+            name=f"repro-{spec.shard_id}",
+        )
+        process.start()
+        self._processes[spec.shard_id] = process
+
+    def _wait_ready(self, spec: ShardSpec, timeout: float) -> Tuple[str, int]:
+        ready_path = self._ready_path(spec.shard_id)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if os.path.exists(ready_path):
+                with open(ready_path, "r", encoding="utf-8") as handle:
+                    text = handle.read().strip()
+                if text:
+                    host, port = text.split()
+                    return host, int(port)
+            process = self._processes.get(spec.shard_id)
+            if process is not None and not process.is_alive():
+                raise RuntimeError(
+                    f"shard worker {spec.shard_id!r} exited before binding "
+                    f"(exit code {process.exitcode})"
+                )
+            time.sleep(0.02)
+        raise RuntimeError(
+            f"shard worker {spec.shard_id!r} did not report ready within {timeout}s"
+        )
+
+    def kill_shard(self, shard_id: str) -> None:
+        """Fault injection: SIGKILL one worker, leaving membership as-is
+        so the next query exercises the coordinator's retry path."""
+        process = self._processes[shard_id]
+        process.kill()
+        process.join(timeout=10.0)
+
+    def restart_shard(self, shard_id: str, timeout: float = 30.0) -> None:
+        """Respawn a worker from its checkpointed store and rejoin it."""
+        spec = next(
+            spec for spec in self.shard_map.shards if spec.shard_id == shard_id
+        )
+        old = self._processes.get(shard_id)
+        if old is not None and old.is_alive():
+            old.kill()
+            old.join(timeout=10.0)
+        self.coordinator.leave(shard_id, drain=False)
+        self._spawn(spec)
+        host, port = self._wait_ready(spec, timeout)
+        self.coordinator.join(shard_id, host, port, self._token)
+
+    def close(self) -> None:
+        self.coordinator.close()
+        for process in self._processes.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes.values():
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@contextlib.contextmanager
+def sharded_service(
+    store, prf, n_shards: int, base_dir: str | os.PathLike, **kwargs
+):
+    """Split ``store``, start the workers, yield the running service,
+    and always tear the worker processes down on exit."""
+    service = ShardedService.from_store(store, prf, n_shards, base_dir, **kwargs)
+    try:
+        yield service.start()
+    finally:
+        service.close()

@@ -204,3 +204,88 @@ class TestGenerationGC:
             SketchEvaluationCache(
                 store, estimator, cache_dir=tmp_path, generation_ttl_seconds=-1
             )
+
+
+def _budget_writer(cache_dir: str, budget: int, seed: int, barrier) -> None:
+    """One sibling writer: interleaved single-value bits() batches over all
+    eight values of the (0, 1, 2) marginal, in a seed-specific order."""
+    _database, store, estimator = make_stack(num_users=150)
+    cache = SketchEvaluationCache(
+        store, estimator, cache_dir=cache_dir, cache_budget_bytes=budget
+    )
+    values = [
+        tuple(int(bit) for bit in np.binary_repr(v, width=3)) for v in range(8)
+    ]
+    rng = np.random.default_rng(seed)
+    barrier.wait()
+    for _round in range(6):
+        for index in rng.permutation(len(values)):
+            cache.bits((0, 1, 2), [values[index]])
+
+
+class TestCrossProcessBudget:
+    """``cache_budget_bytes`` is a hard invariant across sibling shard
+    writers, not a per-process suggestion.
+
+    Regression: two processes writing the same cache directory under one
+    budget used to race the sweep — each evicted against its own stale
+    directory listing, so both could land entries the other never saw
+    and leave the directory over budget after exit.  The flock-based
+    sweep lock serialises the write+sweep critical section, so the last
+    writer out always sees (and bounds) the directory's true contents.
+    """
+
+    def test_two_writers_never_leave_directory_over_budget(self, tmp_path):
+        import multiprocessing
+
+        from repro.server.engine import fcntl as engine_fcntl
+
+        if engine_fcntl is None:
+            pytest.skip("no fcntl: cross-process sweep locking unavailable")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+
+        # Each packed entry is a ~150-bit column (.npy overhead included);
+        # a budget of roughly 2.5 entries forces sweeps on nearly every
+        # batch of both writers.
+        _database, store, estimator = make_stack(num_users=150)
+        probe = SketchEvaluationCache(store, estimator, cache_dir=tmp_path)
+        probe.bits((0, 1, 2), [(1, 1, 1)])
+        (store_dir,) = [
+            os.path.join(tmp_path, d)
+            for d in os.listdir(tmp_path)
+            if d.startswith("store-")
+        ]
+
+        def npy_bytes() -> int:
+            return sum(
+                entry.stat().st_size
+                for entry in os.scandir(store_dir)
+                if entry.name.endswith(".npy")
+            )
+
+        budget = int(npy_bytes() * 2.5)
+        barrier = ctx.Barrier(2)
+        writers = [
+            ctx.Process(
+                target=_budget_writer, args=(str(tmp_path), budget, seed, barrier)
+            )
+            for seed in (7, 8)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=120.0)
+        assert all(writer.exitcode == 0 for writer in writers)
+        assert npy_bytes() <= budget
+        # The lock file itself is infrastructure, never swept content.
+        assert os.path.exists(os.path.join(store_dir, ".sweep-lock"))
+        # And the surviving entries still answer exactly.
+        reader = SketchEvaluationCache(
+            store, estimator, cache_dir=tmp_path, cache_budget_bytes=budget
+        )
+        fresh = SketchEvaluationCache(store, estimator)
+        [disk] = reader.bits((0, 1, 2), [(1, 0, 1)])
+        [memory] = fresh.bits((0, 1, 2), [(1, 0, 1)])
+        assert np.array_equal(disk, memory)

@@ -1,0 +1,207 @@
+"""Property tests for contiguous user-range partitioning (the shard axis).
+
+The partitioner must deliver three invariants for *any* store shape and
+any ``n_shards``: shards are disjoint, they cover every user, and —
+because ranges are contiguous slices of the sorted universe —
+concatenating per-shard columns in shard order and argsorting by user
+id reconstructs the original columns exactly, array for array.  The
+last property is what makes sharded answers bit-identical rather than
+merely unbiased, so it gets the hypothesis treatment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BiasedPRF, PrivacyParams, Sketcher
+from repro.core.partition import (
+    range_bounds,
+    split_columns_by_user_range,
+    user_universe,
+)
+from repro.data import bernoulli_panel
+from repro.server import SketchColumn, SketchStore, publish_database
+from repro.server.serialization import load_store, save_store
+
+from .conftest import GLOBAL_KEY
+
+
+# ----------------------------------------------------------------------
+# range_bounds
+# ----------------------------------------------------------------------
+class TestRangeBounds:
+    @given(
+        num_users=st.integers(min_value=0, max_value=500),
+        n_shards=st.integers(min_value=1, max_value=40),
+    )
+    def test_balanced_cover(self, num_users, n_shards):
+        bounds = range_bounds(num_users, n_shards)
+        assert len(bounds) == n_shards
+        # Contiguous cover of range(num_users), in order.
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == num_users
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+        # Balanced: sizes differ by at most one, larger shards first.
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="n_shards must be >= 1"):
+            range_bounds(10, 0)
+        with pytest.raises(ValueError, match="num_users must be >= 0"):
+            range_bounds(-1, 2)
+
+
+# ----------------------------------------------------------------------
+# split_columns_by_user_range — the hypothesis property
+# ----------------------------------------------------------------------
+@st.composite
+def column_sets(draw):
+    """A random ``{subset: SketchColumn}`` mapping.
+
+    Users are drawn per column (so columns overlap arbitrarily) and each
+    column's publication order is a random permutation — the partitioner
+    must preserve *that* order within each shard, not invent a sorted one.
+    """
+    num_users = draw(st.integers(min_value=1, max_value=30))
+    ids = [f"u{i:03d}" for i in range(num_users)]
+    num_subsets = draw(st.integers(min_value=1, max_value=4))
+    columns = {}
+    for index in range(num_subsets):
+        subset = (index,)
+        members = draw(
+            st.lists(
+                st.sampled_from(ids), unique=True, min_size=0, max_size=num_users
+            )
+        )
+        order = draw(st.permutations(members))
+        size = len(order)
+        keys = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=255),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        columns[subset] = SketchColumn(
+            user_ids=list(order),
+            keys=np.asarray(keys, dtype=np.uint64),
+            num_bits=np.full(size, 8, dtype=np.uint8),
+            iterations=np.arange(size, dtype=np.uint16),
+        )
+    return columns
+
+
+class TestSplitColumns:
+    @given(columns=column_sets(), n_shards=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_cover_and_exact_reconstruction(self, columns, n_shards):
+        shards = split_columns_by_user_range(columns, n_shards)
+        assert len(shards) == n_shards
+
+        universe = user_universe(columns)
+        shard_universes = [user_universe(shard) for shard in shards]
+
+        # Disjoint: no user appears in two shards.
+        seen: set = set()
+        for ids in shard_universes:
+            assert not seen.intersection(ids)
+            seen.update(ids)
+        # Cover: together the shards hold exactly the original users.
+        assert seen == set(universe)
+        # Contiguity: concatenating per-shard universes in shard order
+        # reproduces the sorted universe — the property the coordinator's
+        # row-concatenation of aligned results rests on.
+        concatenated = [uid for ids in shard_universes for uid in ids]
+        assert concatenated == universe
+
+        # Exact reconstruction: per subset, concatenate shard columns in
+        # shard order and argsort by the position each user held in the
+        # original publication order — every array must round-trip.
+        for subset, column in columns.items():
+            pieces = [shard[subset] for shard in shards if subset in shard]
+            ids = [uid for piece in pieces for uid in piece.user_ids]
+            assert sorted(ids) == sorted(column.user_ids)
+            position = {uid: i for i, uid in enumerate(column.user_ids)}
+            order = np.argsort(
+                np.asarray([position[uid] for uid in ids], dtype=np.int64)
+            )
+            if not len(ids):
+                assert not column.user_ids
+                continue
+            restored_ids = [ids[i] for i in order]
+            assert restored_ids == column.user_ids
+            for field in ("keys", "num_bits", "iterations"):
+                restored = np.concatenate(
+                    [np.asarray(getattr(piece, field)) for piece in pieces]
+                )[order]
+                np.testing.assert_array_equal(
+                    restored, np.asarray(getattr(column, field))
+                )
+
+    def test_rejects_bad_shard_count(self):
+        columns = {
+            (0,): SketchColumn(
+                user_ids=["a"],
+                keys=np.asarray([1], dtype=np.uint64),
+                num_bits=np.asarray([8], dtype=np.uint8),
+                iterations=np.asarray([0], dtype=np.uint16),
+            )
+        }
+        with pytest.raises(ValueError, match="n_shards must be >= 1"):
+            split_columns_by_user_range(columns, 0)
+
+
+# ----------------------------------------------------------------------
+# SketchStore.split_by_user_range — columnar round-trip
+# ----------------------------------------------------------------------
+def make_store(num_users: int = 40, seed: int = 0) -> SketchStore:
+    params = PrivacyParams(p=0.3)
+    prf = BiasedPRF(p=0.3, global_key=GLOBAL_KEY)
+    database = bernoulli_panel(num_users, 3, rng=np.random.default_rng(seed))
+    sketcher = Sketcher(
+        params, prf, sketch_bits=6, rng=np.random.default_rng(seed + 1)
+    )
+    return publish_database(
+        database, sketcher, [(0, 1), (0,), (1,), (2,)], workers=1, seed=seed
+    )
+
+
+class TestStoreSplit:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7])
+    def test_shard_stores_partition_the_population(self, n_shards):
+        store = make_store()
+        shards = store.split_by_user_range(n_shards)
+        assert len(shards) == n_shards
+        for subset in store.subsets:
+            total = sum(
+                shard.num_users(subset)
+                for shard in shards
+                if shard.has_subset(subset)
+            )
+            assert total == store.num_users(subset)
+
+    def test_shards_round_trip_columnar_v2(self, tmp_path):
+        prf = BiasedPRF(p=0.3, global_key=GLOBAL_KEY)
+        store = make_store()
+        for index, shard in enumerate(store.split_by_user_range(3)):
+            path = tmp_path / f"shard-{index}.npz"
+            save_store(
+                shard, path, include_iterations=True, format="columnar", prf=prf
+            )
+            loaded, header = load_store(path, expected_prf=prf)
+            assert header["prf"]["algorithm"] == prf.algorithm
+            original = shard.to_columns()
+            restored = loaded.to_columns()
+            assert set(original) == set(restored)
+            for subset, column in original.items():
+                assert restored[subset].user_ids == column.user_ids
+                np.testing.assert_array_equal(restored[subset].keys, column.keys)
+                np.testing.assert_array_equal(
+                    restored[subset].iterations, column.iterations
+                )

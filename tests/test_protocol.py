@@ -35,6 +35,7 @@ from repro.protocol import (
     FractionRequest,
     MarginalRequest,
     ProtocolError,
+    ShardPartialRequest,
     QueryError,
     RemoteQueryError,
     REQUEST_KINDS,
@@ -189,6 +190,30 @@ class TestRoundTrips:
             assert sorted(zip(c_subset, c_value)) == sorted(zip(subset, value))
             assert c_coeff == coeff
 
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.sampled_from(ShardPartialRequest.OPS),
+        st.lists(subsets, min_size=1, max_size=3, unique=True),
+        st.data(),
+    )
+    def test_shard_partial(self, op, subset_list, data):
+        groups = data.draw(
+            st.lists(
+                st.tuples(
+                    *[
+                        st.tuples(
+                            *[st.integers(0, 1) for _ in subset]
+                        )
+                        for subset in subset_list
+                    ]
+                ),
+                min_size=0,
+                max_size=3,
+            )
+        )
+        request = ShardPartialRequest.build(op, subset_list, groups)
+        assert loads_request(dumps_request(request)) == request
+
     def test_every_registered_kind_is_covered(self):
         assert sorted(REQUEST_KINDS) == sorted(
             [
@@ -200,6 +225,7 @@ class TestRoundTrips:
                 "exactly_l",
                 "bit_matrix",
                 "evaluate_plan",
+                "shard_partial",
             ]
         )
 
