@@ -114,13 +114,14 @@ def run(num_users: int = 50_000, min_block: float = 10.0, min_collect: float = 3
     database = bernoulli_panel(num_users, 4, density=0.5, rng=rng)
     collect_subsets = [(0, 1, 2, 3)]
 
-    def collect(prf_instance, workers):
+    def collect(prf_instance, workers, chunk_size=None):
         sketcher = Sketcher(
             params, prf_instance, sketch_bits=10, rng=np.random.default_rng(SEED)
         )
         start = time.perf_counter()
         store = publish_database(
-            database, sketcher, collect_subsets, workers=workers, seed=SEED
+            database, sketcher, collect_subsets, workers=workers, seed=SEED,
+            chunk_size=chunk_size,
         )
         return time.perf_counter() - start, store
 
@@ -129,7 +130,8 @@ def run(num_users: int = 50_000, min_block: float = 10.0, min_collect: float = 3
     vector_counter_s, counter_store = collect(counter, 1)
     collect_speedup = scalar_blake_s / vector_counter_s
 
-    # Bitwise identity across worker counts, both backends.
+    # Bitwise identity across worker counts AND chunk schedules, both
+    # backends (the chunk autotune must never leak into the store).
     for prf_instance, one_worker_store, name in (
         (blake, blake_store, "blake2b"),
         (counter, counter_store, "counter"),
@@ -138,6 +140,10 @@ def run(num_users: int = 50_000, min_block: float = 10.0, min_collect: float = 3
         assert dumps_store(one_worker_store, include_iterations=True) == dumps_store(
             two, include_iterations=True
         ), f"{name}: workers=1 and workers=2 stores differ"
+        _, chunked = collect(prf_instance, 2, chunk_size=max(1, num_users // 7))
+        assert dumps_store(one_worker_store, include_iterations=True) == dumps_store(
+            chunked, include_iterations=True
+        ), f"{name}: explicit chunk_size changed the published store"
 
     # Distinct PRF identities: same store, different cache hash domain.
     blake_hash = store_content_hash(blake_store, blake)

@@ -9,6 +9,7 @@ from .bayes import (
     map_success_rate,
     posterior_from_likelihoods,
     sketch_likelihood,
+    sketch_likelihoods,
 )
 from .reconstruction import (
     ReconstructionResult,
@@ -37,4 +38,5 @@ __all__ = [
     "posterior_from_likelihoods",
     "reconstruction_attack",
     "sketch_likelihood",
+    "sketch_likelihoods",
 ]

@@ -38,6 +38,7 @@ __all__ = [
     "AttackResult",
     "posterior_from_likelihoods",
     "sketch_likelihood",
+    "sketch_likelihoods",
     "attack_sketches",
     "attack_retention",
     "attack_randomized_response",
@@ -117,14 +118,53 @@ def sketch_likelihood(
     """
     num_keys = 1 << sketch.num_bits
     value_t = tuple(int(bit) for bit in candidate_value)
-    evaluations = [
-        prf.evaluate(sketch.user_id, sketch.subset, value_t, key)
-        for key in range(num_keys)
-    ]
-    num_ones = sum(evaluations)
-    tagged = evaluations[sketch.key]
+    # One evaluate_keys call sweeps the whole key space; bitwise identical
+    # to looping the scalar evaluate (the entry-point contract), but the
+    # key axis runs through the vectorised/compiled PRF tier.
+    evaluations = prf.evaluate_keys(
+        sketch.user_id, sketch.subset, value_t, range(num_keys)
+    )
+    num_ones = int(evaluations.sum())
+    tagged = int(evaluations[sketch.key])
     return publish_probability(
         num_keys, num_ones, tagged, params.rejection_probability
+    )
+
+
+def sketch_likelihoods(
+    prf: BiasedFunction,
+    params: PrivacyParams,
+    sketch: Sketch,
+    candidate_values: Sequence[Sequence[int]],
+) -> np.ndarray:
+    """Vector of :func:`sketch_likelihood` over many candidate values.
+
+    All candidates share the user, subset and key space, so the whole
+    ``candidates x keys`` evaluation table is one ``evaluate_grid`` call
+    (the candidate axis plays the grid's user axis with the user id
+    repeated per row) instead of ``C * 2**num_bits`` scalar PRF calls.
+    Bitwise identical to calling :func:`sketch_likelihood` per candidate.
+    """
+    if len(candidate_values) == 0:
+        return np.zeros(0, dtype=np.float64)
+    num_keys = 1 << sketch.num_bits
+    values = [tuple(int(bit) for bit in value) for value in candidate_values]
+    key_rows = np.tile(
+        np.arange(num_keys, dtype=np.uint64), (len(values), 1)
+    )
+    grid = prf.evaluate_grid(
+        [sketch.user_id] * len(values), sketch.subset, values, key_rows
+    )
+    num_ones = grid.sum(axis=1)
+    tagged = grid[:, sketch.key]
+    return np.asarray(
+        [
+            publish_probability(
+                num_keys, int(ones), int(tag), params.rejection_probability
+            )
+            for ones, tag in zip(num_ones, tagged)
+        ],
+        dtype=np.float64,
     )
 
 
@@ -148,8 +188,9 @@ def attack_sketches(
     for sketch in sketches:
         projection_a = tuple(int(candidate_a[i]) for i in sketch.subset)
         projection_b = tuple(int(candidate_b[i]) for i in sketch.subset)
-        likelihood_a *= sketch_likelihood(prf, params, sketch, projection_a)
-        likelihood_b *= sketch_likelihood(prf, params, sketch, projection_b)
+        pair = sketch_likelihoods(prf, params, sketch, (projection_a, projection_b))
+        likelihood_a *= float(pair[0])
+        likelihood_b *= float(pair[1])
     return posterior_from_likelihoods(likelihood_a, likelihood_b, prior_a)
 
 

@@ -26,7 +26,7 @@ import numpy as np
 from ..core.params import PrivacyParams
 from ..core.prf import BiasedFunction
 from ..core.sketch import Sketch
-from .bayes import sketch_likelihood
+from .bayes import sketch_likelihoods
 
 __all__ = [
     "hash_publish",
@@ -91,12 +91,9 @@ def dictionary_attack_sketch(
             )
         if weights.min() < 0 or not np.isclose(weights.sum(), 1.0):
             raise ValueError("prior must be a probability vector")
-    likelihoods = np.asarray(
-        [
-            sketch_likelihood(prf, params, sketch, candidate)
-            for candidate in candidates
-        ]
-    )
+    # One evaluate_grid call scores the whole dictionary x key-space
+    # table; bitwise identical to looping sketch_likelihood per candidate.
+    likelihoods = sketch_likelihoods(prf, params, sketch, candidates)
     unnormalised = likelihoods * weights
     total = unnormalised.sum()
     if total == 0.0:

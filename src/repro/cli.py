@@ -55,6 +55,7 @@ _EXPERIMENTS = [
     ("E24", "counter-mode PRF backend + batched collection", "benchmarks/bench_prf_backends.py"),
     ("E25", "remote serving tier: protocol throughput + latency", "benchmarks/bench_serving.py"),
     ("E26", "sharded serving: scatter-gather throughput vs shard count", "benchmarks/bench_sharded.py"),
+    ("E27", "compiled kernel tier: cold-path speedup + concurrent serving", "benchmarks/bench_kernel.py"),
     ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
     ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
     ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
@@ -129,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
         "engine start (never the live generation; only meaningful with "
         "--cache-dir)",
     )
+    demo.add_argument(
+        "--kernel", choices=["auto", "c", "numpy"], default=None,
+        help="kernel tier for the CounterPRF hot loop: 'c' demands the "
+        "compiled GIL-releasing extension, 'numpy' forces the fallback, "
+        "'auto' uses the extension iff built; both tiers are "
+        "bit-identical (default: the REPRO_KERNEL environment variable, "
+        "else auto)",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -193,6 +202,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the per-shard stores, caches and the "
         "shard-map checkpoint (default: a temporary directory; only "
         "meaningful with --shards)",
+    )
+    serve.add_argument(
+        "--kernel", choices=["auto", "c", "numpy"], default=None,
+        help="kernel tier for the CounterPRF hot loop (bit-identical "
+        "either way; 'c' refuses to start without the compiled "
+        "extension; default: REPRO_KERNEL, else auto)",
+    )
+    serve.add_argument(
+        "--exec-threads", type=int, default=None, metavar="N",
+        help="dispatch pool size for query execution: engine.execute "
+        "runs on N threads off the event loop (0 = inline dispatch on "
+        "the loop; default: CPU count capped at 8)",
+    )
+    serve.add_argument(
+        "--scatter-threads", type=int, default=None, metavar="N",
+        help="shared scatter-gather pool size for sharded serving "
+        "(default: twice the shard count, capped at 32; only meaningful "
+        "with --shards)",
     )
 
     query = subparsers.add_parser(
@@ -295,6 +322,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if args.cache_ttl is not None and args.cache_ttl < 0:
         print(f"error: cache TTL must be >= 0, got {args.cache_ttl}", file=sys.stderr)
         return 2
+    if args.kernel is not None:
+        from .core import kernels
+
+        try:
+            kernels.select(args.kernel)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     rng = np.random.default_rng(args.seed)
     params = PrivacyParams(p=args.p)
     # The public key derives from the seed so a re-run reproduces the same
@@ -459,6 +494,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shards is not None and args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.exec_threads is not None and args.exec_threads < 0:
+        print(
+            f"error: --exec-threads must be >= 0, got {args.exec_threads}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scatter_threads is not None and args.scatter_threads < 1:
+        print(
+            f"error: --scatter-threads must be >= 1, got {args.scatter_threads}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.kernel is not None:
+        from .core import kernels
+
+        try:
+            kernels.select(args.kernel)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     service = None
     try:
         params = PrivacyParams(p=float(p))
@@ -469,13 +524,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from .server import ShardedService
 
             shard_dir = args.shard_dir or tempfile.mkdtemp(prefix="repro-shards-")
-            service = ShardedService.from_store(store, prf, args.shards, shard_dir)
+            service = ShardedService.from_store(
+                store, prf, args.shards, shard_dir, pool_size=args.scatter_threads
+            )
             service.start()
             front = service.coordinator
         else:
             front = QueryEngine(None, store, SketchEstimator(params, prf))
         server = RemoteServer(
-            front, tokens, epsilon=args.epsilon, rate_limit=args.rate_limit
+            front, tokens, epsilon=args.epsilon, rate_limit=args.rate_limit,
+            pool_size=args.exec_threads,
         )
     except ValueError as exc:
         if service is not None:
@@ -484,12 +542,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
     def _ready(address) -> None:
+        from .core import kernels
+
         host, port = address
         budget = "unlimited" if args.epsilon is None else f"epsilon={args.epsilon:g}"
         sharding = "" if service is None else f", {args.shards} shard worker(s)"
+        dispatch = (
+            "inline" if server._pool_size == 0 else f"{server._pool_size} thread(s)"
+        )
         print(
             f"serving {args.store} on {host}:{port} "
-            f"({len(tokens)} analyst token(s), budget {budget}{sharding})",
+            f"({len(tokens)} analyst token(s), budget {budget}{sharding}, "
+            f"kernel {kernels.active()}, dispatch {dispatch})",
             flush=True,
         )
         if args.ready_file:

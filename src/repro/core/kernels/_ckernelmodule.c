@@ -1,0 +1,349 @@
+/* Fused CounterPRF hot loop as a CPython extension.
+ *
+ * One function family, three drive shapes — the same three bulk layouts
+ * repro/core/philox.py serves with NumPy array arithmetic, here fused
+ * into single C passes (Philox4x64-10 expansion -> threshold compare ->
+ * int8 bit output) that release the GIL for their whole duration:
+ *
+ *   threshold_keys  — one (id, B, v) head against a run of candidate
+ *                     keys (Algorithm 1's rejection-loop axis);
+ *   threshold_block — the (users x blocks) aggregator lattice behind
+ *                     evaluate_block, emitted as the flat (M, 4B)
+ *                     lane-interleaved layout the gather step consumes;
+ *   threshold_grid  — per-user (value, key-run) rows behind
+ *                     evaluate_grid and sketch_many.
+ *
+ * The Philox core is the Random123 / numpy.random.Philox parameterisation
+ * (4x64, 10 rounds); Python-side tests pin every entry point bitwise
+ * against the NumPy reference path, which is itself pinned against
+ * numpy.random.Philox.  uint64 arithmetic wraps identically everywhere,
+ * so compiled and NumPy tiers are interchangeable bit for bit.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <numpy/arrayobject.h>
+
+#include <stdint.h>
+
+#define PHILOX_M0 0xD2E7470EE14C6C93ULL
+#define PHILOX_M1 0xCA5A826395121157ULL
+#define PHILOX_W0 0x9E3779B97F4A7C15ULL
+#define PHILOX_W1 0xBB67AE8584CAA73BULL
+#define PHILOX_ROUNDS 10
+
+/* Philox4x64-10 at counter (c0, c1, 0, 0) — the zero-tail form every
+ * hot path uses (their counter layouts never touch the two high words).
+ * Matches philox4x64(c0, c1, 0, 0, k0, k1) in repro/core/philox.py:
+ * per round, c0..c3 <- (hi1 ^ c1 ^ k0, lo1, hi0 ^ c3 ^ k1, lo0). */
+static inline void
+philox4x64_10_zero_tail(uint64_t c0, uint64_t c1, uint64_t k0, uint64_t k1,
+                        uint64_t out[4])
+{
+    uint64_t c2 = 0, c3 = 0;
+    int r;
+    for (r = 0; r < PHILOX_ROUNDS; r++) {
+        __uint128_t p0, p1;
+        uint64_t lo0, hi0, lo1, hi1, n0, n2;
+        if (r) {
+            k0 += PHILOX_W0;
+            k1 += PHILOX_W1;
+        }
+        p0 = (__uint128_t)PHILOX_M0 * c0;
+        p1 = (__uint128_t)PHILOX_M1 * c2;
+        lo0 = (uint64_t)p0;
+        hi0 = (uint64_t)(p0 >> 64);
+        lo1 = (uint64_t)p1;
+        hi1 = (uint64_t)(p1 >> 64);
+        n0 = hi1 ^ c1 ^ k0;
+        n2 = hi0 ^ c3 ^ k1;
+        c1 = lo1;
+        c3 = lo0;
+        c0 = n0;
+        c2 = n2;
+    }
+    out[0] = c0;
+    out[1] = c1;
+    out[2] = c2;
+    out[3] = c3;
+}
+
+/* Fetch a C-contiguous aligned uint64 view of `obj` (new reference). */
+static PyArrayObject *
+as_u64_array(PyObject *obj, int ndim_required, const char *name)
+{
+    PyArrayObject *array = (PyArrayObject *)PyArray_FROM_OTF(
+        obj, NPY_UINT64, NPY_ARRAY_IN_ARRAY);
+    if (array == NULL)
+        return NULL;
+    if (PyArray_NDIM(array) != ndim_required) {
+        PyErr_Format(PyExc_ValueError, "%s must be %d-dimensional, got %d",
+                     name, ndim_required, PyArray_NDIM(array));
+        Py_DECREF(array);
+        return NULL;
+    }
+    return array;
+}
+
+/* threshold_keys(block, keys, k0, k1, lane, threshold) -> int8[K]
+ *
+ * bits[k] = (philox(block, keys[k], sk)[lane] < threshold). */
+static PyObject *
+threshold_keys(PyObject *self, PyObject *args)
+{
+    unsigned long long block, k0, k1, threshold;
+    int lane;
+    PyObject *keys_obj;
+    PyArrayObject *keys, *out;
+    npy_intp num_keys;
+    const uint64_t *key_data;
+    int8_t *out_data;
+
+    (void)self;
+    if (!PyArg_ParseTuple(args, "KOKKiK", &block, &keys_obj, &k0, &k1,
+                          &lane, &threshold))
+        return NULL;
+    if (lane < 0 || lane > 3) {
+        PyErr_Format(PyExc_ValueError, "lane must be in 0..3, got %d", lane);
+        return NULL;
+    }
+    keys = as_u64_array(keys_obj, 1, "keys");
+    if (keys == NULL)
+        return NULL;
+    num_keys = PyArray_DIM(keys, 0);
+    out = (PyArrayObject *)PyArray_SimpleNew(1, &num_keys, NPY_INT8);
+    if (out == NULL) {
+        Py_DECREF(keys);
+        return NULL;
+    }
+    key_data = (const uint64_t *)PyArray_DATA(keys);
+    out_data = (int8_t *)PyArray_DATA(out);
+    Py_BEGIN_ALLOW_THREADS
+    {
+        npy_intp k;
+        for (k = 0; k < num_keys; k++) {
+            uint64_t words[4];
+            philox4x64_10_zero_tail((uint64_t)block, key_data[k],
+                                    (uint64_t)k0, (uint64_t)k1, words);
+            out_data[k] = words[lane] < (uint64_t)threshold;
+        }
+    }
+    Py_END_ALLOW_THREADS
+    Py_DECREF(keys);
+    return (PyObject *)out;
+}
+
+/* threshold_block(block_ids, user_keys, sk0, sk1, threshold) -> int8[M, 4B]
+ *
+ * out[m, 4b + lane] = (philox(block_ids[b], user_keys[m], sk[m])[lane]
+ *                      < threshold) — the flat lane-interleaved lattice
+ * CounterPRF.evaluate_block gathers candidate-value columns from. */
+static PyObject *
+threshold_block(PyObject *self, PyObject *args)
+{
+    unsigned long long threshold;
+    PyObject *blocks_obj, *keys_obj, *sk0_obj, *sk1_obj;
+    PyArrayObject *blocks, *keys, *sk0, *sk1, *out;
+    npy_intp num_blocks, num_users, out_dims[2];
+    const uint64_t *block_data, *key_data, *sk0_data, *sk1_data;
+    int8_t *out_data;
+
+    (void)self;
+    if (!PyArg_ParseTuple(args, "OOOOK", &blocks_obj, &keys_obj, &sk0_obj,
+                          &sk1_obj, &threshold))
+        return NULL;
+    blocks = as_u64_array(blocks_obj, 1, "block_ids");
+    keys = as_u64_array(keys_obj, 1, "user_keys");
+    sk0 = as_u64_array(sk0_obj, 1, "subkey0");
+    sk1 = as_u64_array(sk1_obj, 1, "subkey1");
+    if (blocks == NULL || keys == NULL || sk0 == NULL || sk1 == NULL)
+        goto fail;
+    num_blocks = PyArray_DIM(blocks, 0);
+    num_users = PyArray_DIM(keys, 0);
+    if (PyArray_DIM(sk0, 0) != num_users || PyArray_DIM(sk1, 0) != num_users) {
+        PyErr_Format(PyExc_ValueError,
+                     "user_keys (%zd), subkey0 (%zd) and subkey1 (%zd) must "
+                     "align on the user axis", (Py_ssize_t)num_users,
+                     (Py_ssize_t)PyArray_DIM(sk0, 0),
+                     (Py_ssize_t)PyArray_DIM(sk1, 0));
+        goto fail;
+    }
+    out_dims[0] = num_users;
+    out_dims[1] = num_blocks * 4;
+    out = (PyArrayObject *)PyArray_SimpleNew(2, out_dims, NPY_INT8);
+    if (out == NULL)
+        goto fail;
+    block_data = (const uint64_t *)PyArray_DATA(blocks);
+    key_data = (const uint64_t *)PyArray_DATA(keys);
+    sk0_data = (const uint64_t *)PyArray_DATA(sk0);
+    sk1_data = (const uint64_t *)PyArray_DATA(sk1);
+    out_data = (int8_t *)PyArray_DATA(out);
+    Py_BEGIN_ALLOW_THREADS
+    {
+        npy_intp m, b;
+        for (m = 0; m < num_users; m++) {
+            const uint64_t c1 = key_data[m];
+            const uint64_t k0 = sk0_data[m];
+            const uint64_t k1 = sk1_data[m];
+            int8_t *row = out_data + m * num_blocks * 4;
+            for (b = 0; b < num_blocks; b++) {
+                uint64_t words[4];
+                philox4x64_10_zero_tail(block_data[b], c1, k0, k1, words);
+                row[4 * b + 0] = words[0] < (uint64_t)threshold;
+                row[4 * b + 1] = words[1] < (uint64_t)threshold;
+                row[4 * b + 2] = words[2] < (uint64_t)threshold;
+                row[4 * b + 3] = words[3] < (uint64_t)threshold;
+            }
+        }
+    }
+    Py_END_ALLOW_THREADS
+    Py_DECREF(blocks);
+    Py_DECREF(keys);
+    Py_DECREF(sk0);
+    Py_DECREF(sk1);
+    return (PyObject *)out;
+
+fail:
+    Py_XDECREF(blocks);
+    Py_XDECREF(keys);
+    Py_XDECREF(sk0);
+    Py_XDECREF(sk1);
+    return NULL;
+}
+
+/* threshold_grid(vblocks, lanes, key_rows, sk0, sk1, threshold) -> int8[U, K]
+ *
+ * out[u, k] = (philox(vblocks[u], key_rows[u, k], sk[u])[lanes[u]]
+ *              < threshold) — each user's own candidate value against
+ * that user's run of keys (the sketch_many / evaluate_grid axis). */
+static PyObject *
+threshold_grid(PyObject *self, PyObject *args)
+{
+    unsigned long long threshold;
+    PyObject *vblocks_obj, *lanes_obj, *rows_obj, *sk0_obj, *sk1_obj;
+    PyArrayObject *vblocks, *lanes, *rows, *sk0, *sk1, *out;
+    npy_intp num_users, num_keys, out_dims[2];
+    const uint64_t *vblock_data, *row_data, *sk0_data, *sk1_data;
+    const uint8_t *lane_data;
+    int8_t *out_data;
+
+    (void)self;
+    if (!PyArg_ParseTuple(args, "OOOOOK", &vblocks_obj, &lanes_obj, &rows_obj,
+                          &sk0_obj, &sk1_obj, &threshold))
+        return NULL;
+    vblocks = as_u64_array(vblocks_obj, 1, "vblocks");
+    rows = as_u64_array(rows_obj, 2, "key_rows");
+    sk0 = as_u64_array(sk0_obj, 1, "subkey0");
+    sk1 = as_u64_array(sk1_obj, 1, "subkey1");
+    lanes = (PyArrayObject *)PyArray_FROM_OTF(lanes_obj, NPY_UINT8,
+                                              NPY_ARRAY_IN_ARRAY);
+    if (vblocks == NULL || rows == NULL || sk0 == NULL || sk1 == NULL ||
+        lanes == NULL)
+        goto fail;
+    if (PyArray_NDIM(lanes) != 1) {
+        PyErr_Format(PyExc_ValueError, "lanes must be 1-dimensional, got %d",
+                     PyArray_NDIM(lanes));
+        goto fail;
+    }
+    num_users = PyArray_DIM(rows, 0);
+    num_keys = PyArray_DIM(rows, 1);
+    if (PyArray_DIM(vblocks, 0) != num_users ||
+        PyArray_DIM(lanes, 0) != num_users ||
+        PyArray_DIM(sk0, 0) != num_users ||
+        PyArray_DIM(sk1, 0) != num_users) {
+        PyErr_SetString(PyExc_ValueError,
+                        "vblocks, lanes, key_rows, subkey0 and subkey1 must "
+                        "align on the user axis");
+        goto fail;
+    }
+    {
+        npy_intp u;
+        lane_data = (const uint8_t *)PyArray_DATA(lanes);
+        for (u = 0; u < num_users; u++) {
+            if (lane_data[u] > 3) {
+                PyErr_Format(PyExc_ValueError,
+                             "lanes must be in 0..3, got %d at row %zd",
+                             (int)lane_data[u], (Py_ssize_t)u);
+                goto fail;
+            }
+        }
+    }
+    out_dims[0] = num_users;
+    out_dims[1] = num_keys;
+    out = (PyArrayObject *)PyArray_SimpleNew(2, out_dims, NPY_INT8);
+    if (out == NULL)
+        goto fail;
+    vblock_data = (const uint64_t *)PyArray_DATA(vblocks);
+    row_data = (const uint64_t *)PyArray_DATA(rows);
+    sk0_data = (const uint64_t *)PyArray_DATA(sk0);
+    sk1_data = (const uint64_t *)PyArray_DATA(sk1);
+    out_data = (int8_t *)PyArray_DATA(out);
+    Py_BEGIN_ALLOW_THREADS
+    {
+        npy_intp u, k;
+        for (u = 0; u < num_users; u++) {
+            const uint64_t c0 = vblock_data[u];
+            const uint64_t k0 = sk0_data[u];
+            const uint64_t k1 = sk1_data[u];
+            const int lane = (int)lane_data[u];
+            const uint64_t *row = row_data + u * num_keys;
+            int8_t *out_row = out_data + u * num_keys;
+            for (k = 0; k < num_keys; k++) {
+                uint64_t words[4];
+                philox4x64_10_zero_tail(c0, row[k], k0, k1, words);
+                out_row[k] = words[lane] < (uint64_t)threshold;
+            }
+        }
+    }
+    Py_END_ALLOW_THREADS
+    Py_DECREF(vblocks);
+    Py_DECREF(lanes);
+    Py_DECREF(rows);
+    Py_DECREF(sk0);
+    Py_DECREF(sk1);
+    return (PyObject *)out;
+
+fail:
+    Py_XDECREF(vblocks);
+    Py_XDECREF(lanes);
+    Py_XDECREF(rows);
+    Py_XDECREF(sk0);
+    Py_XDECREF(sk1);
+    return NULL;
+}
+
+static PyMethodDef kernel_methods[] = {
+    {"threshold_keys", threshold_keys, METH_VARARGS,
+     "threshold_keys(block, keys, k0, k1, lane, threshold) -> int8[K]"},
+    {"threshold_block", threshold_block, METH_VARARGS,
+     "threshold_block(block_ids, user_keys, sk0, sk1, threshold) "
+     "-> int8[M, 4B]"},
+    {"threshold_grid", threshold_grid, METH_VARARGS,
+     "threshold_grid(vblocks, lanes, key_rows, sk0, sk1, threshold) "
+     "-> int8[U, K]"},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "_ckernel",
+    "GIL-releasing fused Philox4x64-10 threshold kernels.",
+    -1,
+    kernel_methods,
+    NULL, NULL, NULL, NULL
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    PyObject *module = PyModule_Create(&ckernel_module);
+    if (module == NULL)
+        return NULL;
+    import_array();
+    if (PyErr_Occurred()) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -43,7 +43,8 @@ from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
-from .philox import philox4x64, philox4x64_rows, philox4x64_zero_tail
+from . import kernels
+from .philox import philox4x64
 
 __all__ = [
     "BiasedFunction",
@@ -459,6 +460,12 @@ class CounterPRF(BiasedFunction):
        per-point Python (see :mod:`repro.core.philox`);
     3. **threshold** — the usual comparison against ``floor(p * 2**64)``.
 
+    Steps 2–3 are served by the **kernel tier**
+    (:mod:`repro.core.kernels`): a GIL-releasing fused C pass when the
+    compiled extension is built, the NumPy array-arithmetic twin
+    otherwise — the two are bit-identical and selection never changes
+    any output.
+
     This is still a PRF under standard assumptions: the BLAKE2b step is a
     PRF from ``(id, B)`` to subkeys, and Philox keyed by a uniform
     128-bit key is a counter-mode PRF over the ``(v, s)`` index space
@@ -573,10 +580,15 @@ class CounterPRF(BiasedFunction):
         subset_t = tuple(int(b) for b in subset)
         v_int = self._value_int(subset_t, value)
         k0, k1 = self._subkey(str(user_id), subset_t)
-        words = self._words(
-            np.uint64(v_int >> 2), np.uint64(int(key)), np.uint64(k0), np.uint64(k1)
+        bits = kernels.threshold_keys(
+            v_int >> 2,
+            np.array([int(key)], dtype=np.uint64),
+            k0,
+            k1,
+            v_int & 3,
+            self._threshold,
         )
-        return 1 if int(words[v_int & 3]) < self._threshold else 0
+        return int(bits[0])
 
     def _uniform64(self, payload: bytes) -> int:
         """Structured evaluation of a spliced canonical payload.
@@ -608,13 +620,9 @@ class CounterPRF(BiasedFunction):
             return np.zeros(0, dtype=np.int8)
         k0, k1 = self._subkey(str(user_id), subset_t)
         key_array = np.fromiter((int(k) for k in keys), dtype=np.uint64)
-        words = philox4x64_zero_tail(
-            np.full(key_array.size, v_int >> 2, dtype=np.uint64),
-            key_array,
-            np.uint64(k0),
-            np.uint64(k1),
-        )[v_int & 3]
-        return (words < np.uint64(self._threshold)).astype(np.int8)
+        return kernels.threshold_keys(
+            v_int >> 2, key_array, k0, k1, v_int & 3, self._threshold
+        )
 
     def evaluate_block(
         self,
@@ -643,19 +651,11 @@ class CounterPRF(BiasedFunction):
         lanes = (v_ints & np.uint64(3)).astype(np.int64)
         num_blocks = block_ids.size
         subkey0, subkey1 = self._subkey_columns(users, subset_t)
-        words = philox4x64_rows(
-            block_ids[None, :],
-            key_array[:, None],
-            subkey0,
-            subkey1,
+        # The kernel tier emits the flat lane-interleaved (M, 4B) lattice
+        # directly (compiled fused pass or the NumPy twin — bit-identical).
+        flat = kernels.threshold_block(
+            block_ids, key_array, subkey0, subkey1, self._threshold
         )
-        # Threshold-compare each output lane before assembling the value
-        # lattice: the interleaved writes then move int8, not uint64.
-        threshold = np.uint64(self._threshold)
-        lattice = np.empty((num_users, num_blocks, 4), dtype=np.int8)
-        for lane, word in enumerate(words):
-            lattice[:, :, lane] = word < threshold
-        flat = lattice.reshape(num_users, num_blocks * 4)
         columns = inverse * 4 + lanes
         if num_values == num_blocks * 4 and np.array_equal(
             columns, np.arange(num_values)
@@ -685,20 +685,16 @@ class CounterPRF(BiasedFunction):
             [self._value_int(subset_t, value) for value in values], dtype=np.uint64
         )
         subkey0, subkey1 = self._subkey_columns([str(uid) for uid in user_ids], subset_t)
-        words = philox4x64_rows(
-            (v_ints >> np.uint64(2))[:, None],
+        # Each user reads one fixed output lane (their value's two low
+        # bits); the kernel tier fuses expansion, lane select and compare.
+        return kernels.threshold_grid(
+            v_ints >> np.uint64(2),
+            v_ints & np.uint64(3),
             rows,
             subkey0,
             subkey1,
+            self._threshold,
         )
-        # Each user reads one fixed output lane (their value's two low
-        # bits); compare lane-wise first so the gather moves int8.
-        threshold = np.uint64(self._threshold)
-        lattice = np.empty((num_users, num_keys, 4), dtype=np.int8)
-        for lane, word in enumerate(words):
-            lattice[:, :, lane] = word < threshold
-        lanes = (v_ints & np.uint64(3)).astype(np.int64)
-        return np.take_along_axis(lattice, lanes[:, None, None], axis=2)[:, :, 0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CounterPRF(p={self.p}, key=<{len(self.global_key)} bytes>)"

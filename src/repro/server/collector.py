@@ -83,6 +83,7 @@ from ..data.schema import Schema
 
 __all__ = [
     "AlignedColumns",
+    "MIN_CHUNK_USERS",
     "SketchColumn",
     "SketchStore",
     "per_bit_subsets",
@@ -90,6 +91,18 @@ __all__ = [
     "prefix_subsets",
     "publish_database",
 ]
+
+#: Autotune floor for the sharded collection path: chunks are never cut
+#: below this many users.  Measured on the E21/E24 rigs: per-chunk fixed
+#: cost (columnar payload serialization + pool dispatch + sketch_many
+#: ramp-up) is ~2-4 ms, while sketching runs ~15-20 us/user/subset under
+#: CounterPRF — so chunks of a few hundred users spend as much time on
+#: overhead as on sketching, which is exactly the PR 5 "worker
+#: serialization dominates at small M" regression.  At 1024 the fixed
+#: cost amortizes to under a quarter of the chunk's sketch time, while
+#: M >= 64k workloads still fan out to the full 8-chunks-per-worker
+#: schedule at 8 workers.
+MIN_CHUNK_USERS = 1024
 
 Subset = Tuple[int, ...]
 
@@ -587,6 +600,7 @@ def publish_database(
     accountant: PrivacyAccountant | None = None,
     workers: int | None = None,
     seed: int | None = None,
+    chunk_size: int | None = None,
 ) -> SketchStore:
     """Have every user of a database publish sketches for the given subsets.
 
@@ -628,9 +642,22 @@ def publish_database(
         Base seed for the sharded path's per-user coins.  ``None`` draws
         one from the sketcher's RNG (reproducible when the sketcher was
         seeded); ignored when ``workers`` is ``None``.
+    chunk_size:
+        Target users per chunk on the sharded path.  ``None`` (default)
+        autotunes: ~8 chunks per worker for dynamic balancing, but never
+        below :data:`MIN_CHUNK_USERS` users per chunk — at small M the
+        per-chunk fixed cost (columnar payload serialization, pool
+        dispatch, ``sketch_many`` ramp-up) otherwise dominates the
+        sketching itself and adding workers *slows collection down*.  A
+        database that fits in one chunk skips the pool entirely.
+        Chunking never changes the output store (coins are keyed by
+        global user index), only the schedule; ignored when ``workers``
+        is ``None``.
     """
     store = store if store is not None else SketchStore()
     subset_keys = [tuple(int(i) for i in s) for s in subsets]
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
 
     if workers is None:
         for profile in database:
@@ -672,6 +699,16 @@ def publish_database(
         return store
 
     num_workers = min(workers, len(profiles))
+    # Chunk sizing (PR 5 leftover): ~8 interleaved chunks per worker for
+    # dynamic balancing, floored at MIN_CHUNK_USERS users per chunk — at
+    # small M the per-chunk fixed cost (payload serialization, dispatch,
+    # sketch_many ramp-up) dominates and finer chunking only serializes
+    # the run.  The floor can shrink the effective worker count; when the
+    # whole database fits in one chunk the pool is skipped outright.
+    if chunk_size is None:
+        chunk_size = max(MIN_CHUNK_USERS, -(-len(profiles) // (num_workers * 8)))
+    shard_count = min(len(profiles), -(-len(profiles) // chunk_size))
+    num_workers = min(num_workers, shard_count)
     if num_workers == 1:
         _sketch_span(profiles, sketcher, subset_keys, seed, range(len(profiles)), store)
         return store
@@ -692,7 +729,6 @@ def publish_database(
     # leak into the store.  Payloads and results travel in the columnar
     # (v2) format — bit-packed profiles out, column arrays back — which
     # removes the parent's serial JSON ceiling at M=50k.
-    shard_count = min(len(profiles), num_workers * 8)
 
     def shard_payloads():
         for chunk_index in range(shard_count):

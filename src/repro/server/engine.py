@@ -33,6 +33,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 import time
 
 try:  # POSIX file locking for cross-process sweep coordination.
@@ -259,6 +260,14 @@ class SketchEvaluationCache:
     ) -> None:
         self.store = store
         self.estimator = estimator
+        # In-process mutex guarding all mutable bookkeeping (_bits,
+        # stats, recency sets, disk writes).  PRF block evaluations run
+        # OUTSIDE it — the kernel tier releases the GIL, so concurrent
+        # cold queries genuinely overlap on multiple cores; two threads
+        # missing the same column may both compute it, but the results
+        # are deterministic and bit-identical, so last-writer-wins
+        # inserts never change an answer.
+        self._mutex = threading.RLock()
         # Insertion order doubles as recency order (entries are re-inserted
         # on every hit when a memory budget is set), so the dict is the LRU.
         self._bits: dict[Tuple[Subset, Tuple[int, ...]], np.ndarray] = {}
@@ -814,6 +823,16 @@ class SketchEvaluationCache:
     def _bits_batch(
         self, subset: Subset, values: Sequence[Tuple[int, ...]]
     ) -> List[np.ndarray]:
+        """One batch in three phases: classify under the mutex, evaluate
+        the PRF outside it, publish under the mutex again.
+
+        The expensive middle phase (the block PRF calls — GIL-released
+        in the compiled kernel tier) holds no lock, so concurrent cold
+        batches from a serving thread pool overlap on multiple cores.
+        Two threads missing the same ``(subset, value)`` both compute
+        it; the columns are deterministic and bit-identical, so the
+        duplicate insert is wasted work, never a wrong answer.
+        """
         num_users = self.store.num_users(subset)
         # The store column feeds the PRF directly — the query hot path
         # never materialises per-Sketch records (store format v2) — but
@@ -835,35 +854,38 @@ class SketchEvaluationCache:
         # every entry at once).
         extensions: dict[int, List[Tuple[Tuple[int, ...], np.ndarray]]] = {}
         seen: set = set()
-        for value in values:
-            if value in seen:
-                continue
-            seen.add(value)
-            cached = self._bits.get((subset, value))
-            if cached is None:
-                cached = self._disk_get(subset, value, num_users)
-                if cached is not None:
-                    self._remember((subset, value), cached)
-            else:
-                self._touch((subset, value))
-            if cached is not None and cached.size == num_users:
-                self.stats["hits"] += 1
-                if self._budget is not None:
-                    # Recency for the LRU sweep: recorded in-process here
-                    # (a set add — the warm hot path makes no syscalls)
-                    # and flushed to entry mtimes when a sweep runs.
-                    self._used_since_sweep.add((subset, value))
-                resolved[value] = cached
-            elif cached is not None and 0 < cached.size < num_users:
-                # A valid prefix (in-memory store growth, or a column
-                # seeded from an older directory): reused, so a hit —
-                # only the newly-published tail costs PRF work, batched
-                # per prefix length below.
-                self.stats["hits"] += 1
-                extensions.setdefault(cached.size, []).append((value, cached))
-            else:
-                self.stats["misses"] += 1
-                misses.append(value)
+        with self._mutex:
+            for value in values:
+                if value in seen:
+                    continue
+                seen.add(value)
+                cached = self._bits.get((subset, value))
+                if cached is None:
+                    cached = self._disk_get(subset, value, num_users)
+                    if cached is not None:
+                        self._remember((subset, value), cached)
+                else:
+                    self._touch((subset, value))
+                if cached is not None and cached.size == num_users:
+                    self.stats["hits"] += 1
+                    if self._budget is not None:
+                        # Recency for the LRU sweep: recorded in-process here
+                        # (a set add — the warm hot path makes no syscalls)
+                        # and flushed to entry mtimes when a sweep runs.
+                        self._used_since_sweep.add((subset, value))
+                    resolved[value] = cached
+                elif cached is not None and 0 < cached.size < num_users:
+                    # A valid prefix (in-memory store growth, or a column
+                    # seeded from an older directory): reused, so a hit —
+                    # only the newly-published tail costs PRF work, batched
+                    # per prefix length below.
+                    self.stats["hits"] += 1
+                    extensions.setdefault(cached.size, []).append((value, cached))
+                else:
+                    self.stats["misses"] += 1
+                    misses.append(value)
+        # -- PRF work, no lock held ------------------------------------
+        tails: List[Tuple[int, List[Tuple[Tuple[int, ...], np.ndarray]], np.ndarray]] = []
         for prefix_size, group in extensions.items():
             tail_block = self.estimator.evaluations_block_columns(
                 subset,
@@ -871,23 +893,29 @@ class SketchEvaluationCache:
                 column().keys[prefix_size:],
                 [value for value, _ in group],
             )
-            for j, (value, cached) in enumerate(group):
-                grown = np.concatenate([cached, tail_block[:, j]])
-                self._remember((subset, value), grown)
-                resolved[value] = grown
-                self._disk_put(subset, value, grown)
+            tails.append((prefix_size, group, tail_block))
+        block = None
         if misses:
             block = self.estimator.evaluations_block_columns(
                 subset, column().user_ids, column().keys, misses
             )
-            for j, value in enumerate(misses):
-                column_bits = np.ascontiguousarray(block[:, j])
-                self._remember((subset, value), column_bits)
-                resolved[value] = column_bits
-                self._disk_put(subset, value, column_bits)
-        if self._dirty:
-            self._sweep()
-            self._dirty = False
+        # -- publish ----------------------------------------------------
+        with self._mutex:
+            for _prefix_size, group, tail_block in tails:
+                for j, (value, cached) in enumerate(group):
+                    grown = np.concatenate([cached, tail_block[:, j]])
+                    self._remember((subset, value), grown)
+                    resolved[value] = grown
+                    self._disk_put(subset, value, grown)
+            if block is not None:
+                for j, value in enumerate(misses):
+                    column_bits = np.ascontiguousarray(block[:, j])
+                    self._remember((subset, value), column_bits)
+                    resolved[value] = column_bits
+                    self._disk_put(subset, value, column_bits)
+            if self._dirty:
+                self._sweep()
+                self._dirty = False
         return [resolved[value] for value in values]
 
     def estimates(
@@ -946,6 +974,16 @@ def search_exact_cover(
 
 class QueryEngine:
     """Analyst-facing query interface over published sketches.
+
+    ``execute`` is thread-safe for **serving** (concurrent calls against
+    a fixed store, as :class:`~repro.server.remote.RemoteServer`'s
+    dispatch pool issues them): the evaluation cache and the two memo
+    caches take internal locks around their bookkeeping while the PRF
+    block work — GIL-released in the compiled kernel tier — runs outside
+    them, and a stateless PRF plus deterministic columns make racing
+    recomputation harmless.  Publishing into the store concurrently with
+    queries is *not* part of the contract — collection and serving
+    remain separate phases.
 
     Parameters
     ----------
@@ -1007,6 +1045,12 @@ class QueryEngine:
         self._aligned_cache: dict[
             Tuple[Subset, ...], Tuple[Tuple[int, ...], AlignedColumns]
         ] = {}
+        # Guards the two memo dicts above when `execute` runs on a
+        # serving thread pool.  Both memoise *pure* functions of the
+        # store state, so the pattern is look-up under the lock, compute
+        # outside it, insert under it — racing threads at worst compute
+        # the same value twice, never a different one.
+        self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # The unified dispatch surface
@@ -1416,17 +1460,19 @@ class QueryEngine:
         recomputed, never patched).
         """
         sizes = tuple(self.store.num_users(key) for key in keys)
-        cached = self._aligned_cache.get(keys)
-        if cached is not None and cached[0] == sizes:
-            return cached[1]
+        with self._memo_lock:
+            cached = self._aligned_cache.get(keys)
+            if cached is not None and cached[0] == sizes:
+                return cached[1]
         aligned = self.store.aligned_columns(keys)
         # Bounded FIFO: each entry holds O(M) index/id references, so an
         # analyst sweeping many distinct subset combinations must not
         # grow memory without limit — beyond the bound the oldest shape
         # is dropped and simply recomputed on its next use.
-        if len(self._aligned_cache) >= 64:
-            self._aligned_cache.pop(next(iter(self._aligned_cache)))
-        self._aligned_cache[keys] = (sizes, aligned)
+        with self._memo_lock:
+            if len(self._aligned_cache) >= 64 and keys not in self._aligned_cache:
+                self._aligned_cache.pop(next(iter(self._aligned_cache)))
+            self._aligned_cache[keys] = (sizes, aligned)
         return aligned
 
     def _require_partition(self, target: Subset) -> List[Subset]:
@@ -1448,13 +1494,15 @@ class QueryEngine:
         change any partition).
         """
         subsets = self.store.subsets
-        if subsets != self._partition_snapshot:
-            self._partition_cache.clear()
-            self._partition_snapshot = subsets
-        if target in self._partition_cache:
-            return self._partition_cache[target]
+        with self._memo_lock:
+            if subsets != self._partition_snapshot:
+                self._partition_cache.clear()
+                self._partition_snapshot = subsets
+            if target in self._partition_cache:
+                return self._partition_cache[target]
         partition = self._search_partition(target)
-        self._partition_cache[target] = partition
+        with self._memo_lock:
+            self._partition_cache[target] = partition
         return partition
 
     def _search_partition(self, target: Subset) -> Optional[List[Subset]]:

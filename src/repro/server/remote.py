@@ -22,10 +22,20 @@ because every message that travels is already defined by
   the accountant's ledger and the paid-subset set are only updated after
   the charge succeeds in full.
 
-Requests are dispatched inline on the event loop — the engine and its
-caches are single-threaded by design, and queries are CPU-bound NumPy
-work, so a thread pool would buy contention, not latency.  Concurrency
-across connections still overlaps the socket I/O.
+Requests are **dispatched off the event loop**: ``engine.execute`` runs
+on a bounded ``ThreadPoolExecutor`` (``pool_size`` workers), so the loop
+stays responsive while queries burn CPU, and — with the compiled kernel
+tier (:mod:`repro.core.kernels`) releasing the GIL through the fused
+Philox hot loop — concurrent cold queries from different connections
+genuinely run on multiple cores in one process.  Everything *around*
+dispatch (parsing, auth, rate limiting, privacy accounting) stays on
+the event loop, where it is single-threaded by construction; each
+connection awaits its own dispatch before reading the next line, so
+per-analyst request ordering is exactly what it was inline.
+``pool_size=0`` restores inline dispatch (the benchmark baseline), and
+a server over a *stateful* PRF (the spec-test ``TrueRandomOracle``
+memoises draws un-locked) falls back to inline automatically unless a
+pool size is forced.
 
 :class:`RemoteQueryEngine` is the matching blocking client: it speaks
 the same protocol over a plain socket and exposes the same method
@@ -44,9 +54,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import math
+import os
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -135,6 +147,13 @@ class RemoteServer:
         Bucket capacity; defaults to ``ceil(rate_limit)`` (at least 1).
     clock:
         Monotonic clock used by the rate limiter (injectable in tests).
+    pool_size:
+        Workers in the ``ThreadPoolExecutor`` that ``engine.execute``
+        dispatches onto.  ``None`` (default) auto-sizes to the CPU count
+        (capped at 8) — or to inline dispatch when the engine's PRF is
+        stateful, since only stateless PRFs are audited for concurrent
+        execution.  ``0`` forces inline dispatch on the event loop (the
+        pre-pool behaviour; the serving benchmark's baseline).
     """
 
     def __init__(
@@ -146,6 +165,7 @@ class RemoteServer:
         rate_limit: Optional[float] = None,
         burst: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        pool_size: Optional[int] = None,
     ) -> None:
         self.engine = engine
         self._analysts: Dict[str, str] = {}
@@ -172,6 +192,30 @@ class RemoteServer:
         self._buckets: Dict[str, _TokenBucket] = {}
         #: analyst -> sketched subsets already paid for (released).
         self._released: Dict[str, Set[Tuple[int, ...]]] = {}
+        if pool_size is None:
+            prf = getattr(getattr(engine, "estimator", None), "prf", None)
+            stateless = bool(getattr(prf, "stateless", False))
+            pool_size = min(8, os.cpu_count() or 1) if stateless else 0
+        elif pool_size < 0:
+            raise ValueError(f"pool_size must be >= 0, got {pool_size}")
+        self._pool_size = int(pool_size)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _executor(self) -> Optional[ThreadPoolExecutor]:
+        """The dispatch pool, created on first use; ``None`` = inline."""
+        if self._pool_size == 0:
+            return None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._pool_size, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the dispatch pool's threads (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # -- the perimeter -------------------------------------------------
     def _charge(self, analyst: str, request: QueryRequest) -> None:
@@ -198,8 +242,14 @@ class RemoteServer:
             return None
         return self.accountant.remaining_sketches(analyst)
 
-    def _answer(self, analyst: str, line: str) -> str:
-        """One request line in, one reply line out — never an exception."""
+    async def _answer(self, analyst: str, line: str) -> str:
+        """One request line in, one reply line out — never an exception.
+
+        Parsing, rate limiting, and the budget charge run on the event
+        loop (synchronously — no await crosses the charge, so the
+        accountant and paid-subset bookkeeping stay loop-serialized);
+        only ``engine.execute`` is awaited on the dispatch pool.
+        """
         try:
             request = loads_request(line)
         except Exception as exc:  # noqa: BLE001 - perimeter: envelope everything
@@ -220,7 +270,13 @@ class RemoteServer:
                 )
         try:
             self._charge(analyst, request)
-            response = self.engine.execute(request)
+            pool = self._executor()
+            if pool is None:
+                response = self.engine.execute(request)
+            else:
+                response = await asyncio.get_running_loop().run_in_executor(
+                    pool, self.engine.execute, request
+                )
         except Exception as exc:  # noqa: BLE001 - perimeter: envelope everything
             return dumps_error(error_from_exception(exc))
         return dumps_response(response)
@@ -257,7 +313,10 @@ class RemoteServer:
                 line = await reader.readline()
                 if not line:
                     break
-                await send(self._answer(analyst, line.decode("utf-8")))
+                # Awaiting the dispatch before the next readline keeps
+                # this connection's replies in request order; *other*
+                # connections' dispatches overlap freely in the pool.
+                await send(await self._answer(analyst, line.decode("utf-8")))
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -298,6 +357,8 @@ class RemoteServer:
             asyncio.run(_main())
         except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
             pass
+        finally:
+            self.shutdown()
 
 
 @contextlib.contextmanager
@@ -332,6 +393,7 @@ def serve_in_thread(server: RemoteServer, host: str = "127.0.0.1", port: int = 0
     finally:
         state["loop"].call_soon_threadsafe(state["stop"].set)
         thread.join(timeout=10.0)
+        server.shutdown()
 
 
 # ----------------------------------------------------------------------

@@ -48,6 +48,7 @@ import os
 import tempfile
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -371,8 +372,10 @@ class _ShardHandle:
         self._token = token
         self._timeout = timeout
         # One wire per shard: requests to the same shard serialize here
-        # (the asyncio worker executes inline anyway); distinct shards
-        # proceed in parallel.
+        # (protocol framing demands it — replies are matched to requests
+        # by order); distinct shards proceed in parallel on the shared
+        # scatter pool, and the worker's own dispatch pool overlaps work
+        # across coordinator connections.
         self.lock = threading.Lock()
         self.client: Optional[RemoteQueryEngine] = RemoteQueryEngine(
             host, port, token, timeout=timeout
@@ -425,6 +428,7 @@ class ShardCoordinator:
         *,
         checkpoint_path: str | os.PathLike | None = None,
         timeout: float = 30.0,
+        pool_size: Optional[int] = None,
     ) -> None:
         self.shard_map = shard_map
         self.estimator = estimator
@@ -438,6 +442,18 @@ class ShardCoordinator:
         self._active: Dict[str, int] = {}
         self._draining: Set[str] = set()
         self._cond = threading.Condition()
+        # Shared scatter pool: one bounded executor serves every
+        # fan-out, replacing a fresh thread per shard per request.  Two
+        # slots per shard lets a second fan-out (dispatched by the
+        # front-end RemoteServer's pool) overlap the first; beyond that
+        # tasks queue — each task is a leaf (one wire call, no nested
+        # submits), so queueing cannot deadlock.
+        if pool_size is None:
+            pool_size = min(32, 2 * max(1, len(self._order)))
+        elif pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self._pool_size = int(pool_size)
+        self._pool: Optional[ThreadPoolExecutor] = None
         self._partition_cache: Dict[Subset, Optional[List[Subset]]] = {}
         self.checkpoint_path = (
             None if checkpoint_path is None else os.fspath(checkpoint_path)
@@ -493,8 +509,11 @@ class ShardCoordinator:
         with self._cond:
             handles = list(self._handles.values())
             self._handles.clear()
+            pool, self._pool = self._pool, None
         for handle in handles:
             handle.close()
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     # -- scatter-gather ------------------------------------------------
     def _snapshot(self) -> List[_ShardHandle]:
@@ -520,8 +539,24 @@ class ShardCoordinator:
             self._active[shard_id] -= 1
             self._cond.notify_all()
 
+    def _scatter_pool(self) -> ThreadPoolExecutor:
+        """The shared fan-out executor, created on first multi-shard use."""
+        with self._cond:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._pool_size, thread_name_prefix="repro-scatter"
+                )
+            return self._pool
+
     def _scatter(self, request: ShardPartialRequest) -> List[dict]:
-        """One partial request to every shard; partials in range order."""
+        """One partial request to every shard; partials in range order.
+
+        Fan-out rides the shared bounded pool (not a fresh thread per
+        shard per request): per-request thread creation cost disappears
+        from the scatter path, and total coordinator threads stay capped
+        however many front-end requests are in flight.  Requests to the
+        *same* shard still serialize on that shard's wire lock.
+        """
         handles = self._snapshot()
         results: List[Optional[QueryResponse]] = [None] * len(handles)
         errors: List[Optional[BaseException]] = [None] * len(handles)
@@ -537,16 +572,12 @@ class ShardCoordinator:
         if len(handles) == 1:
             call(0, handles[0])
         else:
-            threads = [
-                threading.Thread(
-                    target=call, args=(i, handle), name=f"scatter-{handle.shard_id}"
-                )
-                for i, handle in enumerate(handles)
+            pool = self._scatter_pool()
+            futures = [
+                pool.submit(call, i, handle) for i, handle in enumerate(handles)
             ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
+            for future in futures:
+                future.result()  # call() never raises; this is the join
         for exc in errors:
             if exc is not None:
                 raise exc
@@ -630,6 +661,9 @@ class ShardCoordinator:
         return counts, num_users
 
     def _require_partition(self, target: Subset) -> List[Subset]:
+        # Unlocked memo: the catalog is frozen at construction, so the
+        # check-then-set race between concurrent front-end dispatches
+        # only recomputes the same deterministic partition.
         if target not in self._partition_cache:
             self._partition_cache[target] = search_exact_cover(target, self._subsets)
         partition = self._partition_cache[target]
@@ -855,6 +889,7 @@ class ShardedService:
         cache_budget_bytes: int | None = None,
         timeout: float = 30.0,
         token: str = "shard-internal",
+        pool_size: int | None = None,
     ) -> None:
         self.shard_map = shard_map
         self.prf = prf
@@ -869,6 +904,7 @@ class ShardedService:
             estimator,
             checkpoint_path=os.path.join(self.base_dir, "shard_map.json"),
             timeout=timeout,
+            pool_size=pool_size,
         )
 
     @classmethod

@@ -16,6 +16,7 @@ from repro.attacks import (
     posterior_entropy,
     posterior_from_likelihoods,
     sketch_likelihood,
+    sketch_likelihoods,
 )
 from repro.baselines import RandomizedResponse, RetentionReplacement
 from repro.core import Sketcher
@@ -212,3 +213,63 @@ class TestDictionaryAttack:
     def test_entropy_of_uniform(self):
         assert posterior_entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
         assert posterior_entropy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+
+class TestBatchedLikelihoodParity:
+    """The grid-batched attack path must match the scalar path bit for bit."""
+
+    def _sketch(self, params, prf, rng, bits=5):
+        sketcher = Sketcher(params, prf, sketch_bits=bits, rng=rng)
+        return sketcher.sketch("victim", [1, 0, 1], (0, 1, 2))
+
+    def test_likelihood_matches_scalar_evaluate_loop(self, params, rng):
+        from repro.core import BiasedPRF, CounterPRF
+
+        for prf in (BiasedPRF(p=params.p), CounterPRF(p=params.p)):
+            sketch = self._sketch(params, prf, rng)
+            for candidate in ((1, 0, 1), (0, 1, 1), (0, 0, 0)):
+                scalar_bits = [
+                    prf.evaluate(sketch.user_id, sketch.subset, candidate, key)
+                    for key in range(1 << sketch.num_bits)
+                ]
+                from repro.core.exact import publish_probability
+
+                expected = publish_probability(
+                    1 << sketch.num_bits,
+                    sum(scalar_bits),
+                    scalar_bits[sketch.key],
+                    params.rejection_probability,
+                )
+                got = sketch_likelihood(prf, params, sketch, candidate)
+                assert got == expected
+
+    def test_sketch_likelihoods_matches_per_candidate(self, params, rng):
+        from repro.core import BiasedPRF, CounterPRF
+
+        candidates = [tuple(int(b) for b in f"{i:03b}") for i in range(8)]
+        for prf in (BiasedPRF(p=params.p), CounterPRF(p=params.p)):
+            sketch = self._sketch(params, prf, rng)
+            batched = sketch_likelihoods(prf, params, sketch, candidates)
+            scalar = np.asarray(
+                [
+                    sketch_likelihood(prf, params, sketch, candidate)
+                    for candidate in candidates
+                ]
+            )
+            np.testing.assert_array_equal(batched, scalar)
+        assert sketch_likelihoods(prf, params, sketch, []).shape == (0,)
+
+    def test_dictionary_posterior_matches_scalar_path(self, params, rng):
+        from repro.core import CounterPRF
+
+        prf = CounterPRF(p=params.p)
+        sketch = self._sketch(params, prf, rng)
+        candidates = [tuple(int(b) for b in f"{i:03b}") for i in range(8)]
+        posterior = dictionary_attack_sketch(prf, params, sketch, candidates)
+        scalar = np.asarray(
+            [
+                sketch_likelihood(prf, params, sketch, candidate)
+                for candidate in candidates
+            ]
+        )
+        np.testing.assert_allclose(posterior, scalar / scalar.sum(), rtol=1e-12)

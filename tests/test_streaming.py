@@ -119,3 +119,68 @@ class TestMergeStores:
         merged = merge_stores(a)
         merged.publish(Sketch("v", (0,), key=1, num_bits=4, iterations=1))
         assert a.num_users((0,)) == 1
+
+
+class TestBatchedIngestMany:
+    """ingest_many's grouped block path vs the per-sketch scalar path."""
+
+    @pytest.fixture
+    def feeds(self, params, prf, rng):
+        from repro.core import Sketcher as _Sketcher
+
+        db = bernoulli_panel(400, 3, density=0.4, rng=rng)
+        sketcher = _Sketcher(params, prf, sketch_bits=6, rng=rng)
+        subsets = [(0, 1), (1, 2)]
+        sketches = [
+            sketcher.sketch(p.user_id, p.bits, subset)
+            for p in db
+            for subset in subsets
+        ]
+        return sketches
+
+    def _fresh(self, estimator):
+        streaming = StreamingEstimator(estimator)
+        streaming.register((0, 1), (1, 1))
+        streaming.register((0, 1), (0, 0))
+        streaming.register((1, 2), (1, 0))
+        return streaming
+
+    def test_matches_per_sketch_ingestion(self, feeds, estimator):
+        batched = self._fresh(estimator)
+        scalar = self._fresh(estimator)
+        updates_batched = batched.ingest_many(feeds)
+        updates_scalar = sum(scalar.ingest(sketch) for sketch in feeds)
+        assert updates_batched == updates_scalar
+        for subset, value in batched.registered():
+            live = batched.estimate(subset, value)
+            ref = scalar.estimate(subset, value)
+            assert live.fraction == ref.fraction
+            assert live.num_users == ref.num_users
+
+    def test_rejected_batch_is_atomic(self, feeds, estimator):
+        streaming = self._fresh(estimator)
+        streaming.ingest(feeds[0])
+        before = {
+            key: streaming.estimate(*key).num_users
+            for key in streaming.registered()
+            if key[0] == feeds[0].subset
+        }
+        # feeds[0] reappears mid-batch: the whole batch must be rejected
+        # without counting the earlier sketches of the batch.
+        with pytest.raises(ValueError, match="already ingested"):
+            streaming.ingest_many(feeds[1:4] + [feeds[0]])
+        after = {
+            key: streaming.estimate(*key).num_users
+            for key in streaming.registered()
+            if key[0] == feeds[0].subset
+        }
+        assert before == after
+        # ...and the rejected sketches were not marked seen: a clean batch
+        # of the same sketches now succeeds.
+        assert streaming.ingest_many(feeds[1:4]) > 0
+
+    def test_duplicate_within_batch_rejected(self, feeds, estimator):
+        streaming = self._fresh(estimator)
+        with pytest.raises(ValueError, match="already ingested"):
+            streaming.ingest_many([feeds[2], feeds[2]])
+        assert streaming.ingest(feeds[2]) > 0
