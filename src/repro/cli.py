@@ -56,6 +56,7 @@ _EXPERIMENTS = [
     ("E25", "remote serving tier: protocol throughput + latency", "benchmarks/bench_serving.py"),
     ("E26", "sharded serving: scatter-gather throughput vs shard count", "benchmarks/bench_sharded.py"),
     ("E27", "compiled kernel tier: cold-path speedup + concurrent serving", "benchmarks/bench_kernel.py"),
+    ("E28", "resilience: deadline/breaker overhead + watchdog recovery", "benchmarks/bench_resilience.py"),
     ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
     ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
     ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
@@ -221,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: twice the shard count, capped at 32; only meaningful "
         "with --shards)",
     )
+    serve.add_argument(
+        "--watchdog", type=float, default=5.0, metavar="SECONDS",
+        help="watchdog probe interval for sharded serving: ping every "
+        "worker this often and auto-restart dead or hung ones with a "
+        "warm cache rejoin (0 disables; only meaningful with --shards; "
+        "default: 5)",
+    )
 
     query = subparsers.add_parser(
         "query", help="send one typed query to a running repro server"
@@ -232,8 +240,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--kind", required=True,
         choices=[
             "counts_block", "estimate_many", "marginal", "fraction",
-            "any_of", "exactly_l", "bit_matrix",
+            "any_of", "exactly_l", "bit_matrix", "ping", "status",
         ],
+    )
+    query.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transport failures up to N times with seeded "
+        "exponential backoff (default: fail fast; safe because queries "
+        "are read-only and re-charging a paid subset is free)",
+    )
+    query.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="end-to-end deadline: sent on the wire so the server stops "
+        "working once the client has given up (default: none)",
     )
     query.add_argument(
         "--subset", default=None, metavar="I,J,...",
@@ -506,6 +525,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.watchdog < 0:
+        print(f"error: --watchdog must be >= 0, got {args.watchdog}", file=sys.stderr)
+        return 2
     if args.kernel is not None:
         from .core import kernels
 
@@ -525,7 +547,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
             shard_dir = args.shard_dir or tempfile.mkdtemp(prefix="repro-shards-")
             service = ShardedService.from_store(
-                store, prf, args.shards, shard_dir, pool_size=args.scatter_threads
+                store, prf, args.shards, shard_dir,
+                pool_size=args.scatter_threads,
+                watchdog_interval=args.watchdog or None,
             )
             service.start()
             front = service.coordinator
@@ -565,6 +589,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if service is not None:
             service.close()
+        if args.ready_file:
+            # The ready-file doubles as a liveness marker for scripts;
+            # a clean (SIGTERM-drained) exit must not leave it behind.
+            import contextlib
+
+            with contextlib.suppress(OSError):
+                os.remove(args.ready_file)
     return 0
 
 
@@ -579,8 +610,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ExactlyLRequest,
         FractionRequest,
         MarginalRequest,
+        PingRequest,
+        StatusRequest,
     )
-    from .server import RemoteQueryEngine
+    from .server import DeadlineExceeded, RemoteQueryEngine
 
     def need(flag: str, value):
         if value is None:
@@ -620,16 +653,30 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 _parse_ints(need("--positions", args.positions)),
                 need("--l", args.l),
             )
+        elif args.kind == "ping":
+            request = PingRequest.build()
+        elif args.kind == "status":
+            request = StatusRequest.build()
         else:  # bit_matrix
             request = BitMatrixRequest.build(
                 _parse_ints(need("--positions", args.positions)), args.target
             )
+        if args.retries is not None and args.retries < 0:
+            raise ValueError(f"--retries must be >= 0, got {args.retries}")
+        if args.deadline is not None and args.deadline <= 0:
+            raise ValueError(f"--deadline must be > 0, got {args.deadline}")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        with RemoteQueryEngine(args.host, args.port, args.token) as remote:
+        with RemoteQueryEngine(
+            args.host, args.port, args.token,
+            retry=args.retries, deadline=args.deadline,
+        ) as remote:
             response = remote.execute(request)
+    except DeadlineExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except OSError as exc:
         print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2

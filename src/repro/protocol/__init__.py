@@ -34,11 +34,13 @@ from .messages import (
     ExactlyLRequest,
     FractionRequest,
     MarginalRequest,
+    PingRequest,
     QueryError,
     QueryRequest,
     QueryResponse,
     RemoteQueryError,
     ShardPartialRequest,
+    StatusRequest,
     dumps_error,
     dumps_hello,
     dumps_request,
@@ -51,6 +53,7 @@ from .messages import (
     loads_error,
     loads_hello,
     loads_request,
+    loads_request_envelope,
     loads_response,
     loads_welcome,
     parse_reply,
@@ -76,11 +79,13 @@ __all__ = [
     "ExactlyLRequest",
     "FractionRequest",
     "MarginalRequest",
+    "PingRequest",
     "QueryError",
     "QueryRequest",
     "QueryResponse",
     "RemoteQueryError",
     "ShardPartialRequest",
+    "StatusRequest",
     "dumps_error",
     "dumps_hello",
     "dumps_request",
@@ -93,6 +98,7 @@ __all__ = [
     "loads_error",
     "loads_hello",
     "loads_request",
+    "loads_request_envelope",
     "loads_response",
     "loads_welcome",
     "parse_reply",

@@ -41,7 +41,7 @@ code maps back to (:class:`BudgetExceeded`, ``MissingSketchError``,
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, ClassVar, Dict, List, Sequence, Tuple, Type
+from typing import Any, ClassVar, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -68,12 +68,15 @@ __all__ = [
     "BitMatrixRequest",
     "EvaluatePlanRequest",
     "ShardPartialRequest",
+    "PingRequest",
+    "StatusRequest",
     "QueryResponse",
     "QueryError",
     "RemoteQueryError",
     "REQUEST_KINDS",
     "dumps_request",
     "loads_request",
+    "loads_request_envelope",
     "dumps_response",
     "loads_response",
     "dumps_error",
@@ -108,6 +111,7 @@ ERROR_CODES = (
     "budget_exceeded",
     "unauthorized",
     "rate_limited",
+    "deadline_exceeded",
     "shard_unavailable",
     "internal_error",
 )
@@ -561,6 +565,55 @@ class ShardPartialRequest(QueryRequest):
         return tuple(dict.fromkeys(self.subsets))
 
 
+@dataclass(frozen=True)
+class PingRequest(QueryRequest):
+    """Liveness probe: the cheapest possible round-trip.
+
+    Served at the perimeter without touching the engine or the
+    accountant — it proves the event loop (and, through a shard worker's
+    server, the worker process) is alive and draining its socket.  The
+    :class:`~repro.server.sharded.ShardedService` watchdog pings every
+    worker on each sweep; a ping that times out marks the worker *hung*
+    even though its process is still alive.
+    """
+
+    kind: ClassVar[str] = "ping"
+
+    @classmethod
+    def build(cls) -> "PingRequest":
+        return cls()
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "PingRequest":
+        return cls()
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class StatusRequest(QueryRequest):
+    """Ops surface: uptime, per-kind request counts, cache hit/miss,
+    active kernel tier, accountant remaining, per-shard breaker state.
+
+    Like ``ping``, served at the perimeter: the reply describes the
+    *server*, releases no sketched subset, and costs no budget.
+    """
+
+    kind: ClassVar[str] = "status"
+
+    @classmethod
+    def build(cls) -> "StatusRequest":
+        return cls()
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "StatusRequest":
+        return cls()
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return ()
+
+
 #: kind -> request class, the dispatch registry both the serialiser and
 #: :meth:`QueryEngine.execute` share.
 REQUEST_KINDS: Dict[str, Type[QueryRequest]] = {
@@ -575,6 +628,8 @@ REQUEST_KINDS: Dict[str, Type[QueryRequest]] = {
         BitMatrixRequest,
         EvaluatePlanRequest,
         ShardPartialRequest,
+        PingRequest,
+        StatusRequest,
     )
 }
 
@@ -666,13 +721,32 @@ def estimate_from_payload(payload: dict) -> QueryEstimate:
 # ----------------------------------------------------------------------
 # Serialisation entry points
 # ----------------------------------------------------------------------
-def dumps_request(request: QueryRequest) -> str:
-    """Serialise one typed request into its wire envelope."""
-    return dumps_wire_message(REQUEST_TAG, PROTOCOL_VERSION, request.body())
+def dumps_request(
+    request: QueryRequest, *, deadline_ms: Optional[float] = None
+) -> str:
+    """Serialise one typed request into its wire envelope.
+
+    ``deadline_ms`` is the optional request deadline: the *relative*
+    number of milliseconds the sender still affords this request (clocks
+    across hosts are not synchronised, so an absolute timestamp would be
+    meaningless).  It rides the envelope, not the request body — the
+    protocol version stays 1 and an absent field means *no deadline*, so
+    every pre-deadline payload remains valid.
+    """
+    body = request.body()
+    if deadline_ms is not None:
+        body["deadline_ms"] = int(deadline_ms)
+    return dumps_wire_message(REQUEST_TAG, PROTOCOL_VERSION, body)
 
 
-def loads_request(payload: str) -> QueryRequest:
-    """Parse one request payload into its typed dataclass.
+def loads_request_envelope(payload: str) -> Tuple[QueryRequest, Optional[float]]:
+    """Parse one request payload plus its optional deadline.
+
+    Returns ``(request, deadline_seconds)`` where ``deadline_seconds``
+    is ``None`` when the envelope carries no ``deadline_ms`` field.  A
+    ``deadline_ms`` of 0 is a valid, already-expired deadline (a
+    forwarding hop may run out of budget mid-flight); a negative or
+    non-numeric one is ``malformed_request``.
 
     Raises
     ------
@@ -690,7 +764,22 @@ def loads_request(payload: str) -> QueryRequest:
             f"unknown request kind {kind!r}; this engine answers "
             f"{sorted(REQUEST_KINDS)}",
         )
-    return request_cls._from_body(message)
+    deadline_s: Optional[float] = None
+    if "deadline_ms" in message:
+        raw = message["deadline_ms"]
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)) or raw < 0:
+            raise ProtocolError(
+                "malformed_request",
+                f"deadline_ms must be a non-negative number, got {raw!r}",
+            )
+        deadline_s = float(raw) / 1000.0
+    return request_cls._from_body(message), deadline_s
+
+
+def loads_request(payload: str) -> QueryRequest:
+    """Parse one request payload into its typed dataclass (deadline
+    dropped; the server perimeter uses :func:`loads_request_envelope`)."""
+    return loads_request_envelope(payload)[0]
 
 
 def dumps_response(response: QueryResponse) -> str:
@@ -759,10 +848,13 @@ def error_from_exception(exc: BaseException) -> QueryError:
     # Imported lazily: engine and sharded import this module, so
     # module-level imports would be circular.
     from ..server.engine import MissingSketchError
+    from ..server.resilience import DeadlineExceeded
     from ..server.sharded import ShardUnavailableError
 
     if isinstance(exc, BudgetExceeded):
         return QueryError("budget_exceeded", str(exc))
+    if isinstance(exc, DeadlineExceeded):
+        return QueryError("deadline_exceeded", str(exc))
     if isinstance(exc, MissingSketchError):
         # KeyError str() wraps its message in quotes; unwrap for the wire.
         message = exc.args[0] if exc.args else str(exc)
@@ -779,10 +871,13 @@ def error_from_exception(exc: BaseException) -> QueryError:
 def exception_from_error(error: QueryError) -> Exception:
     """Map an error envelope back to the exception local callers expect."""
     from ..server.engine import MissingSketchError
+    from ..server.resilience import DeadlineExceeded
     from ..server.sharded import ShardUnavailableError
 
     if error.code == "budget_exceeded":
         return BudgetExceeded(error.message)
+    if error.code == "deadline_exceeded":
+        return DeadlineExceeded(error.message)
     if error.code == "missing_sketch":
         return MissingSketchError(error.message)
     if error.code == "shard_unavailable":

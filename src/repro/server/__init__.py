@@ -17,6 +17,15 @@ from .engine import (
     store_content_hash,
 )
 from .remote import RemoteQueryEngine, RemoteServer, serve_in_thread
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    current_deadline,
+    deadline_scope,
+)
 from .serialization import (
     dumps_block_request,
     dumps_block_response,
@@ -43,6 +52,10 @@ from .sulq import DualModeServer, QueryBudgetExhausted, QueryRecord, SulqServer
 
 __all__ = [
     "AlignedColumns",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
     "DualModeServer",
     "MissingSketchError",
     "QueryBudgetExhausted",
@@ -50,6 +63,7 @@ __all__ = [
     "QueryRecord",
     "RemoteQueryEngine",
     "RemoteServer",
+    "RetryPolicy",
     "ShardCoordinator",
     "ShardMap",
     "ShardSpec",
@@ -62,6 +76,8 @@ __all__ = [
     "StreamingEstimator",
     "SulqServer",
     "attribute_subsets",
+    "current_deadline",
+    "deadline_scope",
     "dumps_block_request",
     "dumps_block_response",
     "dumps_store",

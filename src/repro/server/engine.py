@@ -67,6 +67,7 @@ from ..protocol.messages import (
     ExactlyLRequest,
     FractionRequest,
     MarginalRequest,
+    PingRequest,
     QueryRequest,
     QueryResponse,
 )
@@ -1407,6 +1408,11 @@ class QueryEngine:
             request.to_plan(), self.count, block_count_fn=self.counts_block
         )
 
+    def _exec_ping(self, request: PingRequest) -> dict:
+        # Liveness only: answered in-process so a local engine and a
+        # remote perimeter agree that ping is a valid, free request.
+        return {"ok": True}
+
     #: kind -> handler; the one table :meth:`execute` dispatches through.
     _HANDLERS = {
         CountsBlockRequest.kind: _exec_counts_block,
@@ -1417,6 +1423,7 @@ class QueryEngine:
         ExactlyLRequest.kind: _exec_exactly_l,
         BitMatrixRequest.kind: _exec_bit_matrix,
         EvaluatePlanRequest.kind: _exec_evaluate_plan,
+        PingRequest.kind: _exec_ping,
     }
 
     # ------------------------------------------------------------------

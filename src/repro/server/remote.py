@@ -55,11 +55,12 @@ import asyncio
 import contextlib
 import math
 import os
+import signal
 import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -75,9 +76,11 @@ from ..protocol.messages import (
     ExactlyLRequest,
     FractionRequest,
     MarginalRequest,
+    PingRequest,
     QueryError,
     QueryRequest,
     QueryResponse,
+    StatusRequest,
     dumps_error,
     dumps_hello,
     dumps_request,
@@ -88,11 +91,12 @@ from ..protocol.messages import (
     exception_from_error,
     loads_error,
     loads_hello,
-    loads_request,
+    loads_request_envelope,
     loads_welcome,
     parse_reply,
 )
 from ..queries.conjunctive import Conjunction, LinearPlan
+from .resilience import Deadline, DeadlineExceeded, RetryPolicy, run_with_deadline
 
 __all__ = ["RemoteServer", "RemoteQueryEngine", "serve_in_thread"]
 
@@ -200,6 +204,12 @@ class RemoteServer:
             raise ValueError(f"pool_size must be >= 0, got {pool_size}")
         self._pool_size = int(pool_size)
         self._pool: Optional[ThreadPoolExecutor] = None
+        # -- ops surface + graceful shutdown ---------------------------
+        self._started_at = time.monotonic()
+        self._request_counts: Dict[str, int] = {}
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._busy_tasks: Set[asyncio.Task] = set()
+        self._closing = False
 
     def _executor(self) -> Optional[ThreadPoolExecutor]:
         """The dispatch pool, created on first use; ``None`` = inline."""
@@ -242,6 +252,31 @@ class RemoteServer:
             return None
         return self.accountant.remaining_sketches(analyst)
 
+    def _status(self, analyst: str) -> dict:
+        """The ops-surface payload: uptime, request counts, cache stats,
+        kernel tier, this analyst's remaining budget, breaker states."""
+        from ..core import kernels
+
+        payload: Dict[str, object] = {
+            "uptime_s": time.monotonic() - self._started_at,
+            "request_counts": dict(self._request_counts),
+            "kernel": kernels.active(),
+            "remaining_sketches": self.remaining_sketches(analyst),
+        }
+        cache = getattr(self.engine, "cache", None)
+        if cache is not None and hasattr(cache, "stats"):
+            entries, evaluations = cache.info()
+            payload["cache"] = {
+                **dict(cache.stats),
+                "entries": entries,
+                "cached_evaluations": evaluations,
+            }
+        # Duck-typed: only a shard coordinator exposes breaker states.
+        breakers = getattr(self.engine, "breaker_states", None)
+        if callable(breakers):
+            payload["shards"] = breakers()
+        return payload
+
     async def _answer(self, analyst: str, line: str) -> str:
         """One request line in, one reply line out — never an exception.
 
@@ -249,12 +284,21 @@ class RemoteServer:
         loop (synchronously — no await crosses the charge, so the
         accountant and paid-subset bookkeeping stay loop-serialized);
         only ``engine.execute`` is awaited on the dispatch pool.
+
+        A ``deadline_ms`` field on the envelope is honoured here: an
+        already-expired deadline is refused before dispatch, a live one
+        bounds the dispatch await (``asyncio.wait_for``) and travels
+        with the request (via the resilience contextvar) so coordinator
+        fan-out can derive per-shard timeouts from the remaining budget.
         """
         try:
-            request = loads_request(line)
+            request, deadline_s = loads_request_envelope(line)
         except Exception as exc:  # noqa: BLE001 - perimeter: envelope everything
             return dumps_error(error_from_exception(exc))
-        if self.rate_limit is not None:
+        self._request_counts[request.kind] = (
+            self._request_counts.get(request.kind, 0) + 1
+        )
+        if self.rate_limit is not None and request.kind != PingRequest.kind:
             bucket = self._buckets.get(analyst)
             if bucket is None:
                 bucket = self._buckets[analyst] = _TokenBucket(
@@ -268,15 +312,42 @@ class RemoteServer:
                         "requests/second; slow down and retry",
                     )
                 )
+        # Perimeter kinds: answered here, never dispatched, never charged.
+        if request.kind == PingRequest.kind:
+            return dumps_response(QueryResponse(request.kind, {"ok": True}))
+        if request.kind == StatusRequest.kind:
+            return dumps_response(QueryResponse(request.kind, self._status(analyst)))
+        deadline = None if deadline_s is None else Deadline(deadline_s)
         try:
+            if deadline is not None:
+                deadline.check()
             self._charge(analyst, request)
             pool = self._executor()
             if pool is None:
-                response = self.engine.execute(request)
+                response = run_with_deadline(self.engine.execute, deadline, request)
             else:
-                response = await asyncio.get_running_loop().run_in_executor(
-                    pool, self.engine.execute, request
+                future = asyncio.get_running_loop().run_in_executor(
+                    pool, run_with_deadline, self.engine.execute, deadline, request
                 )
+                if deadline is None:
+                    response = await future
+                else:
+                    # The worker thread keeps running past the timeout
+                    # (threads are not preemptible), but the reply goes
+                    # out now and the engine is safe under concurrent
+                    # execution, so the straggler is harmless.
+                    response = await asyncio.wait_for(
+                        future, timeout=deadline.remaining()
+                    )
+        except (asyncio.TimeoutError, TimeoutError):
+            return dumps_error(
+                error_from_exception(
+                    DeadlineExceeded(
+                        f"request deadline of {deadline_s:.3f}s exceeded "
+                        "during dispatch"
+                    )
+                )
+            )
         except Exception as exc:  # noqa: BLE001 - perimeter: envelope everything
             return dumps_error(error_from_exception(exc))
         return dumps_response(response)
@@ -291,6 +362,9 @@ class RemoteServer:
             writer.write((line + "\n").encode("utf-8"))
             await writer.drain()
 
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             hello = await reader.readline()
             if not hello:
@@ -309,14 +383,24 @@ class RemoteServer:
                 )
                 return
             await send(dumps_welcome(analyst))
-            while True:
+            while not self._closing:
                 line = await reader.readline()
                 if not line:
                     break
                 # Awaiting the dispatch before the next readline keeps
                 # this connection's replies in request order; *other*
                 # connections' dispatches overlap freely in the pool.
-                await send(await self._answer(analyst, line.decode("utf-8")))
+                # The busy set marks connections with a request in
+                # flight: a draining shutdown lets exactly these finish
+                # and answers before closing, while idle connections are
+                # cancelled immediately.
+                if task is not None:
+                    self._busy_tasks.add(task)
+                try:
+                    await send(await self._answer(analyst, line.decode("utf-8")))
+                finally:
+                    if task is not None:
+                        self._busy_tasks.discard(task)
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -324,6 +408,9 @@ class RemoteServer:
             # open; end the task quietly instead of logging a traceback.
             pass
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+                self._busy_tasks.discard(task)
             writer.close()
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
@@ -334,24 +421,65 @@ class RemoteServer:
             self.handle_connection, host, port, limit=STREAM_LIMIT
         )
 
+    async def drain(self, server: asyncio.Server, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight requests.
+
+        Idle connections (blocked in ``readline`` with nothing pending)
+        are cancelled immediately; connections with a request in flight
+        get up to ``timeout`` seconds to answer it, then are cancelled
+        too.  Either way no request is cut off mid-reply: cancellation
+        lands either in ``readline`` or between whole reply lines.
+        """
+        self._closing = True
+        server.close()
+        await server.wait_closed()
+        for task in list(self._conn_tasks):
+            if task not in self._busy_tasks:
+                task.cancel()
+        busy = list(self._busy_tasks)
+        if busy:
+            done, pending = await asyncio.wait(busy, timeout=timeout)
+            for task in pending:
+                task.cancel()
+        remaining = list(self._conn_tasks)
+        if remaining:
+            await asyncio.wait(remaining, timeout=1.0)
+
     def run(
         self,
         host: str = "127.0.0.1",
         port: int = 0,
         ready_callback: Optional[Callable[[Tuple[str, int]], None]] = None,
+        drain_timeout: float = 5.0,
     ) -> None:
         """Blocking entry point (the ``repro serve`` CLI uses this).
 
         ``ready_callback`` fires once with the bound ``(host, port)`` —
         with ``port=0`` that is the only way to learn the real port.
+
+        SIGTERM and SIGINT trigger a *graceful* shutdown: the listener
+        closes, in-flight requests get ``drain_timeout`` seconds to
+        answer, idle connections are dropped, and the dispatch pool is
+        shut down — the process no longer dies mid-request.
         """
 
         async def _main() -> None:
             server = await self.start(host, port)
             if ready_callback is not None:
                 ready_callback(server.sockets[0].getsockname()[:2])
-            async with server:
-                await server.serve_forever()
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(sig, stop.set)
+            try:
+                async with server:
+                    await stop.wait()
+                    await self.drain(server, timeout=drain_timeout)
+            finally:
+                for sig in (signal.SIGINT, signal.SIGTERM):
+                    with contextlib.suppress(NotImplementedError, RuntimeError):
+                        loop.remove_signal_handler(sig)
 
         try:
             asyncio.run(_main())
@@ -425,15 +553,66 @@ class RemoteQueryEngine:
     round-tripped doubles, which JSON parses back to the same bits.
 
     Usable as a context manager; one connection per instance.
+
+    Resilience knobs (both default *off*, preserving the historical
+    fail-fast behaviour):
+
+    ``retry``
+        A :class:`~repro.server.resilience.RetryPolicy` (or an int,
+        shorthand for ``RetryPolicy(max_retries=n, base_delay=0.05,
+        jitter=0.5)``).  Transport-level failures — connection refused or
+        reset, a dropped line, a socket timeout — tear the connection
+        down, back off per the policy's deterministic schedule, and
+        replay the request on a fresh connection.  Replaying is safe:
+        queries are read-only and re-charging an already-paid subset is
+        free.  *Server-side* errors (an error envelope) are never
+        retried — the server answered; its answer stands.
+    ``deadline``
+        Per-request budget in seconds.  Bounds the socket timeout and
+        the total retry time, and travels on the wire as ``deadline_ms``
+        so every downstream hop shrinks its own timeout to the remaining
+        budget.
     """
 
     def __init__(
-        self, host: str, port: int, token: str, timeout: float = 30.0
+        self,
+        host: str,
+        port: int,
+        token: str,
+        timeout: float = 30.0,
+        *,
+        retry: Union[RetryPolicy, int, None] = None,
+        deadline: Optional[float] = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._address = (host, port)
+        self._token = token
+        self._timeout = timeout
+        if isinstance(retry, int):
+            retry = RetryPolicy(max_retries=retry, base_delay=0.05, jitter=0.5)
+        self._retry = retry
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self._deadline = deadline
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(self._address, timeout=self._timeout)
         self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
-        self._send(dumps_hello(token))
+        self._send(dumps_hello(self._token))
         self.analyst = _parse_welcome(self._recv())
+
+    def _teardown(self) -> None:
+        """Drop the (possibly wedged) connection; next attempt redials."""
+        file, self._file = self._file, None
+        sock, self._sock = self._sock, None
+        with contextlib.suppress(Exception):
+            if file is not None:
+                file.close()
+        with contextlib.suppress(Exception):
+            if sock is not None:
+                sock.close()
 
     # -- wire ----------------------------------------------------------
     def _send(self, line: str) -> None:
@@ -441,21 +620,73 @@ class RemoteQueryEngine:
         self._file.flush()
 
     def _recv(self) -> str:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except UnicodeDecodeError as exc:
+            # Bytes on the wire that aren't UTF-8 mean the stream is
+            # corrupt; surface the same typed error as any other broken
+            # connection so retry logic can redial.
+            raise ConnectionError(f"undecodable bytes in reply: {exc}") from exc
         if not line:
             raise ConnectionError("server closed the connection")
+        if not line.endswith("\n"):
+            # A reply cut off mid-line (peer died, proxy truncated):
+            # never hand a partial payload to the parser as if complete.
+            raise ConnectionError("connection closed mid-reply (truncated line)")
         return line.rstrip("\n")
 
-    def execute(self, request: QueryRequest) -> QueryResponse:
-        """Round-trip one typed request; raises mapped server errors."""
-        self._send(dumps_request(request))
-        return parse_reply(self._recv())
+    def execute(
+        self,
+        request: QueryRequest,
+        *,
+        deadline: Union[Deadline, float, None] = None,
+    ) -> QueryResponse:
+        """Round-trip one typed request; raises mapped server errors.
+
+        ``deadline`` overrides the instance-level deadline for this call
+        (a float is a fresh budget in seconds; a
+        :class:`~repro.server.resilience.Deadline` is an already-ticking
+        one, as the shard coordinator forwards mid-request).
+        """
+        if deadline is None:
+            active = None if self._deadline is None else Deadline(self._deadline)
+        elif isinstance(deadline, Deadline):
+            active = deadline
+        else:
+            active = Deadline(float(deadline))
+        schedule = () if self._retry is None else self._retry.schedule(request.kind)
+        last_exc: Optional[Exception] = None
+        for attempt, backoff in enumerate((0.0,) + tuple(schedule)):
+            if backoff:
+                time.sleep(
+                    backoff if active is None else min(backoff, active.remaining())
+                )
+            if active is not None and active.expired:
+                raise DeadlineExceeded(
+                    f"client deadline exceeded after {attempt} attempt(s)"
+                ) from last_exc
+            try:
+                if self._file is None:
+                    self._connect()
+                if active is None:
+                    self._sock.settimeout(self._timeout)
+                    self._send(dumps_request(request))
+                else:
+                    self._sock.settimeout(
+                        min(self._timeout, max(active.remaining(), 1e-3))
+                    )
+                    self._send(
+                        dumps_request(request, deadline_ms=active.remaining_ms())
+                    )
+                return parse_reply(self._recv())
+            except OSError as exc:  # includes ConnectionError, socket.timeout
+                last_exc = exc
+                self._teardown()
+        assert last_exc is not None
+        raise last_exc
 
     def close(self) -> None:
-        with contextlib.suppress(Exception):
-            self._file.close()
-        with contextlib.suppress(Exception):
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "RemoteQueryEngine":
         return self
@@ -505,3 +736,12 @@ class RemoteQueryEngine:
 
     def evaluate(self, plan: LinearPlan) -> float:
         return float(self.execute(EvaluatePlanRequest.from_plan(plan)).result)
+
+    # -- ops surface ---------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness probe; answered at the perimeter, costs no budget."""
+        return dict(self.execute(PingRequest.build()).result)
+
+    def status(self) -> dict:
+        """The server's ops-surface report (see :class:`StatusRequest`)."""
+        return dict(self.execute(StatusRequest.build()).result)

@@ -49,7 +49,7 @@ import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -83,6 +83,13 @@ from ..queries.reduction import (
 )
 from .engine import MissingSketchError, QueryEngine, search_exact_cover
 from .remote import RemoteQueryEngine, RemoteServer
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    current_deadline,
+)
 from .serialization import load_store, save_store
 
 __all__ = [
@@ -150,6 +157,13 @@ class ShardMap:
 
     subsets: Tuple[Subset, ...]
     shards: Tuple[ShardSpec, ...]
+    #: Optional persistent-cache metadata checkpointed alongside the map
+    #: (see :meth:`ShardedService.checkpoint`): whether per-worker caches
+    #: are enabled, their byte budget, and the cache-generation
+    #: directories each worker had populated.  ``None`` ≡ no cache state
+    #: recorded — the field is omitted from the JSON and the map version
+    #: stays 1, so pre-resilience checkpoints load unchanged.
+    cache_state: Optional[dict] = None
 
     def save(self, path: str | os.PathLike) -> None:
         """Atomically checkpoint the map as JSON."""
@@ -169,6 +183,8 @@ class ShardMap:
                 for spec in self.shards
             ],
         }
+        if self.cache_state is not None:
+            payload["cache_state"] = self.cache_state
         directory = os.path.dirname(path) or "."
         os.makedirs(directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -220,7 +236,13 @@ class ShardMap:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"malformed shard-map checkpoint {path}: {exc}") from exc
-        return cls(subsets=subsets, shards=shards)
+        cache_state = data.get("cache_state")
+        if cache_state is not None and not isinstance(cache_state, dict):
+            raise ValueError(
+                f"malformed shard-map checkpoint {path}: cache_state must be "
+                f"an object, got {type(cache_state).__name__}"
+            )
+        return cls(subsets=subsets, shards=shards, cache_state=cache_state)
 
 
 # ----------------------------------------------------------------------
@@ -247,8 +269,10 @@ class ShardWorkerEngine:
     def __init__(self, engine: QueryEngine) -> None:
         self.engine = engine
         # The RemoteServer perimeter reads `.estimator.params` when a
-        # privacy budget is configured; expose the same surface.
+        # privacy budget is configured, and the `status` request kind
+        # reads `.cache.stats`; expose the same surface.
         self.estimator = engine.estimator
+        self.cache = engine.cache
 
     def execute(self, request: QueryRequest) -> QueryResponse:
         if request.kind == ShardPartialRequest.kind:
@@ -361,16 +385,29 @@ def run_shard_worker(config: dict) -> None:
 # The coordinator
 # ----------------------------------------------------------------------
 class _ShardHandle:
-    """The coordinator's connection to one live shard worker."""
+    """The coordinator's connection to one live shard worker.
+
+    Each handle owns its shard's :class:`CircuitBreaker`: the breaker's
+    lifetime is the *membership* lifetime, so a shard that re-joins
+    (:meth:`ShardCoordinator.join` after a restart) starts with a closed
+    circuit regardless of how it left.
+    """
 
     def __init__(
-        self, shard_id: str, host: str, port: int, token: str, timeout: float
+        self,
+        shard_id: str,
+        host: str,
+        port: int,
+        token: str,
+        timeout: float,
+        breaker: CircuitBreaker,
     ) -> None:
         self.shard_id = shard_id
         self.host = host
         self.port = int(port)
         self._token = token
         self._timeout = timeout
+        self.breaker = breaker
         # One wire per shard: requests to the same shard serialize here
         # (protocol framing demands it — replies are matched to requests
         # by order); distinct shards proceed in parallel on the shared
@@ -429,10 +466,20 @@ class ShardCoordinator:
         checkpoint_path: str | os.PathLike | None = None,
         timeout: float = 30.0,
         pool_size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 1.0,
+        breaker_clock=time.monotonic,
     ) -> None:
         self.shard_map = shard_map
         self.estimator = estimator
         self.timeout = float(timeout)
+        # Default policy = the historical behaviour exactly: one
+        # immediate reconnect-and-retry, no backoff.
+        self.retry = retry if retry is not None else RetryPolicy(max_retries=1)
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_reset = float(breaker_reset)
+        self._breaker_clock = breaker_clock
         self._subsets: Tuple[Subset, ...] = tuple(
             tuple(int(i) for i in subset) for subset in shard_map.subsets
         )
@@ -468,7 +515,18 @@ class ShardCoordinator:
             raise ValueError(
                 f"unknown shard id {shard_id!r}; the shard map lists {self._order}"
             )
-        handle = _ShardHandle(shard_id, host, port, token, self.timeout)
+        handle = _ShardHandle(
+            shard_id,
+            host,
+            port,
+            token,
+            self.timeout,
+            CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                reset_timeout=self._breaker_reset,
+                clock=self._breaker_clock,
+            ),
+        )
         with self._cond:
             old = self._handles.pop(shard_id, None)
             self._handles[shard_id] = handle
@@ -504,6 +562,22 @@ class ShardCoordinator:
                 for shard_id in self._order
                 if shard_id in self._handles and shard_id not in self._draining
             ]
+
+    def breaker_states(self) -> Dict[str, dict]:
+        """Per-shard circuit-breaker snapshots (the ``status`` ops surface).
+
+        Shards that have left the membership report ``"absent"``.
+        """
+        with self._cond:
+            handles = dict(self._handles)
+        return {
+            shard_id: (
+                handles[shard_id].breaker.snapshot()
+                if shard_id in handles
+                else {"state": "absent"}
+            )
+            for shard_id in self._order
+        }
 
     def close(self) -> None:
         with self._cond:
@@ -556,14 +630,23 @@ class ShardCoordinator:
         from the scatter path, and total coordinator threads stay capped
         however many front-end requests are in flight.  Requests to the
         *same* shard still serialize on that shard's wire lock.
+
+        The ambient request deadline (set by the front-end perimeter via
+        the resilience contextvar) is captured *here*, on the dispatch
+        thread, and handed to each shard call explicitly — pool threads
+        do not inherit the context — so every hop's socket timeout
+        shrinks to the remaining budget.
         """
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("fan-out")
         handles = self._snapshot()
         results: List[Optional[QueryResponse]] = [None] * len(handles)
         errors: List[Optional[BaseException]] = [None] * len(handles)
 
         def call(index: int, handle: _ShardHandle) -> None:
             try:
-                results[index] = self._call_shard(handle, request)
+                results[index] = self._call_shard(handle, request, deadline)
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors[index] = exc
             finally:
@@ -584,29 +667,76 @@ class ShardCoordinator:
         return [response.result for response in results]
 
     def _call_shard(
-        self, handle: _ShardHandle, request: ShardPartialRequest
+        self,
+        handle: _ShardHandle,
+        request: ShardPartialRequest,
+        deadline: Optional[Deadline] = None,
     ) -> QueryResponse:
-        """Execute on one shard, retrying once on a fresh connection.
+        """Execute on one shard through its breaker and the retry policy.
 
-        A worker restarted in place answers the retry; a dead one fails
-        fast — no hanging on a half-open socket.
+        The shard's circuit breaker gates the call: an open circuit
+        refuses immediately (no connection attempt, no backoff burn) and
+        only the half-open probe reaches the wire until the shard proves
+        healthy again.  A closed circuit admits the call, which then
+        walks the retry policy's deterministic backoff schedule — each
+        attempt on a fresh connection, each failure recorded against the
+        breaker.  A worker restarted in place answers a retry; a dead
+        one fails fast into :class:`ShardUnavailableError` — no hanging
+        on a half-open socket.  A live ``deadline`` bounds every
+        attempt's socket timeout and stops the backoff walk the moment
+        the budget runs out.
         """
-        with handle.lock:
-            try:
-                if handle.client is None:
-                    raise ConnectionError("no live connection to the shard")
-                return handle.client.execute(request)
-            except (OSError, EOFError) as exc:
-                first = exc
-            try:
-                handle.reconnect()
-                return handle.client.execute(request)
-            except (OSError, EOFError) as exc:
-                raise ShardUnavailableError(
-                    f"shard {handle.shard_id!r} at {handle.host}:{handle.port} is "
-                    f"unreachable after one retry ({first}); rejoin it and retry "
-                    "the query"
-                ) from exc
+        breaker = handle.breaker
+        if not breaker.allow():
+            raise ShardUnavailableError(
+                f"shard {handle.shard_id!r} at {handle.host}:{handle.port} has "
+                "an open circuit after repeated failures; the next probe is "
+                f"admitted {breaker.reset_timeout}s after it opened"
+            )
+        schedule = self.retry.schedule(handle.shard_id)
+        first: Optional[BaseException] = None
+        probe_pending = True
+        try:
+            with handle.lock:
+                for attempt, backoff in enumerate((0.0,) + tuple(schedule)):
+                    if backoff:
+                        time.sleep(
+                            backoff
+                            if deadline is None
+                            else min(backoff, deadline.remaining())
+                        )
+                    if deadline is not None and deadline.expired:
+                        # Out of budget is the *request's* problem, not
+                        # the shard's: no breaker failure is recorded.
+                        raise DeadlineExceeded(
+                            f"request deadline exceeded after {attempt} "
+                            f"attempt(s) against shard {handle.shard_id!r}"
+                        ) from first
+                    try:
+                        if attempt > 0 or handle.client is None:
+                            handle.reconnect()
+                        response = handle.client.execute(
+                            request, deadline=deadline
+                        )
+                    except (OSError, EOFError) as exc:
+                        if first is None:
+                            first = exc
+                        breaker.record_failure()
+                        continue
+                    breaker.record_success()
+                    probe_pending = False
+                    return response
+        finally:
+            # A half-open probe that exited abnormally (deadline hit
+            # between attempts) must not leave the probe latch stuck.
+            if probe_pending and first is None and breaker.state == "half_open":
+                breaker.record_failure()
+        retries = len(schedule)
+        raise ShardUnavailableError(
+            f"shard {handle.shard_id!r} at {handle.host}:{handle.port} is "
+            f"unreachable after {'one retry' if retries == 1 else f'{retries} retries'} "
+            f"({first}); rejoin it and retry the query"
+        ) from first
 
     # -- the unified dispatch surface ----------------------------------
     def execute(self, request: QueryRequest) -> QueryResponse:
@@ -874,9 +1004,22 @@ class ShardedService:
 
     Build with :meth:`from_store` (splits and lays the directory out) or
     :meth:`from_checkpoint` (crash recovery: reattaches to the shard
-    stores a previous supervisor left behind), then :meth:`start` to
-    spawn workers and join them into the coordinator.  Context-manager
-    friendly; :func:`sharded_service` wraps the whole lifecycle.
+    stores a previous supervisor left behind — with per-worker caching
+    restored from the checkpointed cache state, so recovered workers
+    rejoin *warm*), then :meth:`start` to spawn workers and join them
+    into the coordinator.  Context-manager friendly;
+    :func:`sharded_service` wraps the whole lifecycle.
+
+    With ``watchdog_interval`` set, a daemon **watchdog** thread probes
+    every worker each interval — process liveness plus a ``ping``
+    request over a short-lived connection (a worker that accepts but
+    never answers within ``watchdog_probe_timeout`` seconds counts as
+    *hung*) — and auto-restarts failed workers from their checkpointed
+    stores, up to ``watchdog_max_restarts`` times per shard.  Every
+    probe failure, restart, and give-up is appended to :attr:`events`
+    (a structured, in-order log); restarted workers reuse their
+    persistent cache directory, so they rejoin warm with zero operator
+    action.
     """
 
     def __init__(
@@ -890,6 +1033,12 @@ class ShardedService:
         timeout: float = 30.0,
         token: str = "shard-internal",
         pool_size: int | None = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 1.0,
+        watchdog_interval: float | None = None,
+        watchdog_max_restarts: int = 3,
+        watchdog_probe_timeout: float = 2.0,
     ) -> None:
         self.shard_map = shard_map
         self.prf = prf
@@ -898,6 +1047,20 @@ class ShardedService:
         self._cache_budget = cache_budget_bytes
         self._token = token
         self._processes: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        # Lifecycle lock: spawn/kill/restart/close are called from both
+        # the owning thread and the watchdog; reentrant because the
+        # watchdog sweep holds it across restart_shard.
+        self._lifecycle = threading.RLock()
+        self.events: List[dict] = []
+        self._events_lock = threading.Lock()
+        self._watchdog_interval = watchdog_interval
+        self._watchdog_max_restarts = int(watchdog_max_restarts)
+        self._watchdog_probe_timeout = float(watchdog_probe_timeout)
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread: Optional[threading.Thread] = None
+        self._restarts: Dict[str, int] = {}
+        self._gave_up: Set[str] = set()
         estimator = SketchEstimator(PrivacyParams(p=prf.p), prf)
         self.coordinator = ShardCoordinator(
             shard_map,
@@ -905,6 +1068,9 @@ class ShardedService:
             checkpoint_path=os.path.join(self.base_dir, "shard_map.json"),
             timeout=timeout,
             pool_size=pool_size,
+            retry=retry,
+            breaker_threshold=breaker_threshold,
+            breaker_reset=breaker_reset,
         )
 
     @classmethod
@@ -940,20 +1106,151 @@ class ShardedService:
         cls, base_dir: str | os.PathLike, prf, **kwargs
     ) -> "ShardedService":
         """Crash recovery: rebuild the supervisor from the checkpointed
-        shard map, reattaching to the shard stores already on disk."""
+        shard map, reattaching to the shard stores already on disk.
+
+        The warm-rejoin contract: when the checkpoint records persistent
+        cache state (:attr:`ShardMap.cache_state`) and the caller does
+        not override it, caching is re-enabled with the recorded budget —
+        recovered workers reattach to their cache-generation directories
+        and answer repeat queries without a single new PRF call, with
+        zero operator action.
+        """
         base_dir = os.fspath(base_dir)
         shard_map = ShardMap.load(os.path.join(base_dir, "shard_map.json"))
+        state = shard_map.cache_state
+        if state is not None and state.get("enabled") and "cache" not in kwargs:
+            kwargs["cache"] = True
+            if state.get("budget_bytes") is not None:
+                kwargs.setdefault("cache_budget_bytes", int(state["budget_bytes"]))
         return cls(shard_map, prf, base_dir, **kwargs)
 
     # -- lifecycle ------------------------------------------------------
     def start(self, timeout: float = 30.0) -> "ShardedService":
         """Spawn every shard worker, wait for each to bind, join them all."""
-        for spec in self.shard_map.shards:
-            self._spawn(spec)
-        for spec in self.shard_map.shards:
-            host, port = self._wait_ready(spec, timeout)
-            self.coordinator.join(spec.shard_id, host, port, self._token)
+        with self._lifecycle:
+            for spec in self.shard_map.shards:
+                self._spawn(spec)
+            for spec in self.shard_map.shards:
+                host, port = self._wait_ready(spec, timeout)
+                self._addresses[spec.shard_id] = (host, port)
+                self.coordinator.join(spec.shard_id, host, port, self._token)
+            self.checkpoint()
+        if self._watchdog_interval is not None and self._watchdog_thread is None:
+            self._watchdog_stop.clear()
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop, daemon=True, name="repro-watchdog"
+            )
+            self._watchdog_thread.start()
         return self
+
+    # -- cache-state checkpoint (the warm-rejoin contract) --------------
+    def _collect_cache_state(self) -> Optional[dict]:
+        """Per-shard cache-generation metadata, or ``None`` when caching
+        is off.  A *generation* is one ``store-<hash>/`` directory the
+        worker's :class:`~repro.server.engine.SketchEvaluationCache`
+        populated; recording them alongside the shard map is what lets a
+        recovered supervisor prove its workers rejoined warm."""
+        if not self._cache:
+            return None
+        generations: Dict[str, List[str]] = {}
+        for spec in self.shard_map.shards:
+            root = os.path.join(self.base_dir, "cache", spec.shard_id)
+            try:
+                generations[spec.shard_id] = sorted(
+                    name
+                    for name in os.listdir(root)
+                    if name.startswith("store-")
+                )
+            except OSError:
+                generations[spec.shard_id] = []
+        return {
+            "enabled": True,
+            "budget_bytes": self._cache_budget,
+            "generations": generations,
+        }
+
+    def checkpoint(self) -> None:
+        """Re-save the shard map with current persistent-cache metadata."""
+        self.shard_map = replace(
+            self.shard_map, cache_state=self._collect_cache_state()
+        )
+        self.shard_map.save(os.path.join(self.base_dir, "shard_map.json"))
+
+    # -- the watchdog ---------------------------------------------------
+    def _log_event(self, kind: str, shard_id: Optional[str] = None, **detail) -> None:
+        event = {
+            "time": time.time(),
+            "monotonic": time.monotonic(),
+            "event": kind,
+            "shard_id": shard_id,
+        }
+        event.update(detail)
+        with self._events_lock:
+            self.events.append(event)
+
+    def _probe(self, shard_id: str) -> Optional[str]:
+        """One health probe; ``None`` = healthy, else the failure reason.
+
+        Two layers: the process must be alive, *and* a ``ping`` over a
+        fresh connection must answer within the probe timeout — a worker
+        stopped mid-schedule (SIGSTOP, a wedged GIL) is alive by the
+        first test and hung by the second.
+        """
+        process = self._processes.get(shard_id)
+        if process is None or not process.is_alive():
+            return "dead"
+        address = self._addresses.get(shard_id)
+        if address is None:
+            return "unaddressed"
+        try:
+            client = RemoteQueryEngine(
+                address[0],
+                address[1],
+                self._token,
+                timeout=self._watchdog_probe_timeout,
+            )
+            try:
+                client.ping()
+            finally:
+                client.close()
+        except Exception:  # noqa: BLE001 - any probe failure means unhealthy
+            return "hung"
+        return None
+
+    def _watchdog_loop(self) -> None:
+        while not self._watchdog_stop.wait(self._watchdog_interval):
+            self._sweep()
+
+    def _sweep(self) -> None:
+        """One watchdog pass: probe every shard, restart the unhealthy."""
+        for spec in self.shard_map.shards:
+            if self._watchdog_stop.is_set():
+                return
+            shard_id = spec.shard_id
+            if shard_id in self._gave_up:
+                continue
+            reason = self._probe(shard_id)
+            if reason is None:
+                continue
+            self._log_event("probe_failed", shard_id, reason=reason)
+            with self._lifecycle:
+                if self._restarts.get(shard_id, 0) >= self._watchdog_max_restarts:
+                    self._gave_up.add(shard_id)
+                    self._log_event(
+                        "gave_up",
+                        shard_id,
+                        restarts=self._restarts.get(shard_id, 0),
+                    )
+                    continue
+                self._restarts[shard_id] = self._restarts.get(shard_id, 0) + 1
+                try:
+                    self.restart_shard(shard_id)
+                except Exception as exc:  # noqa: BLE001 - logged, next sweep retries
+                    self._log_event("restart_failed", shard_id, error=str(exc))
+                else:
+                    self._log_event(
+                        "restarted", shard_id, restarts=self._restarts[shard_id]
+                    )
 
     def _ready_path(self, shard_id: str) -> str:
         return os.path.join(self.base_dir, "ready", shard_id)
@@ -1008,34 +1305,51 @@ class ShardedService:
     def kill_shard(self, shard_id: str) -> None:
         """Fault injection: SIGKILL one worker, leaving membership as-is
         so the next query exercises the coordinator's retry path."""
-        process = self._processes[shard_id]
-        process.kill()
-        process.join(timeout=10.0)
+        with self._lifecycle:
+            process = self._processes[shard_id]
+            process.kill()
+            process.join(timeout=10.0)
 
     def restart_shard(self, shard_id: str, timeout: float = 30.0) -> None:
-        """Respawn a worker from its checkpointed store and rejoin it."""
-        spec = next(
-            spec for spec in self.shard_map.shards if spec.shard_id == shard_id
-        )
-        old = self._processes.get(shard_id)
-        if old is not None and old.is_alive():
-            old.kill()
-            old.join(timeout=10.0)
-        self.coordinator.leave(shard_id, drain=False)
-        self._spawn(spec)
-        host, port = self._wait_ready(spec, timeout)
-        self.coordinator.join(shard_id, host, port, self._token)
+        """Respawn a worker from its checkpointed store and rejoin it.
+
+        The worker reuses its persistent cache directory (when caching
+        is on), so it comes back **warm**: repeat queries hit the cache
+        and cost no new PRF calls.  Rejoining creates a fresh shard
+        handle, so the shard's circuit breaker restarts closed.
+        """
+        with self._lifecycle:
+            spec = next(
+                spec for spec in self.shard_map.shards if spec.shard_id == shard_id
+            )
+            old = self._processes.get(shard_id)
+            if old is not None and old.is_alive():
+                old.kill()
+                old.join(timeout=10.0)
+            self.coordinator.leave(shard_id, drain=False)
+            self._spawn(spec)
+            host, port = self._wait_ready(spec, timeout)
+            self._addresses[shard_id] = (host, port)
+            self.coordinator.join(shard_id, host, port, self._token)
+            self.checkpoint()
 
     def close(self) -> None:
-        self.coordinator.close()
-        for process in self._processes.values():
-            if process.is_alive():
-                process.terminate()
-        for process in self._processes.values():
-            process.join(timeout=10.0)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.kill()
-                process.join(timeout=5.0)
+        # Stop the watchdog first: a sweep racing the teardown would
+        # faithfully "restart" every worker we are about to kill.
+        self._watchdog_stop.set()
+        thread, self._watchdog_thread = self._watchdog_thread, None
+        if thread is not None:
+            thread.join(timeout=10.0)
+        with self._lifecycle:
+            self.coordinator.close()
+            for process in self._processes.values():
+                if process.is_alive():
+                    process.terminate()
+            for process in self._processes.values():
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.kill()
+                    process.join(timeout=5.0)
 
     def __enter__(self) -> "ShardedService":
         return self

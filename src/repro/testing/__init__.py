@@ -1,0 +1,11 @@
+"""Test-support subsystems that are part of the library's contract.
+
+The chaos harness lives in the package proper (not under ``tests/``)
+because deterministic fault injection is a *verification subsystem*:
+benchmarks, notebooks, and downstream users exercising their own
+deployments need the same seeded proxy the test suite uses.
+"""
+
+from .faults import FAULT_ACTIONS, FaultInjectingProxy, FaultSchedule
+
+__all__ = ["FAULT_ACTIONS", "FaultInjectingProxy", "FaultSchedule"]

@@ -1,0 +1,266 @@
+"""A deterministic seeded fault-injecting TCP proxy for chaos testing.
+
+:class:`FaultInjectingProxy` sits between a protocol client and a
+:class:`~repro.server.remote.RemoteServer`, forwarding newline-delimited
+messages and injecting transport faults according to a
+:class:`FaultSchedule` — a pure function of ``(seed, connection_index,
+request_index)``, so every run of a seeded chaos test observes the
+*same* fault sequence on every machine.
+
+The faults model what a real network does to this protocol:
+
+``pass``
+    Forward the request and its reply untouched.
+``drop_before``
+    Drop the connection before the request reaches the server — the
+    request was never executed.
+``drop_after``
+    Forward the request, let the server execute it, then drop the
+    connection instead of relaying the reply — the at-least-once case a
+    retrying client must tolerate (safe here: queries are read-only and
+    re-charging a paid subset is free).
+``delay``
+    Relay the reply only after ``delay_s`` seconds — long enough, in the
+    chaos suite, to blow the client's deadline.
+``truncate``
+    Relay only a prefix of the reply with no trailing newline, then
+    close — a corrupt partial the client must *reject*, never parse.
+``garbage``
+    Replace the reply with undecodable bytes, then close.  Closing is
+    deliberate: the real reply was consumed from the upstream, and
+    killing the connection forces a clean re-handshake instead of a
+    desynchronised stream answering request *N+1* with reply *N*.
+
+The auth handshake (hello/welcome) always passes through cleanly:
+faults target the request/reply stream, which is where retry, deadline,
+and parity behaviour lives.
+
+Determinism contract: connections are numbered in accept order and
+requests in arrival order per connection, so a single-threaded client
+that reconnects on failure sees one reproducible schedule per seed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import random
+import socket
+import threading
+import time
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["FAULT_ACTIONS", "FaultSchedule", "FaultInjectingProxy"]
+
+FAULT_ACTIONS = (
+    "pass",
+    "drop_before",
+    "drop_after",
+    "delay",
+    "truncate",
+    "garbage",
+)
+
+#: Default action weights: mostly clean traffic, every fault kind
+#: represented.  Chaos tests override per scenario.
+DEFAULT_WEIGHTS = {
+    "pass": 12,
+    "drop_before": 2,
+    "drop_after": 2,
+    "delay": 1,
+    "truncate": 2,
+    "garbage": 2,
+}
+
+
+class FaultSchedule:
+    """Deterministic per-connection fault schedules.
+
+    ``actions(connection_index)`` yields an infinite action stream drawn
+    by a :class:`random.Random` seeded from ``blake2b(seed |
+    connection_index)`` — independent of wall clock, process, and every
+    other connection's stream.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.seed = int(seed)
+        merged = dict(DEFAULT_WEIGHTS)
+        if weights is not None:
+            unknown = set(weights) - set(FAULT_ACTIONS)
+            if unknown:
+                raise ValueError(
+                    f"unknown fault actions {sorted(unknown)}; "
+                    f"choose from {list(FAULT_ACTIONS)}"
+                )
+            merged.update(weights)
+        self.weights = merged
+
+    def _rng(self, connection_index: int) -> random.Random:
+        digest = hashlib.blake2b(
+            f"{self.seed}|{connection_index}".encode("utf-8"), digest_size=8
+        ).digest()
+        return random.Random(int.from_bytes(digest, "big"))
+
+    def actions(self, connection_index: int) -> Iterator[str]:
+        """The infinite, deterministic action stream for one connection."""
+        rng = self._rng(connection_index)
+        population = list(FAULT_ACTIONS)
+        weights = [float(self.weights[a]) for a in population]
+        while True:
+            yield rng.choices(population, weights=weights)[0]
+
+
+class FaultInjectingProxy:
+    """Seeded chaos proxy between one client and one newline-JSON server.
+
+    Usage::
+
+        proxy = FaultInjectingProxy(host, port, FaultSchedule(seed=7))
+        proxy.start()
+        client = RemoteQueryEngine(*proxy.address, token, retry=3, deadline=2.0)
+        ...
+        proxy.close()
+
+    ``stats`` counts injected actions by name (for asserting a scenario
+    actually exercised its faults).
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        schedule: FaultSchedule,
+        *,
+        delay_s: float = 0.5,
+        listen_host: str = "127.0.0.1",
+        io_timeout: float = 30.0,
+    ) -> None:
+        self.upstream = (upstream_host, int(upstream_port))
+        self.schedule = schedule
+        self.delay_s = float(delay_s)
+        self.io_timeout = float(io_timeout)
+        self._listener = socket.create_server((listen_host, 0))
+        self._listener.settimeout(0.2)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_lock = threading.Lock()
+        self._open_sockets: list = []
+        self._connections = 0
+        self.stats: Dict[str, int] = {action: 0 for action in FAULT_ACTIONS}
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "FaultInjectingProxy":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-chaos-accept"
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        thread = self._accept_thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with self._conn_lock:
+            sockets, self._open_sockets = self._open_sockets, []
+        for sock in sockets:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def __enter__(self) -> "FaultInjectingProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wiring ---------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client_sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            index = self._connections
+            self._connections += 1
+            threading.Thread(
+                target=self._serve,
+                args=(client_sock, index),
+                daemon=True,
+                name=f"repro-chaos-conn-{index}",
+            ).start()
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._open_sockets.append(sock)
+
+    @staticmethod
+    def _read_line(file) -> bytes:
+        """One raw line including the newline; b"" on EOF."""
+        return file.readline()
+
+    def _serve(self, client_sock: socket.socket, index: int) -> None:
+        actions = self.schedule.actions(index)
+        client_sock.settimeout(self.io_timeout)
+        self._track(client_sock)
+        try:
+            upstream = socket.create_connection(
+                self.upstream, timeout=self.io_timeout
+            )
+        except OSError:
+            with contextlib.suppress(OSError):
+                client_sock.close()
+            return
+        self._track(upstream)
+        client_file = client_sock.makefile("rb")
+        upstream_file = upstream.makefile("rb")
+        try:
+            # Handshake passes through untouched (see module docstring).
+            hello = self._read_line(client_file)
+            if not hello:
+                return
+            upstream.sendall(hello)
+            welcome = self._read_line(upstream_file)
+            if not welcome:
+                return
+            client_sock.sendall(welcome)
+            while not self._stop.is_set():
+                request = self._read_line(client_file)
+                if not request:
+                    return
+                action = next(actions)
+                self.stats[action] += 1
+                if action == "drop_before":
+                    return
+                upstream.sendall(request)
+                reply = self._read_line(upstream_file)
+                if not reply:
+                    return
+                if action == "drop_after":
+                    return
+                if action == "delay":
+                    time.sleep(self.delay_s)
+                    client_sock.sendall(reply)
+                elif action == "truncate":
+                    cut = max(1, len(reply) // 2)
+                    client_sock.sendall(reply[:cut].rstrip(b"\n"))
+                    return
+                elif action == "garbage":
+                    client_sock.sendall(b"\xfe\xfd{not json]\xff\n")
+                    return
+                else:
+                    client_sock.sendall(reply)
+        except OSError:
+            pass
+        finally:
+            for closeable in (client_file, upstream_file, client_sock, upstream):
+                with contextlib.suppress(OSError):
+                    closeable.close()

@@ -1,0 +1,290 @@
+"""The chaos parity suite: seeded fault injection against live servers.
+
+The contract under chaos is *exactness or a typed refusal*: with a
+:class:`~repro.testing.faults.FaultInjectingProxy` mangling the wire —
+dropped connections, replies delayed past the deadline, truncated
+lines, garbage bytes — every request either returns the bit-identical
+answer the local engine gives, or raises one of the mapped error types.
+Never a hang, never a silently corrupt partial.  And the self-healing
+bar: after a worker is SIGKILLed or wedged (SIGSTOP), the watchdog
+restores full exactness with zero operator action, rejoining the
+worker *warm* from its persistent cache (no new PRF calls for repeat
+queries — strictly less cold work than a cold boot).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BiasedPRF,
+    CounterPRF,
+    PrivacyParams,
+    SketchEstimator,
+    Sketcher,
+    kernels,
+)
+from repro.data import bernoulli_panel
+from repro.protocol import CountsBlockRequest, ProtocolError, RemoteQueryError
+from repro.server import (
+    DeadlineExceeded,
+    QueryEngine,
+    RemoteQueryEngine,
+    RemoteServer,
+    ShardUnavailableError,
+    ShardedService,
+    publish_database,
+    serve_in_thread,
+)
+from repro.testing import FaultInjectingProxy, FaultSchedule
+
+from .conftest import GLOBAL_KEY
+
+SUBSETS = [(0, 1), (0,), (1,), (2,)]
+
+#: The full set of refusals a chaos-era client may observe.  Anything
+#: else (a hang, a raw traceback, an unparseable partial) is a bug.
+TYPED_ERRORS = (
+    DeadlineExceeded,
+    ShardUnavailableError,
+    RemoteQueryError,
+    ProtocolError,
+    ConnectionError,
+    OSError,
+)
+
+QUERY_CYCLE = [
+    ((0, 1), [(1, 1), (0, 0)]),
+    ((0,), [(1,), (0,)]),
+    ((1,), [(1,)]),
+    ((2,), [(0,)]),
+]
+
+
+def make_engine(prf_cls, num_users: int = 90, seed: int = 13) -> QueryEngine:
+    params = PrivacyParams(p=0.3)
+    prf = prf_cls(p=0.3, global_key=GLOBAL_KEY)
+    database = bernoulli_panel(num_users, 3, rng=np.random.default_rng(seed))
+    sketcher = Sketcher(params, prf, sketch_bits=8, rng=np.random.default_rng(seed + 1))
+    store = publish_database(database, sketcher, SUBSETS, workers=1, seed=seed)
+    return QueryEngine(database.schema, store, SketchEstimator(params, prf))
+
+
+def drive_chaos(client, expected, rounds: int = 40):
+    """Issue ``rounds`` queries; return (successes, error_types).
+
+    Asserts the chaos contract per request: bit-identical or typed.
+    """
+    successes = 0
+    error_types = set()
+    for i in range(rounds):
+        subset, values = QUERY_CYCLE[i % len(QUERY_CYCLE)]
+        request = CountsBlockRequest.build(subset, values)
+        try:
+            result = client.execute(request).result
+        except TYPED_ERRORS as exc:
+            error_types.add(type(exc).__name__)
+            continue
+        assert result == expected[(subset, tuple(map(tuple, values)))], (
+            f"round {i}: chaos corrupted an answer for {subset}/{values}"
+        )
+        successes += 1
+    return successes, error_types
+
+
+def expected_answers(engine_or_coordinator):
+    return {
+        (subset, tuple(map(tuple, values))): engine_or_coordinator.execute(
+            CountsBlockRequest.build(subset, values)
+        ).result
+        for subset, values in QUERY_CYCLE
+    }
+
+
+# ----------------------------------------------------------------------
+# Single-store chaos, both kernel tiers
+# ----------------------------------------------------------------------
+class TestSingleStoreChaos:
+    @pytest.mark.timeout(300)
+    @pytest.mark.parametrize("tier", ["numpy", "c"])
+    def test_parity_or_typed_error_under_faults(self, tier):
+        if tier == "c" and not kernels.available():
+            pytest.skip("compiled kernel extension not built")
+        before = kernels.active()
+        try:
+            kernels.select(tier)
+            # CounterPRF so the selected kernel actually runs the hot loop.
+            engine = make_engine(CounterPRF)
+            expected = expected_answers(engine)
+            server = RemoteServer(engine, {"alice": "sesame"})
+            with serve_in_thread(server) as (host, port):
+                schedule = FaultSchedule(seed=11)
+                with FaultInjectingProxy(host, port, schedule, delay_s=1.5) as proxy:
+                    with RemoteQueryEngine(
+                        *proxy.address, "sesame", timeout=5.0, retry=3, deadline=1.0
+                    ) as client:
+                        successes, _ = drive_chaos(client, expected)
+                    assert successes > 0, "chaos must not refuse everything"
+                    injected = sum(
+                        count
+                        for action, count in proxy.stats.items()
+                        if action != "pass"
+                    )
+                    assert injected > 0, "seed 11 must actually inject faults"
+                # Chaos over: a direct client answers every query exactly.
+                with RemoteQueryEngine(host, port, "sesame") as direct:
+                    clean, errors = drive_chaos(direct, expected, rounds=8)
+                    assert clean == 8 and not errors
+        finally:
+            kernels.select(before)
+
+
+# ----------------------------------------------------------------------
+# Sharded chaos
+# ----------------------------------------------------------------------
+class TestShardedChaos:
+    @pytest.mark.timeout(300)
+    def test_scatter_gather_parity_under_faults(self, tmp_path):
+        params = PrivacyParams(p=0.3)
+        prf = BiasedPRF(p=0.3, global_key=GLOBAL_KEY)
+        database = bernoulli_panel(90, 3, rng=np.random.default_rng(13))
+        sketcher = Sketcher(
+            params, prf, sketch_bits=8, rng=np.random.default_rng(14)
+        )
+        store = publish_database(database, sketcher, SUBSETS, workers=1, seed=13)
+        local = QueryEngine(database.schema, store, SketchEstimator(params, prf))
+        expected = expected_answers(local)
+        with ShardedService.from_store(store, prf, 2, tmp_path) as service:
+            service.start()
+            front = RemoteServer(service.coordinator, {"alice": "sesame"})
+            with serve_in_thread(front) as (host, port):
+                schedule = FaultSchedule(seed=23)
+                with FaultInjectingProxy(host, port, schedule, delay_s=1.5) as proxy:
+                    with RemoteQueryEngine(
+                        *proxy.address, "sesame", timeout=10.0, retry=3, deadline=2.0
+                    ) as client:
+                        successes, _ = drive_chaos(client, expected)
+                    assert successes > 0
+                with RemoteQueryEngine(host, port, "sesame") as direct:
+                    clean, errors = drive_chaos(direct, expected, rounds=8)
+                    assert clean == 8 and not errors
+
+
+# ----------------------------------------------------------------------
+# Watchdog: self-healing with zero operator action
+# ----------------------------------------------------------------------
+def wait_for_exact(client, expected, deadline_s: float = 30.0):
+    """Poll until every query in the cycle answers exactly again."""
+    t0 = time.monotonic()
+    while True:
+        try:
+            clean, errors = drive_chaos(
+                client, expected, rounds=len(QUERY_CYCLE)
+            )
+            if clean == len(QUERY_CYCLE) and not errors:
+                return time.monotonic() - t0
+        except TYPED_ERRORS:
+            pass
+        if time.monotonic() - t0 > deadline_s:
+            pytest.fail("service never recovered full exactness")
+        time.sleep(0.2)
+
+
+@pytest.fixture()
+def healing_service(tmp_path):
+    params = PrivacyParams(p=0.3)
+    prf = BiasedPRF(p=0.3, global_key=GLOBAL_KEY)
+    database = bernoulli_panel(90, 3, rng=np.random.default_rng(13))
+    sketcher = Sketcher(params, prf, sketch_bits=8, rng=np.random.default_rng(14))
+    store = publish_database(database, sketcher, SUBSETS, workers=1, seed=13)
+    local = QueryEngine(database.schema, store, SketchEstimator(params, prf))
+    service = ShardedService.from_store(
+        store, prf, 2, tmp_path,
+        cache=True,
+        watchdog_interval=0.2,
+        watchdog_probe_timeout=1.0,
+        watchdog_max_restarts=5,
+        breaker_reset=0.3,
+    ).start()
+    service.expected = expected_answers(local)
+    try:
+        yield service
+    finally:
+        service.close()
+
+
+def event_kinds(service):
+    with service._events_lock:
+        return [event["event"] for event in service.events]
+
+
+class TestWatchdog:
+    @pytest.mark.timeout(300)
+    def test_sigkilled_worker_heals_unaided(self, healing_service):
+        service = healing_service
+        coordinator = service.coordinator
+        assert expected_answers(coordinator) == service.expected
+        service.kill_shard("shard-1")
+        # Zero operator action from here: the watchdog must notice the
+        # dead worker, respawn it, and restore exact answers.
+        recovery = wait_for_exact(coordinator, service.expected)
+        assert recovery < 30.0
+        kinds = event_kinds(service)
+        assert "probe_failed" in kinds
+        assert "restarted" in kinds
+
+    @pytest.mark.timeout(300)
+    def test_sigstopped_worker_counts_as_hung_and_heals(self, healing_service):
+        service = healing_service
+        coordinator = service.coordinator
+        assert expected_answers(coordinator) == service.expected
+        pid = service._processes["shard-0"].pid
+        os.kill(pid, signal.SIGSTOP)
+        recovery = wait_for_exact(coordinator, service.expected)
+        assert recovery < 30.0
+        kinds = event_kinds(service)
+        assert "probe_failed" in kinds
+        assert "restarted" in kinds
+        with service._events_lock:
+            reasons = {
+                event.get("reason")
+                for event in service.events
+                if event["event"] == "probe_failed"
+            }
+        assert "hung" in reasons, "a stopped (alive but mute) worker is hung"
+
+    @pytest.mark.timeout(300)
+    def test_watchdog_rejoin_is_warm(self, healing_service):
+        """The restarted worker reattaches to its persistent cache: the
+        repeat query costs zero cache misses (no new PRF calls), which a
+        cold boot provably cannot do (its first pass misses every value)."""
+        service = healing_service
+        coordinator = service.coordinator
+
+        def worker_cache_stats(shard_id):
+            host, port = service._addresses[shard_id]
+            with RemoteQueryEngine(host, port, service._token) as probe:
+                return probe.status()["cache"]
+
+        # Cold boot: the first pass over the query cycle misses.
+        assert expected_answers(coordinator) == service.expected
+        cold = worker_cache_stats("shard-1")
+        assert cold["misses"] > 0, "a cold worker must do PRF work"
+
+        service.kill_shard("shard-1")
+        recovery = wait_for_exact(coordinator, service.expected)
+        assert recovery < 30.0
+        assert "restarted" in event_kinds(service)
+
+        warm = worker_cache_stats("shard-1")
+        assert warm["misses"] == 0, (
+            f"watchdog rejoin must be warm (no new PRF evaluations); "
+            f"saw {warm['misses']} misses vs {cold['misses']} on cold boot"
+        )
+        assert warm["hits"] > 0, "repeat queries must hit the persisted cache"
+        assert warm["misses"] < cold["misses"]

@@ -226,6 +226,8 @@ class TestRoundTrips:
                 "bit_matrix",
                 "evaluate_plan",
                 "shard_partial",
+                "ping",
+                "status",
             ]
         )
 
