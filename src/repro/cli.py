@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the things someone evaluating the library wants
+Six commands cover the things someone evaluating the library wants
 without writing code:
 
 * ``bounds``      — the closed-form privacy/utility/size numbers for a
@@ -9,9 +9,12 @@ without writing code:
   data, printing estimate vs truth;
 * ``serve``       — serve a published sketch store over the typed query
   protocol (asyncio TCP; bearer-token auth, per-analyst rate limiting
-  and privacy budget at the perimeter);
+  and privacy budget at the perimeter; SIGHUP re-reads ``--token-file``
+  for zero-downtime credential rotation);
 * ``query``       — send one typed query to a running server and print
   the JSON result;
+* ``rebalance``   — drive a live range split/merge on a running sharded
+  server (or show rebalance status) over the same protocol;
 * ``experiments`` — the DESIGN.md experiment index and how to regenerate
   each entry.
 """
@@ -57,6 +60,7 @@ _EXPERIMENTS = [
     ("E26", "sharded serving: scatter-gather throughput vs shard count", "benchmarks/bench_sharded.py"),
     ("E27", "compiled kernel tier: cold-path speedup + concurrent serving", "benchmarks/bench_kernel.py"),
     ("E28", "resilience: deadline/breaker overhead + watchdog recovery", "benchmarks/bench_resilience.py"),
+    ("E29", "live rebalancing: split/merge under traffic, zero errors", "benchmarks/bench_rebalance.py"),
     ("X1", "§5 extension: function sketches", "benchmarks/bench_extensions.py"),
     ("X2", "§5 extension: relaxed (quadratic) budgets", "benchmarks/bench_extensions.py"),
     ("X3", "streaming estimation parity", "benchmarks/bench_extensions.py"),
@@ -171,8 +175,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--token", action="append", default=[], metavar="ANALYST=SECRET",
-        required=True,
-        help="issue a bearer token (repeatable; one per analyst)",
+        help="issue a bearer token (repeatable; one per analyst; required "
+        "unless --token-file is given)",
+    )
+    serve.add_argument(
+        "--token-file", default=None, metavar="PATH",
+        help="read bearer tokens from PATH (one ANALYST=SECRET per line; "
+        "'#' comments and blank lines ignored).  SIGHUP re-reads the file "
+        "live: new analysts are added, changed tokens rotated, absent "
+        "analysts revoked — open connections survive",
+    )
+    serve.add_argument(
+        "--rotation-grace", type=float, default=0.0, metavar="SECONDS",
+        help="how long a rotated-out token keeps authenticating new "
+        "connections after a SIGHUP reload (default: 0 = immediately "
+        "invalid)",
     )
     serve.add_argument(
         "--epsilon", type=float, default=None,
@@ -279,6 +296,40 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--l", type=int, default=None, help="exactly_l count")
     query.add_argument(
         "--target", type=int, default=1, help="bit_matrix target bit"
+    )
+
+    rebalance = subparsers.add_parser(
+        "rebalance",
+        help="drive a live shard split/merge on a running sharded server",
+    )
+    rebalance.add_argument("--host", default="127.0.0.1")
+    rebalance.add_argument("--port", type=int, default=7206)
+    rebalance.add_argument("--token", required=True, help="bearer token")
+    rebalance.add_argument(
+        "--action", required=True, choices=["split", "merge", "status"],
+        help="split one shard's user range in two, merge two adjacent "
+        "shards, or report current ranges and handoff state",
+    )
+    rebalance.add_argument(
+        "--shard", default=None, metavar="SHARD_ID",
+        help="the shard to split (split only)",
+    )
+    rebalance.add_argument(
+        "--boundary", default=None, metavar="USER_ID",
+        help="first user id of the new right-hand shard (split only; "
+        "default: the donor's median user)",
+    )
+    rebalance.add_argument(
+        "--left", default=None, metavar="SHARD_ID",
+        help="surviving shard of a merge (absorbs its right neighbour)",
+    )
+    rebalance.add_argument(
+        "--right", default=None, metavar="SHARD_ID",
+        help="shard merged away into --left (must be its right neighbour)",
+    )
+    rebalance.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="end-to-end deadline for the rebalance request",
     )
 
     subparsers.add_parser("experiments", help="list the experiment index")
@@ -458,22 +509,54 @@ def _parse_values(text: str) -> list:
     return [_parse_ints(chunk) for chunk in text.split(";") if chunk.strip()]
 
 
+def _parse_token_items(items, source: str) -> dict:
+    """``['a=s1', 'b=s2']`` -> ``{'a': 's1', 'b': 's2'}`` or ValueError."""
+    tokens = {}
+    for item in items:
+        analyst, sep, secret = item.partition("=")
+        if not sep or not analyst or not secret:
+            raise ValueError(f"{source} expects ANALYST=SECRET, got {item!r}")
+        tokens[analyst] = secret
+    return tokens
+
+
+def _read_token_file(path: str) -> dict:
+    """Token file: one ``ANALYST=SECRET`` per line, ``#`` comments allowed."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [
+            line.strip()
+            for line in handle
+            if line.strip() and not line.strip().startswith("#")
+        ]
+    tokens = _parse_token_items(lines, os.path.basename(path))
+    if not tokens:
+        raise ValueError(f"token file {path!r} defines no analysts")
+    return tokens
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import hashlib
 
     from .core import BiasedPRF, CounterPRF, PrivacyParams, SketchEstimator
     from .server import QueryEngine, RemoteServer, load_store
 
-    tokens = {}
-    for item in args.token:
-        analyst, sep, secret = item.partition("=")
-        if not sep or not analyst or not secret:
-            print(
-                f"error: --token expects ANALYST=SECRET, got {item!r}",
-                file=sys.stderr,
-            )
-            return 2
-        tokens[analyst] = secret
+    if not args.token and not args.token_file:
+        print("error: pass --token and/or --token-file", file=sys.stderr)
+        return 2
+    if args.rotation_grace < 0:
+        print(
+            f"error: --rotation-grace must be >= 0, got {args.rotation_grace}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        tokens = _parse_token_items(args.token, "--token")
+        if args.token_file:
+            for analyst, secret in _read_token_file(args.token_file).items():
+                tokens.setdefault(analyst, secret)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.key_hex is not None:
         try:
             global_key = bytes.fromhex(args.key_hex)
@@ -584,8 +667,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             with open(args.ready_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{host} {port}\n")
 
+    reload_callback = None
+    if args.token_file:
+
+        def reload_callback() -> None:
+            try:
+                summary = server.reload_tokens(
+                    _read_token_file(args.token_file),
+                    grace_seconds=args.rotation_grace,
+                )
+            except (OSError, ValueError) as exc:
+                print(f"token reload failed: {exc}", file=sys.stderr, flush=True)
+                return
+            print(
+                "tokens reloaded: "
+                + ", ".join(f"{k}={len(v)}" for k, v in summary.items()),
+                flush=True,
+            )
+
     try:
-        server.run(args.host, args.port, ready_callback=_ready)
+        server.run(args.host, args.port, ready_callback=_ready, reload_callback=reload_callback)
     finally:
         if service is not None:
             service.close()
@@ -687,6 +788,50 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    import json
+
+    from .protocol.messages import (
+        RebalanceMergeRequest,
+        RebalanceSplitRequest,
+        RebalanceStatusRequest,
+    )
+    from .server import DeadlineExceeded, RemoteQueryEngine
+
+    try:
+        if args.action == "split":
+            if not args.shard:
+                raise ValueError("--action split requires --shard")
+            request = RebalanceSplitRequest.build(args.shard, boundary=args.boundary)
+        elif args.action == "merge":
+            if not args.left or not args.right:
+                raise ValueError("--action merge requires --left and --right")
+            request = RebalanceMergeRequest.build(args.left, args.right)
+        else:
+            request = RebalanceStatusRequest.build()
+        if args.deadline is not None and args.deadline <= 0:
+            raise ValueError(f"--deadline must be > 0, got {args.deadline}")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with RemoteQueryEngine(
+            args.host, args.port, args.token, deadline=args.deadline
+        ) as remote:
+            response = remote.execute(request)
+    except DeadlineExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # mapped server errors: not sharded, bad shard id
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response.result, indent=2))
+    return 0
+
+
 def _cmd_experiments(_: argparse.Namespace) -> int:
     width = max(len(name) for name, _, _ in _EXPERIMENTS)
     for name, description, target in _EXPERIMENTS:
@@ -701,6 +846,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "demo": _cmd_demo,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "rebalance": _cmd_rebalance,
         "experiments": _cmd_experiments,
     }
     return handlers[args.command](args)

@@ -32,7 +32,15 @@ from .combine import (
     transition_probability,
     weight_histogram,
 )
-from .partition import range_bounds, split_columns_by_user_range, user_universe
+from .partition import (
+    merge_bounds,
+    merge_columns,
+    range_bounds,
+    split_bounds,
+    split_columns_at,
+    split_columns_by_user_range,
+    user_universe,
+)
 from .estimator import QueryEstimate, SketchEstimator
 from .functional import FunctionEstimator, FunctionSketcher, ProfileFunction
 from .exact import (
@@ -87,6 +95,8 @@ __all__ = [
     "encode_input",
     "epsilon_for_p",
     "exact_failure_probability",
+    "merge_bounds",
+    "merge_columns",
     "mixed_perturbation_matrix",
     "p_for_epsilon",
     "perturbation_matrix",
@@ -94,6 +104,8 @@ __all__ = [
     "publish_probability",
     "range_bounds",
     "solve_weight_counts",
+    "split_bounds",
+    "split_columns_at",
     "split_columns_by_user_range",
     "transition_probability",
     "user_universe",

@@ -31,7 +31,11 @@ from typing import Dict, List, Tuple, TypeVar
 import numpy as np
 
 __all__ = [
+    "merge_bounds",
+    "merge_columns",
     "range_bounds",
+    "split_bounds",
+    "split_columns_at",
     "split_columns_by_user_range",
     "user_universe",
 ]
@@ -76,6 +80,130 @@ def range_bounds(num_users: int, n_shards: int) -> List[Tuple[int, int]]:
         bounds.append((lo, hi))
         lo = hi
     return bounds
+
+
+def split_bounds(bounds: Tuple[int, int], at: int) -> List[Tuple[int, int]]:
+    """Split one ``[lo, hi)`` index range into two at interior point ``at``.
+
+    Both halves are non-empty: ``lo < at < hi`` is required, so splitting
+    can never manufacture an empty shard.  ``merge_bounds`` is the exact
+    inverse: ``merge_bounds(*split_bounds(b, at)) == b`` for every valid
+    ``at``, which the hypothesis suite asserts round-trip.
+    """
+    lo, hi = bounds
+    if not lo < at < hi:
+        raise ValueError(
+            f"split point {at} must lie strictly inside [{lo}, {hi})"
+        )
+    return [(lo, at), (at, hi)]
+
+
+def merge_bounds(left: Tuple[int, int], right: Tuple[int, int]) -> Tuple[int, int]:
+    """Merge two *adjacent* ``[lo, hi)`` index ranges into one.
+
+    Adjacency (``left[1] == right[0]``) is required — merging
+    non-neighbouring ranges would break the contiguity invariant that
+    makes shard concatenation reproduce single-store alignment.
+    """
+    if left[1] != right[0]:
+        raise ValueError(
+            f"ranges {left} and {right} are not adjacent; "
+            "only neighbouring shards can merge"
+        )
+    return (left[0], right[1])
+
+
+def _filter_columns(
+    columns: Dict[Subset, ColumnT], keep: "np.ndarray", subset: Subset
+) -> ColumnT:
+    column = columns[subset]
+    mask = np.asarray(keep, dtype=bool)
+    kept = mask.tolist()
+    return type(column)(
+        user_ids=[uid for uid, k in zip(column.user_ids, kept) if k],
+        keys=np.ascontiguousarray(np.asarray(column.keys)[mask]),
+        num_bits=np.ascontiguousarray(np.asarray(column.num_bits)[mask]),
+        iterations=np.ascontiguousarray(np.asarray(column.iterations)[mask]),
+    )
+
+
+def split_columns_at(
+    columns: Dict[Subset, ColumnT], boundary: str
+) -> Tuple[Dict[Subset, ColumnT], Dict[Subset, ColumnT]]:
+    """Carve columns into (``user < boundary``, ``user >= boundary``) halves.
+
+    This is the live-rebalancing counterpart of
+    :func:`split_columns_by_user_range`: instead of slicing a fresh
+    store into N balanced ranges, it cuts an *existing* shard's columns
+    at an arbitrary user-id boundary, so a donor shard can keep the left
+    half and hand the right half to a recipient.  The boundary itself
+    need not be a published user id — comparison is plain lexicographic
+    ``<`` on the id strings, matching the sort order of
+    :func:`user_universe`.
+
+    Per-column publication order is preserved on both sides, so for each
+    subset the left and right pieces concatenated (left first) and
+    argsorted by original position reconstruct the donor column
+    bit-for-bit; subsets with no publisher on a side are omitted there
+    (stores never hold empty columns).
+    """
+    left: Dict[Subset, ColumnT] = {}
+    right: Dict[Subset, ColumnT] = {}
+    for subset, column in columns.items():
+        count = len(column.user_ids)
+        mask = np.fromiter(
+            (uid < boundary for uid in column.user_ids), dtype=bool, count=count
+        )
+        if mask.any():
+            left[subset] = _filter_columns(columns, mask, subset)
+        if not mask.all():
+            right[subset] = _filter_columns(columns, ~mask, subset)
+    return left, right
+
+
+def merge_columns(
+    parts: List[Dict[Subset, ColumnT]]
+) -> Dict[Subset, ColumnT]:
+    """Concatenate per-subset column pieces from ``parts`` in part order.
+
+    The inverse of carving: given the column dicts of range-disjoint
+    shards listed in range order, the merged column for each subset is
+    the pieces' arrays concatenated part by part.  Publication order
+    within each piece is preserved, and a subset absent from every part
+    stays absent.  Duplicate user ids across parts are rejected — parts
+    must come from a genuine partition of the user universe.
+    """
+    merged: Dict[Subset, ColumnT] = {}
+    for part in parts:
+        for subset, column in part.items():
+            if subset not in merged:
+                merged[subset] = column
+                continue
+            base = merged[subset]
+            overlap = set(base.user_ids) & set(column.user_ids)
+            if overlap:
+                sample = sorted(overlap)[:3]
+                raise ValueError(
+                    f"cannot merge columns for subset {subset}: user ids "
+                    f"{sample} appear in more than one part"
+                )
+            merged[subset] = type(base)(
+                user_ids=list(base.user_ids) + list(column.user_ids),
+                keys=np.ascontiguousarray(
+                    np.concatenate([np.asarray(base.keys), np.asarray(column.keys)])
+                ),
+                num_bits=np.ascontiguousarray(
+                    np.concatenate(
+                        [np.asarray(base.num_bits), np.asarray(column.num_bits)]
+                    )
+                ),
+                iterations=np.ascontiguousarray(
+                    np.concatenate(
+                        [np.asarray(base.iterations), np.asarray(column.iterations)]
+                    )
+                ),
+            )
+    return merged
 
 
 def split_columns_by_user_range(

@@ -614,6 +614,293 @@ class StatusRequest(QueryRequest):
         return ()
 
 
+def _nonempty_str(value: Any, label: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            "malformed_request", f"{label} must be a non-empty string, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RebalanceSplitRequest(QueryRequest):
+    """Admin surface: split a live shard's user range in two.
+
+    Served by the shard coordinator only (a single-store engine answers
+    ``unknown_kind``): the attached :class:`ShardedService` runs the
+    two-phase handoff — the donor carves its columns at ``boundary``
+    (or its range median when ``boundary`` is omitted), a fresh worker
+    adopts the right half, and the committed shard map flips atomically.
+    Releases no sketched subset, so the accountant charges nothing.
+    """
+
+    shard_id: str
+    boundary: Optional[str]
+
+    kind: ClassVar[str] = "rebalance_split"
+
+    @classmethod
+    def build(
+        cls, shard_id: str, boundary: Optional[str] = None
+    ) -> "RebalanceSplitRequest":
+        if boundary is not None:
+            boundary = _nonempty_str(boundary, "split boundary")
+        return cls(
+            shard_id=_nonempty_str(shard_id, "split shard_id"), boundary=boundary
+        )
+
+    def body(self) -> dict:
+        return {"kind": self.kind, "shard_id": self.shard_id, "boundary": self.boundary}
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "RebalanceSplitRequest":
+        return cls.build(_require(body, "shard_id"), body.get("boundary"))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class RebalanceMergeRequest(QueryRequest):
+    """Admin surface: merge two *adjacent* live shards into the left one.
+
+    The right shard exports its columns and warm cache, the left shard
+    adopts them, and the right worker retires once the committed map
+    flips.  Coordinator-only, budget-free, like ``rebalance_split``.
+    """
+
+    left: str
+    right: str
+
+    kind: ClassVar[str] = "rebalance_merge"
+
+    @classmethod
+    def build(cls, left: str, right: str) -> "RebalanceMergeRequest":
+        left = _nonempty_str(left, "merge left shard")
+        right = _nonempty_str(right, "merge right shard")
+        if left == right:
+            raise ProtocolError(
+                "malformed_request", f"cannot merge shard {left!r} with itself"
+            )
+        return cls(left=left, right=right)
+
+    def body(self) -> dict:
+        return {"kind": self.kind, "left": self.left, "right": self.right}
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "RebalanceMergeRequest":
+        return cls.build(_require(body, "left"), _require(body, "right"))
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class RebalanceStatusRequest(QueryRequest):
+    """Admin surface: the current shard ranges plus any in-flight or
+    recovered rebalance — phase, participants, and completion counters.
+    Budget-free, like the other admin kinds."""
+
+    kind: ClassVar[str] = "rebalance_status"
+
+    @classmethod
+    def build(cls) -> "RebalanceStatusRequest":
+        return cls()
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "RebalanceStatusRequest":
+        return cls()
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class ShardSnapshotRequest(QueryRequest):
+    """Worker-internal prepare step (service → shard worker).
+
+    ``op="carve"``: write the worker's columns split at ``boundary``
+    (worker-chosen median when omitted) to ``left_path`` / ``right_path``
+    plus a warm-cache sidecar for the right half at ``warm_path``; the
+    worker keeps serving its full range from memory.  ``op="export"``:
+    write the whole store to ``right_path`` and every warm entry to
+    ``warm_path`` (the merge prepare).  All files are fsync'd before the
+    reply, so a later "acked" checkpoint can roll forward from disk
+    alone.  Not part of the analyst surface.
+    """
+
+    op: str
+    boundary: Optional[str]
+    left_path: Optional[str]
+    right_path: str
+    warm_path: Optional[str]
+
+    kind: ClassVar[str] = "shard_snapshot"
+    OPS: ClassVar[Tuple[str, ...]] = ("carve", "export")
+
+    @classmethod
+    def build(
+        cls,
+        op: str,
+        right_path: str,
+        *,
+        boundary: Optional[str] = None,
+        left_path: Optional[str] = None,
+        warm_path: Optional[str] = None,
+    ) -> "ShardSnapshotRequest":
+        if op not in cls.OPS:
+            raise ProtocolError(
+                "malformed_request",
+                f"unknown snapshot op {op!r}; expected one of {list(cls.OPS)}",
+            )
+        if op == "carve" and left_path is None:
+            raise ProtocolError(
+                "malformed_request", "carve snapshots require a left_path"
+            )
+        return cls(
+            op=str(op),
+            boundary=None if boundary is None else _nonempty_str(boundary, "boundary"),
+            left_path=None
+            if left_path is None
+            else _nonempty_str(left_path, "left_path"),
+            right_path=_nonempty_str(right_path, "right_path"),
+            warm_path=None
+            if warm_path is None
+            else _nonempty_str(warm_path, "warm_path"),
+        )
+
+    def body(self) -> dict:
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "boundary": self.boundary,
+            "left_path": self.left_path,
+            "right_path": self.right_path,
+            "warm_path": self.warm_path,
+        }
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "ShardSnapshotRequest":
+        return cls.build(
+            _require(body, "op"),
+            _require(body, "right_path"),
+            boundary=body.get("boundary"),
+            left_path=body.get("left_path"),
+            warm_path=body.get("warm_path"),
+        )
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return ()
+
+
+#: Stages of a worker-side rebalance mutation.  ``prepare`` builds the
+#: post-handoff engine off to the side (a read: the worker keeps serving
+#: its current range), ``commit`` installs the staged engine (a pointer
+#: swap, so the coordinator's commit barrier holds for microseconds, not
+#: for a store rebuild), ``all`` does both in one call.
+REBALANCE_STAGES = ("prepare", "commit", "all")
+
+
+def _valid_stage(stage: str) -> str:
+    if stage not in REBALANCE_STAGES:
+        raise ValueError(
+            f"unknown rebalance stage {stage!r}; choose from {list(REBALANCE_STAGES)}"
+        )
+    return stage
+
+
+@dataclass(frozen=True)
+class ShardAdoptRequest(QueryRequest):
+    """Worker-internal merge step: load the handoff store at
+    ``handoff_path``, merge it after the worker's own range, persist the
+    merged store to ``save_path``, and install any carried warm entries
+    from ``warm_path``.  ``stage="prepare"`` does the heavy lifting
+    while the worker keeps serving; ``stage="commit"`` swaps the staged
+    engine in under the worker's write gate while the coordinator holds
+    the commit barrier.  Not part of the analyst surface."""
+
+    handoff_path: str
+    warm_path: Optional[str]
+    save_path: str
+    stage: str
+
+    kind: ClassVar[str] = "shard_adopt"
+
+    @classmethod
+    def build(
+        cls,
+        handoff_path: str,
+        save_path: str,
+        *,
+        warm_path: Optional[str] = None,
+        stage: str = "all",
+    ) -> "ShardAdoptRequest":
+        return cls(
+            handoff_path=_nonempty_str(handoff_path, "handoff_path"),
+            warm_path=None
+            if warm_path is None
+            else _nonempty_str(warm_path, "warm_path"),
+            save_path=_nonempty_str(save_path, "save_path"),
+            stage=_valid_stage(stage),
+        )
+
+    def body(self) -> dict:
+        return {
+            "kind": self.kind,
+            "handoff_path": self.handoff_path,
+            "warm_path": self.warm_path,
+            "save_path": self.save_path,
+            "stage": self.stage,
+        }
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "ShardAdoptRequest":
+        return cls.build(
+            _require(body, "handoff_path"),
+            _require(body, "save_path"),
+            warm_path=body.get("warm_path"),
+            stage=body.get("stage", "all"),
+        )
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class ShardDropRequest(QueryRequest):
+    """Worker-internal split step: shed every user ``>= boundary``,
+    keeping the left carve (whose store file was already written at
+    prepare) and the matching slice of each warm cache entry.
+    ``stage="prepare"`` builds the shrunken engine while the worker
+    keeps serving its full range; ``stage="commit"`` swaps it in under
+    the worker's write gate inside the commit barrier.  Not part of the
+    analyst surface."""
+
+    boundary: str
+    stage: str
+
+    kind: ClassVar[str] = "shard_drop"
+
+    @classmethod
+    def build(cls, boundary: str, *, stage: str = "all") -> "ShardDropRequest":
+        return cls(
+            boundary=_nonempty_str(boundary, "drop boundary"),
+            stage=_valid_stage(stage),
+        )
+
+    def body(self) -> dict:
+        return {"kind": self.kind, "boundary": self.boundary, "stage": self.stage}
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "ShardDropRequest":
+        return cls.build(
+            _require(body, "boundary"), stage=body.get("stage", "all")
+        )
+
+    def subsets_released(self) -> Tuple[Tuple[int, ...], ...]:
+        return ()
+
+
 #: kind -> request class, the dispatch registry both the serialiser and
 #: :meth:`QueryEngine.execute` share.
 REQUEST_KINDS: Dict[str, Type[QueryRequest]] = {
@@ -630,6 +917,12 @@ REQUEST_KINDS: Dict[str, Type[QueryRequest]] = {
         ShardPartialRequest,
         PingRequest,
         StatusRequest,
+        RebalanceSplitRequest,
+        RebalanceMergeRequest,
+        RebalanceStatusRequest,
+        ShardSnapshotRequest,
+        ShardAdoptRequest,
+        ShardDropRequest,
     )
 }
 

@@ -928,6 +928,51 @@ class SketchEvaluationCache:
             for bits in self.bits(subset, values)
         ]
 
+    def entries_snapshot(self) -> dict:
+        """Copy of every *full-length* in-memory entry, keyed
+        ``(subset, value)``.
+
+        The warm-handoff export surface for live rebalancing: a donor
+        shard carves these columns row-wise at the range boundary and
+        ships the moving slice alongside the handoff store, so the
+        recipient starts warm.  Prefix entries (store grew since they
+        were cached) are skipped — a carved prefix would misalign
+        against the handoff columns.
+        """
+        with self._mutex:
+            return {
+                key: bits.copy()
+                for key, bits in self._bits.items()
+                if bits.size == self.store.num_users(key[0])
+            }
+
+    def seed_entry(
+        self, subset: Subset, value: Tuple[int, ...], bits: np.ndarray
+    ) -> None:
+        """Install one precomputed full column (the warm-handoff import).
+
+        The inverse of :meth:`entries_snapshot`: a worker adopting or
+        shedding a user range seeds its rebuilt cache with the carried
+        slices, then re-spills them to disk so a later watchdog restart
+        rejoins warm.  The column must cover the store's current
+        ``num_users`` exactly — carried state is never allowed to alias
+        a differently-sized column.
+        """
+        bits = np.ascontiguousarray(np.asarray(bits))
+        expected = self.store.num_users(subset)
+        if bits.size != expected:
+            raise ValueError(
+                f"seeded column for subset {subset} holds {bits.size} "
+                f"evaluations but the store has {expected}"
+            )
+        with self._sweep_lock():
+            with self._mutex:
+                self._remember((tuple(subset), tuple(value)), bits)
+                self._disk_put(tuple(subset), tuple(value), bits)
+                if self._dirty:
+                    self._sweep()
+                    self._dirty = False
+
     def info(self) -> Tuple[int, int]:
         """(entries, cached evaluations) currently held."""
         return len(self._bits), sum(bits.size for bits in self._bits.values())

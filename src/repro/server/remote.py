@@ -180,6 +180,9 @@ class RemoteServer:
                     f"issued to {self._analysts[token]!r}; tokens must be unique"
                 )
             self._analysts[str(token)] = str(analyst)
+        #: Rotated-out tokens still honoured: token -> (analyst, expiry)
+        #: on the injectable clock.  Pruned lazily at each handshake.
+        self._expiring: Dict[str, Tuple[str, float]] = {}
         self.epsilon = epsilon
         self.accountant = (
             None
@@ -226,6 +229,111 @@ class RemoteServer:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+    # -- credential lifecycle ------------------------------------------
+    def _prune_expired(self) -> None:
+        now = self._clock()
+        for token in [t for t, (_, expiry) in self._expiring.items() if expiry <= now]:
+            del self._expiring[token]
+
+    def _resolve_token(self, token: str) -> Optional[str]:
+        """Map a bearer token to its analyst, honouring rotation grace."""
+        analyst = self._analysts.get(token)
+        if analyst is not None:
+            return analyst
+        self._prune_expired()
+        entry = self._expiring.get(token)
+        return entry[0] if entry is not None else None
+
+    def _token_owner(self, token: str) -> Optional[str]:
+        """Who holds this token — active or still inside a grace window."""
+        self._prune_expired()
+        if token in self._analysts:
+            return self._analysts[token]
+        entry = self._expiring.get(token)
+        return entry[0] if entry is not None else None
+
+    def rotate_token(
+        self, analyst: str, new_token: str, grace_seconds: float = 0.0
+    ) -> None:
+        """Swap one analyst's bearer token without dropping their sessions.
+
+        The old token keeps authenticating *new* connections for
+        ``grace_seconds`` (so an analyst mid-rollout never sees an auth
+        gap), then expires; already-open connections were authenticated
+        at hello time and are untouched either way.  A ``new_token``
+        that any analyst currently holds — active or still in a grace
+        window — is refused: tokens are the credential and must stay
+        unique.
+        """
+        if grace_seconds < 0:
+            raise ValueError(f"grace_seconds must be >= 0, got {grace_seconds}")
+        new_token = str(new_token)
+        if not new_token:
+            raise ValueError("new_token must be a non-empty string")
+        old_token = next(
+            (t for t, name in self._analysts.items() if name == analyst), None
+        )
+        if old_token is None:
+            raise ValueError(f"unknown analyst {analyst!r}; cannot rotate")
+        if new_token == old_token:
+            return  # already the active credential; nothing to rotate
+        owner = self._token_owner(new_token)
+        if owner is not None:
+            raise ValueError(
+                f"new bearer token for analyst {analyst!r} duplicates the one "
+                f"held by {owner!r}; tokens must be unique"
+            )
+        del self._analysts[old_token]
+        self._analysts[new_token] = str(analyst)
+        if grace_seconds > 0:
+            self._expiring[old_token] = (str(analyst), self._clock() + grace_seconds)
+        else:
+            self._expiring.pop(old_token, None)
+
+    def reload_tokens(
+        self, tokens: Mapping[str, str], grace_seconds: float = 0.0
+    ) -> dict:
+        """Reconcile the credential set against a fresh ``{analyst: token}``
+        map (the ``repro serve`` SIGHUP path re-reading ``--token-file``).
+
+        New analysts are added, changed tokens are rotated (old ones
+        honoured for ``grace_seconds``), analysts absent from the new map
+        are revoked outright — their grace entries too.  Returns a
+        summary dict of what changed.
+        """
+        fresh: Dict[str, str] = {}
+        for analyst, token in dict(tokens).items():
+            analyst, token = str(analyst), str(token)
+            if token in fresh:
+                raise ValueError(
+                    f"bearer token for analyst {fresh[token]!r} duplicates the "
+                    f"one issued to {analyst!r}; tokens must be unique"
+                )
+            fresh[token] = analyst
+        current = {name: token for token, name in self._analysts.items()}
+        summary = {"added": [], "rotated": [], "revoked": [], "unchanged": []}
+        for name in sorted(set(current) - {n for n in fresh.values()}):
+            del self._analysts[current[name]]
+            for token in [t for t, (n, _) in self._expiring.items() if n == name]:
+                del self._expiring[token]
+            summary["revoked"].append(name)
+        for token, name in fresh.items():
+            if name not in current:
+                owner = self._token_owner(token)
+                if owner is not None and owner != name:
+                    raise ValueError(
+                        f"bearer token for analyst {name!r} duplicates the one "
+                        f"held by {owner!r}; tokens must be unique"
+                    )
+                self._analysts[token] = name
+                summary["added"].append(name)
+            elif current[name] != token:
+                self.rotate_token(name, token, grace_seconds)
+                summary["rotated"].append(name)
+            else:
+                summary["unchanged"].append(name)
+        return summary
 
     # -- the perimeter -------------------------------------------------
     def _charge(self, analyst: str, request: QueryRequest) -> None:
@@ -275,6 +383,13 @@ class RemoteServer:
         breakers = getattr(self.engine, "breaker_states", None)
         if callable(breakers):
             payload["shards"] = breakers()
+        # Duck-typed: a coordinator fronted by a ShardedService reports
+        # its bounded event-log counters (logged / dropped / buffered).
+        events = getattr(self.engine, "events_summary", None)
+        if callable(events):
+            summary = events()
+            if summary is not None:
+                payload["events"] = summary
         return payload
 
     async def _answer(self, analyst: str, line: str) -> str:
@@ -374,7 +489,7 @@ class RemoteServer:
             except Exception as exc:  # noqa: BLE001
                 await send(dumps_error(error_from_exception(exc)))
                 return
-            analyst = self._analysts.get(token)
+            analyst = self._resolve_token(token)
             if analyst is None:
                 await send(
                     dumps_error(
@@ -451,6 +566,7 @@ class RemoteServer:
         port: int = 0,
         ready_callback: Optional[Callable[[Tuple[str, int]], None]] = None,
         drain_timeout: float = 5.0,
+        reload_callback: Optional[Callable[[], None]] = None,
     ) -> None:
         """Blocking entry point (the ``repro serve`` CLI uses this).
 
@@ -461,6 +577,11 @@ class RemoteServer:
         closes, in-flight requests get ``drain_timeout`` seconds to
         answer, idle connections are dropped, and the dispatch pool is
         shut down — the process no longer dies mid-request.
+
+        ``reload_callback`` (when given) is wired to SIGHUP and runs on
+        the event loop — ``repro serve`` uses it to re-read
+        ``--token-file`` and :meth:`reload_tokens` without a restart;
+        open connections are untouched.
         """
 
         async def _main() -> None:
@@ -472,12 +593,19 @@ class RemoteServer:
             for sig in (signal.SIGINT, signal.SIGTERM):
                 with contextlib.suppress(NotImplementedError, RuntimeError):
                     loop.add_signal_handler(sig, stop.set)
+            sighup = getattr(signal, "SIGHUP", None)
+            if reload_callback is not None and sighup is not None:
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(sighup, reload_callback)
             try:
                 async with server:
                     await stop.wait()
                     await self.drain(server, timeout=drain_timeout)
             finally:
-                for sig in (signal.SIGINT, signal.SIGTERM):
+                handled = [signal.SIGINT, signal.SIGTERM]
+                if reload_callback is not None and sighup is not None:
+                    handled.append(sighup)
+                for sig in handled:
                     with contextlib.suppress(NotImplementedError, RuntimeError):
                         loop.remove_signal_handler(sig)
 

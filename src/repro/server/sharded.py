@@ -41,23 +41,26 @@ a traceback.  The shard map is checkpointed atomically
 
 from __future__ import annotations
 
+import collections
 import contextlib
+import io
 import json
 import multiprocessing
 import os
+import re
 import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..core.combine import combine_from_weight_counts
 from ..core.estimator import QueryEstimate, SketchEstimator
 from ..core.params import PrivacyParams
-from ..core.partition import user_universe
+from ..core.partition import merge_columns, split_columns_at, user_universe
 from ..core.prf import prf_from_spec
 from ..data.encoding import int_to_bits
 from ..protocol.envelope import ProtocolError
@@ -70,9 +73,16 @@ from ..protocol.messages import (
     ExactlyLRequest,
     FractionRequest,
     MarginalRequest,
+    PingRequest,
     QueryRequest,
     QueryResponse,
+    RebalanceMergeRequest,
+    RebalanceSplitRequest,
+    RebalanceStatusRequest,
+    ShardAdoptRequest,
+    ShardDropRequest,
     ShardPartialRequest,
+    ShardSnapshotRequest,
 )
 from ..queries.ast import Conjunction
 from ..queries.conjunctive import LinearPlan, evaluate_plan
@@ -81,6 +91,7 @@ from ..queries.reduction import (
     merge_matrix_partials,
     merge_weight_count_partials,
 )
+from .collector import SketchStore
 from .engine import MissingSketchError, QueryEngine, search_exact_cover
 from .remote import RemoteQueryEngine, RemoteServer
 from .resilience import (
@@ -107,7 +118,64 @@ __all__ = [
 Subset = Tuple[int, ...]
 
 SHARD_MAP_FORMAT = "repro-shard-map"
-SHARD_MAP_VERSION = 1
+#: Version written by this build.  v2 adds the optional ``rebalance``
+#: record (the two-phase handoff checkpoint); v1 checkpoints — written
+#: before live rebalancing existed — still load unchanged.
+SHARD_MAP_VERSION = 2
+_SHARD_MAP_READ_VERSIONS = (1, 2)
+
+#: Test injection point for the crash-durable write path: called with
+#: the destination path after the temp file is written and fsync'd but
+#: *before* the atomic rename.  A hook that raises models power loss at
+#: the worst moment — the regression suite asserts the previous
+#: checkpoint survives intact.
+_write_crash_hook: Optional[Callable[[str], None]] = None
+
+
+def _fsync_directory(path: str) -> None:
+    """Best-effort directory fsync so the rename itself is durable.
+
+    Skipped silently where directories cannot be opened for reading
+    (some filesystems / platforms) — the entry rename is still atomic,
+    this only narrows the window where the *rename* could be lost.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _durable_replace_bytes(path: str, payload: bytes) -> None:
+    """Crash-durable atomic file write: temp + flush + fsync + rename.
+
+    ``os.replace`` alone guarantees readers never see a partial file,
+    but not that the *contents* reached disk before the rename — a
+    power loss could leave an atomically-renamed zero-length
+    "checkpoint".  Fsyncing the temp file first (and the directory
+    after, where cheap) closes that hole: after this returns, either
+    the old file or the complete new one survives a crash.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if _write_crash_hook is not None:
+            _write_crash_hook(path)
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+    _fsync_directory(directory)
 
 #: Bearer identity the coordinator presents on shard-internal
 #: connections.  Workers bind to loopback and serve partial statistics
@@ -161,12 +229,30 @@ class ShardMap:
     #: (see :meth:`ShardedService.checkpoint`): whether per-worker caches
     #: are enabled, their byte budget, and the cache-generation
     #: directories each worker had populated.  ``None`` ≡ no cache state
-    #: recorded — the field is omitted from the JSON and the map version
-    #: stays 1, so pre-resilience checkpoints load unchanged.
+    #: recorded — the field is omitted from the JSON, so pre-resilience
+    #: checkpoints load unchanged.
     cache_state: Optional[dict] = None
+    #: Optional in-flight rebalance record (shard-map v2): the two-phase
+    #: handoff checkpoint.  ``None`` between rebalances.  When present,
+    #: carries ``op`` (``"split"``/``"merge"``), ``phase`` (``"prepared"``
+    #: or ``"acked"``), the participants, the boundary, the *pending*
+    #: shard specs the commit will install, and the file sets recovery
+    #: needs: ``pending_paths`` (created by this rebalance — deleted on
+    #: rollback) and ``obsolete_paths`` (superseded at commit — deleted
+    #: on roll-forward).  Recovery is pure: a ``prepared`` record rolls
+    #: back, an ``acked`` record rolls forward, both from this record
+    #: alone (:meth:`ShardedService.from_checkpoint`).
+    rebalance: Optional[dict] = None
 
     def save(self, path: str | os.PathLike) -> None:
-        """Atomically checkpoint the map as JSON."""
+        """Atomically and *durably* checkpoint the map as JSON.
+
+        The write is crash-durable (temp + fsync + rename, see
+        :func:`_durable_replace_bytes`): this file is the commit point
+        of the two-phase rebalance protocol, so "renamed but never hit
+        the platter" would be a correctness bug, not a performance
+        detail.
+        """
         path = os.fspath(path)
         payload = {
             "format": SHARD_MAP_FORMAT,
@@ -185,17 +271,12 @@ class ShardMap:
         }
         if self.cache_state is not None:
             payload["cache_state"] = self.cache_state
+        if self.rebalance is not None:
+            payload["rebalance"] = self.rebalance
         directory = os.path.dirname(path) or "."
         os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2)
-            os.replace(tmp_path, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_path)
-            raise
+        text = json.dumps(payload, indent=2)
+        _durable_replace_bytes(path, text.encode("utf-8"))
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "ShardMap":
@@ -217,10 +298,10 @@ class ShardMap:
                 f"not a shard-map checkpoint: {path} "
                 f"(format tag {data.get('format') if isinstance(data, dict) else data!r})"
             )
-        if data.get("version") != SHARD_MAP_VERSION:
+        if data.get("version") not in _SHARD_MAP_READ_VERSIONS:
             raise ValueError(
                 f"unsupported shard-map version {data.get('version')!r} in {path}; "
-                f"this build reads version {SHARD_MAP_VERSION}"
+                f"this build reads versions {list(_SHARD_MAP_READ_VERSIONS)}"
             )
         try:
             subsets = tuple(tuple(int(i) for i in s) for s in data["subsets"])
@@ -242,12 +323,169 @@ class ShardMap:
                 f"malformed shard-map checkpoint {path}: cache_state must be "
                 f"an object, got {type(cache_state).__name__}"
             )
-        return cls(subsets=subsets, shards=shards, cache_state=cache_state)
+        rebalance = data.get("rebalance")
+        if rebalance is not None and not isinstance(rebalance, dict):
+            raise ValueError(
+                f"malformed shard-map checkpoint {path}: rebalance must be "
+                f"an object, got {type(rebalance).__name__}"
+            )
+        return cls(
+            subsets=subsets,
+            shards=shards,
+            cache_state=cache_state,
+            rebalance=rebalance,
+        )
+
+
+def _spec_to_payload(spec: ShardSpec) -> dict:
+    return {
+        "shard_id": spec.shard_id,
+        "store_path": spec.store_path,
+        "num_users": spec.num_users,
+        "first_user": spec.first_user,
+        "last_user": spec.last_user,
+    }
+
+
+def _spec_from_payload(entry: dict) -> ShardSpec:
+    return ShardSpec(
+        shard_id=str(entry["shard_id"]),
+        store_path=str(entry["store_path"]),
+        num_users=int(entry["num_users"]),
+        first_user=str(entry["first_user"]),
+        last_user=str(entry["last_user"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Handoff files: durable store snapshots + warm-cache sidecars
+# ----------------------------------------------------------------------
+def _durable_save_store(store, path: str, prf) -> None:
+    """Write a columnar store file atomically and crash-durably.
+
+    ``save_store`` writes in place; rebalance store files must instead
+    appear all-or-nothing *and* be on the platter before the checkpoint
+    that references them is written — an "acked" record whose files
+    evaporated in a crash could not roll forward.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    os.close(fd)
+    try:
+        save_store(store, tmp_path, include_iterations=True, format="columnar", prf=prf)
+        with open(tmp_path, "rb") as handle:
+            os.fsync(handle.fileno())
+        if _write_crash_hook is not None:
+            _write_crash_hook(path)
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+    _fsync_directory(directory)
+
+
+def _save_warm_sidecar(path: str, entries: Dict[tuple, np.ndarray]) -> int:
+    """Persist carved warm-cache entries next to a handoff store.
+
+    ``entries`` maps ``(subset, value)`` to the per-user evaluation
+    slice (in the handoff store's publication order for that subset).
+    Stored as an ``.npz`` with a JSON index member so the loader never
+    has to parse structure out of array names.  Returns the entry count.
+    """
+    index = []
+    arrays: Dict[str, np.ndarray] = {}
+    for i, ((subset, value), bits) in enumerate(sorted(entries.items())):
+        name = f"e{i}"
+        index.append({"subset": list(subset), "value": list(value), "name": name})
+        arrays[name] = np.ascontiguousarray(np.asarray(bits, dtype=np.int8))
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        __index__=np.frombuffer(
+            json.dumps(index).encode("utf-8"), dtype=np.uint8
+        ).copy(),
+        **arrays,
+    )
+    _durable_replace_bytes(path, buffer.getvalue())
+    return len(index)
+
+
+def _load_warm_sidecar(path: str) -> Dict[tuple, np.ndarray]:
+    """Load a warm sidecar; an unreadable or corrupt file loads empty.
+
+    Warmth is an optimisation, never a correctness input — a worker
+    that cannot read its sidecar simply starts cold for those entries.
+    """
+    entries: Dict[tuple, np.ndarray] = {}
+    try:
+        with np.load(path) as archive:
+            index = json.loads(bytes(archive["__index__"]).decode("utf-8"))
+            for record in index:
+                key = (
+                    tuple(int(i) for i in record["subset"]),
+                    tuple(int(v) for v in record["value"]),
+                )
+                entries[key] = np.ascontiguousarray(
+                    np.asarray(archive[record["name"]], dtype=np.int8)
+                )
+    except Exception:  # noqa: BLE001 - warmth only; cold is always correct
+        return {}
+    return entries
 
 
 # ----------------------------------------------------------------------
 # The shard worker: QueryEngine + the partial-statistics op
 # ----------------------------------------------------------------------
+class _ReadWriteGate:
+    """Tiny writer-preference RW gate for the worker's store swap.
+
+    Queries (and snapshots — pure reads) share the gate; the two
+    mutating rebalance ops (``shard_adopt``/``shard_drop``) take it
+    exclusively, so a fan-out partial can never observe a half-swapped
+    store.  Writers are rare (one per rebalance) and fast (an in-memory
+    store swap), so readers block for microseconds, not milliseconds.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+
 class ShardWorkerEngine:
     """One shard's engine: a plain :class:`QueryEngine` plus ``shard_partial``.
 
@@ -266,18 +504,305 @@ class ShardWorkerEngine:
     catalog.
     """
 
-    def __init__(self, engine: QueryEngine) -> None:
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        cache_dir: str | os.PathLike | None = None,
+        cache_budget_bytes: int | None = None,
+    ) -> None:
         self.engine = engine
         # The RemoteServer perimeter reads `.estimator.params` when a
         # privacy budget is configured, and the `status` request kind
         # reads `.cache.stats`; expose the same surface.
         self.estimator = engine.estimator
         self.cache = engine.cache
+        # Rebalance ops replace the store wholesale and rebuild the
+        # cache (a cache directory is content-addressed to one store),
+        # so the ctor arguments must be reproducible here.
+        self._cache_dir = cache_dir
+        self._cache_budget_bytes = cache_budget_bytes
+        self._gate = _ReadWriteGate()
+        # One staged (op, token, store, carry) tuple from a rebalance
+        # ``prepare`` stage, awaiting its ``commit``.  In-memory only:
+        # a crash discards it, and recovery works from the checkpointed
+        # files alone.
+        self._staged: Optional[tuple] = None
 
     def execute(self, request: QueryRequest) -> QueryResponse:
-        if request.kind == ShardPartialRequest.kind:
-            return QueryResponse(kind=request.kind, result=self._partial(request))
-        return self.engine.execute(request)
+        if request.kind in (ShardAdoptRequest.kind, ShardDropRequest.kind):
+            handler = (
+                self._adopt if request.kind == ShardAdoptRequest.kind else self._drop
+            )
+            # ``prepare`` only reads the live store (the worker keeps
+            # serving its current range from it); ``commit`` is the
+            # engine swap and needs the write side of the gate.
+            gate = (
+                self._gate.read()
+                if request.stage == "prepare"
+                else self._gate.write()
+            )
+            with gate:
+                return QueryResponse(kind=request.kind, result=handler(request))
+        with self._gate.read():
+            if request.kind == ShardSnapshotRequest.kind:
+                return QueryResponse(kind=request.kind, result=self._snapshot(request))
+            if request.kind == ShardPartialRequest.kind:
+                return QueryResponse(kind=request.kind, result=self._partial(request))
+            return self.engine.execute(request)
+
+    # -- rebalance ops (service → worker; not on the analyst surface) --
+    def _range_masks(
+        self, columns: dict, boundary: str
+    ) -> Dict[Subset, np.ndarray]:
+        """Per-subset boolean masks of publishers with ``user < boundary``."""
+        return {
+            subset: np.fromiter(
+                (uid < boundary for uid in column.user_ids),
+                dtype=bool,
+                count=len(column.user_ids),
+            )
+            for subset, column in columns.items()
+        }
+
+    def _warm_entries(
+        self, columns: dict, keep: Optional[Dict[Subset, np.ndarray]]
+    ) -> Dict[tuple, np.ndarray]:
+        """Full-length cache entries, optionally sliced by ``keep`` masks."""
+        carved: Dict[tuple, np.ndarray] = {}
+        for (subset, value), bits in self.cache.entries_snapshot().items():
+            if subset not in columns:
+                continue
+            if keep is None:
+                carved[(subset, value)] = bits
+                continue
+            mask = keep.get(subset)
+            if mask is None or not mask.any():
+                continue
+            carved[(subset, value)] = np.ascontiguousarray(bits[mask])
+        return carved
+
+    def _snapshot(self, request: ShardSnapshotRequest) -> dict:
+        """Prepare phase: write handoff store file(s) + warm sidecar.
+
+        Pure read — the worker keeps serving its full range from memory
+        afterwards, which is what keeps mid-rebalance answers exact
+        while the coordinator still routes by the committed map.
+        """
+        prf = self.estimator.prf
+        columns = self.engine.store.to_columns()
+        universe = user_universe(columns)
+        if request.op == "export":
+            _durable_save_store(self.engine.store, request.right_path, prf)
+            warm = self._warm_entries(columns, keep=None)
+            warm_count = (
+                _save_warm_sidecar(request.warm_path, warm)
+                if request.warm_path
+                else 0
+            )
+            return {
+                "num_users": len(universe),
+                "first_user": universe[0] if universe else "",
+                "last_user": universe[-1] if universe else "",
+                "warm_entries": warm_count,
+            }
+        # carve
+        if len(universe) < 2:
+            raise ValueError(
+                f"cannot split a shard holding {len(universe)} user(s); "
+                "a split must leave both halves non-empty"
+            )
+        boundary = request.boundary or universe[len(universe) // 2]
+        if not universe[0] < boundary <= universe[-1]:
+            raise ValueError(
+                f"split boundary {boundary!r} must lie in ({universe[0]!r}, "
+                f"{universe[-1]!r}] so both halves keep at least one user"
+            )
+        left_columns, right_columns = split_columns_at(columns, boundary)
+        left_store = SketchStore.from_columns(left_columns)
+        right_store = SketchStore.from_columns(right_columns)
+        _durable_save_store(left_store, request.left_path, prf)
+        _durable_save_store(right_store, request.right_path, prf)
+        keep_left = self._range_masks(columns, boundary)
+        moving = {subset: ~mask for subset, mask in keep_left.items()}
+        warm = self._warm_entries(right_columns, keep=moving)
+        warm_count = (
+            _save_warm_sidecar(request.warm_path, warm) if request.warm_path else 0
+        )
+        left_universe = user_universe(left_columns)
+        right_universe = user_universe(right_columns)
+        # Stage the donor's own shed while everything is already in
+        # hand: the later ``shard_drop prepare`` becomes a no-op lookup
+        # instead of a second full column rebuild on the serving path.
+        keep_carry = self._warm_entries(left_columns, keep=keep_left)
+        self._staged = (
+            "drop",
+            boundary,
+            left_store,
+            keep_carry,
+            {
+                "num_users": len(left_universe),
+                "first_user": left_universe[0],
+                "last_user": left_universe[-1],
+                "carried_entries": len(keep_carry),
+            },
+        )
+        return {
+            "boundary": boundary,
+            "left": {
+                "num_users": len(left_universe),
+                "first_user": left_universe[0],
+                "last_user": left_universe[-1],
+            },
+            "right": {
+                "num_users": len(right_universe),
+                "first_user": right_universe[0],
+                "last_user": right_universe[-1],
+            },
+            "warm_entries": warm_count,
+        }
+
+    def _install_store(self, store, carry: Dict[tuple, np.ndarray]) -> None:
+        """Swap the wrapped engine onto ``store``, carrying warm entries.
+
+        A fresh :class:`QueryEngine` (and therefore a fresh
+        content-addressed cache generation) is built rather than mutated
+        in place: the old cache directory describes the old column
+        sizes, and its strict oversized-entry check would — correctly —
+        refuse to serve them against a shrunken store.  Carried entries
+        are installed *and re-spilled to disk*, so a later watchdog
+        restart of this worker rejoins warm.
+        """
+        engine = QueryEngine(
+            None,
+            store,
+            self.estimator,
+            cache_dir=self._cache_dir,
+            cache_budget_bytes=self._cache_budget_bytes,
+        )
+        for (subset, value), bits in carry.items():
+            if not store.has_subset(subset):
+                continue
+            if bits.size != store.num_users(subset):
+                continue
+            engine.cache.seed_entry(subset, value, bits)
+        self.engine = engine
+        self.cache = engine.cache
+
+    def _commit_staged(self, op: str, token: str) -> dict:
+        """Swap a staged engine in — the only work under the barrier."""
+        if self._staged is None or self._staged[:2] != (op, token):
+            have = None if self._staged is None else self._staged[:2]
+            raise ValueError(
+                f"no staged {op!r} state for {token!r} to commit "
+                f"(staged: {have}); the prepare stage must run first "
+                "on this same worker process"
+            )
+        _op, _token, store, carry, stats = self._staged
+        self._staged = None
+        self._install_store(store, carry)
+        return stats
+
+    def _adopt(self, request: ShardAdoptRequest) -> dict:
+        """Merge: absorb the handoff range after our own.
+
+        Merged column order is *own pieces then handoff pieces* — both
+        in their original publication order — so a carried own-entry
+        concatenated with the sidecar's entry is positionally exact.
+        The heavy lifting (load, merge, persist, cache splice) happens
+        in the ``prepare`` stage while this worker keeps serving its
+        own range; ``commit`` is a pointer swap.
+        """
+        if request.stage == "commit":
+            return self._commit_staged("adopt", request.save_path)
+        prf = self.estimator.prf
+        handoff_store, _header = load_store(request.handoff_path, expected_prf=prf)
+        handoff_columns = handoff_store.to_columns()
+        own_columns = self.engine.store.to_columns()
+        merged = merge_columns([own_columns, handoff_columns])
+        merged_store = SketchStore.from_columns(merged)
+        _durable_save_store(merged_store, request.save_path, prf)
+        sidecar = (
+            _load_warm_sidecar(request.warm_path) if request.warm_path else {}
+        )
+        carry: Dict[tuple, np.ndarray] = {}
+        own_entries = self.cache.entries_snapshot()
+        for (subset, value), bits in own_entries.items():
+            handoff_column = handoff_columns.get(subset)
+            if handoff_column is None:
+                carry[(subset, value)] = bits
+                continue
+            extra = sidecar.get((subset, value))
+            if extra is not None and extra.size == len(handoff_column.user_ids):
+                carry[(subset, value)] = np.concatenate(
+                    [np.asarray(bits, dtype=np.int8), extra]
+                )
+            # else: recomputed lazily on first use — still exact.
+        for (subset, value), extra in sidecar.items():
+            # Subsets we never published: the merged column IS the
+            # handoff column, so the sidecar entry carries whole.
+            if subset not in own_columns and (subset, value) not in carry:
+                carry[(subset, value)] = extra
+        universe = user_universe(merged)
+        stats = {
+            "num_users": len(universe),
+            "first_user": universe[0] if universe else "",
+            "last_user": universe[-1] if universe else "",
+            "carried_entries": len(carry),
+        }
+        if request.stage == "prepare":
+            self._staged = ("adopt", request.save_path, merged_store, carry, stats)
+            return stats
+        self._install_store(merged_store, carry)
+        return stats
+
+    def _drop(self, request: ShardDropRequest) -> dict:
+        """Split: shed every user ``>= boundary``.
+
+        ``prepare`` builds the shrunken engine while the worker still
+        answers for its full range; ``commit`` swaps it in under the
+        coordinator's barrier.
+        """
+        if request.stage == "commit":
+            return self._commit_staged("drop", request.boundary)
+        if (
+            request.stage == "prepare"
+            and self._staged is not None
+            and self._staged[:2] == ("drop", request.boundary)
+        ):
+            # The carve snapshot already staged this shed.
+            return self._staged[4]
+        columns = self.engine.store.to_columns()
+        left_columns, right_columns = split_columns_at(columns, request.boundary)
+        if not right_columns:
+            raise ValueError(
+                f"drop boundary {request.boundary!r} sheds no user from this shard"
+            )
+        if not left_columns:
+            raise ValueError(
+                f"drop boundary {request.boundary!r} would shed every user; "
+                "a donor must keep a non-empty range"
+            )
+        keep = self._range_masks(columns, request.boundary)
+        carry: Dict[tuple, np.ndarray] = {}
+        for (subset, value), bits in self.cache.entries_snapshot().items():
+            mask = keep.get(subset)
+            if mask is None or not mask.any():
+                continue
+            carry[(subset, value)] = np.ascontiguousarray(bits[mask])
+        left_store = SketchStore.from_columns(left_columns)
+        universe = user_universe(left_columns)
+        stats = {
+            "num_users": len(universe),
+            "first_user": universe[0],
+            "last_user": universe[-1],
+            "carried_entries": len(carry),
+        }
+        if request.stage == "prepare":
+            self._staged = ("drop", request.boundary, left_store, carry, stats)
+            return stats
+        self._install_store(left_store, carry)
+        return stats
 
     def _partial(self, request: ShardPartialRequest) -> dict:
         if request.op == "bit_sums":
@@ -353,10 +878,13 @@ def run_shard_worker(config: dict) -> None:
 
     ``config`` keys: ``store_path``, ``prf_spec`` (from ``prf.spec()``),
     ``ready_path``, ``token``, and optionally ``host``, ``cache_dir``,
-    ``cache_budget_bytes``.  Loads the shard store, serves a
-    :class:`ShardWorkerEngine` on an ephemeral loopback port, and
-    reports the bound address by atomically writing ``"host port"`` to
-    ``ready_path``.  Blocks until the process is terminated.
+    ``cache_budget_bytes``, ``warm_path`` (a rebalance warm sidecar to
+    seed the cache from before serving — a recipient shard starts warm
+    instead of re-evaluating the PRF for columns its donor already had).
+    Loads the shard store, serves a :class:`ShardWorkerEngine` on an
+    ephemeral loopback port, and reports the bound address by atomically
+    (and durably) writing ``"host port"`` to ``ready_path``.  Blocks
+    until the process is terminated.
     """
     prf = prf_from_spec(config["prf_spec"])
     store, _header = load_store(config["store_path"], expected_prf=prf)
@@ -368,15 +896,22 @@ def run_shard_worker(config: dict) -> None:
         cache_dir=config.get("cache_dir"),
         cache_budget_bytes=config.get("cache_budget_bytes"),
     )
-    server = RemoteServer(ShardWorkerEngine(engine), {SHARD_ANALYST: config["token"]})
+    warm_path = config.get("warm_path")
+    if warm_path and os.path.exists(warm_path):
+        for (subset, value), bits in _load_warm_sidecar(warm_path).items():
+            if store.has_subset(subset) and bits.size == store.num_users(subset):
+                engine.cache.seed_entry(subset, value, bits)
+    worker = ShardWorkerEngine(
+        engine,
+        cache_dir=config.get("cache_dir"),
+        cache_budget_bytes=config.get("cache_budget_bytes"),
+    )
+    server = RemoteServer(worker, {SHARD_ANALYST: config["token"]})
     ready_path = config["ready_path"]
 
     def _ready(address: Tuple[str, int]) -> None:
         host, port = address
-        tmp_path = f"{ready_path}.tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(f"{host} {port}\n")
-        os.replace(tmp_path, ready_path)
+        _durable_replace_bytes(ready_path, f"{host} {port}\n".encode("utf-8"))
 
     server.run(config.get("host", "127.0.0.1"), 0, ready_callback=_ready)
 
@@ -502,6 +1037,12 @@ class ShardCoordinator:
         self._pool_size = int(pool_size)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._partition_cache: Dict[Subset, Optional[List[Subset]]] = {}
+        # Commit barrier for live rebalancing: while set, new fan-outs
+        # wait (bounded by the coordinator timeout) instead of racing a
+        # topology flip.  The supervisor that drives rebalances attaches
+        # itself here; a bare coordinator refuses the admin kinds.
+        self._rebalancing = False
+        self.rebalance_executor = None
         self.checkpoint_path = (
             None if checkpoint_path is None else os.fspath(checkpoint_path)
         )
@@ -589,10 +1130,106 @@ class ShardCoordinator:
         if pool is not None:
             pool.shutdown(wait=False)
 
+    # -- the rebalance commit barrier ----------------------------------
+    @contextlib.contextmanager
+    def rebalance_barrier(self, timeout: Optional[float] = None):
+        """Exclusive window for a topology flip: drain, pause, yield.
+
+        New fan-outs block in :meth:`_snapshot` (they retry after the
+        barrier lifts — brief extra latency, never an error), and every
+        in-flight fan-out finishes before the body runs.  This ordering
+        is what keeps rebalancing exact: a fan-out started before the
+        barrier sees the *old* topology with the donor still serving its
+        full range; one started after sees the flipped map; none ever
+        sees a half-applied mutation where a moved range is covered
+        twice or not at all.
+        """
+        limit = self.timeout if timeout is None else float(timeout)
+        deadline = time.monotonic() + limit
+        with self._cond:
+            while self._rebalancing:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardUnavailableError(
+                        "another rebalance holds the commit barrier; retry"
+                    )
+                self._cond.wait(timeout=remaining)
+            self._rebalancing = True
+            try:
+                while any(self._active.get(s, 0) > 0 for s in self._order):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ShardUnavailableError(
+                            "in-flight queries did not drain within "
+                            f"{limit}s; rebalance commit abandoned"
+                        )
+                    self._cond.wait(timeout=remaining)
+            except BaseException:
+                self._rebalancing = False
+                self._cond.notify_all()
+                raise
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._rebalancing = False
+                self._cond.notify_all()
+
+    def apply_rebalance(
+        self,
+        new_map: ShardMap,
+        joins: Dict[str, Tuple[str, int, str]],
+        removals: Sequence[str],
+    ) -> None:
+        """Flip the routing topology to ``new_map`` (barrier held by caller).
+
+        ``joins`` maps new shard ids to ``(host, port, token)`` live
+        addresses; ``removals`` lists shard ids leaving the order.  The
+        subset catalog never changes — rebalancing moves users, not
+        subsets — so partition memos stay valid.
+        """
+        closing: List[_ShardHandle] = []
+        with self._cond:
+            self.shard_map = new_map
+            self._order = [spec.shard_id for spec in new_map.shards]
+            for shard_id in removals:
+                handle = self._handles.pop(shard_id, None)
+                if handle is not None:
+                    closing.append(handle)
+                self._draining.discard(shard_id)
+            for shard_id, (host, port, token) in joins.items():
+                old = self._handles.pop(shard_id, None)
+                if old is not None:
+                    closing.append(old)
+                self._handles[shard_id] = _ShardHandle(
+                    shard_id,
+                    host,
+                    port,
+                    token,
+                    self.timeout,
+                    CircuitBreaker(
+                        failure_threshold=self._breaker_threshold,
+                        reset_timeout=self._breaker_reset,
+                        clock=self._breaker_clock,
+                    ),
+                )
+            self._cond.notify_all()
+        for handle in closing:
+            handle.close()
+
     # -- scatter-gather ------------------------------------------------
     def _snapshot(self) -> List[_ShardHandle]:
         """Pin every shard for one fan-out, or refuse if any is absent."""
         with self._cond:
+            deadline = time.monotonic() + self.timeout
+            while self._rebalancing:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardUnavailableError(
+                        "a rebalance commit is holding the topology barrier; "
+                        "retry the query"
+                    )
+                self._cond.wait(timeout=remaining)
             missing = [
                 shard_id
                 for shard_id in self._order
@@ -921,6 +1558,35 @@ class ShardCoordinator:
             request.to_plan(), self.count, block_count_fn=self.counts_block
         )
 
+    # -- admin kinds (live rebalancing) --------------------------------
+    def _require_executor(self):
+        executor = self.rebalance_executor
+        if executor is None:
+            raise ValueError(
+                "no shard supervisor is attached to this coordinator; live "
+                "rebalancing is only available when serving via ShardedService"
+            )
+        return executor
+
+    def _exec_rebalance_split(self, request: RebalanceSplitRequest) -> dict:
+        return self._require_executor().rebalance_split(
+            request.shard_id, boundary=request.boundary
+        )
+
+    def _exec_rebalance_merge(self, request: RebalanceMergeRequest) -> dict:
+        return self._require_executor().rebalance_merge(request.left, request.right)
+
+    def _exec_rebalance_status(self, request: RebalanceStatusRequest) -> dict:
+        return self._require_executor().rebalance_status()
+
+    def events_summary(self) -> Optional[dict]:
+        """Supervisor event-log counters for the ``status`` ops surface
+        (``None`` for a bare coordinator with no supervisor attached)."""
+        executor = self.rebalance_executor
+        if executor is None:
+            return None
+        return executor.events_summary()
+
     #: kind -> handler; mirrors QueryEngine._HANDLERS key for key, so
     #: unknown-kind errors render identically too.
     _HANDLERS = {
@@ -932,6 +1598,9 @@ class ShardCoordinator:
         ExactlyLRequest.kind: _exec_exactly_l,
         BitMatrixRequest.kind: _exec_bit_matrix,
         EvaluatePlanRequest.kind: _exec_evaluate_plan,
+        RebalanceSplitRequest.kind: _exec_rebalance_split,
+        RebalanceMergeRequest.kind: _exec_rebalance_merge,
+        RebalanceStatusRequest.kind: _exec_rebalance_status,
     }
 
     # -- thin public wrappers (same convenience surface as QueryEngine) -
@@ -1039,6 +1708,7 @@ class ShardedService:
         watchdog_interval: float | None = None,
         watchdog_max_restarts: int = 3,
         watchdog_probe_timeout: float = 2.0,
+        events_limit: int = 1000,
     ) -> None:
         self.shard_map = shard_map
         self.prf = prf
@@ -1052,7 +1722,16 @@ class ShardedService:
         # the owning thread and the watchdog; reentrant because the
         # watchdog sweep holds it across restart_shard.
         self._lifecycle = threading.RLock()
-        self.events: List[dict] = []
+        if events_limit < 1:
+            raise ValueError(f"events_limit must be >= 1, got {events_limit}")
+        # Bounded: a flapping worker logs forever, memory must not.
+        # Dropped (oldest-evicted) events are counted, and the counters
+        # ride the `status` ops surface so the truncation is visible.
+        self.events: "collections.deque[dict]" = collections.deque(
+            maxlen=int(events_limit)
+        )
+        self._events_logged = 0
+        self._events_dropped = 0
         self._events_lock = threading.Lock()
         self._watchdog_interval = watchdog_interval
         self._watchdog_max_restarts = int(watchdog_max_restarts)
@@ -1061,6 +1740,21 @@ class ShardedService:
         self._watchdog_thread: Optional[threading.Thread] = None
         self._restarts: Dict[str, int] = {}
         self._gave_up: Set[str] = set()
+        # Live-rebalance state: one handoff at a time; participants are
+        # watched so a mid-handoff worker death aborts the rebalance
+        # (rollback + restart from the committed map) instead of being
+        # blindly respawned into a half-mutated topology.
+        self._rebalance_busy = threading.Lock()
+        self._rebalance_record: Optional[dict] = None
+        self._rebalance_abort = threading.Event()
+        self._rebalances_completed = 0
+        self._rebalances_aborted = 0
+        self._rebalances_recovered: Optional[str] = None
+        #: Test/ops hook called at each handoff phase boundary with one
+        #: of ``"pre_prepare"``, ``"post_prepare"``, ``"post_ack"``,
+        #: ``"post_commit"`` — the chaos suite uses it to SIGKILL the
+        #: whole service at exact kill-points.
+        self.rebalance_phase_hook: Optional[Callable[[str], None]] = None
         estimator = SketchEstimator(PrivacyParams(p=prf.p), prf)
         self.coordinator = ShardCoordinator(
             shard_map,
@@ -1072,6 +1766,7 @@ class ShardedService:
             breaker_threshold=breaker_threshold,
             breaker_reset=breaker_reset,
         )
+        self.coordinator.rebalance_executor = self
 
     @classmethod
     def from_store(
@@ -1114,15 +1809,74 @@ class ShardedService:
         recovered workers reattach to their cache-generation directories
         and answer repeat queries without a single new PRF call, with
         zero operator action.
+
+        A checkpoint carrying an in-flight rebalance record resolves it
+        here, from the record alone — no operator action, no other
+        files consulted:
+
+        * ``phase == "prepared"`` → **roll back**: the committed map is
+          still authoritative and its store files were never mutated;
+          the half-written handoff files are deleted and the record
+          cleared.
+        * ``phase == "acked"`` → **roll forward**: the pending specs'
+          store files were fsync'd before the acked checkpoint was
+          written, so the new topology is installed as the committed
+          map and superseded files are deleted.
         """
         base_dir = os.fspath(base_dir)
-        shard_map = ShardMap.load(os.path.join(base_dir, "shard_map.json"))
+        checkpoint_path = os.path.join(base_dir, "shard_map.json")
+        shard_map = ShardMap.load(checkpoint_path)
+        action = None
+        cleanup: List[str] = []
+        record = shard_map.rebalance
+        if record is not None:
+            if record.get("phase") == "acked":
+                action = "rolled_forward"
+                specs = tuple(
+                    _spec_from_payload(entry) for entry in record["pending_shards"]
+                )
+                referenced = {spec.store_path for spec in specs}
+                cleanup = [
+                    path
+                    for path in list(record.get("obsolete_paths", []))
+                    + list(record.get("pending_paths", []))
+                    if path not in referenced
+                ]
+                shard_map = ShardMap(
+                    subsets=shard_map.subsets,
+                    shards=specs,
+                    cache_state=shard_map.cache_state,
+                )
+            else:
+                # "prepared" — or anything unrecognised, where rollback
+                # is the only safe default: the committed map and its
+                # files are untouched by construction.
+                action = "rolled_back"
+                cleanup = list(record.get("pending_paths", []))
+                shard_map = replace(shard_map, rebalance=None)
+            # Persist the resolution *before* deleting anything: a crash
+            # during recovery must find either the old record (recovery
+            # re-runs) or the resolved map (cleanup re-runs harmlessly).
+            shard_map.save(checkpoint_path)
+            for path in cleanup:
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
         state = shard_map.cache_state
         if state is not None and state.get("enabled") and "cache" not in kwargs:
             kwargs["cache"] = True
             if state.get("budget_bytes") is not None:
                 kwargs.setdefault("cache_budget_bytes", int(state["budget_bytes"]))
-        return cls(shard_map, prf, base_dir, **kwargs)
+        service = cls(shard_map, prf, base_dir, **kwargs)
+        if action is not None:
+            service._rebalances_recovered = action
+            service._log_event(
+                "rebalance_recovered",
+                record.get("donor"),
+                action=action,
+                op=record.get("op"),
+                phase=record.get("phase"),
+            )
+        return service
 
     # -- lifecycle ------------------------------------------------------
     def start(self, timeout: float = 30.0) -> "ShardedService":
@@ -1186,7 +1940,22 @@ class ShardedService:
         }
         event.update(detail)
         with self._events_lock:
+            if len(self.events) == self.events.maxlen:
+                self._events_dropped += 1
             self.events.append(event)
+            self._events_logged += 1
+
+    def events_summary(self) -> dict:
+        """Event-log counters for the ``status`` ops surface: how many
+        events were logged over the service lifetime, how many the
+        bounded buffer evicted, and the buffer's capacity."""
+        with self._events_lock:
+            return {
+                "logged": self._events_logged,
+                "dropped": self._events_dropped,
+                "buffered": len(self.events),
+                "limit": self.events.maxlen,
+            }
 
     def _probe(self, shard_id: str) -> Optional[str]:
         """One health probe; ``None`` = healthy, else the failure reason.
@@ -1222,7 +1991,17 @@ class ShardedService:
             self._sweep()
 
     def _sweep(self) -> None:
-        """One watchdog pass: probe every shard, restart the unhealthy."""
+        """One watchdog pass: probe every shard, restart the unhealthy.
+
+        A dead worker that is *participating in an active rebalance* is
+        not blindly respawned: the watchdog flags the rebalance for
+        abort instead (the driving thread rolls back, restarts the
+        participants from the committed map, and clears the record), and
+        the normal restart path resumes on the next sweep.  Respawning
+        mid-handoff could resurrect a donor that already shed its range
+        while the flip never committed — an abort is the only action
+        that provably restores the committed topology.
+        """
         for spec in self.shard_map.shards:
             if self._watchdog_stop.is_set():
                 return
@@ -1231,6 +2010,14 @@ class ShardedService:
                 continue
             reason = self._probe(shard_id)
             if reason is None:
+                continue
+            record = self._rebalance_record
+            if record is not None and shard_id in record.get("participants", ()):
+                if not self._rebalance_abort.is_set():
+                    self._rebalance_abort.set()
+                    self._log_event(
+                        "rebalance_abort_requested", shard_id, reason=reason
+                    )
                 continue
             self._log_event("probe_failed", shard_id, reason=reason)
             with self._lifecycle:
@@ -1255,7 +2042,7 @@ class ShardedService:
     def _ready_path(self, shard_id: str) -> str:
         return os.path.join(self.base_dir, "ready", shard_id)
 
-    def _spawn(self, spec: ShardSpec) -> None:
+    def _spawn(self, spec: ShardSpec, warm_path: Optional[str] = None) -> None:
         os.makedirs(os.path.join(self.base_dir, "ready"), exist_ok=True)
         ready_path = self._ready_path(spec.shard_id)
         with contextlib.suppress(FileNotFoundError):
@@ -1271,6 +2058,7 @@ class ShardedService:
                 else None
             ),
             "cache_budget_bytes": self._cache_budget,
+            "warm_path": warm_path,
         }
         process = _preferred_context().Process(
             target=run_shard_worker,
@@ -1301,6 +2089,463 @@ class ShardedService:
         raise RuntimeError(
             f"shard worker {spec.shard_id!r} did not report ready within {timeout}s"
         )
+
+    # -- live rebalancing ----------------------------------------------
+    def _worker_call(self, shard_id: str, request: QueryRequest, timeout: float):
+        """One admin RPC to a worker over a fresh direct connection."""
+        address = self._addresses.get(shard_id)
+        if address is None:
+            raise ShardUnavailableError(
+                f"shard {shard_id!r} has no live worker address; "
+                "is the service started?"
+            )
+        with RemoteQueryEngine(
+            address[0], address[1], self._token, timeout=timeout
+        ) as client:
+            return client.execute(request).result
+
+    def _hook(self, phase: str) -> None:
+        hook = self.rebalance_phase_hook
+        if hook is not None:
+            hook(phase)
+
+    def _check_abort(self) -> None:
+        if self._rebalance_abort.is_set():
+            raise ShardUnavailableError(
+                "rebalance aborted: a participant worker died mid-handoff"
+            )
+
+    def _pace(self, pace_s: float) -> None:
+        """Breathe between handoff phases (``pace_s`` > 0 throttles).
+
+        Pacing trades handoff duration for serving impact: the phases
+        themselves are already off the query path (prepare and the
+        staged drop/adopt run while workers keep serving; the barrier
+        holds only for an engine pointer swap and the map flip), and a
+        pause between them lets the serving tier absorb each phase's
+        cache/CPU ripple before the next starts.  The wait rides the
+        abort event, so a participant death mid-pace wakes the driver
+        immediately instead of after the full pause.
+        """
+        if pace_s > 0:
+            self._rebalance_abort.wait(pace_s)
+        self._check_abort()
+
+    def _fresh_path(self, stem: str, suffix: str) -> str:
+        """A base_dir path no live or pending file occupies.
+
+        Rebalance files are *generation-versioned*: a handoff never
+        overwrites a file the committed map references, so recovery can
+        always serve from the committed files no matter where a crash
+        landed.
+        """
+        candidate = os.path.join(self.base_dir, f"{stem}{suffix}")
+        n = 1
+        while os.path.exists(candidate):
+            candidate = os.path.join(self.base_dir, f"{stem}-g{n}{suffix}")
+            n += 1
+        return candidate
+
+    def _new_shard_id(self) -> str:
+        taken = {spec.shard_id for spec in self.shard_map.shards}
+        taken.update(self._processes)
+        n = 0
+        for shard_id in taken:
+            match = re.fullmatch(r"shard-(\d+)", shard_id)
+            if match:
+                n = max(n, int(match.group(1)) + 1)
+        while f"shard-{n}" in taken:
+            n += 1
+        return f"shard-{n}"
+
+    def _install_record(self, record: dict) -> None:
+        """Checkpoint an in-flight rebalance record (durably)."""
+        self._rebalance_record = record
+        self.shard_map = replace(self.shard_map, rebalance=record)
+        self.checkpoint()
+
+    def _spec_for(self, shard_id: str) -> ShardSpec:
+        for spec in self.shard_map.shards:
+            if spec.shard_id == shard_id:
+                return spec
+        raise ValueError(
+            f"unknown shard id {shard_id!r}; the shard map lists "
+            f"{[spec.shard_id for spec in self.shard_map.shards]}"
+        )
+
+    def _abort_rebalance(self, record: dict, reason: str, mutated: List[str]) -> None:
+        """Roll a failed handoff back to the committed topology.
+
+        The committed map's files were never mutated (generation
+        versioning), so rollback is: delete the pending files, clear the
+        record from the durable checkpoint, retire any uncommitted
+        recipient worker, and restart every participant whose in-memory
+        store may have mutated — they reload the committed files and the
+        cluster is exactly where it was before the attempt.
+        """
+        with self._lifecycle:
+            self.shard_map = replace(self.shard_map, rebalance=None)
+            self._rebalance_record = None
+            with contextlib.suppress(Exception):
+                self.checkpoint()
+            for path in record.get("pending_paths", ()):
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+            committed = {spec.shard_id for spec in self.shard_map.shards}
+            for shard_id in record.get("participants", ()):
+                if shard_id in committed:
+                    continue
+                process = self._processes.pop(shard_id, None)
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(timeout=10.0)
+                self._addresses.pop(shard_id, None)
+            for shard_id in mutated:
+                if shard_id not in committed:
+                    continue
+                try:
+                    self.restart_shard(shard_id)
+                except Exception as exc:  # noqa: BLE001 - watchdog retries
+                    self._log_event("restart_failed", shard_id, error=str(exc))
+        self._rebalances_aborted += 1
+        self._log_event(
+            "rebalance_aborted",
+            record.get("donor"),
+            op=record.get("op"),
+            reason=reason,
+        )
+
+    def rebalance_split(
+        self,
+        shard_id: str,
+        boundary: Optional[str] = None,
+        timeout: float = 60.0,
+        pace_s: float = 0.0,
+    ) -> dict:
+        """Split one live shard's user range in two, under traffic.
+
+        Two-phase: *prepare* (the donor carves both halves to fresh
+        fsync'd store files plus a warm sidecar, and the ``prepared``
+        record is checkpointed), then *commit* (a fresh worker serves
+        the right half, acks by answering ``ping`` — checkpointed as
+        ``acked`` — the donor pre-stages its shrunken engine, and
+        inside the coordinator's commit barrier the staged engine swaps
+        in and the routing map flips).  Queries keep flowing
+        throughout; a crash at any point recovers from the checkpoint
+        alone (see :meth:`from_checkpoint`).  ``pace_s`` > 0 pauses
+        between phases to amortise serving impact (see :meth:`_pace`).
+        """
+        if not self._rebalance_busy.acquire(blocking=False):
+            raise ValueError(
+                "a rebalance is already in progress; retry once it completes"
+            )
+        mutated: List[str] = []
+        record: Optional[dict] = None
+        try:
+            self._rebalance_abort.clear()
+            self._hook("pre_prepare")
+            donor = self._spec_for(shard_id)
+            new_id = self._new_shard_id()
+            left_path = self._fresh_path(f"{shard_id}-split", ".npz")
+            right_path = self._fresh_path(new_id, ".npz")
+            warm_path = self._fresh_path(f"{new_id}-warm", ".npz")
+            # -- prepare ------------------------------------------------
+            snap = self._worker_call(
+                shard_id,
+                ShardSnapshotRequest.build(
+                    "carve",
+                    right_path,
+                    boundary=boundary,
+                    left_path=left_path,
+                    warm_path=warm_path,
+                ),
+                timeout,
+            )
+            chosen = snap["boundary"]
+            donor_spec = ShardSpec(
+                shard_id,
+                left_path,
+                int(snap["left"]["num_users"]),
+                snap["left"]["first_user"],
+                snap["left"]["last_user"],
+            )
+            recipient_spec = ShardSpec(
+                new_id,
+                right_path,
+                int(snap["right"]["num_users"]),
+                snap["right"]["first_user"],
+                snap["right"]["last_user"],
+            )
+            pending: List[ShardSpec] = []
+            for spec in self.shard_map.shards:
+                if spec.shard_id == shard_id:
+                    pending.extend((donor_spec, recipient_spec))
+                else:
+                    pending.append(spec)
+            record = {
+                "op": "split",
+                "phase": "prepared",
+                "donor": shard_id,
+                "recipient": new_id,
+                "boundary": chosen,
+                "participants": [shard_id, new_id],
+                "pending_shards": [_spec_to_payload(spec) for spec in pending],
+                "pending_paths": [left_path, right_path, warm_path],
+                "obsolete_paths": [donor.store_path],
+            }
+            self._install_record(record)
+            self._log_event(
+                "rebalance_prepared",
+                shard_id,
+                op="split",
+                boundary=chosen,
+                recipient=new_id,
+            )
+            self._hook("post_prepare")
+            self._pace(pace_s)
+            # -- ack: the recipient proves possession -------------------
+            with self._lifecycle:
+                self._spawn(recipient_spec, warm_path=warm_path)
+            host, port = self._wait_ready(recipient_spec, timeout)
+            self._addresses[new_id] = (host, port)
+            self._worker_call(new_id, PingRequest.build(), timeout)
+            record = dict(record, phase="acked")
+            self._install_record(record)
+            self._log_event("rebalance_acked", new_id, op="split")
+            self._hook("post_ack")
+            self._pace(pace_s)
+            # -- commit: pre-stage the shed, then barrier + flip --------
+            new_map = ShardMap(
+                subsets=self.shard_map.subsets,
+                shards=tuple(pending),
+                cache_state=self.shard_map.cache_state,
+            )
+            # The donor builds its shrunken engine while still serving
+            # the full range; the barrier below holds only for the
+            # pointer swap and the map flip.
+            self._worker_call(
+                shard_id, ShardDropRequest.build(chosen, stage="prepare"), timeout
+            )
+            self._check_abort()
+            with self.coordinator.rebalance_barrier(timeout):
+                mutated.append(shard_id)
+                self._worker_call(
+                    shard_id, ShardDropRequest.build(chosen, stage="commit"), timeout
+                )
+                self.coordinator.apply_rebalance(
+                    new_map,
+                    joins={new_id: (host, port, self._token)},
+                    removals=[],
+                )
+                self.shard_map = new_map
+            self._rebalance_record = None
+            self.checkpoint()
+            for path in (donor.store_path, warm_path):
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+            self._rebalances_completed += 1
+            self._log_event(
+                "rebalance_committed",
+                shard_id,
+                op="split",
+                boundary=chosen,
+                recipient=new_id,
+            )
+            self._hook("post_commit")
+            return {
+                "op": "split",
+                "donor": shard_id,
+                "recipient": new_id,
+                "boundary": chosen,
+                "shards": [spec.shard_id for spec in new_map.shards],
+            }
+        except BaseException as exc:
+            if record is not None and self._rebalance_record is not None:
+                self._abort_rebalance(record, str(exc), mutated)
+            raise
+        finally:
+            self._rebalance_record = None
+            self._rebalance_abort.clear()
+            self._rebalance_busy.release()
+
+    def rebalance_merge(
+        self,
+        left: str,
+        right: str,
+        timeout: float = 60.0,
+        pace_s: float = 0.0,
+    ) -> dict:
+        """Merge two *adjacent* live shards into the left one, under traffic.
+
+        Prepare: the right shard exports its full store and warm cache
+        to fsync'd handoff files (checkpointed ``prepared``).  Ack: the
+        left shard *stages* the adoption — loads the handoff, persists
+        the merged store, splices the warm cache — while still serving
+        only its own range (checkpointed ``acked``).  Commit, inside
+        the barrier: the staged engine swaps in and the routing map
+        drops the right shard, whose worker then retires.  ``pace_s``
+        > 0 pauses between phases (see :meth:`_pace`).
+        """
+        if not self._rebalance_busy.acquire(blocking=False):
+            raise ValueError(
+                "a rebalance is already in progress; retry once it completes"
+            )
+        mutated: List[str] = []
+        record: Optional[dict] = None
+        try:
+            self._rebalance_abort.clear()
+            self._hook("pre_prepare")
+            left_spec = self._spec_for(left)
+            right_spec = self._spec_for(right)
+            order = [spec.shard_id for spec in self.shard_map.shards]
+            if order.index(right) != order.index(left) + 1:
+                raise ValueError(
+                    f"shards {left!r} and {right!r} are not adjacent in range "
+                    f"order {order}; only neighbouring shards can merge"
+                )
+            merged_path = self._fresh_path(f"{left}-merged", ".npz")
+            handoff_path = self._fresh_path(f"{right}-handoff", ".npz")
+            warm_path = self._fresh_path(f"{right}-handoff-warm", ".npz")
+            # -- prepare ------------------------------------------------
+            self._worker_call(
+                right,
+                ShardSnapshotRequest.build(
+                    "export", handoff_path, warm_path=warm_path
+                ),
+                timeout,
+            )
+            merged_spec = ShardSpec(
+                left,
+                merged_path,
+                left_spec.num_users + right_spec.num_users,
+                left_spec.first_user if left_spec.num_users else right_spec.first_user,
+                right_spec.last_user if right_spec.num_users else left_spec.last_user,
+            )
+            pending = tuple(
+                merged_spec if spec.shard_id == left else spec
+                for spec in self.shard_map.shards
+                if spec.shard_id != right
+            )
+            record = {
+                "op": "merge",
+                "phase": "prepared",
+                "donor": right,
+                "recipient": left,
+                "boundary": "",
+                "participants": [left, right],
+                "pending_shards": [_spec_to_payload(spec) for spec in pending],
+                "pending_paths": [handoff_path, warm_path, merged_path],
+                "obsolete_paths": [left_spec.store_path, right_spec.store_path],
+            }
+            self._install_record(record)
+            self._log_event(
+                "rebalance_prepared", right, op="merge", recipient=left
+            )
+            self._hook("post_prepare")
+            self._pace(pace_s)
+            # -- ack: the left shard stages the adoption ----------------
+            # Heavy lifting (load + merge + persist + cache splice)
+            # happens here, while the left worker keeps answering for
+            # its own range only; the merged store is durably on disk
+            # before ``acked`` is checkpointed, so roll-forward recovery
+            # never needs the staged in-memory state.
+            new_map = ShardMap(
+                subsets=self.shard_map.subsets,
+                shards=pending,
+                cache_state=self.shard_map.cache_state,
+            )
+            self._worker_call(
+                left,
+                ShardAdoptRequest.build(
+                    handoff_path, merged_path, warm_path=warm_path, stage="prepare"
+                ),
+                timeout,
+            )
+            record = dict(record, phase="acked")
+            self._install_record(record)
+            self._log_event("rebalance_acked", left, op="merge")
+            self._hook("post_ack")
+            self._pace(pace_s)
+            # -- commit: barrier, staged swap, flip ---------------------
+            with self.coordinator.rebalance_barrier(timeout):
+                mutated.append(left)
+                self._worker_call(
+                    left,
+                    ShardAdoptRequest.build(
+                        handoff_path, merged_path, warm_path=warm_path, stage="commit"
+                    ),
+                    timeout,
+                )
+                self.coordinator.apply_rebalance(new_map, joins={}, removals=[right])
+                self.shard_map = new_map
+            self._rebalance_record = None
+            self.checkpoint()
+            with self._lifecycle:
+                process = self._processes.pop(right, None)
+                if process is not None and process.is_alive():
+                    process.terminate()
+                    process.join(timeout=10.0)
+                    if process.is_alive():  # pragma: no cover - stuck worker
+                        process.kill()
+                        process.join(timeout=5.0)
+                self._addresses.pop(right, None)
+                self._restarts.pop(right, None)
+                self._gave_up.discard(right)
+            for path in (
+                left_spec.store_path,
+                right_spec.store_path,
+                handoff_path,
+                warm_path,
+            ):
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+            self._rebalances_completed += 1
+            self._log_event(
+                "rebalance_committed", right, op="merge", recipient=left
+            )
+            self._hook("post_commit")
+            return {
+                "op": "merge",
+                "donor": right,
+                "recipient": left,
+                "shards": [spec.shard_id for spec in new_map.shards],
+            }
+        except BaseException as exc:
+            if record is not None and self._rebalance_record is not None:
+                self._abort_rebalance(record, str(exc), mutated)
+            raise
+        finally:
+            self._rebalance_record = None
+            self._rebalance_abort.clear()
+            self._rebalance_busy.release()
+
+    def rebalance_status(self) -> dict:
+        """Current ranges, any in-flight handoff, and lifetime counters."""
+        with self._lifecycle:
+            shards = []
+            for spec in self.shard_map.shards:
+                process = self._processes.get(spec.shard_id)
+                entry = _spec_to_payload(spec)
+                entry["live"] = bool(
+                    process is not None
+                    and process.is_alive()
+                    and spec.shard_id in self._addresses
+                )
+                shards.append(entry)
+        record = self._rebalance_record
+        active = None
+        if record is not None:
+            active = {
+                key: record.get(key)
+                for key in ("op", "phase", "donor", "recipient", "boundary")
+            }
+        return {
+            "shards": shards,
+            "active": active,
+            "completed": self._rebalances_completed,
+            "aborted": self._rebalances_aborted,
+            "recovered": self._rebalances_recovered,
+        }
 
     def kill_shard(self, shard_id: str) -> None:
         """Fault injection: SIGKILL one worker, leaving membership as-is

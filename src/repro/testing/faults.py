@@ -153,6 +153,17 @@ class FaultInjectingProxy:
         self._connections = 0
         self.stats: Dict[str, int] = {action: 0 for action in FAULT_ACTIONS}
 
+    def set_schedule(self, schedule: FaultSchedule) -> None:
+        """Swap the fault schedule live (phase-scoped chaos).
+
+        Connections already open keep the action stream they started
+        with; connections accepted after the swap draw from the new
+        schedule.  Determinism is preserved given deterministic swap
+        points: the stream is still a pure function of (the schedule
+        active at accept time, connection index).
+        """
+        self.schedule = schedule
+
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "FaultInjectingProxy":
         self._accept_thread = threading.Thread(

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 
 import numpy as np
@@ -288,3 +289,90 @@ class TestWatchdog:
         )
         assert warm["hits"] > 0, "repeat queries must hit the persisted cache"
         assert warm["misses"] < cold["misses"]
+
+
+# ----------------------------------------------------------------------
+# Live rebalancing under chaos, both kernel tiers
+# ----------------------------------------------------------------------
+class TestRebalanceChaos:
+    """Faults fire *while a handoff is in flight*: the proxy swaps to a
+    heavier fault schedule during the prepare/commit phases (via the
+    rebalance phase hook), and the chaos contract must hold throughout —
+    every concurrent query is bit-identical or a typed refusal, the
+    split and the merge both commit, and a clean client afterwards sees
+    full exactness."""
+
+    CALM = {"pass": 18, "drop_before": 1, "drop_after": 1,
+            "delay": 0, "truncate": 1, "garbage": 1}
+    STORM = {"pass": 8, "drop_before": 2, "drop_after": 2,
+             "delay": 0, "truncate": 2, "garbage": 2}
+
+    @pytest.mark.timeout(300)
+    @pytest.mark.parametrize("tier", ["numpy", "c"])
+    def test_split_and_merge_commit_under_faults(self, tier, tmp_path):
+        if tier == "c" and not kernels.available():
+            pytest.skip("compiled kernel extension not built")
+        before = kernels.active()
+        try:
+            kernels.select(tier)
+            # CounterPRF so the selected kernel runs the cold hot loop.
+            params = PrivacyParams(p=0.3)
+            prf = CounterPRF(p=0.3, global_key=GLOBAL_KEY)
+            database = bernoulli_panel(90, 3, rng=np.random.default_rng(13))
+            sketcher = Sketcher(
+                params, prf, sketch_bits=8, rng=np.random.default_rng(14)
+            )
+            store = publish_database(database, sketcher, SUBSETS, workers=1, seed=13)
+            local = QueryEngine(database.schema, store, SketchEstimator(params, prf))
+            expected = expected_answers(local)
+            service = ShardedService.from_store(store, prf, 2, tmp_path, cache=True)
+            service.start()
+            try:
+                front = RemoteServer(service.coordinator, {"alice": "sesame"})
+                with serve_in_thread(front) as (host, port):
+                    calm = FaultSchedule(seed=31, weights=self.CALM)
+                    storm = FaultSchedule(seed=37, weights=self.STORM)
+                    with FaultInjectingProxy(host, port, calm, delay_s=1.5) as proxy:
+                        def hook(phase: str) -> None:
+                            in_handoff = phase in ("post_prepare", "post_ack")
+                            proxy.set_schedule(storm if in_handoff else calm)
+
+                        service.rebalance_phase_hook = hook
+                        outcome: dict = {}
+
+                        def traffic() -> None:
+                            with RemoteQueryEngine(
+                                *proxy.address, "sesame",
+                                timeout=10.0, retry=4, deadline=3.0,
+                            ) as client:
+                                outcome["result"] = drive_chaos(
+                                    client, expected, rounds=60
+                                )
+
+                        thread = threading.Thread(target=traffic, daemon=True)
+                        thread.start()
+                        time.sleep(0.2)  # let chaos traffic start flowing
+                        out = service.rebalance_split("shard-0")
+                        service.rebalance_merge(out["donor"], out["recipient"])
+                        thread.join(timeout=180)
+                        assert not thread.is_alive(), "chaos traffic hung"
+                        successes, _ = outcome["result"]
+                        assert successes > 0, "chaos must not refuse everything"
+                        injected = sum(
+                            count
+                            for action, count in proxy.stats.items()
+                            if action != "pass"
+                        )
+                        assert injected > 0, "the schedules must inject faults"
+                    # Chaos over: both handoffs committed and a clean
+                    # client answers every query exactly.
+                    status = service.rebalance_status()
+                    assert status["completed"] == 2 and status["aborted"] == 0
+                    with RemoteQueryEngine(host, port, "sesame") as direct:
+                        clean, errors = drive_chaos(direct, expected, rounds=8)
+                        assert clean == 8 and not errors
+            finally:
+                service.rebalance_phase_hook = None
+                service.close()
+        finally:
+            kernels.select(before)

@@ -228,6 +228,14 @@ class TestRoundTrips:
                 "shard_partial",
                 "ping",
                 "status",
+                # PR 10 rebalancing surface; round-trips are covered in
+                # tests/test_rebalance.py.
+                "shard_snapshot",
+                "shard_adopt",
+                "shard_drop",
+                "rebalance_split",
+                "rebalance_merge",
+                "rebalance_status",
             ]
         )
 
